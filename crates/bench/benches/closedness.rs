@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the closedness measure itself — the per-merge cost
+//! the paper argues is "proportional to the existing cost of aggregation"
+//! (Section 3.3).
+
+use ccube_core::closedness::ClosedInfo;
+use ccube_core::mask::DimMask;
+use ccube_data::SyntheticSpec;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn closedness_merge(c: &mut Criterion) {
+    let table = SyntheticSpec::uniform(10_000, 8, 100, 1.0, 1).generate();
+    let infos: Vec<ClosedInfo> = (0..10_000u32)
+        .map(|t| ClosedInfo::for_tuple(&table, t))
+        .collect();
+
+    c.bench_function("closed_info_merge_10k", |b| {
+        b.iter(|| {
+            let mut acc = infos[0];
+            for info in &infos[1..] {
+                acc.merge(&table, info);
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("count_only_fold_10k", |b| {
+        // Baseline: the same fold aggregating only a count, to expose the
+        // closedness measure's marginal cost.
+        b.iter(|| {
+            let mut count = 0u64;
+            for info in &infos {
+                count += u64::from(info.rep % 2 == 0);
+            }
+            black_box(count)
+        })
+    });
+
+    c.bench_function("eq_mask_10k_pairs", |b| {
+        b.iter(|| {
+            let mut acc = DimMask::EMPTY;
+            for t in 0..9_999u32 {
+                acc |= table.eq_mask(t, t + 1);
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("closedness_check", |b| {
+        let info = ClosedInfo {
+            mask: DimMask(0b1010_1010),
+            rep: 0,
+        };
+        let all = DimMask(0b0101_0101);
+        b.iter(|| black_box(info.is_closed(black_box(all))))
+    });
+}
+
+criterion_group!(benches, closedness_merge);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Substrate micro-benchmarks: partitioning, generation, tree building —
+//! the building blocks whose costs explain the figure-level behaviour
+//! (e.g. QC-DFS's counting-sort degradation at high cardinality).
+
+use ccube_core::partition::Partitioner;
+use ccube_core::sink::CountingSink;
+use ccube_data::{SyntheticSpec, WeatherSpec, Zipf};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting_sort_partition_50k");
+    for card in [10u32, 100, 1000, 10000] {
+        let table = SyntheticSpec::uniform(50_000, 2, card, 0.5, 3).generate();
+        group.bench_function(BenchmarkId::from_parameter(card), |b| {
+            let mut p = Partitioner::new();
+            b.iter(|| {
+                let mut tids = table.all_tids();
+                let mut groups = Vec::new();
+                p.partition(&table, 0, &mut tids, &mut groups);
+                black_box(groups.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn generators(c: &mut Criterion) {
+    c.bench_function("zipf_sample_100k_c1000_s2", |b| {
+        let z = Zipf::new(1000, 2.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..100_000 {
+                acc += u64::from(z.sample(&mut rng));
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("weather_generate_100k", |b| {
+        b.iter(|| black_box(WeatherSpec::new(100_000, 9).generate().rows()))
+    });
+}
+
+fn iceberg_hosts(c: &mut Criterion) {
+    // The iceberg substrates on one shared workload — the baseline costs
+    // that C-Cubing's closedness checking is measured against.
+    let table = SyntheticSpec::uniform(20_000, 6, 20, 1.0, 11).generate();
+    let mut group = c.benchmark_group("iceberg_hosts_20k_d6_c20_m4");
+    group.sample_size(10);
+    for algo in [
+        ccube_bench::Algo::Buc,
+        ccube_bench::Algo::Mm,
+        ccube_bench::Algo::Star,
+        ccube_bench::Algo::StarArray,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
+            b.iter(|| {
+                let mut sink = CountingSink::default();
+                algo.run(&table, 4, &mut sink);
+                sink.cells
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, partitioning, generators, iceberg_hosts);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! # ccube-bench — the experiment harness
+//!
+//! Regenerates **every table and figure** of the C-Cubing paper's evaluation
+//! (Section 5) plus the Section 6.2 rule-compaction numbers. Each experiment
+//! is a function producing a [`report::Figure`]; the `exp` binary prints
+//! them as Markdown tables, and EXPERIMENTS.md archives one full run with
+//! paper-vs-measured commentary.
+//!
+//! The paper ran on a 3.2 GHz Pentium 4 with 1 GB RAM against up to 1M-tuple
+//! datasets; [`ExpOptions::scale`] scales tuple counts (default 0.1 ⇒ 100K
+//! where the paper used 1M) so a laptop regenerates every figure in minutes.
+//! All timings use a counting sink — computation only, no output I/O — the
+//! methodology the paper itself uses for the overhead studies (Section 5.4).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod figures;
+pub mod report;
+
+pub use figures::{all_experiments, ExpOptions};
+pub use report::Figure;
+
+use ccube_core::sink::{CountingSink, SizeSink};
+use ccube_core::Table;
+use std::time::Instant;
+
+/// The algorithms under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// QC-DFS (closed baseline).
+    QcDfs,
+    /// MM-Cubing (iceberg host).
+    Mm,
+    /// C-Cubing(MM).
+    CcMm,
+    /// Star-Cubing (iceberg host).
+    Star,
+    /// C-Cubing(Star).
+    CcStar,
+    /// StarArray (iceberg host).
+    StarArray,
+    /// C-Cubing(StarArray).
+    CcStarArray,
+    /// BUC (iceberg baseline).
+    Buc,
+}
+
+impl Algo {
+    /// Legend name, matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::QcDfs => "QC-DFS",
+            Algo::Mm => "MM",
+            Algo::CcMm => "CC(MM)",
+            Algo::Star => "Star",
+            Algo::CcStar => "CC(Star)",
+            Algo::StarArray => "StarArray",
+            Algo::CcStarArray => "CC(StarArray)",
+            Algo::Buc => "BUC",
+        }
+    }
+
+    /// Run on `table` at `min_sup` with output disabled.
+    pub fn run(self, table: &Table, min_sup: u64, sink: &mut CountingSink) {
+        match self {
+            Algo::QcDfs => ccube_baselines::qc_dfs(table, min_sup, sink),
+            Algo::Mm => ccube_mm::mm_cube(table, min_sup, sink),
+            Algo::CcMm => ccube_mm::c_cubing_mm(table, min_sup, sink),
+            Algo::Star => ccube_star::star_cube(table, min_sup, sink),
+            Algo::CcStar => ccube_star::c_cubing_star(table, min_sup, sink),
+            Algo::StarArray => ccube_star::star_array_cube(table, min_sup, sink),
+            Algo::CcStarArray => ccube_star::c_cubing_star_array(table, min_sup, sink),
+            Algo::Buc => ccube_baselines::buc(table, min_sup, sink),
+        }
+    }
+}
+
+/// One timed measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Wall-clock seconds of the cube computation (output disabled).
+    pub seconds: f64,
+    /// Cells emitted.
+    pub cells: u64,
+}
+
+/// Time one cube computation.
+pub fn measure(algo: Algo, table: &Table, min_sup: u64) -> Measurement {
+    let mut sink = CountingSink::default();
+    let start = Instant::now();
+    algo.run(table, min_sup, &mut sink);
+    Measurement {
+        seconds: start.elapsed().as_secs_f64(),
+        cells: sink.cells,
+    }
+}
+
+/// Output size in MB of an algorithm's result (for the cube-size figures).
+pub fn measure_size(algo: Algo, table: &Table, min_sup: u64) -> (f64, u64) {
+    let mut sink = SizeSink::default();
+    match algo {
+        Algo::QcDfs => ccube_baselines::qc_dfs(table, min_sup, &mut sink),
+        Algo::Mm => ccube_mm::mm_cube(table, min_sup, &mut sink),
+        Algo::CcMm => ccube_mm::c_cubing_mm(table, min_sup, &mut sink),
+        Algo::Star => ccube_star::star_cube(table, min_sup, &mut sink),
+        Algo::CcStar => ccube_star::c_cubing_star(table, min_sup, &mut sink),
+        Algo::StarArray => ccube_star::star_array_cube(table, min_sup, &mut sink),
+        Algo::CcStarArray => ccube_star::c_cubing_star_array(table, min_sup, &mut sink),
+        Algo::Buc => ccube_baselines::buc(table, min_sup, &mut sink),
+    }
+    (sink.megabytes(), sink.cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_data::SyntheticSpec;
+
+    #[test]
+    fn measure_reports_cells_and_time() {
+        let t = SyntheticSpec::uniform(200, 3, 5, 0.0, 1).generate();
+        let m = measure(Algo::CcStar, &t, 2);
+        assert!(m.cells > 0);
+        assert!(m.seconds >= 0.0);
+    }
+
+    #[test]
+    fn closed_cube_never_larger_than_iceberg() {
+        let t = SyntheticSpec::uniform(300, 4, 6, 1.0, 2).generate();
+        for min_sup in [1, 2, 4] {
+            let (closed_mb, closed_cells) = measure_size(Algo::CcMm, &t, min_sup);
+            let (iceberg_mb, iceberg_cells) = measure_size(Algo::Mm, &t, min_sup);
+            assert!(closed_cells <= iceberg_cells);
+            assert!(closed_mb <= iceberg_mb);
+        }
+    }
+
+    #[test]
+    fn all_algos_agree_on_cell_counts() {
+        let t = SyntheticSpec::uniform(250, 4, 5, 0.5, 3).generate();
+        let closed: Vec<u64> = [Algo::QcDfs, Algo::CcMm, Algo::CcStar, Algo::CcStarArray]
+            .iter()
+            .map(|a| measure(*a, &t, 2).cells)
+            .collect();
+        assert!(closed.windows(2).all(|w| w[0] == w[1]), "{closed:?}");
+        let iceberg: Vec<u64> = [Algo::Buc, Algo::Mm, Algo::Star, Algo::StarArray]
+            .iter()
+            .map(|a| measure(*a, &t, 2).cells)
+            .collect();
+        assert!(iceberg.windows(2).all(|w| w[0] == w[1]), "{iceberg:?}");
+    }
+}

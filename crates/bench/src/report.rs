@@ -1,0 +1,94 @@
+//! Markdown reporting for experiment results.
+
+/// One regenerated table/figure.
+#[derive(Clone, Debug)]
+pub struct Figure {
+    /// Experiment id (`fig3` … `fig18`, `tbl1`, `rules`).
+    pub id: &'static str,
+    /// Human title, including the paper's parameter line.
+    pub title: String,
+    /// X-axis label (first column header).
+    pub x_label: String,
+    /// Series names (remaining column headers).
+    pub series: Vec<String>,
+    /// Rows: x value plus one formatted entry per series.
+    pub rows: Vec<(String, Vec<String>)>,
+    /// Free-text notes (expected shape, caveats).
+    pub notes: String,
+}
+
+impl Figure {
+    /// Render as a Markdown section.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("| {} |", self.x_label));
+        for s in &self.series {
+            out.push_str(&format!(" {s} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.series {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (x, cells) in &self.rows {
+            out.push_str(&format!("| {x} |"));
+            for c in cells {
+                out.push_str(&format!(" {c} |"));
+            }
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            out.push_str(&format!("\n{}\n", self.notes));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Format seconds with adaptive precision.
+pub fn secs(s: f64) -> String {
+    if s < 0.01 {
+        format!("{:.2}ms", s * 1000.0)
+    } else if s < 1.0 {
+        format!("{:.0}ms", s * 1000.0)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// Format megabytes.
+pub fn mb(v: f64) -> String {
+    format!("{v:.2}MB")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_layout() {
+        let fig = Figure {
+            id: "figX",
+            title: "Test".into(),
+            x_label: "Minsup".into(),
+            series: vec!["A".into(), "B".into()],
+            rows: vec![("1".into(), vec!["0.5s".into(), "0.7s".into()])],
+            notes: "note".into(),
+        };
+        let md = fig.to_markdown();
+        assert!(md.contains("### figX — Test"));
+        assert!(md.contains("| Minsup | A | B |"));
+        assert!(md.contains("| 1 | 0.5s | 0.7s |"));
+        assert!(md.contains("note"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(0.0005), "0.50ms");
+        assert_eq!(secs(0.5), "500ms");
+        assert_eq!(secs(2.0), "2.00s");
+        assert_eq!(mb(1.234), "1.23MB");
+    }
+}

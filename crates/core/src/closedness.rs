@@ -1,0 +1,301 @@
+//! The closedness measure (the paper's core contribution, Section 3.2).
+//!
+//! Closedness of a cell is **not distributive** — knowing that two sub-cells
+//! are non-closed says nothing about their union — but it **is algebraic**
+//! (Lemma 4): it can be computed from a bounded summary of each part, namely
+//!
+//! * the **Representative Tuple ID** (Definition 6): `min` of member tuple
+//!   IDs — distributive (Lemma 2), and
+//! * the **Closed Mask** (Definition 7): bit `d` = 1 iff all member tuples
+//!   share one value on dimension `d` — algebraic (Lemma 3):
+//!
+//! ```text
+//! C(S, d) = Π_i C(S_i, d)  ×  Eq(|{ V(T(S_i), d) }|, 1)
+//! ```
+//!
+//! i.e. the union is uniform on `d` iff every part is uniform on `d` *and*
+//! all the parts' representative tuples agree on `d`. Pairwise merging
+//! realizes the k-ary product exactly: once a part pair disagrees the bit is
+//! dead and stays dead, and while all parts agree any member tuple is an
+//! equally good witness for the shared value.
+//!
+//! [`ClosedInfo`] packages the pair and implements the merge; every C-Cubing
+//! algorithm aggregates a `ClosedInfo` wherever it aggregates a `count`.
+//! At output time the check is one AND (Definition 9): with All Mask `A`,
+//! the cell is closed iff `mask & A == 0`.
+
+use crate::mask::DimMask;
+use crate::table::{Table, TupleId};
+
+/// Aggregated closedness summary of a set of tuples: `(Closed Mask,
+/// Representative Tuple ID)`.
+///
+/// ```
+/// use ccube_core::{ClosedInfo, DimMask, TableBuilder};
+/// // Two tuples agreeing on dims 0..3 but not on dim 3:
+/// let t = TableBuilder::new(4)
+///     .row(&[0, 0, 0, 0])
+///     .row(&[0, 0, 0, 2])
+///     .build().unwrap();
+/// let mut info = ClosedInfo::for_tuple(&t, 0);
+/// info.merge_tuple(&t, 1);
+/// assert_eq!(info.mask, DimMask::all(3));
+/// assert_eq!(info.rep, 0);
+/// // Cell (a1, b1, c1, *) has All Mask {3}; mask ∩ {3} = ∅ ⇒ closed.
+/// assert!(info.is_closed(DimMask::single(3)));
+/// // Cell (a1, *, c1, *) has All Mask {1, 3}; bit 1 is set ⇒ covered ⇒ not closed.
+/// assert!(!info.is_closed([1usize, 3].into_iter().collect()));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClosedInfo {
+    /// Closed Mask: bit `d` = 1 iff all tuples seen so far share one value on
+    /// dimension `d`.
+    pub mask: DimMask,
+    /// Representative Tuple ID: the smallest member tuple ID.
+    pub rep: TupleId,
+}
+
+impl ClosedInfo {
+    /// Summary of a singleton group `{t}`: every dimension is trivially
+    /// uniform, so the mask is all-ones over the table's dimensions.
+    #[inline]
+    pub fn for_tuple(table: &Table, t: TupleId) -> ClosedInfo {
+        ClosedInfo {
+            mask: DimMask::all(table.dims()),
+            rep: t,
+        }
+    }
+
+    /// Summary of a singleton group when the table handle isn't around
+    /// (callers supply the dimension count).
+    #[inline]
+    pub fn for_tuple_dims(dims: usize, t: TupleId) -> ClosedInfo {
+        ClosedInfo {
+            mask: DimMask::all(dims),
+            rep: t,
+        }
+    }
+
+    /// Lemma 3 merge of two non-empty parts.
+    #[inline]
+    pub fn merge(&mut self, table: &Table, other: &ClosedInfo) {
+        self.mask &= other.mask & table.eq_mask(self.rep, other.rep);
+        self.rep = self.rep.min(other.rep);
+    }
+
+    /// Merge a single tuple into the summary (`other` = singleton `{t}`).
+    #[inline]
+    pub fn merge_tuple(&mut self, table: &Table, t: TupleId) {
+        self.mask &= table.eq_mask(self.rep, t);
+        self.rep = self.rep.min(t);
+    }
+
+    /// Closedness check (Definition 9 / Lemma 4): with All Mask `all_mask`,
+    /// the cell is closed iff no `*` dimension is uniform across its tuples.
+    #[inline]
+    pub fn is_closed(&self, all_mask: DimMask) -> bool {
+        !self.mask.intersects(all_mask)
+    }
+
+    /// The closedness-measure bits themselves (`C & A` of Definition 9) —
+    /// the dimensions along which the cell could be extended without changing
+    /// its tuple group. Non-empty ⇔ non-closed.
+    #[inline]
+    pub fn violation(&self, all_mask: DimMask) -> DimMask {
+        self.mask & all_mask
+    }
+
+    /// Exhaustively computed summary of an arbitrary tuple group (reference
+    /// path for tests and the naive cuber).
+    pub fn of_group(table: &Table, tids: &[TupleId]) -> Option<ClosedInfo> {
+        let (&first, rest) = tids.split_first()?;
+        let mut info = ClosedInfo::for_tuple(table, first);
+        for &t in rest {
+            info.merge_tuple(table, t);
+        }
+        Some(info)
+    }
+}
+
+/// Aggregate of `count` and [`ClosedInfo`] — what a cube algorithm keeps per
+/// in-flight cell. Kept as one struct so the "aggregate closedness wherever
+/// you aggregate support" discipline of Section 3.3 is a single `merge` call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellAgg {
+    /// Number of tuples aggregated so far.
+    pub count: u64,
+    /// Closedness summary of those tuples.
+    pub info: ClosedInfo,
+}
+
+impl CellAgg {
+    /// Aggregate of the singleton group `{t}`.
+    #[inline]
+    pub fn for_tuple(table: &Table, t: TupleId) -> CellAgg {
+        CellAgg {
+            count: 1,
+            info: ClosedInfo::for_tuple(table, t),
+        }
+    }
+
+    /// Merge another aggregate into this one.
+    #[inline]
+    pub fn merge(&mut self, table: &Table, other: &CellAgg) {
+        self.count += other.count;
+        self.info.merge(table, &other.info);
+    }
+
+    /// Merge one more tuple.
+    #[inline]
+    pub fn merge_tuple(&mut self, table: &Table, t: TupleId) {
+        self.count += 1;
+        self.info.merge_tuple(table, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, STAR};
+    use crate::table::TableBuilder;
+
+    fn table1() -> Table {
+        // Table 1 of the paper (A, B, C, D).
+        TableBuilder::new(4)
+            .row(&[0, 0, 0, 0]) // a1 b1 c1 d1
+            .row(&[0, 0, 0, 2]) // a1 b1 c1 d3
+            .row(&[0, 1, 1, 1]) // a1 b2 c2 d2
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn singleton_is_fully_uniform() {
+        let t = table1();
+        let info = ClosedInfo::for_tuple(&t, 2);
+        assert_eq!(info.mask, DimMask::all(4));
+        assert_eq!(info.rep, 2);
+        // A fully bound cell is always closed: All Mask empty.
+        assert!(info.is_closed(DimMask::EMPTY));
+    }
+
+    #[test]
+    fn paper_example_cells() {
+        let t = table1();
+        // cell1 = (a1, b1, c1, *): tuples {0, 1}; closed.
+        let g01 = ClosedInfo::of_group(&t, &[0, 1]).unwrap();
+        assert!(g01.is_closed(Cell::from_values(&[0, 0, 0, STAR]).all_mask()));
+        // cell3 = (a1, *, c1, *): same tuple group {0, 1}, but All Mask now
+        // includes dim 1, on which both tuples share b1 ⇒ covered by cell1 ⇒
+        // not closed.
+        assert!(!g01.is_closed(Cell::from_values(&[0, STAR, 0, STAR]).all_mask()));
+        // cell2 = (a1, *, *, *): tuples {0,1,2}; only dim 0 uniform and it is
+        // bound ⇒ closed.
+        let g = ClosedInfo::of_group(&t, &[0, 1, 2]).unwrap();
+        assert_eq!(g.mask, DimMask::single(0));
+        assert!(g.is_closed(Cell::from_values(&[0, STAR, STAR, STAR]).all_mask()));
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let t = table1();
+        // (S1 ∪ S2) ∪ S3 vs S1 ∪ (S2 ∪ S3) vs different groupings.
+        let singles: Vec<ClosedInfo> = (0..3).map(|i| ClosedInfo::for_tuple(&t, i)).collect();
+        let mut left = singles[0];
+        left.merge(&t, &singles[1]);
+        left.merge(&t, &singles[2]);
+        let mut right = singles[1];
+        right.merge(&t, &singles[2]);
+        let mut right2 = singles[0];
+        right2.merge(&t, &right);
+        assert_eq!(left, right2);
+        let mut rev = singles[2];
+        rev.merge(&t, &singles[1]);
+        rev.merge(&t, &singles[0]);
+        assert_eq!(left, rev);
+    }
+
+    #[test]
+    fn closedness_is_not_distributive_but_summary_suffices() {
+        // The paper's non-distributivity example (Section 3.2): the closedness
+        // *verdicts* of (*,1,1) and (*,2,1) cannot decide (*,*,1), but the
+        // (mask, rep) summaries can.
+        // Case 1: tuples (1,1,1), (2,2,1): (*,*,1) IS closed.
+        let ta = TableBuilder::new(3)
+            .row(&[1, 1, 1])
+            .row(&[2, 2, 1])
+            .build()
+            .unwrap();
+        let ga = ClosedInfo::of_group(&ta, &[0, 1]).unwrap();
+        let all = Cell::from_values(&[STAR, STAR, 1]).all_mask();
+        assert!(ga.is_closed(all));
+        // Case 2: tuples (1,1,1), (1,2,1): (*,*,1) is NOT closed (dim 0 uniform).
+        let tb = TableBuilder::new(3)
+            .row(&[1, 1, 1])
+            .row(&[1, 2, 1])
+            .build()
+            .unwrap();
+        let gb = ClosedInfo::of_group(&tb, &[0, 1]).unwrap();
+        assert!(!gb.is_closed(all));
+        assert_eq!(gb.violation(all), DimMask::single(0));
+    }
+
+    #[test]
+    fn rep_is_min_tuple_id() {
+        let t = table1();
+        let mut info = ClosedInfo::for_tuple(&t, 2);
+        info.merge_tuple(&t, 0);
+        assert_eq!(info.rep, 0);
+        let mut info2 = ClosedInfo::for_tuple(&t, 0);
+        info2.merge(&t, &ClosedInfo::for_tuple(&t, 2));
+        assert_eq!(info, info2);
+    }
+
+    #[test]
+    fn of_group_empty_is_none() {
+        let t = table1();
+        assert_eq!(ClosedInfo::of_group(&t, &[]), None);
+    }
+
+    #[test]
+    fn cell_agg_tracks_count_and_info() {
+        let t = table1();
+        let mut a = CellAgg::for_tuple(&t, 0);
+        a.merge_tuple(&t, 1);
+        let b = CellAgg::for_tuple(&t, 2);
+        a.merge(&t, &b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.info, ClosedInfo::of_group(&t, &[0, 1, 2]).unwrap());
+    }
+
+    #[test]
+    fn merge_agrees_with_of_group_exhaustively() {
+        // All 2-partitions of a 4-tuple group give the same summary as a
+        // direct scan.
+        let t = TableBuilder::new(3)
+            .row(&[0, 1, 2])
+            .row(&[0, 1, 0])
+            .row(&[0, 2, 2])
+            .row(&[0, 1, 2])
+            .build()
+            .unwrap();
+        let want = ClosedInfo::of_group(&t, &[0, 1, 2, 3]).unwrap();
+        for split in 1u8..15 {
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for i in 0..4u32 {
+                if split & (1 << i) != 0 {
+                    left.push(i);
+                } else {
+                    right.push(i);
+                }
+            }
+            if left.is_empty() || right.is_empty() {
+                continue;
+            }
+            let mut l = ClosedInfo::of_group(&t, &left).unwrap();
+            let r = ClosedInfo::of_group(&t, &right).unwrap();
+            l.merge(&t, &r);
+            assert_eq!(l, want, "partition {split:#06b}");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! # ccube-core — substrate for C-Cubing
+//!
+//! Core data model and the paper's central contribution — the **closedness
+//! measure** — for *C-Cubing: Efficient Computation of Closed Cubes by
+//! Aggregation-Based Checking* (Xin, Shao, Han, Liu; ICDE 2006).
+//!
+//! The crate provides:
+//!
+//! * [`table::Table`] — an encoded relational table (the base cuboid). Every
+//!   dimension value is a dense `u32` code in `0..cardinality`.
+//! * [`cell::Cell`] — a group-by cell: one value or `*` per dimension
+//!   (Definition 1 of the paper).
+//! * [`mask::DimMask`] — a `D`-bit dimension set used for All Masks, Closed
+//!   Masks and Tree Masks (Definitions 7–8).
+//! * [`closedness::ClosedInfo`] — the `(Representative Tuple ID, Closed Mask)`
+//!   pair that makes closedness an *algebraic measure* (Lemmas 2–4). This is
+//!   the piece every C-Cubing algorithm aggregates alongside `count`.
+//! * [`measure`] — optional complex measures (sum/min/max/avg) that ride on
+//!   count-based closedness per Lemma 1 / Section 6.1.
+//! * [`sink::CellSink`] — output abstraction (counting, collecting, byte
+//!   sizing, text writing) so benchmarks can disable I/O like the paper does.
+//! * [`naive`] — an exhaustive reference cuber used as the test oracle.
+//! * [`order`] — dimension-ordering heuristics (Section 5.5), including the
+//!   entropy order the paper proposes.
+//!
+//! Algorithms live in the sibling crates `ccube-baselines` (BUC, QC-DFS),
+//! `ccube-mm` (MM-Cubing, C-Cubing(MM)) and `ccube-star` (Star-Cubing,
+//! StarArray, C-Cubing(Star), C-Cubing(StarArray)).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cell;
+pub mod closedness;
+pub mod fxhash;
+pub mod mask;
+pub mod measure;
+pub mod naive;
+pub mod order;
+pub mod partition;
+pub mod sink;
+pub mod table;
+
+pub use cell::{Cell, STAR};
+pub use closedness::ClosedInfo;
+pub use mask::DimMask;
+pub use measure::{CountOnly, MeasureSpec};
+pub use sink::{CellSink, CollectSink, CountingSink, NullSink, SizeSink};
+pub use table::{Table, TableBuilder, TupleId};
+
+/// Maximum number of dimensions supported by the mask representation.
+///
+/// The paper's Closed/All/Tree masks are `D`-bit words; we store them in a
+/// `u64`, which comfortably covers every configuration in the paper (D ≤ 10)
+/// and any realistic OLAP schema.
+pub const MAX_DIMS: usize = 64;
+
+/// Convenient `Result` alias for fallible core operations.
+pub type Result<T> = std::result::Result<T, CubeError>;
+
+/// Errors raised by table construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CubeError {
+    /// A table was declared with zero or more than [`MAX_DIMS`] dimensions.
+    BadDimensionCount(usize),
+    /// A row had the wrong number of values.
+    BadRowWidth {
+        /// Number of dimensions the table expects.
+        expected: usize,
+        /// Number of values in the offending row.
+        got: usize,
+    },
+    /// A value was out of range for its dimension's declared cardinality.
+    ValueOutOfRange {
+        /// Dimension index.
+        dim: usize,
+        /// Offending value.
+        value: u32,
+        /// Declared cardinality of that dimension.
+        card: u32,
+    },
+    /// A measure column's length did not match the number of rows.
+    BadMeasureColumn {
+        /// Name of the measure column.
+        name: String,
+        /// Length of the supplied column.
+        len: usize,
+        /// Number of rows in the table.
+        rows: usize,
+    },
+    /// Parsing a serialized table failed.
+    Parse(String),
+}
+
+impl std::fmt::Display for CubeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CubeError::BadDimensionCount(d) => {
+                write!(f, "dimension count {d} not in 1..={MAX_DIMS}")
+            }
+            CubeError::BadRowWidth { expected, got } => {
+                write!(f, "row has {got} values, table has {expected} dimensions")
+            }
+            CubeError::ValueOutOfRange { dim, value, card } => {
+                write!(
+                    f,
+                    "value {value} out of range for dimension {dim} (cardinality {card})"
+                )
+            }
+            CubeError::BadMeasureColumn { name, len, rows } => {
+                write!(
+                    f,
+                    "measure column `{name}` has {len} entries for {rows} rows"
+                )
+            }
+            CubeError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CubeError {}

@@ -1,0 +1,293 @@
+//! `D`-bit dimension sets.
+//!
+//! The paper uses three flavours of bit mask, all over the `D` dimensions of
+//! the base table:
+//!
+//! * **Closed Mask** (Definition 7): bit `d` = 1 iff every tuple aggregated
+//!   into a cell shares one value on dimension `d`.
+//! * **All Mask** (Definition 8): bit `d` = 1 iff the cell has `*` on `d`.
+//! * **Tree Mask** (Section 4.3): bit `d` = 1 iff dimension `d` has been
+//!   collapsed on the path of child-tree derivations in Star-Cubing.
+//!
+//! [`DimMask`] is the shared representation. The *closedness measure*
+//! (Definition 9) is simply `closed_mask & all_mask`; the cell is closed iff
+//! that intersection is empty.
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, Not};
+
+/// A set of dimensions packed into a `u64` (bit `d` ⇔ dimension `d`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct DimMask(pub u64);
+
+impl DimMask {
+    /// The empty dimension set.
+    pub const EMPTY: DimMask = DimMask(0);
+
+    /// Mask with the `dims` lowest bits set — "all dimensions" for a `dims`-
+    /// dimensional table.
+    #[inline]
+    pub fn all(dims: usize) -> DimMask {
+        debug_assert!(dims <= 64);
+        if dims == 64 {
+            DimMask(u64::MAX)
+        } else {
+            DimMask((1u64 << dims) - 1)
+        }
+    }
+
+    /// Mask containing exactly dimension `d`.
+    #[inline]
+    pub fn single(d: usize) -> DimMask {
+        debug_assert!(d < 64);
+        DimMask(1u64 << d)
+    }
+
+    /// Mask with bits `0..d` set (the first `d` dimensions). Used for the
+    /// "partial" closed masks of star-tree nodes, whose prefix dimensions are
+    /// uniform by construction.
+    #[inline]
+    pub fn prefix(d: usize) -> DimMask {
+        DimMask::all(d)
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Does the set contain dimension `d`?
+    #[inline]
+    pub fn contains(self, d: usize) -> bool {
+        debug_assert!(d < 64);
+        self.0 & (1u64 << d) != 0
+    }
+
+    /// Insert dimension `d`.
+    #[inline]
+    pub fn insert(&mut self, d: usize) {
+        debug_assert!(d < 64);
+        self.0 |= 1u64 << d;
+    }
+
+    /// Remove dimension `d`.
+    #[inline]
+    pub fn remove(&mut self, d: usize) {
+        debug_assert!(d < 64);
+        self.0 &= !(1u64 << d);
+    }
+
+    /// Return the set with dimension `d` inserted.
+    #[inline]
+    pub fn with(self, d: usize) -> DimMask {
+        DimMask(self.0 | (1u64 << d))
+    }
+
+    /// Return the set with dimension `d` removed.
+    #[inline]
+    pub fn without(self, d: usize) -> DimMask {
+        DimMask(self.0 & !(1u64 << d))
+    }
+
+    /// Number of dimensions in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Do the two sets intersect? This is the Lemma 4 / Lemma 5 test:
+    /// `closed_mask.intersects(all_mask)` ⇔ the cell is **not** closed.
+    #[inline]
+    pub fn intersects(self, other: DimMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Is `self` a subset of `other`?
+    #[inline]
+    pub fn is_subset(self, other: DimMask) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterate over the dimensions in the set, ascending.
+    #[inline]
+    pub fn iter(self) -> DimIter {
+        DimIter(self.0)
+    }
+}
+
+/// Iterator over the dimension indices of a [`DimMask`].
+#[derive(Clone)]
+pub struct DimIter(u64);
+
+impl Iterator for DimIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let d = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(d)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for DimIter {}
+
+impl IntoIterator for DimMask {
+    type Item = usize;
+    type IntoIter = DimIter;
+    fn into_iter(self) -> DimIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<usize> for DimMask {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut m = DimMask::EMPTY;
+        for d in iter {
+            m.insert(d);
+        }
+        m
+    }
+}
+
+impl BitAnd for DimMask {
+    type Output = DimMask;
+    #[inline]
+    fn bitand(self, rhs: DimMask) -> DimMask {
+        DimMask(self.0 & rhs.0)
+    }
+}
+
+impl BitAndAssign for DimMask {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: DimMask) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl BitOr for DimMask {
+    type Output = DimMask;
+    #[inline]
+    fn bitor(self, rhs: DimMask) -> DimMask {
+        DimMask(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for DimMask {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: DimMask) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitXor for DimMask {
+    type Output = DimMask;
+    #[inline]
+    fn bitxor(self, rhs: DimMask) -> DimMask {
+        DimMask(self.0 ^ rhs.0)
+    }
+}
+
+impl Not for DimMask {
+    type Output = DimMask;
+    #[inline]
+    fn not(self) -> DimMask {
+        DimMask(!self.0)
+    }
+}
+
+impl fmt::Debug for DimMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DimMask{{")?;
+        for (i, d) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_exactly_dims() {
+        assert_eq!(DimMask::all(0), DimMask::EMPTY);
+        assert_eq!(DimMask::all(3).0, 0b111);
+        assert_eq!(DimMask::all(64).0, u64::MAX);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut m = DimMask::EMPTY;
+        m.insert(5);
+        m.insert(0);
+        assert!(m.contains(5) && m.contains(0) && !m.contains(1));
+        m.remove(5);
+        assert!(!m.contains(5));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn intersects_matches_lemma_semantics() {
+        // closedness measure = closed_mask & all_mask (Definition 9):
+        // Example 3 of the paper: all mask (1,1,0,1,0) [bits 0,1,3],
+        // closed mask (1,0,1,0,0) [bits 0,2] -> measure (1,0,0,0,0): non-closed.
+        let all_mask: DimMask = [0usize, 1, 3].into_iter().collect();
+        let closed_mask: DimMask = [0usize, 2].into_iter().collect();
+        assert!(closed_mask.intersects(all_mask));
+        assert_eq!((closed_mask & all_mask), DimMask::single(0));
+    }
+
+    #[test]
+    fn iter_ascending_and_exact_size() {
+        let m: DimMask = [9usize, 2, 31].into_iter().collect();
+        let v: Vec<usize> = m.iter().collect();
+        assert_eq!(v, vec![2, 9, 31]);
+        assert_eq!(m.iter().len(), 3);
+    }
+
+    #[test]
+    fn subset_logic() {
+        let small: DimMask = [1usize, 3].into_iter().collect();
+        let big: DimMask = [0usize, 1, 3, 4].into_iter().collect();
+        assert!(small.is_subset(big));
+        assert!(!big.is_subset(small));
+        assert!(small.is_subset(small));
+    }
+
+    #[test]
+    fn prefix_mask() {
+        assert_eq!(DimMask::prefix(3).0, 0b111);
+        assert_eq!(DimMask::prefix(0), DimMask::EMPTY);
+    }
+
+    #[test]
+    fn bit_ops() {
+        let a: DimMask = [0usize, 1].into_iter().collect();
+        let b: DimMask = [1usize, 2].into_iter().collect();
+        assert_eq!((a & b), DimMask::single(1));
+        assert_eq!((a | b), [0usize, 1, 2].into_iter().collect());
+        assert_eq!((a ^ b), [0usize, 2].into_iter().collect());
+        assert!((!a).contains(63));
+    }
+
+    #[test]
+    fn debug_format() {
+        let m: DimMask = [1usize, 4].into_iter().collect();
+        assert_eq!(format!("{m:?}"), "DimMask{1,4}");
+    }
+}

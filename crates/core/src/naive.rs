@@ -1,0 +1,238 @@
+//! Exhaustive reference cuber — the test oracle.
+//!
+//! Enumerates every cuboid (all `2^D` dimension subsets), groups tuples by
+//! projection, and applies the iceberg / closedness conditions directly from
+//! the definitions. `O(2^D · T)` — intended for correctness checks on small
+//! inputs, not for benchmarks (the entire point of the paper is doing better
+//! than this).
+
+use crate::cell::{Cell, STAR};
+use crate::closedness::CellAgg;
+use crate::fxhash::FxHashMap;
+use crate::mask::DimMask;
+use crate::measure::{CountOnly, MeasureSpec};
+use crate::sink::CellSink;
+use crate::table::{Table, TupleId};
+
+/// Which cells the cuber emits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// All iceberg cells (`count >= min_sup`).
+    Iceberg,
+    /// Only closed iceberg cells (Definition 3 + iceberg condition).
+    ClosedIceberg,
+}
+
+/// Compute the (closed) iceberg cube of `table` by brute force, emitting into
+/// `sink`.
+pub fn naive_cube_with<M, S>(table: &Table, min_sup: u64, mode: Mode, spec: &M, sink: &mut S)
+where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
+    let dims = table.dims();
+    let all = DimMask::all(dims);
+    let mut groups: FxHashMap<Vec<u32>, (CellAgg, M::Acc)> = FxHashMap::default();
+    let mut key = vec![0u32; dims];
+    for subset in 0..(1u64 << dims) {
+        let bound = DimMask(subset);
+        let all_mask = all ^ bound;
+        groups.clear();
+        for (t, row) in table.iter_rows() {
+            for d in 0..dims {
+                key[d] = if bound.contains(d) { row[d] } else { STAR };
+            }
+            match groups.get_mut(key.as_slice()) {
+                Some((agg, acc)) => {
+                    agg.merge_tuple(table, t);
+                    spec.merge(acc, &spec.unit(table, t));
+                }
+                None => {
+                    groups.insert(
+                        key.clone(),
+                        (CellAgg::for_tuple(table, t), spec.unit(table, t)),
+                    );
+                }
+            }
+        }
+        for (cell, (agg, acc)) in groups.iter() {
+            if agg.count < min_sup {
+                continue;
+            }
+            if mode == Mode::ClosedIceberg && !agg.info.is_closed(all_mask) {
+                continue;
+            }
+            sink.emit(cell, agg.count, acc);
+        }
+    }
+}
+
+/// Count-only convenience wrapper around [`naive_cube_with`].
+pub fn naive_cube<S: CellSink<()>>(table: &Table, min_sup: u64, mode: Mode, sink: &mut S) {
+    naive_cube_with(table, min_sup, mode, &CountOnly, sink)
+}
+
+/// Collect the closed iceberg cube as a map `cell → count`.
+pub fn naive_closed_counts(table: &Table, min_sup: u64) -> FxHashMap<Cell, u64> {
+    crate::sink::collect_counts(|sink| naive_cube(table, min_sup, Mode::ClosedIceberg, sink))
+}
+
+/// Collect the plain iceberg cube as a map `cell → count`.
+pub fn naive_iceberg_counts(table: &Table, min_sup: u64) -> FxHashMap<Cell, u64> {
+    crate::sink::collect_counts(|sink| naive_cube(table, min_sup, Mode::Iceberg, sink))
+}
+
+/// The *closure* of a cell: the unique maximal cell covering it (Definition 3
+/// semantics — extend every `*` dimension on which the cell's tuple group is
+/// uniform). Returns `None` for an empty group.
+///
+/// A cell is closed iff `closure(c) == c`.
+pub fn closure(table: &Table, cell: &Cell) -> Option<Cell> {
+    let tids = cell.tuple_ids(table);
+    let (&first, _) = tids.split_first()?;
+    let mut out = cell.values().to_vec();
+    for (d, slot) in out.iter_mut().enumerate() {
+        if *slot != STAR {
+            continue;
+        }
+        let v = table.value(first, d);
+        if tids.iter().all(|&t| table.value(t, d) == v) {
+            *slot = v;
+        }
+    }
+    Some(Cell::from_values(&out))
+}
+
+/// Direct closedness test for one cell (via [`closure`]).
+pub fn is_closed(table: &Table, cell: &Cell) -> bool {
+    match closure(table, cell) {
+        Some(c) => &c == cell,
+        None => false,
+    }
+}
+
+/// Aggregate `count` of one cell by scanning (for spot checks).
+pub fn cell_count(table: &Table, cell: &Cell) -> u64 {
+    (0..table.rows() as TupleId)
+        .filter(|&t| cell.matches_tuple(table, t))
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn table1() -> Table {
+        // Table 1 / Example 1 of the paper.
+        TableBuilder::new(4)
+            .row(&[0, 0, 0, 0]) // a1 b1 c1 d1
+            .row(&[0, 0, 0, 2]) // a1 b1 c1 d3
+            .row(&[0, 1, 1, 1]) // a1 b2 c2 d2
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn example1_closed_iceberg_cube() {
+        // With count >= 2 the paper names (a1,b1,c1,*):2 and (a1,*,*,*):3 as
+        // closed iceberg cells and rules out (a1,*,c1,*) and the count-1 cell.
+        let t = table1();
+        let cube = naive_closed_counts(&t, 2);
+        let cell1 = Cell::from_values(&[0, 0, 0, STAR]);
+        let cell2 = Cell::from_values(&[0, STAR, STAR, STAR]);
+        assert_eq!(cube.get(&cell1), Some(&2));
+        assert_eq!(cube.get(&cell2), Some(&3));
+        assert!(!cube.contains_key(&Cell::from_values(&[0, STAR, 0, STAR])));
+        // In fact those are the only two closed iceberg cells here.
+        assert_eq!(cube.len(), 2);
+    }
+
+    #[test]
+    fn iceberg_cube_is_superset_of_closed() {
+        let t = table1();
+        let iceberg = naive_iceberg_counts(&t, 2);
+        let closed = naive_closed_counts(&t, 2);
+        for (c, n) in &closed {
+            assert_eq!(iceberg.get(c), Some(n));
+        }
+        assert!(iceberg.len() >= closed.len());
+        // (a1,*,c1,*) is an iceberg cell even though it is not closed.
+        assert_eq!(
+            iceberg.get(&Cell::from_values(&[0, STAR, 0, STAR])),
+            Some(&2)
+        );
+    }
+
+    #[test]
+    fn full_cube_min_sup_one() {
+        let t = table1();
+        let full = naive_iceberg_counts(&t, 1);
+        // Apex counts all tuples.
+        assert_eq!(full.get(&Cell::apex(4)), Some(&3));
+        // Every fully bound tuple cell is present with count 1.
+        assert_eq!(full.get(&Cell::from_values(&[0, 1, 1, 1])), Some(&1));
+    }
+
+    #[test]
+    fn closure_extends_uniform_stars() {
+        let t = table1();
+        let c = Cell::from_values(&[0, STAR, 0, STAR]);
+        // Tuples {0,1} all share b1 on dim 1 -> closure binds it; dim 3 differs.
+        assert_eq!(closure(&t, &c), Some(Cell::from_values(&[0, 0, 0, STAR])));
+        assert!(is_closed(&t, &Cell::from_values(&[0, 0, 0, STAR])));
+        assert!(!is_closed(&t, &c));
+        // Empty cell has no closure.
+        let empty = Cell::from_values(&[0, 1, 0, STAR]);
+        assert_eq!(closure(&t, &empty), None);
+    }
+
+    #[test]
+    fn closed_cells_agree_with_direct_definition() {
+        // Every cell the oracle emits as closed must satisfy is_closed, and
+        // every iceberg cell it omits from the closed cube must fail it.
+        let t = table1();
+        let closed = naive_closed_counts(&t, 1);
+        let iceberg = naive_iceberg_counts(&t, 1);
+        for cell in iceberg.keys() {
+            assert_eq!(
+                closed.contains_key(cell),
+                is_closed(&t, cell),
+                "cell {cell}"
+            );
+        }
+    }
+
+    #[test]
+    fn cell_count_matches_group_size() {
+        let t = table1();
+        assert_eq!(cell_count(&t, &Cell::apex(4)), 3);
+        assert_eq!(cell_count(&t, &Cell::from_values(&[0, 0, STAR, STAR])), 2);
+    }
+
+    #[test]
+    fn measures_ride_along() {
+        use crate::measure::ColumnStats;
+        let t = TableBuilder::new(2)
+            .row(&[0, 0])
+            .row(&[0, 1])
+            .row(&[1, 0])
+            .measure("price", vec![10.0, 30.0, 20.0])
+            .build()
+            .unwrap();
+        let mut sink = crate::sink::CollectSink::default();
+        naive_cube_with(
+            &t,
+            1,
+            Mode::ClosedIceberg,
+            &ColumnStats { column: 0 },
+            &mut sink,
+        );
+        let apex = Cell::apex(2);
+        let (count, agg) = &sink.cells[&apex];
+        assert_eq!(*count, 3);
+        assert_eq!(agg.sum, 60.0);
+        assert_eq!(agg.min, 10.0);
+        assert_eq!(agg.avg(*count), 20.0);
+    }
+}

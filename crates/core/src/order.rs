@@ -1,0 +1,138 @@
+//! Dimension-ordering heuristics (Section 5.5).
+//!
+//! Tree-based cubers (Star-Cubing / StarArray) fix one global dimension order
+//! and are sensitive to it; MM-Cubing is not. The classic heuristic orders by
+//! *descending cardinality*; the paper proposes ordering by *descending
+//! entropy* — `E(A) = -Σ |a_i|·log|a_i|` — which also accounts for skew, and
+//! shows it wins on mixed-cardinality mixed-skew data (Fig 18).
+
+use crate::table::Table;
+
+/// A dimension-ordering strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DimOrdering {
+    /// Keep the schema order ("Org" in Fig 18).
+    Original,
+    /// Descending cardinality ("Card" in Fig 18).
+    CardinalityDesc,
+    /// Descending entropy measure `E` ("Entropy" in Fig 18, Section 5.5).
+    EntropyDesc,
+}
+
+impl DimOrdering {
+    /// Compute the permutation realizing this ordering for `table`: entry `i`
+    /// of the result is the original index of the dimension placed at
+    /// position `i`. Ties break on original index, so the result is
+    /// deterministic.
+    pub fn permutation(self, table: &Table) -> Vec<usize> {
+        let dims = table.dims();
+        let mut perm: Vec<usize> = (0..dims).collect();
+        match self {
+            DimOrdering::Original => {}
+            DimOrdering::CardinalityDesc => {
+                perm.sort_by(|&a, &b| table.card(b).cmp(&table.card(a)).then(a.cmp(&b)));
+            }
+            DimOrdering::EntropyDesc => {
+                let e: Vec<f64> = (0..dims).map(|d| table.entropy_measure(d)).collect();
+                perm.sort_by(|&a, &b| {
+                    e[b].partial_cmp(&e[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+            }
+        }
+        perm
+    }
+
+    /// Apply the ordering: returns the permuted table and the permutation
+    /// used (so cells can be mapped back with
+    /// [`crate::cell::Cell::unpermute`]).
+    pub fn apply(self, table: &Table) -> (Table, Vec<usize>) {
+        let perm = self.permutation(table);
+        let permuted = table
+            .permute_dims(&perm)
+            .expect("permutation is valid by construction");
+        (permuted, perm)
+    }
+}
+
+/// All orderings, for sweep experiments.
+pub const ALL_ORDERINGS: [DimOrdering; 3] = [
+    DimOrdering::Original,
+    DimOrdering::CardinalityDesc,
+    DimOrdering::EntropyDesc,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn table() -> Table {
+        // dim0: card 2, uniform. dim1: card 4, heavily skewed. dim2: card 3, uniform-ish.
+        TableBuilder::new(3)
+            .cards(vec![2, 4, 3])
+            .row(&[0, 0, 0])
+            .row(&[1, 0, 1])
+            .row(&[0, 0, 2])
+            .row(&[1, 0, 0])
+            .row(&[0, 1, 1])
+            .row(&[1, 2, 2])
+            .row(&[0, 3, 0])
+            .row(&[1, 0, 1])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn original_is_identity() {
+        let t = table();
+        assert_eq!(DimOrdering::Original.permutation(&t), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cardinality_descending() {
+        let t = table();
+        assert_eq!(DimOrdering::CardinalityDesc.permutation(&t), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn entropy_prefers_uniform_dimensions() {
+        // Same cardinality everywhere so only skew differentiates: dim0
+        // uniform, dim1 heavily skewed, dim2 moderately skewed. Expected
+        // descending-entropy order: 0, 2, 1 (Section 5.5's motivating case).
+        let t = TableBuilder::new(3)
+            .cards(vec![4, 4, 4])
+            .row(&[0, 0, 0])
+            .row(&[1, 0, 0])
+            .row(&[2, 0, 0])
+            .row(&[3, 0, 0])
+            .row(&[0, 0, 1])
+            .row(&[1, 1, 1])
+            .row(&[2, 2, 2])
+            .row(&[3, 3, 3])
+            .build()
+            .unwrap();
+        assert_eq!(DimOrdering::EntropyDesc.permutation(&t), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn apply_permutes_and_reports_perm() {
+        let t = table();
+        let (p, perm) = DimOrdering::CardinalityDesc.apply(&t);
+        assert_eq!(p.card(0), t.card(perm[0]));
+        assert_eq!(p.row(5), &[2, 2, 1]);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let t = TableBuilder::new(3)
+            .cards(vec![2, 2, 2])
+            .row(&[0, 0, 0])
+            .row(&[1, 1, 1])
+            .build()
+            .unwrap();
+        assert_eq!(DimOrdering::CardinalityDesc.permutation(&t), vec![0, 1, 2]);
+        assert_eq!(DimOrdering::EntropyDesc.permutation(&t), vec![0, 1, 2]);
+    }
+}

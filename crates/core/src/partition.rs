@@ -1,0 +1,208 @@
+//! Counting-sort partitioning of tuple-ID slices.
+//!
+//! BUC-family algorithms (BUC, QC-DFS) and MM-Cubing's sparse recursion all
+//! partition a slice of tuple IDs by the value of one dimension. This module
+//! provides the classic counting-sort partition with reusable scratch
+//! buffers.
+//!
+//! Note the `O(cardinality)` cost per call for zeroing/prefix-summing the
+//! counter array — this is inherent to counting sort and is exactly why the
+//! paper observes "QC-DFS performs much worse in high cardinality because
+//! the counting sort costs more computation" (Section 5.1). We keep the
+//! faithful implementation rather than papering over it.
+
+use crate::table::{Table, TupleId};
+
+/// Reusable scratch state for counting-sort partitioning.
+#[derive(Default, Debug)]
+pub struct Partitioner {
+    counts: Vec<u32>,
+    scratch: Vec<TupleId>,
+}
+
+/// One partition: a value and the half-open `tids` range holding its tuples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Group {
+    /// The dimension value shared by the group.
+    pub value: u32,
+    /// Start index into the partitioned slice.
+    pub start: u32,
+    /// End index (exclusive).
+    pub end: u32,
+}
+
+impl Group {
+    /// Number of tuples in the group.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the group is empty (never produced by the partitioner).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The group's range as `usize` bounds.
+    #[inline]
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start as usize..self.end as usize
+    }
+}
+
+impl Partitioner {
+    /// Fresh partitioner.
+    pub fn new() -> Partitioner {
+        Partitioner::default()
+    }
+
+    /// Reorder `tids` so tuples sharing a value of dimension `d` are
+    /// contiguous (ascending by value), appending one [`Group`] per distinct
+    /// value to `groups`. Stable within groups (preserves tuple-ID order of
+    /// the input), which keeps representative-tuple selection deterministic.
+    pub fn partition(
+        &mut self,
+        table: &Table,
+        d: usize,
+        tids: &mut [TupleId],
+        groups: &mut Vec<Group>,
+    ) {
+        let card = table.card(d) as usize;
+        self.counts.clear();
+        self.counts.resize(card, 0);
+        for &t in tids.iter() {
+            self.counts[table.value(t, d) as usize] += 1;
+        }
+        // Prefix sums -> start offsets, and emit groups.
+        let mut offset = 0u32;
+        let base = groups.len();
+        for (v, c) in self.counts.iter_mut().enumerate() {
+            let n = *c;
+            if n > 0 {
+                groups.push(Group {
+                    value: v as u32,
+                    start: offset,
+                    end: offset + n,
+                });
+                *c = offset;
+                offset += n;
+            }
+        }
+        // Scatter into scratch, then copy back.
+        self.scratch.clear();
+        self.scratch.resize(tids.len(), 0);
+        for &t in tids.iter() {
+            let v = table.value(t, d) as usize;
+            let pos = self.counts[v];
+            self.scratch[pos as usize] = t;
+            self.counts[v] = pos + 1;
+        }
+        tids.copy_from_slice(&self.scratch);
+        debug_assert_eq!(
+            groups[base..].iter().map(|g| g.len()).sum::<u32>(),
+            tids.len() as u32
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn table() -> Table {
+        TableBuilder::new(2)
+            .cards(vec![3, 2])
+            .row(&[2, 0])
+            .row(&[0, 1])
+            .row(&[1, 0])
+            .row(&[0, 0])
+            .row(&[2, 1])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn partitions_by_value_ascending() {
+        let t = table();
+        let mut p = Partitioner::new();
+        let mut tids: Vec<TupleId> = (0..5).collect();
+        let mut groups = Vec::new();
+        p.partition(&t, 0, &mut tids, &mut groups);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(
+            groups[0],
+            Group {
+                value: 0,
+                start: 0,
+                end: 2
+            }
+        );
+        assert_eq!(
+            groups[1],
+            Group {
+                value: 1,
+                start: 2,
+                end: 3
+            }
+        );
+        assert_eq!(
+            groups[2],
+            Group {
+                value: 2,
+                start: 3,
+                end: 5
+            }
+        );
+        assert_eq!(&tids[..], &[1, 3, 2, 0, 4]);
+    }
+
+    #[test]
+    fn stable_within_groups() {
+        let t = table();
+        let mut p = Partitioner::new();
+        let mut tids: Vec<TupleId> = vec![4, 0, 3, 1];
+        let mut groups = Vec::new();
+        p.partition(&t, 0, &mut tids, &mut groups);
+        // Value 0: input order 3 then 1 -> preserved.
+        assert_eq!(&tids[0..2], &[3, 1]);
+        // Value 2: input order 4 then 0 -> preserved.
+        assert_eq!(&tids[2..4], &[4, 0]);
+    }
+
+    #[test]
+    fn subrange_partitioning() {
+        let t = table();
+        let mut p = Partitioner::new();
+        let mut tids: Vec<TupleId> = (0..5).collect();
+        let mut groups = Vec::new();
+        p.partition(&t, 1, &mut tids[1..4], &mut groups);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].value, 0);
+        assert_eq!(groups[0].len(), 2);
+    }
+
+    #[test]
+    fn reusable_across_dimensions() {
+        let t = table();
+        let mut p = Partitioner::new();
+        let mut tids: Vec<TupleId> = (0..5).collect();
+        let mut groups = Vec::new();
+        p.partition(&t, 0, &mut tids, &mut groups);
+        groups.clear();
+        p.partition(&t, 1, &mut tids, &mut groups);
+        assert_eq!(groups.iter().map(|g| g.len()).sum::<u32>(), 5);
+        assert_eq!(groups[0].value, 0);
+    }
+
+    #[test]
+    fn empty_slice() {
+        let t = table();
+        let mut p = Partitioner::new();
+        let mut tids: Vec<TupleId> = vec![];
+        let mut groups = Vec::new();
+        p.partition(&t, 0, &mut tids, &mut groups);
+        assert!(groups.is_empty());
+    }
+}

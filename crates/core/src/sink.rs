@@ -1,0 +1,294 @@
+//! Output sinks for cube algorithms.
+//!
+//! All cubers emit cells through a [`CellSink`] instead of materializing
+//! results, so the same code path supports (a) collecting results for tests,
+//! (b) pure counting with output disabled — the methodology of the paper's
+//! Section 5.4 overhead study, (c) measuring output *size* in bytes for the
+//! cube-size experiments (Figs 13–14), and (d) streaming text output.
+//!
+//! Cells are passed as `&[u32]` slices ([`crate::STAR`] = `*`) to keep the
+//! hot path allocation-free; sinks that need ownership copy.
+
+use crate::cell::{Cell, STAR};
+use crate::fxhash::FxHashMap;
+use crate::measure::CountOnly;
+use std::io::Write;
+
+/// Consumer of cube output cells.
+///
+/// `A` is the complex-measure accumulator type (`()` for count-only cubing).
+pub trait CellSink<A = ()> {
+    /// Deliver one result cell with its count and measure accumulator.
+    fn emit(&mut self, cell: &[u32], count: u64, acc: &A);
+}
+
+/// Discards everything (for timing pure computation).
+#[derive(Default, Debug, Clone, Copy)]
+pub struct NullSink;
+
+impl<A> CellSink<A> for NullSink {
+    #[inline]
+    fn emit(&mut self, _cell: &[u32], _count: u64, _acc: &A) {}
+}
+
+/// Counts emitted cells and total tuple coverage; the benchmark sink.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct CountingSink {
+    /// Number of cells emitted.
+    pub cells: u64,
+    /// Sum of emitted counts (a useful checksum across algorithms).
+    pub count_sum: u64,
+}
+
+impl<A> CellSink<A> for CountingSink {
+    #[inline]
+    fn emit(&mut self, _cell: &[u32], count: u64, _acc: &A) {
+        self.cells += 1;
+        self.count_sum += count;
+    }
+}
+
+/// Accumulates output size in bytes, modelling the fixed-width record format
+/// the paper's cube-size plots (Figs 13–14) are based on: one `u32` per
+/// dimension plus a `u64` count per cell.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct SizeSink {
+    /// Number of cells emitted.
+    pub cells: u64,
+    /// Accumulated bytes.
+    pub bytes: u64,
+}
+
+impl SizeSink {
+    /// Output size in MB (the unit of Figs 13–14).
+    pub fn megabytes(&self) -> f64 {
+        self.bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl<A> CellSink<A> for SizeSink {
+    #[inline]
+    fn emit(&mut self, cell: &[u32], _count: u64, _acc: &A) {
+        self.cells += 1;
+        self.bytes += 4 * cell.len() as u64 + 8;
+    }
+}
+
+/// Collects `cell → (count, acc)` into a hash map; the testing sink.
+#[derive(Debug, Clone)]
+pub struct CollectSink<A = ()> {
+    /// Collected cells.
+    pub cells: FxHashMap<Cell, (u64, A)>,
+    /// Number of duplicate emissions observed (must stay 0 for a correct
+    /// cuber — every cell is output exactly once).
+    pub duplicates: u64,
+}
+
+impl<A> Default for CollectSink<A> {
+    fn default() -> Self {
+        CollectSink {
+            cells: FxHashMap::default(),
+            duplicates: 0,
+        }
+    }
+}
+
+impl<A> CollectSink<A> {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts only, dropping accumulators (convenient for comparisons).
+    pub fn counts(&self) -> FxHashMap<Cell, u64> {
+        self.cells
+            .iter()
+            .map(|(c, (n, _))| (c.clone(), *n))
+            .collect()
+    }
+
+    /// Number of collected cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+impl<A: Clone> CellSink<A> for CollectSink<A> {
+    fn emit(&mut self, cell: &[u32], count: u64, acc: &A) {
+        if self
+            .cells
+            .insert(Cell::from_values(cell), (count, acc.clone()))
+            .is_some()
+        {
+            self.duplicates += 1;
+        }
+    }
+}
+
+/// Streams cells as text lines: `v0,v1,*,v3 : count`. Buffer the writer —
+/// the paper's timings include output I/O only in Section 5.1–5.3.
+pub struct WriterSink<W: Write> {
+    writer: W,
+    /// Number of cells written.
+    pub cells: u64,
+}
+
+impl<W: Write> WriterSink<W> {
+    /// Wrap a writer.
+    pub fn new(writer: W) -> Self {
+        WriterSink { writer, cells: 0 }
+    }
+
+    /// Recover the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write, A> CellSink<A> for WriterSink<W> {
+    fn emit(&mut self, cell: &[u32], count: u64, _acc: &A) {
+        self.cells += 1;
+        let mut first = true;
+        for &v in cell {
+            if !first {
+                let _ = self.writer.write_all(b",");
+            }
+            first = false;
+            if v == STAR {
+                let _ = self.writer.write_all(b"*");
+            } else {
+                let _ = write!(self.writer, "{v}");
+            }
+        }
+        let _ = writeln!(self.writer, " : {count}");
+    }
+}
+
+/// Fans one stream of cells out to two sinks.
+pub struct TeeSink<'a, S1, S2> {
+    /// First sink.
+    pub first: &'a mut S1,
+    /// Second sink.
+    pub second: &'a mut S2,
+}
+
+impl<'a, A, S1: CellSink<A>, S2: CellSink<A>> CellSink<A> for TeeSink<'a, S1, S2> {
+    #[inline]
+    fn emit(&mut self, cell: &[u32], count: u64, acc: &A) {
+        self.first.emit(cell, count, acc);
+        self.second.emit(cell, count, acc);
+    }
+}
+
+/// Adapter: lets a count-only algorithm (`A = ()`) drive any sink that was
+/// written for the same accumulator type. Also useful to erase accumulators:
+/// wraps a `CellSink<()>` so it can absorb emissions carrying any `A`.
+pub struct DropAcc<'a, S>(pub &'a mut S);
+
+impl<'a, A, S: CellSink<()>> CellSink<A> for DropAcc<'a, S> {
+    #[inline]
+    fn emit(&mut self, cell: &[u32], count: u64, _acc: &A) {
+        self.0.emit(cell, count, &());
+    }
+}
+
+/// Convenience: run a closure per cell.
+pub struct FnSink<F>(pub F);
+
+impl<A, F: FnMut(&[u32], u64, &A)> CellSink<A> for FnSink<F> {
+    #[inline]
+    fn emit(&mut self, cell: &[u32], count: u64, acc: &A) {
+        (self.0)(cell, count, acc);
+    }
+}
+
+/// Helper used by tests: collect counts produced by a cuber closure.
+pub fn collect_counts<F>(run: F) -> FxHashMap<Cell, u64>
+where
+    F: FnOnce(&mut CollectSink<()>),
+{
+    let mut sink = CollectSink::<()>::new();
+    run(&mut sink);
+    assert_eq!(sink.duplicates, 0, "cuber emitted duplicate cells");
+    sink.counts()
+}
+
+/// The measure spec type most sinks pair with by default.
+pub type DefaultSpec = CountOnly;
+
+#[allow(unused)]
+fn _assert_object_safety(_: &dyn CellSink<()>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut s = CountingSink::default();
+        CellSink::<()>::emit(&mut s, &[1, STAR], 5, &());
+        CellSink::<()>::emit(&mut s, &[STAR, STAR], 7, &());
+        assert_eq!(s.cells, 2);
+        assert_eq!(s.count_sum, 12);
+    }
+
+    #[test]
+    fn size_sink_models_fixed_width_records() {
+        let mut s = SizeSink::default();
+        CellSink::<()>::emit(&mut s, &[1, 2, 3], 5, &());
+        assert_eq!(s.bytes, 4 * 3 + 8);
+        CellSink::<()>::emit(&mut s, &[1, 2, 3], 5, &());
+        assert!(s.megabytes() > 0.0);
+    }
+
+    #[test]
+    fn collect_sink_detects_duplicates() {
+        let mut s = CollectSink::<()>::new();
+        s.emit(&[1, STAR], 2, &());
+        s.emit(&[1, STAR], 2, &());
+        assert_eq!(s.duplicates, 1);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn writer_sink_formats_cells() {
+        let mut buf = Vec::new();
+        {
+            let mut s = WriterSink::new(&mut buf);
+            CellSink::<()>::emit(&mut s, &[1, STAR, 3], 42, &());
+        }
+        assert_eq!(String::from_utf8(buf).unwrap(), "1,*,3 : 42\n");
+    }
+
+    #[test]
+    fn tee_feeds_both() {
+        let mut a = CountingSink::default();
+        let mut b = SizeSink::default();
+        {
+            let mut t = TeeSink {
+                first: &mut a,
+                second: &mut b,
+            };
+            CellSink::<()>::emit(&mut t, &[0], 1, &());
+        }
+        assert_eq!(a.cells, 1);
+        assert_eq!(b.cells, 1);
+    }
+
+    #[test]
+    fn fn_sink_invokes_closure() {
+        let mut seen = Vec::new();
+        {
+            let mut s = FnSink(|cell: &[u32], count: u64, _: &()| {
+                seen.push((cell.to_vec(), count));
+            });
+            s.emit(&[7], 3, &());
+        }
+        assert_eq!(seen, vec![(vec![7], 3)]);
+    }
+}

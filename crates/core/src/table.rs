@@ -1,0 +1,571 @@
+//! Encoded relational tables (the base cuboid).
+//!
+//! Cube algorithms in this workspace operate over tables whose dimension
+//! values are dense `u32` codes: dimension `d` with cardinality `c` holds
+//! values in `0..c`. Real datasets are dictionary-encoded into this form by
+//! `ccube-data`. Tables may also carry named `f64` *measure columns* used by
+//! the complex-measure support of Section 6.1 (the group-by dimensions and
+//! the aggregated measures are separate, as in the paper).
+
+use crate::mask::DimMask;
+use crate::{CubeError, Result, MAX_DIMS};
+
+/// Identifier of a tuple (row) in a [`Table`].
+///
+/// The paper's *Representative Tuple ID* measure (Definition 6) is a `min`
+/// over these IDs, so they must be totally ordered; row index order is used.
+pub type TupleId = u32;
+
+/// An encoded relational table: `rows × dims` dense `u32` values stored
+/// row-major, plus optional `f64` measure columns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    dims: usize,
+    cards: Vec<u32>,
+    names: Vec<String>,
+    data: Vec<u32>,
+    measures: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.data.len().checked_div(self.dims).unwrap_or(0)
+    }
+
+    /// Declared cardinality of dimension `d`.
+    #[inline]
+    pub fn card(&self, d: usize) -> u32 {
+        self.cards[d]
+    }
+
+    /// Cardinalities of all dimensions.
+    #[inline]
+    pub fn cards(&self) -> &[u32] {
+        &self.cards
+    }
+
+    /// Name of dimension `d`.
+    #[inline]
+    pub fn dim_name(&self, d: usize) -> &str {
+        &self.names[d]
+    }
+
+    /// Value of tuple `t` on dimension `d`.
+    #[inline]
+    pub fn value(&self, t: TupleId, d: usize) -> u32 {
+        self.data[t as usize * self.dims + d]
+    }
+
+    /// The full row of tuple `t`.
+    #[inline]
+    pub fn row(&self, t: TupleId) -> &[u32] {
+        let start = t as usize * self.dims;
+        &self.data[start..start + self.dims]
+    }
+
+    /// Iterate over `(TupleId, row)` pairs.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (TupleId, &[u32])> + '_ {
+        self.data
+            .chunks_exact(self.dims.max(1))
+            .enumerate()
+            .map(|(i, r)| (i as TupleId, r))
+    }
+
+    /// All tuple IDs, `0..rows`.
+    pub fn all_tids(&self) -> Vec<TupleId> {
+        (0..self.rows() as TupleId).collect()
+    }
+
+    /// Names of the measure columns.
+    pub fn measure_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.measures.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Number of measure columns.
+    pub fn measure_count(&self) -> usize {
+        self.measures.len()
+    }
+
+    /// Measure column `m` (panics if out of range).
+    #[inline]
+    pub fn measure_column(&self, m: usize) -> &[f64] {
+        &self.measures[m].1
+    }
+
+    /// Measure value of tuple `t` in measure column `m`.
+    #[inline]
+    pub fn measure(&self, t: TupleId, m: usize) -> f64 {
+        self.measures[m].1[t as usize]
+    }
+
+    /// Bit mask of the dimensions on which tuples `a` and `b` hold equal
+    /// values.
+    ///
+    /// This is the `Eq(|{V(T(S_i), d)}|, 1)` factor of Lemma 3 vectorized over
+    /// all dimensions: the Closed Mask merge of two parts is
+    /// `mask_a & mask_b & eq_mask(rep_a, rep_b)`.
+    #[inline]
+    pub fn eq_mask(&self, a: TupleId, b: TupleId) -> DimMask {
+        let ra = self.row(a);
+        let rb = self.row(b);
+        let mut m = 0u64;
+        for d in 0..self.dims {
+            // Branch-free accumulation keeps this hot loop tight: it runs on
+            // every closedness merge in every algorithm.
+            m |= ((ra[d] == rb[d]) as u64) << d;
+        }
+        DimMask(m)
+    }
+
+    /// Per-value frequency histogram of dimension `d`.
+    pub fn freq(&self, d: usize) -> Vec<u32> {
+        let mut f = vec![0u32; self.cards[d] as usize];
+        for r in self.data.chunks_exact(self.dims) {
+            f[r[d] as usize] += 1;
+        }
+        f
+    }
+
+    /// Per-value frequency histogram of dimension `d` restricted to `tids`.
+    pub fn freq_of(&self, d: usize, tids: &[TupleId]) -> Vec<u32> {
+        let mut f = vec![0u32; self.cards[d] as usize];
+        for &t in tids {
+            f[self.value(t, d) as usize] += 1;
+        }
+        f
+    }
+
+    /// The entropy-ordering figure of merit from Section 5.5:
+    /// `E(A) = -Σ |a_i| · log|a_i|` (constant terms dropped). Larger values
+    /// mean a more uniform dimension; the paper orders dimensions by
+    /// descending `E`.
+    pub fn entropy_measure(&self, d: usize) -> f64 {
+        let mut e = 0.0;
+        for &f in self.freq(d).iter() {
+            if f > 1 {
+                let f = f as f64;
+                e -= f * f.ln();
+            }
+        }
+        e
+    }
+
+    /// Build a new table with dimensions permuted: new dimension `i` is old
+    /// dimension `perm[i]`. Measure columns are untouched. Returns an error if
+    /// `perm` is not a permutation of `0..dims`.
+    pub fn permute_dims(&self, perm: &[usize]) -> Result<Table> {
+        if perm.len() != self.dims {
+            return Err(CubeError::BadRowWidth {
+                expected: self.dims,
+                got: perm.len(),
+            });
+        }
+        let mut seen = vec![false; self.dims];
+        for &p in perm {
+            if p >= self.dims || seen[p] {
+                return Err(CubeError::Parse(format!("bad permutation {perm:?}")));
+            }
+            seen[p] = true;
+        }
+        let mut data = Vec::with_capacity(self.data.len());
+        for r in self.data.chunks_exact(self.dims) {
+            for &p in perm {
+                data.push(r[p]);
+            }
+        }
+        Ok(Table {
+            dims: self.dims,
+            cards: perm.iter().map(|&p| self.cards[p]).collect(),
+            names: perm.iter().map(|&p| self.names[p].clone()).collect(),
+            data,
+            measures: self.measures.clone(),
+        })
+    }
+
+    /// Keep only the first `k` dimensions (used by the weather experiments,
+    /// which select 5–8 leading dimensions).
+    pub fn truncate_dims(&self, k: usize) -> Table {
+        assert!(k <= self.dims && k > 0);
+        let mut data = Vec::with_capacity(self.rows() * k);
+        for r in self.data.chunks_exact(self.dims) {
+            data.extend_from_slice(&r[..k]);
+        }
+        Table {
+            dims: k,
+            cards: self.cards[..k].to_vec(),
+            names: self.names[..k].to_vec(),
+            data,
+            measures: self.measures.clone(),
+        }
+    }
+
+    /// Keep only the first `n` rows.
+    pub fn truncate_rows(&self, n: usize) -> Table {
+        let n = n.min(self.rows());
+        Table {
+            dims: self.dims,
+            cards: self.cards.clone(),
+            names: self.names.clone(),
+            data: self.data[..n * self.dims].to_vec(),
+            measures: self
+                .measures
+                .iter()
+                .map(|(name, col)| (name.clone(), col[..n].to_vec()))
+                .collect(),
+        }
+    }
+
+    /// Re-encode so every dimension's cardinality equals the number of values
+    /// that actually occur (dense re-coding). Useful after truncation.
+    pub fn compact(&self) -> Table {
+        let mut maps: Vec<Vec<u32>> = Vec::with_capacity(self.dims);
+        let mut cards = Vec::with_capacity(self.dims);
+        for d in 0..self.dims {
+            let freq = self.freq(d);
+            let mut map = vec![u32::MAX; freq.len()];
+            let mut next = 0u32;
+            for (v, &f) in freq.iter().enumerate() {
+                if f > 0 {
+                    map[v] = next;
+                    next += 1;
+                }
+            }
+            maps.push(map);
+            cards.push(next.max(1));
+        }
+        let mut data = Vec::with_capacity(self.data.len());
+        for r in self.data.chunks_exact(self.dims) {
+            for (d, &v) in r.iter().enumerate() {
+                data.push(maps[d][v as usize]);
+            }
+        }
+        Table {
+            dims: self.dims,
+            cards,
+            names: self.names.clone(),
+            data,
+            measures: self.measures.clone(),
+        }
+    }
+}
+
+/// Incremental builder for [`Table`].
+///
+/// ```
+/// use ccube_core::TableBuilder;
+/// // Table 1 of the paper: 3 tuples over A, B, C, D.
+/// let table = TableBuilder::new(4)
+///     .cards(vec![2, 3, 3, 4])
+///     .row(&[0, 0, 0, 0]) // a1 b1 c1 d1
+///     .row(&[0, 0, 0, 2]) // a1 b1 c1 d3
+///     .row(&[0, 1, 1, 1]) // a1 b2 c2 d2
+///     .build()
+///     .unwrap();
+/// assert_eq!(table.rows(), 3);
+/// assert_eq!(table.value(2, 3), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TableBuilder {
+    dims: usize,
+    cards: Option<Vec<u32>>,
+    names: Option<Vec<String>>,
+    data: Vec<u32>,
+    measures: Vec<(String, Vec<f64>)>,
+}
+
+impl TableBuilder {
+    /// Start a builder for a `dims`-dimensional table.
+    pub fn new(dims: usize) -> TableBuilder {
+        TableBuilder {
+            dims,
+            cards: None,
+            names: None,
+            data: Vec::new(),
+            measures: Vec::new(),
+        }
+    }
+
+    /// Declare dimension cardinalities. If omitted, cardinalities are inferred
+    /// as `max value + 1` per dimension at build time.
+    pub fn cards(mut self, cards: Vec<u32>) -> TableBuilder {
+        self.cards = Some(cards);
+        self
+    }
+
+    /// Declare dimension names. Defaults to `d0, d1, …`.
+    pub fn names<S: Into<String>>(mut self, names: Vec<S>) -> TableBuilder {
+        self.names = Some(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Pre-allocate space for `rows` tuples.
+    pub fn reserve(mut self, rows: usize) -> TableBuilder {
+        self.data.reserve(rows * self.dims);
+        self
+    }
+
+    /// Append one tuple.
+    pub fn row(mut self, values: &[u32]) -> TableBuilder {
+        self.push_row(values);
+        self
+    }
+
+    /// Append one tuple (non-consuming form for loops).
+    pub fn push_row(&mut self, values: &[u32]) {
+        debug_assert_eq!(values.len(), self.dims);
+        self.data.extend_from_slice(values);
+    }
+
+    /// Attach a named `f64` measure column (one entry per row).
+    pub fn measure<S: Into<String>>(mut self, name: S, column: Vec<f64>) -> TableBuilder {
+        self.measures.push((name.into(), column));
+        self
+    }
+
+    /// Validate and produce the [`Table`].
+    pub fn build(self) -> Result<Table> {
+        let dims = self.dims;
+        if dims == 0 || dims > MAX_DIMS {
+            return Err(CubeError::BadDimensionCount(dims));
+        }
+        if !self.data.len().is_multiple_of(dims) {
+            return Err(CubeError::BadRowWidth {
+                expected: dims,
+                got: self.data.len() % dims,
+            });
+        }
+        let rows = self.data.len() / dims;
+        let cards = match self.cards {
+            Some(c) => {
+                if c.len() != dims {
+                    return Err(CubeError::BadRowWidth {
+                        expected: dims,
+                        got: c.len(),
+                    });
+                }
+                for (i, r) in self.data.chunks_exact(dims).enumerate() {
+                    for d in 0..dims {
+                        if r[d] >= c[d] {
+                            let _ = i;
+                            return Err(CubeError::ValueOutOfRange {
+                                dim: d,
+                                value: r[d],
+                                card: c[d],
+                            });
+                        }
+                    }
+                }
+                c
+            }
+            None => {
+                let mut c = vec![1u32; dims];
+                for r in self.data.chunks_exact(dims) {
+                    for d in 0..dims {
+                        c[d] = c[d].max(r[d] + 1);
+                    }
+                }
+                c
+            }
+        };
+        let names = match self.names {
+            Some(n) => {
+                if n.len() != dims {
+                    return Err(CubeError::BadRowWidth {
+                        expected: dims,
+                        got: n.len(),
+                    });
+                }
+                n
+            }
+            None => (0..dims).map(|d| format!("d{d}")).collect(),
+        };
+        for (name, col) in &self.measures {
+            if col.len() != rows {
+                return Err(CubeError::BadMeasureColumn {
+                    name: name.clone(),
+                    len: col.len(),
+                    rows,
+                });
+            }
+        }
+        Ok(Table {
+            dims,
+            cards,
+            names,
+            data: self.data,
+            measures: self.measures,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_table() -> Table {
+        // Table 1 of the paper.
+        TableBuilder::new(4)
+            .row(&[0, 0, 0, 0])
+            .row(&[0, 0, 0, 2])
+            .row(&[0, 1, 1, 1])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_infers_cardinalities() {
+        let t = example_table();
+        assert_eq!(t.cards(), &[1, 2, 2, 3]);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.dims(), 4);
+    }
+
+    #[test]
+    fn builder_validates_declared_cards() {
+        let err = TableBuilder::new(2)
+            .cards(vec![2, 2])
+            .row(&[0, 5])
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CubeError::ValueOutOfRange {
+                dim: 1,
+                value: 5,
+                card: 2
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_dim_count() {
+        assert!(matches!(
+            TableBuilder::new(0).build(),
+            Err(CubeError::BadDimensionCount(0))
+        ));
+        assert!(matches!(
+            TableBuilder::new(65).build(),
+            Err(CubeError::BadDimensionCount(65))
+        ));
+    }
+
+    #[test]
+    fn value_and_row_access() {
+        let t = example_table();
+        assert_eq!(t.value(1, 3), 2);
+        assert_eq!(t.row(2), &[0, 1, 1, 1]);
+        let rows: Vec<_> = t.iter_rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1].0, 1);
+    }
+
+    #[test]
+    fn eq_mask_matches_per_dimension_equality() {
+        let t = example_table();
+        // t0 = (0,0,0,0), t1 = (0,0,0,2): equal on dims 0,1,2.
+        assert_eq!(t.eq_mask(0, 1), DimMask::all(3));
+        // t0 vs t2 = (0,1,1,1): equal only on dim 0.
+        assert_eq!(t.eq_mask(0, 2), DimMask::single(0));
+        // reflexive
+        assert_eq!(t.eq_mask(1, 1), DimMask::all(4));
+    }
+
+    #[test]
+    fn freq_and_entropy() {
+        let t = example_table();
+        assert_eq!(t.freq(1), vec![2, 1]);
+        assert_eq!(t.freq_of(1, &[0, 2]), vec![1, 1]);
+        // Uniform dimension has higher E than a skewed one of same support.
+        let uniform = TableBuilder::new(1)
+            .row(&[0])
+            .row(&[1])
+            .row(&[2])
+            .row(&[3])
+            .build()
+            .unwrap();
+        let skewed = TableBuilder::new(1)
+            .cards(vec![4])
+            .row(&[0])
+            .row(&[0])
+            .row(&[0])
+            .row(&[1])
+            .build()
+            .unwrap();
+        assert!(uniform.entropy_measure(0) > skewed.entropy_measure(0));
+    }
+
+    #[test]
+    fn permute_dims_roundtrip() {
+        let t = example_table();
+        let p = t.permute_dims(&[3, 2, 1, 0]).unwrap();
+        assert_eq!(p.row(1), &[2, 0, 0, 0]);
+        assert_eq!(p.card(0), 3);
+        let back = p.permute_dims(&[3, 2, 1, 0]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn permute_rejects_non_permutation() {
+        let t = example_table();
+        assert!(t.permute_dims(&[0, 0, 1, 2]).is_err());
+        assert!(t.permute_dims(&[0, 1]).is_err());
+        assert!(t.permute_dims(&[0, 1, 2, 9]).is_err());
+    }
+
+    #[test]
+    fn truncate_dims_and_rows() {
+        let t = example_table();
+        let k = t.truncate_dims(2);
+        assert_eq!(k.dims(), 2);
+        assert_eq!(k.row(2), &[0, 1]);
+        let r = t.truncate_rows(1);
+        assert_eq!(r.rows(), 1);
+        assert_eq!(r.row(0), t.row(0));
+    }
+
+    #[test]
+    fn compact_reencodes_sparse_values() {
+        let t = TableBuilder::new(2)
+            .cards(vec![10, 10])
+            .row(&[7, 3])
+            .row(&[2, 3])
+            .build()
+            .unwrap();
+        let c = t.compact();
+        assert_eq!(c.cards(), &[2, 1]);
+        assert_eq!(c.row(0), &[1, 0]);
+        assert_eq!(c.row(1), &[0, 0]);
+    }
+
+    #[test]
+    fn measure_columns() {
+        let t = TableBuilder::new(1)
+            .row(&[0])
+            .row(&[1])
+            .measure("price", vec![1.5, 2.5])
+            .build()
+            .unwrap();
+        assert_eq!(t.measure_count(), 1);
+        assert_eq!(t.measure(1, 0), 2.5);
+        assert_eq!(t.measure_names().collect::<Vec<_>>(), vec!["price"]);
+    }
+
+    #[test]
+    fn measure_column_length_validated() {
+        let err = TableBuilder::new(1)
+            .row(&[0])
+            .row(&[1])
+            .measure("m", vec![1.0])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CubeError::BadMeasureColumn { .. }));
+    }
+}

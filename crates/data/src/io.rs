@@ -1,0 +1,151 @@
+//! Minimal text serialization for encoded tables.
+//!
+//! Format (line-oriented, `#`-prefixed comments allowed):
+//!
+//! ```text
+//! dims 3
+//! cards 10 20 30
+//! names a b c
+//! row 1 2 3
+//! row 4 5 6
+//! ```
+//!
+//! Intended for persisting generated workloads so experiments can be re-run
+//! on identical data, not as a general interchange format.
+
+use ccube_core::{CubeError, Result, Table, TableBuilder};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Write `table` in the text format.
+pub fn write_table<W: Write>(table: &Table, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "dims {}", table.dims())?;
+    write!(w, "cards")?;
+    for d in 0..table.dims() {
+        write!(w, " {}", table.card(d))?;
+    }
+    writeln!(w)?;
+    write!(w, "names")?;
+    for d in 0..table.dims() {
+        write!(w, " {}", table.dim_name(d))?;
+    }
+    writeln!(w)?;
+    for (_, row) in table.iter_rows() {
+        write!(w, "row")?;
+        for &v in row {
+            write!(w, " {v}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Read a table in the text format.
+pub fn read_table<R: Read>(reader: R) -> Result<Table> {
+    let r = BufReader::new(reader);
+    let mut dims: Option<usize> = None;
+    let mut cards: Option<Vec<u32>> = None;
+    let mut names: Option<Vec<String>> = None;
+    let mut rows: Vec<Vec<u32>> = Vec::new();
+    for line in r.lines() {
+        let line = line.map_err(|e| CubeError::Parse(e.to_string()))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("dims") => {
+                dims = Some(
+                    parts
+                        .next()
+                        .ok_or_else(|| CubeError::Parse("dims needs a value".into()))?
+                        .parse()
+                        .map_err(|e| CubeError::Parse(format!("bad dims: {e}")))?,
+                );
+            }
+            Some("cards") => {
+                cards = Some(
+                    parts
+                        .map(|p| {
+                            p.parse()
+                                .map_err(|e| CubeError::Parse(format!("bad card: {e}")))
+                        })
+                        .collect::<Result<_>>()?,
+                );
+            }
+            Some("names") => {
+                names = Some(parts.map(str::to_owned).collect());
+            }
+            Some("row") => {
+                rows.push(
+                    parts
+                        .map(|p| {
+                            p.parse()
+                                .map_err(|e| CubeError::Parse(format!("bad value: {e}")))
+                        })
+                        .collect::<Result<_>>()?,
+                );
+            }
+            Some(other) => {
+                return Err(CubeError::Parse(format!("unknown directive `{other}`")));
+            }
+            None => {}
+        }
+    }
+    let dims = dims.ok_or_else(|| CubeError::Parse("missing dims line".into()))?;
+    let mut builder = TableBuilder::new(dims);
+    if let Some(c) = cards {
+        builder = builder.cards(c);
+    }
+    if let Some(n) = names {
+        builder = builder.names(n);
+    }
+    for row in &rows {
+        if row.len() != dims {
+            return Err(CubeError::BadRowWidth {
+                expected: dims,
+                got: row.len(),
+            });
+        }
+        builder.push_row(row);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticSpec;
+
+    #[test]
+    fn roundtrip() {
+        let t = SyntheticSpec::uniform(50, 4, 9, 1.0, 7).generate();
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf).unwrap();
+        let back = read_table(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# comment\n\ndims 2\ncards 3 3\nnames x y\nrow 0 1\nrow 2 2\n";
+        let t = read_table(text.as_bytes()).unwrap();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.dim_name(1), "y");
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(read_table("dims 2\nwat 1\n".as_bytes()).is_err());
+        assert!(read_table("cards 1 2\n".as_bytes()).is_err());
+        assert!(read_table("dims 2\nrow 1\n".as_bytes()).is_err());
+        assert!(read_table("dims 2\nrow 1 x\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn inferred_cards_when_missing() {
+        let t = read_table("dims 2\nrow 0 5\nrow 1 2\n".as_bytes()).unwrap();
+        assert_eq!(t.cards(), &[2, 6]);
+    }
+}

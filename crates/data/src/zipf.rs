@@ -1,0 +1,117 @@
+//! Zipf-distributed value sampling.
+//!
+//! The paper's skew knob `S` is the Zipf exponent applied to every dimension:
+//! value `i ∈ 1..=C` has probability proportional to `1 / i^S`. `S = 0` is
+//! uniform; the paper sweeps `S ∈ [0, 3]`.
+
+use rand::Rng;
+
+/// A Zipf(`n`, `s`) sampler over `0..n` using a precomputed CDF and binary
+/// search — O(log n) per sample, exact for any `s >= 0`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` values with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: u32, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one value");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for i in 1..=n as u64 {
+            acc += 1.0 / (i as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of distinct values.
+    pub fn n(&self) -> u32 {
+        self.cdf.len() as u32
+    }
+
+    /// Draw one value in `0..n` (0 is the most frequent rank).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(z: &Zipf, samples: usize, seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut h = vec![0u32; z.n() as usize];
+        for _ in 0..samples {
+            h[z.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let h = histogram(&z, 100_000, 42);
+        for &c in &h {
+            // Each bucket expects 10_000; allow 10% slop.
+            assert!((c as i64 - 10_000).abs() < 1_000, "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_positive() {
+        let z = Zipf::new(10, 1.5);
+        let h = histogram(&z, 100_000, 7);
+        // Rank 0 dominates and counts decay monotonically-ish.
+        assert!(h[0] > h[4] && h[4] > h[9]);
+        assert!(h[0] as f64 / h[9] as f64 > 10.0);
+    }
+
+    #[test]
+    fn extreme_skew_concentrates() {
+        let z = Zipf::new(100, 3.0);
+        let h = histogram(&z, 50_000, 11);
+        assert!(h[0] as f64 > 0.7 * 50_000.0);
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn single_value_always_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_values_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,413 @@
+//! The MultiWay aggregation array for MM-Cubing's dense subspace.
+//!
+//! Zhao et al.'s MultiWay algorithm (SIGMOD'97) computes all `2^u` group-bys
+//! of a small dense array by *simultaneous aggregation*: every cuboid is
+//! obtained from a one-dimension-larger cuboid by summing one coordinate out,
+//! so each lattice edge is computed exactly once. We realize the same cost
+//! with a depth-first walk of a spanning tree of the cuboid lattice
+//! (`parent(S) = S ∪ {min d ∉ S}`), which bounds live memory to one array per
+//! tree level (≤ 2× the base array, since every admitted dimension has at
+//! least two coordinates).
+//!
+//! Every array entry carries `count`, the C-Cubing closedness measure
+//! `(closed mask, representative tuple id)` when the `CLOSED` flag is set,
+//! and the optional complex-measure accumulator. One coordinate per
+//! dimension is reserved for the special identifier **OTHER**, holding
+//! masked and sparse values: OTHER cells aggregate into `*` like everything
+//! else but are never emitted.
+
+use ccube_core::cell::STAR;
+use ccube_core::closedness::ClosedInfo;
+use ccube_core::mask::DimMask;
+use ccube_core::measure::MeasureSpec;
+use ccube_core::sink::CellSink;
+use ccube_core::table::{Table, TupleId};
+
+/// One dimension of the dense array.
+#[derive(Clone, Debug)]
+pub struct DenseDim {
+    /// Table dimension index.
+    pub dim: usize,
+    /// Dense values, ascending; coordinate `i` ⇔ `values[i]`.
+    pub values: Vec<u32>,
+}
+
+impl DenseDim {
+    /// Build the coordinate space for dimension `dim` from its dense value
+    /// set (ascending). Lookup is by binary search, so constructing a dense
+    /// dimension never costs `O(cardinality)` — important because MM-Cubing
+    /// builds arrays at every recursion level.
+    pub fn new(_table: &Table, dim: usize, values: Vec<u32>) -> DenseDim {
+        debug_assert!(!values.is_empty());
+        debug_assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "dense values must be ascending"
+        );
+        DenseDim { dim, values }
+    }
+
+    /// Coordinate-space size including the OTHER slot.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.values.len() + 1
+    }
+
+    /// The OTHER coordinate.
+    #[inline]
+    pub fn other(&self) -> u32 {
+        self.values.len() as u32
+    }
+
+    /// Coordinate of value `v` (`masked` forces OTHER).
+    #[inline]
+    pub fn coord(&self, v: u32, masked: bool) -> u32 {
+        if masked {
+            return self.other();
+        }
+        match self.values.binary_search(&v) {
+            Ok(i) => i as u32,
+            Err(_) => self.other(),
+        }
+    }
+}
+
+/// An array entry: the aggregate state of one dense-subspace cell.
+#[derive(Clone, Debug)]
+pub struct Entry<A> {
+    /// Tuple count.
+    pub count: u64,
+    /// Closedness measure (valid only when the cuber runs CLOSED).
+    pub info: ClosedInfo,
+    /// Complex-measure accumulator.
+    pub acc: Option<A>,
+}
+
+impl<A> Entry<A> {
+    fn empty(dims: usize) -> Entry<A> {
+        Entry {
+            count: 0,
+            info: ClosedInfo {
+                mask: DimMask::all(dims),
+                rep: 0,
+            },
+            acc: None,
+        }
+    }
+}
+
+/// The dense array plus everything needed to emit cells from it.
+pub struct DenseArray<'a, const CLOSED: bool, M: MeasureSpec> {
+    table: &'a Table,
+    spec: &'a M,
+    dims: Vec<DenseDim>,
+    base: Vec<Entry<M::Acc>>,
+}
+
+impl<'a, const CLOSED: bool, M: MeasureSpec> DenseArray<'a, CLOSED, M> {
+    /// Build the base array by scanning the partition once. `coord_of(t, i)`
+    /// must return the coordinate of tuple `t` on array dimension `i`
+    /// (consulting the value mask).
+    pub fn build<F>(
+        table: &'a Table,
+        spec: &'a M,
+        dims: Vec<DenseDim>,
+        tids: &[TupleId],
+        coord_of: F,
+    ) -> Self
+    where
+        F: Fn(TupleId, &DenseDim) -> u32,
+    {
+        let size: usize = dims.iter().map(DenseDim::size).product();
+        let mut base: Vec<Entry<M::Acc>> = Vec::with_capacity(size);
+        for _ in 0..size {
+            base.push(Entry::empty(table.dims()));
+        }
+        for &t in tids {
+            let mut idx = 0usize;
+            for d in &dims {
+                idx = idx * d.size() + coord_of(t, d) as usize;
+            }
+            let e = &mut base[idx];
+            if e.count == 0 {
+                e.count = 1;
+                if CLOSED {
+                    e.info = ClosedInfo::for_tuple(table, t);
+                }
+                e.acc = Some(spec.unit(table, t));
+            } else {
+                e.count += 1;
+                if CLOSED {
+                    e.info.merge_tuple(table, t);
+                }
+                let unit = spec.unit(table, t);
+                spec.merge(
+                    e.acc.as_mut().expect("occupied entry has an accumulator"),
+                    &unit,
+                );
+            }
+        }
+        DenseArray {
+            table,
+            spec,
+            dims,
+            base,
+        }
+    }
+
+    /// Walk the cuboid lattice, emitting every qualifying cell of every
+    /// subset of array dimensions. `cell` holds the fixed values of the
+    /// enclosing subspace (array dims must be `*` on entry; restored on
+    /// exit). `fixed_bound` is the mask of dimensions bound in `cell`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn emit_all<S: CellSink<M::Acc>>(
+        &self,
+        min_sup: u64,
+        cell: &mut [u32],
+        fixed_bound: DimMask,
+        sink: &mut S,
+    ) {
+        let present: Vec<usize> = (0..self.dims.len()).collect();
+        self.lattice(&present, &self.base, min_sup, cell, fixed_bound, sink);
+    }
+
+    fn lattice<S: CellSink<M::Acc>>(
+        &self,
+        present: &[usize],
+        arr: &[Entry<M::Acc>],
+        min_sup: u64,
+        cell: &mut [u32],
+        fixed_bound: DimMask,
+        sink: &mut S,
+    ) {
+        self.emit_subset(present, arr, min_sup, cell, fixed_bound, sink);
+        // children(S) = { S \ {p} : p ∈ S, p < min(complement) } gives a
+        // spanning tree where each subset is reached exactly once.
+        let min_missing = (0..self.dims.len())
+            .find(|p| !present.contains(p))
+            .unwrap_or(self.dims.len());
+        for (i, &p) in present.iter().enumerate() {
+            if p >= min_missing {
+                break;
+            }
+            let child_present: Vec<usize> = present
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &q)| q)
+                .collect();
+            let child = self.sum_out(present, arr, i);
+            self.lattice(&child_present, &child, min_sup, cell, fixed_bound, sink);
+        }
+    }
+
+    /// Sum coordinate `remove_slot` (an index into `present`) out of `arr`.
+    fn sum_out(
+        &self,
+        present: &[usize],
+        arr: &[Entry<M::Acc>],
+        remove_slot: usize,
+    ) -> Vec<Entry<M::Acc>> {
+        let sizes: Vec<usize> = present.iter().map(|&p| self.dims[p].size()).collect();
+        // Row-major stride of the removed coordinate.
+        let stride: usize = sizes[remove_slot + 1..].iter().product();
+        let n_r = sizes[remove_slot];
+        let block = stride * n_r;
+        let child_size = arr.len() / n_r;
+        let mut child: Vec<Entry<M::Acc>> = Vec::with_capacity(child_size);
+        for _ in 0..child_size {
+            child.push(Entry::empty(self.table.dims()));
+        }
+        for (i, e) in arr.iter().enumerate() {
+            if e.count == 0 {
+                continue;
+            }
+            let high = i / block;
+            let low = i % stride;
+            let ci = high * stride + low;
+            let c = &mut child[ci];
+            if c.count == 0 {
+                c.count = e.count;
+                if CLOSED {
+                    c.info = e.info;
+                }
+                c.acc.clone_from(&e.acc);
+            } else {
+                c.count += e.count;
+                if CLOSED {
+                    c.info.merge(self.table, &e.info);
+                }
+                self.spec.merge(
+                    c.acc.as_mut().expect("occupied entry has an accumulator"),
+                    e.acc.as_ref().expect("occupied entry has an accumulator"),
+                );
+            }
+        }
+        child
+    }
+
+    fn emit_subset<S: CellSink<M::Acc>>(
+        &self,
+        present: &[usize],
+        arr: &[Entry<M::Acc>],
+        min_sup: u64,
+        cell: &mut [u32],
+        fixed_bound: DimMask,
+        sink: &mut S,
+    ) {
+        let sizes: Vec<usize> = present.iter().map(|&p| self.dims[p].size()).collect();
+        let mut bound = fixed_bound;
+        for &p in present {
+            bound.insert(self.dims[p].dim);
+        }
+        let all_mask = DimMask::all(self.table.dims()) ^ bound;
+        'entries: for (i, e) in arr.iter().enumerate() {
+            if e.count < min_sup {
+                continue;
+            }
+            // Decode coordinates; skip cells touching an OTHER slot.
+            let mut idx = i;
+            for slot in (0..present.len()).rev() {
+                let d = &self.dims[present[slot]];
+                let coord = (idx % sizes[slot]) as u32;
+                idx /= sizes[slot];
+                if coord == d.other() {
+                    // Restore before skipping.
+                    for s in slot + 1..present.len() {
+                        cell[self.dims[present[s]].dim] = STAR;
+                    }
+                    continue 'entries;
+                }
+                cell[d.dim] = d.values[coord as usize];
+            }
+            if !CLOSED || e.info.is_closed(all_mask) {
+                sink.emit(
+                    cell,
+                    e.count,
+                    e.acc.as_ref().expect("qualifying entry is occupied"),
+                );
+            }
+            for &p in present {
+                cell[self.dims[p].dim] = STAR;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_core::measure::CountOnly;
+    use ccube_core::naive::{naive_closed_counts, naive_iceberg_counts};
+    use ccube_core::sink::CollectSink;
+    use ccube_core::{Table, TableBuilder};
+
+    fn table() -> Table {
+        TableBuilder::new(3)
+            .cards(vec![2, 2, 2])
+            .row(&[0, 0, 0])
+            .row(&[0, 0, 1])
+            .row(&[0, 1, 0])
+            .row(&[1, 1, 1])
+            .row(&[1, 0, 0])
+            .build()
+            .unwrap()
+    }
+
+    fn full_dense(table: &Table) -> Vec<DenseDim> {
+        (0..table.dims())
+            .map(|d| DenseDim::new(table, d, (0..table.card(d)).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn all_dense_equals_naive_iceberg() {
+        // When every value is dense the array alone computes the whole cube.
+        let t = table();
+        let dims = full_dense(&t);
+        let spec = CountOnly;
+        let arr: DenseArray<'_, false, _> =
+            DenseArray::build(&t, &spec, dims, &t.all_tids(), |tid, d| {
+                d.coord(t.value(tid, d.dim), false)
+            });
+        let mut sink = CollectSink::default();
+        let mut cell = vec![STAR; 3];
+        arr.emit_all(1, &mut cell, DimMask::EMPTY, &mut sink);
+        assert_eq!(sink.duplicates, 0);
+        assert_eq!(sink.counts(), naive_iceberg_counts(&t, 1));
+    }
+
+    #[test]
+    fn all_dense_closed_equals_naive_closed() {
+        let t = table();
+        let dims = full_dense(&t);
+        let spec = CountOnly;
+        let arr: DenseArray<'_, true, _> =
+            DenseArray::build(&t, &spec, dims, &t.all_tids(), |tid, d| {
+                d.coord(t.value(tid, d.dim), false)
+            });
+        for min_sup in 1..=3 {
+            let mut sink = CollectSink::default();
+            let mut cell = vec![STAR; 3];
+            arr.emit_all(min_sup, &mut cell, DimMask::EMPTY, &mut sink);
+            assert_eq!(
+                sink.counts(),
+                naive_closed_counts(&t, min_sup),
+                "min_sup={min_sup}"
+            );
+        }
+    }
+
+    #[test]
+    fn other_cells_aggregate_but_never_emit() {
+        let t = table();
+        // Only value 0 of dim 0 is dense; value 1 -> OTHER.
+        let dims = vec![DenseDim::new(&t, 0, vec![0])];
+        let spec = CountOnly;
+        let arr: DenseArray<'_, false, _> =
+            DenseArray::build(&t, &spec, dims, &t.all_tids(), |tid, d| {
+                d.coord(t.value(tid, d.dim), false)
+            });
+        let mut sink = CollectSink::default();
+        let mut cell = vec![STAR; 3];
+        arr.emit_all(1, &mut cell, DimMask::EMPTY, &mut sink);
+        use ccube_core::Cell;
+        // Emitted: (0,*,*) count 3 and the apex (*,*,*) count 5. Nothing for
+        // the OTHER value 1.
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.counts()[&Cell::from_values(&[0, STAR, STAR])], 3);
+        assert_eq!(sink.counts()[&Cell::apex(3)], 5);
+    }
+
+    #[test]
+    fn masked_values_route_to_other() {
+        let t = table();
+        let dims = vec![DenseDim::new(&t, 0, vec![0, 1])];
+        let spec = CountOnly;
+        // Mask value 1 of dim 0 via the coord_of closure.
+        let arr: DenseArray<'_, false, _> =
+            DenseArray::build(&t, &spec, dims, &t.all_tids(), |tid, d| {
+                let v = t.value(tid, d.dim);
+                d.coord(v, v == 1)
+            });
+        let mut sink = CollectSink::default();
+        let mut cell = vec![STAR; 3];
+        arr.emit_all(1, &mut cell, DimMask::EMPTY, &mut sink);
+        use ccube_core::Cell;
+        assert!(sink
+            .counts()
+            .contains_key(&Cell::from_values(&[0, STAR, STAR])));
+        assert!(!sink
+            .counts()
+            .contains_key(&Cell::from_values(&[1, STAR, STAR])));
+    }
+
+    #[test]
+    fn coord_map() {
+        let t = table();
+        let d = DenseDim::new(&t, 1, vec![1]);
+        assert_eq!(d.size(), 2);
+        assert_eq!(d.coord(1, false), 0);
+        assert_eq!(d.coord(0, false), d.other());
+        assert_eq!(d.coord(1, true), d.other());
+    }
+}

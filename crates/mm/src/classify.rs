@@ -1,0 +1,282 @@
+//! Dense/sparse value classification (the MM-Cubing factorization heuristic).
+//!
+//! At each recursion level, for every unprocessed dimension, values are
+//! classified:
+//!
+//! * **masked** values (see [`crate::valuemask`]) belong to earlier
+//!   subspaces; they only ever contribute to `*` aggregates here;
+//! * values with partition frequency `< min_sup` can never be bound in an
+//!   iceberg cell — they stay sparse and are skipped by the recursion
+//!   (Apriori pruning);
+//! * of the remaining candidates, a greedy pass in descending frequency
+//!   admits values into the **dense** sets while the MultiWay array size
+//!   `Π (|dense_d| + 1)` stays within the budget. The budget is the minimum
+//!   of the configured cap (the paper bounds the aggregation table at
+//!   ~4 MB) and a multiple of the partition size — MultiWay only pays off
+//!   when the array is reasonably full ("heuristics are designed to make
+//!   the dense subspace reasonably small", Section 2.1.3);
+//! * everything else is **sparse**: each such value spawns a recursive
+//!   subspace on its partition.
+//!
+//! Frequency counting uses card-sized scratch counters with *touched-value*
+//! lists, so a level costs `O(|partition| · dims)` — independent of
+//! cardinality — matching MM-Cubing's adaptivity to wide domains.
+
+use crate::valuemask::ValueMask;
+use ccube_core::table::{Table, TupleId};
+
+/// Reusable per-dimension frequency counters (zeroed via touched lists, so
+/// repeated use never pays `O(cardinality)`).
+#[derive(Debug)]
+pub struct FreqScratch {
+    counts: Vec<Vec<u32>>,
+    touched: Vec<Vec<u32>>,
+}
+
+impl FreqScratch {
+    /// Scratch sized for `table`.
+    pub fn new(table: &Table) -> FreqScratch {
+        FreqScratch {
+            counts: (0..table.dims())
+                .map(|d| vec![0u32; table.card(d) as usize])
+                .collect(),
+            touched: vec![Vec::new(); table.dims()],
+        }
+    }
+}
+
+/// Classification of one dimension at one recursion level.
+#[derive(Clone, Debug)]
+pub struct DimClass {
+    /// The dimension.
+    pub dim: usize,
+    /// Values admitted to the dense array (ascending).
+    pub dense: Vec<u32>,
+    /// Unmasked values present in the partition but not dense, with their
+    /// frequencies (ascending by value). Those with `freq >= min_sup` get a
+    /// recursive subspace; all of them get masked for later dimensions.
+    pub sparse: Vec<(u32, u32)>,
+}
+
+/// Classification of a whole recursion level.
+#[derive(Clone, Debug)]
+pub struct LevelClass {
+    /// One entry per unprocessed dimension (same order as the input).
+    pub dims: Vec<DimClass>,
+}
+
+impl LevelClass {
+    /// The MultiWay array cell count implied by the dense sets:
+    /// `Π (|dense_d| + 1)` over dimensions with at least one dense value.
+    pub fn array_cells(&self) -> usize {
+        self.dims
+            .iter()
+            .filter(|d| !d.dense.is_empty())
+            .map(|d| d.dense.len() + 1)
+            .product()
+    }
+}
+
+/// Classify the values of `unfixed` dimensions over the `tids` partition.
+pub fn classify(
+    table: &Table,
+    tids: &[TupleId],
+    unfixed: &[usize],
+    vmask: &ValueMask,
+    min_sup: u64,
+    max_array_cells: usize,
+    scratch: &mut FreqScratch,
+) -> LevelClass {
+    // Count frequencies per dimension, recording the values we touch.
+    for &d in unfixed {
+        scratch.touched[d].clear();
+    }
+    for &t in tids {
+        for &d in unfixed {
+            let v = table.value(t, d) as usize;
+            if scratch.counts[d][v] == 0 {
+                scratch.touched[d].push(v as u32);
+            }
+            scratch.counts[d][v] += 1;
+        }
+    }
+
+    // Dense candidates across all dimensions, admitted greedily by
+    // descending frequency. MultiWay is only effective when the array is
+    // comparably sized to the partition (otherwise it aggregates mostly
+    // empty cells), so the budget also scales with the partition.
+    let budget = max_array_cells.min((tids.len().saturating_mul(4)).max(16));
+    let mut candidates: Vec<(u32, usize, u32)> = Vec::new(); // (freq, slot, value)
+    for (i, &d) in unfixed.iter().enumerate() {
+        for &v in &scratch.touched[d] {
+            let f = scratch.counts[d][v as usize];
+            if u64::from(f) >= min_sup && !vmask.is_masked(d, v) {
+                candidates.push((f, i, v));
+            }
+        }
+    }
+    candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    let mut dense: Vec<Vec<u32>> = vec![Vec::new(); unfixed.len()];
+    let mut factors: Vec<usize> = vec![1; unfixed.len()];
+    let mut size: usize = 1;
+    for (_f, slot, v) in candidates {
+        let old = factors[slot];
+        let new = if old == 1 { 2 } else { old + 1 };
+        let new_size = size / old * new;
+        if new_size <= budget {
+            factors[slot] = new;
+            size = new_size;
+            dense[slot].push(v);
+        }
+    }
+    for d in &mut dense {
+        d.sort_unstable();
+    }
+
+    let dims = unfixed
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            let dense_set = &dense[i];
+            let mut touched = std::mem::take(&mut scratch.touched[d]);
+            touched.sort_unstable();
+            let sparse: Vec<(u32, u32)> = touched
+                .iter()
+                .filter(|&&v| !vmask.is_masked(d, v) && dense_set.binary_search(&v).is_err())
+                .map(|&v| (v, scratch.counts[d][v as usize]))
+                .collect();
+            // Zero the counters we touched before handing scratch back.
+            for &v in &touched {
+                scratch.counts[d][v as usize] = 0;
+            }
+            scratch.touched[d] = touched;
+            DimClass {
+                dim: d,
+                dense: dense[i].clone(),
+                sparse,
+            }
+        })
+        .collect();
+    LevelClass { dims }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_core::TableBuilder;
+
+    fn table() -> Table {
+        // dim0: value 0 x4, value 1 x2, value 2 x1
+        // dim1: value 0 x5, value 1 x1, value 2 x1
+        TableBuilder::new(2)
+            .cards(vec![3, 3])
+            .row(&[0, 0])
+            .row(&[0, 0])
+            .row(&[0, 0])
+            .row(&[0, 0])
+            .row(&[1, 0])
+            .row(&[1, 1])
+            .row(&[2, 2])
+            .build()
+            .unwrap()
+    }
+
+    fn run(
+        t: &Table,
+        tids: &[TupleId],
+        unfixed: &[usize],
+        vm: &ValueMask,
+        min_sup: u64,
+        budget: usize,
+    ) -> LevelClass {
+        let mut scratch = FreqScratch::new(t);
+        let first = classify(t, tids, unfixed, vm, min_sup, budget, &mut scratch);
+        // Scratch must come back clean: a second run must agree.
+        let second = classify(t, tids, unfixed, vm, min_sup, budget, &mut scratch);
+        assert_eq!(
+            format!("{first:?}"),
+            format!("{second:?}"),
+            "scratch not restored"
+        );
+        first
+    }
+
+    #[test]
+    fn frequent_values_become_dense() {
+        let t = table();
+        let vm = ValueMask::new(&t);
+        let tids = t.all_tids();
+        let c = run(&t, &tids, &[0, 1], &vm, 2, 1 << 16);
+        assert_eq!(c.dims[0].dense, vec![0, 1]);
+        assert_eq!(c.dims[1].dense, vec![0]);
+        // Sub-min_sup values are sparse.
+        assert_eq!(c.dims[0].sparse, vec![(2, 1)]);
+        assert_eq!(c.dims[1].sparse, vec![(1, 1), (2, 1)]);
+        assert_eq!(c.array_cells(), 3 * 2);
+    }
+
+    #[test]
+    fn budget_limits_dense_admission() {
+        let t = table();
+        let vm = ValueMask::new(&t);
+        let tids = t.all_tids();
+        // Budget of 2 cells: only the single most frequent value fits.
+        let c = run(&t, &tids, &[0, 1], &vm, 1, 2);
+        let total_dense: usize = c.dims.iter().map(|d| d.dense.len()).sum();
+        assert_eq!(total_dense, 1);
+        assert_eq!(
+            c.dims[1].dense,
+            vec![0],
+            "dim1 value 0 has the top frequency (5)"
+        );
+        assert!(c.array_cells() <= 2);
+    }
+
+    #[test]
+    fn budget_scales_with_partition_size() {
+        // A 3-tuple partition gets an effective budget of 16 cells even if
+        // the configured cap is huge.
+        let t = table();
+        let vm = ValueMask::new(&t);
+        let c = run(&t, &[0, 1, 2], &[0, 1], &vm, 1, 1 << 20);
+        assert!(c.array_cells() <= 16, "cells = {}", c.array_cells());
+    }
+
+    #[test]
+    fn masked_values_excluded() {
+        let t = table();
+        let mut vm = ValueMask::new(&t);
+        vm.mask(0, 0);
+        let tids = t.all_tids();
+        let c = run(&t, &tids, &[0, 1], &vm, 2, 1 << 16);
+        assert_eq!(c.dims[0].dense, vec![1]);
+        // Masked value 0 is neither dense nor sparse — it is invisible.
+        assert!(c.dims[0].sparse.iter().all(|&(v, _)| v != 0));
+    }
+
+    #[test]
+    fn partition_restricted_frequencies() {
+        let t = table();
+        let vm = ValueMask::new(&t);
+        // Restrict to tuples {0, 5, 6}: dim0 takes values 0, 1, 2 once each
+        // -> nothing dense at min_sup 2.
+        let c = run(&t, &[0, 5, 6], &[0, 1], &vm, 2, 1 << 16);
+        assert!(c.dims[0].dense.is_empty());
+        assert_eq!(c.array_cells(), 1);
+    }
+
+    #[test]
+    fn absent_values_not_sparse() {
+        let t = table();
+        let vm = ValueMask::new(&t);
+        let c = run(&t, &[0, 1], &[0, 1], &vm, 1, 1 << 16);
+        let all: Vec<u32> = c.dims[1]
+            .dense
+            .iter()
+            .copied()
+            .chain(c.dims[1].sparse.iter().map(|&(v, _)| v))
+            .collect();
+        assert_eq!(all, vec![0]);
+    }
+}

@@ -1,0 +1,411 @@
+//! The MM-Cubing / C-Cubing(MM) recursion driver.
+//!
+//! Each recursion level owns a subspace: a tuple partition plus a set of
+//! already-fixed dimensions. The level classifies the unfixed dimensions'
+//! values ([`crate::classify`]), computes all dense-value group-bys with one
+//! MultiWay array pass ([`crate::array`]), then recurses into each
+//! sufficiently-supported sparse value's partition, masking the current
+//! level's sparse values of earlier dimensions so no cell is produced twice.
+
+use crate::array::{DenseArray, DenseDim};
+use crate::classify::{classify, FreqScratch};
+use crate::valuemask::ValueMask;
+use ccube_core::cell::STAR;
+use ccube_core::closedness::ClosedInfo;
+use ccube_core::mask::DimMask;
+use ccube_core::measure::{CountOnly, MeasureSpec};
+use ccube_core::partition::{Group, Partitioner};
+use ccube_core::sink::CellSink;
+use ccube_core::table::{Table, TupleId};
+
+/// Tuning knobs for MM-Cubing.
+#[derive(Clone, Copy, Debug)]
+pub struct MmConfig {
+    /// Maximum number of cells in a dense aggregation array. The paper
+    /// limits the aggregation table to ~4 MB; at ~24 bytes per entry the
+    /// default of `2^18` cells is the same ballpark.
+    pub max_array_cells: usize,
+}
+
+impl Default for MmConfig {
+    fn default() -> Self {
+        MmConfig {
+            max_array_cells: 1 << 18,
+        }
+    }
+}
+
+/// MM-Cubing: plain iceberg cube, complex measures supported.
+pub fn mm_cube_with<M, S>(table: &Table, min_sup: u64, config: MmConfig, spec: &M, sink: &mut S)
+where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
+    run::<false, M, S>(table, min_sup, config, spec, sink)
+}
+
+/// MM-Cubing with measure `count` only.
+pub fn mm_cube<S: CellSink<()>>(table: &Table, min_sup: u64, sink: &mut S) {
+    mm_cube_with(table, min_sup, MmConfig::default(), &CountOnly, sink)
+}
+
+/// C-Cubing(MM): closed iceberg cube by aggregation-based checking.
+pub fn c_cubing_mm_with<M, S>(table: &Table, min_sup: u64, config: MmConfig, spec: &M, sink: &mut S)
+where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
+    run::<true, M, S>(table, min_sup, config, spec, sink)
+}
+
+/// C-Cubing(MM) with measure `count` only.
+pub fn c_cubing_mm<S: CellSink<()>>(table: &Table, min_sup: u64, sink: &mut S) {
+    c_cubing_mm_with(table, min_sup, MmConfig::default(), &CountOnly, sink)
+}
+
+fn run<const CLOSED: bool, M, S>(
+    table: &Table,
+    min_sup: u64,
+    config: MmConfig,
+    spec: &M,
+    sink: &mut S,
+) where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
+    assert!(min_sup >= 1, "min_sup must be at least 1");
+    assert!(config.max_array_cells >= 1);
+    if (table.rows() as u64) < min_sup {
+        return;
+    }
+    let mut tids = table.all_tids();
+    let unfixed: Vec<usize> = (0..table.dims()).collect();
+    let mut st = State {
+        table,
+        min_sup,
+        config,
+        spec,
+        sink,
+        vmask: ValueMask::new(table),
+        partitioner: Partitioner::new(),
+        scratch: FreqScratch::new(table),
+        cell: vec![STAR; table.dims()],
+    };
+    st.level::<CLOSED>(&mut tids, &unfixed, DimMask::EMPTY);
+}
+
+struct State<'a, M: MeasureSpec, S> {
+    table: &'a Table,
+    min_sup: u64,
+    config: MmConfig,
+    spec: &'a M,
+    sink: &'a mut S,
+    vmask: ValueMask,
+    partitioner: Partitioner,
+    scratch: FreqScratch,
+    cell: Vec<u32>,
+}
+
+impl<'a, M, S> State<'a, M, S>
+where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
+    /// Process one subspace. `self.cell` holds the fixed values (`STAR`
+    /// elsewhere), `fixed_bound` their mask; `tids.len() >= min_sup` is the
+    /// caller's responsibility.
+    fn level<const CLOSED: bool>(
+        &mut self,
+        tids: &mut [TupleId],
+        unfixed: &[usize],
+        fixed_bound: DimMask,
+    ) {
+        debug_assert!(tids.len() as u64 >= self.min_sup);
+
+        // Section 5.4 optimization, C-Cubing(MM) only: a subspace of exactly
+        // min_sup tuples contains exactly one closed iceberg cell (the
+        // closure of the fixed cell) — emit it directly instead of
+        // enumerating every combination.
+        if CLOSED && tids.len() as u64 == self.min_sup {
+            self.direct_output(tids, unfixed);
+            return;
+        }
+
+        let class = classify(
+            self.table,
+            tids,
+            unfixed,
+            &self.vmask,
+            self.min_sup,
+            self.config.max_array_cells,
+            &mut self.scratch,
+        );
+
+        // ---- Dense subspace: one MultiWay array pass emits all group-bys
+        // over dense values (plus the all-star cell of this subspace).
+        {
+            let dense_dims: Vec<DenseDim> = class
+                .dims
+                .iter()
+                .filter(|c| !c.dense.is_empty())
+                .map(|c| DenseDim::new(self.table, c.dim, c.dense.clone()))
+                .collect();
+            let table = self.table;
+            let vmask = &self.vmask;
+            let arr: DenseArray<'_, CLOSED, M> =
+                DenseArray::build(table, self.spec, dense_dims, tids, |t, d| {
+                    let v = table.value(t, d.dim);
+                    d.coord(v, vmask.is_masked(d.dim, v))
+                });
+            arr.emit_all(self.min_sup, &mut self.cell, fixed_bound, self.sink);
+        }
+
+        // ---- Sparse subspaces: recurse per (dimension, sparse value),
+        // masking this level's sparse values of already-processed dimensions.
+        let mut masked_here: Vec<(usize, u32)> = Vec::new();
+        let mut groups: Vec<Group> = Vec::new();
+        for dc in &class.dims {
+            let d = dc.dim;
+            if dc.sparse.iter().any(|&(_, f)| u64::from(f) >= self.min_sup) {
+                groups.clear();
+                self.partitioner.partition(self.table, d, tids, &mut groups);
+                let sub_unfixed: Vec<usize> = unfixed.iter().copied().filter(|&x| x != d).collect();
+                for g in groups.clone() {
+                    if u64::from(g.len()) < self.min_sup {
+                        continue;
+                    }
+                    // Only this level's sparse values recurse: dense values
+                    // are fully covered by the array, masked values belong
+                    // to earlier subspaces.
+                    if dc
+                        .sparse
+                        .binary_search_by_key(&g.value, |&(v, _)| v)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.cell[d] = g.value;
+                    self.level::<CLOSED>(&mut tids[g.range()], &sub_unfixed, fixed_bound.with(d));
+                    self.cell[d] = STAR;
+                }
+            }
+            for &(v, _) in &dc.sparse {
+                if self.vmask.mask(d, v) {
+                    masked_here.push((d, v));
+                }
+            }
+        }
+        for (d, v) in masked_here {
+            self.vmask.unmask(d, v);
+        }
+    }
+
+    /// Direct output for a subspace whose size equals `min_sup`: every cell
+    /// in it aggregates the whole partition, so the unique closed candidate
+    /// is the closure of the fixed cell. If the closure needs a *masked*
+    /// value, the closed cell is owned by an earlier subspace and nothing is
+    /// emitted here.
+    fn direct_output(&mut self, tids: &[TupleId], unfixed: &[usize]) {
+        let info =
+            ClosedInfo::of_group(self.table, tids).expect("subspace partitions are non-empty");
+        let mut bindings: Vec<(usize, u32)> = Vec::new();
+        for &d in unfixed {
+            if info.mask.contains(d) {
+                let v = self.table.value(info.rep, d);
+                if self.vmask.is_masked(d, v) {
+                    return;
+                }
+                bindings.push((d, v));
+            }
+        }
+        let (&first, rest) = tids.split_first().expect("non-empty");
+        let mut acc = self.spec.unit(self.table, first);
+        for &t in rest {
+            let unit = self.spec.unit(self.table, t);
+            self.spec.merge(&mut acc, &unit);
+        }
+        for &(d, v) in &bindings {
+            self.cell[d] = v;
+        }
+        self.sink.emit(&self.cell, tids.len() as u64, &acc);
+        for &(d, _) in &bindings {
+            self.cell[d] = STAR;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_core::naive::{naive_closed_counts, naive_iceberg_counts};
+    use ccube_core::sink::collect_counts;
+    use ccube_core::{Cell, TableBuilder};
+    use ccube_data::{RuleSet, SyntheticSpec};
+
+    fn table1() -> Table {
+        TableBuilder::new(4)
+            .row(&[0, 0, 0, 0])
+            .row(&[0, 0, 0, 2])
+            .row(&[0, 1, 1, 1])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_example() {
+        let t = table1();
+        let got = collect_counts(|s| c_cubing_mm(&t, 2, s));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[&Cell::from_values(&[0, 0, 0, STAR])], 2);
+        assert_eq!(got[&Cell::from_values(&[0, STAR, STAR, STAR])], 3);
+    }
+
+    #[test]
+    fn mm_matches_naive_iceberg() {
+        for seed in 0..3 {
+            let t = SyntheticSpec::uniform(300, 4, 6, 1.0, seed).generate();
+            for min_sup in [1, 2, 8] {
+                let got = collect_counts(|s| mm_cube(&t, min_sup, s));
+                let want = naive_iceberg_counts(&t, min_sup);
+                assert_eq!(got, want, "seed={seed} min_sup={min_sup}");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_matches_naive_closed() {
+        for seed in 0..3 {
+            let t = SyntheticSpec::uniform(300, 4, 6, 1.0, seed).generate();
+            for min_sup in [1, 2, 8] {
+                let got = collect_counts(|s| c_cubing_mm(&t, min_sup, s));
+                let want = naive_closed_counts(&t, min_sup);
+                assert_eq!(got, want, "seed={seed} min_sup={min_sup}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_array_budget_forces_sparse_recursion() {
+        // With a 2-cell array budget almost everything goes through the
+        // sparse path + value masking; results must be identical.
+        let config = MmConfig { max_array_cells: 2 };
+        for seed in 0..3 {
+            let t = SyntheticSpec::uniform(250, 4, 5, 0.5, seed).generate();
+            for min_sup in [1, 2, 4] {
+                let got = collect_counts(|s| c_cubing_mm_with(&t, min_sup, config, &CountOnly, s));
+                assert_eq!(
+                    got,
+                    naive_closed_counts(&t, min_sup),
+                    "seed={seed} m={min_sup}"
+                );
+                let got = collect_counts(|s| mm_cube_with(&t, min_sup, config, &CountOnly, s));
+                assert_eq!(
+                    got,
+                    naive_iceberg_counts(&t, min_sup),
+                    "seed={seed} m={min_sup}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dependence_rules_stress_masking() {
+        let cards = vec![4u32; 5];
+        let rules = RuleSet::with_dependence(&cards, 2.5, 5);
+        let t = SyntheticSpec {
+            tuples: 400,
+            cards,
+            skews: vec![1.0; 5],
+            seed: 2,
+            rules: Some(rules),
+        }
+        .generate();
+        for min_sup in [1, 2, 5] {
+            let got = collect_counts(|s| c_cubing_mm(&t, min_sup, s));
+            assert_eq!(got, naive_closed_counts(&t, min_sup), "min_sup={min_sup}");
+        }
+    }
+
+    #[test]
+    fn high_cardinality_sparse_data() {
+        let t = SyntheticSpec::uniform(200, 3, 150, 0.0, 9).generate();
+        for min_sup in [1, 2] {
+            let got = collect_counts(|s| c_cubing_mm(&t, min_sup, s));
+            assert_eq!(got, naive_closed_counts(&t, min_sup));
+        }
+    }
+
+    #[test]
+    fn skewed_data() {
+        let t = SyntheticSpec::uniform(500, 4, 10, 2.5, 13).generate();
+        for min_sup in [1, 4, 16] {
+            assert_eq!(
+                collect_counts(|s| c_cubing_mm(&t, min_sup, s)),
+                naive_closed_counts(&t, min_sup)
+            );
+            assert_eq!(
+                collect_counts(|s| mm_cube(&t, min_sup, s)),
+                naive_iceberg_counts(&t, min_sup)
+            );
+        }
+    }
+
+    #[test]
+    fn min_sup_equals_table_size_direct_output() {
+        // Exercises the Section 5.4 shortcut at the very top level.
+        let mut b = TableBuilder::new(3);
+        for i in 0..4u32 {
+            b.push_row(&[1, i % 2, 2]);
+        }
+        let t = b.build().unwrap();
+        let got = collect_counts(|s| c_cubing_mm(&t, 4, s));
+        // Closure of the apex binds dims 0 and 2 (uniform).
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[&Cell::from_values(&[1, STAR, 2])], 4);
+    }
+
+    #[test]
+    fn empty_result_when_under_supported() {
+        let t = table1();
+        assert!(collect_counts(|s| c_cubing_mm(&t, 100, s)).is_empty());
+        assert!(collect_counts(|s| mm_cube(&t, 100, s)).is_empty());
+    }
+
+    #[test]
+    fn single_dimension_table() {
+        let t = TableBuilder::new(1)
+            .row(&[0])
+            .row(&[0])
+            .row(&[1])
+            .build()
+            .unwrap();
+        let got = collect_counts(|s| c_cubing_mm(&t, 1, s));
+        assert_eq!(got, naive_closed_counts(&t, 1));
+    }
+
+    #[test]
+    fn measures_flow_through() {
+        use ccube_core::measure::ColumnStats;
+        use ccube_core::sink::CollectSink;
+        let t = SyntheticSpec::uniform(120, 3, 4, 0.5, 4).generate_with_measure("m");
+        let spec = ColumnStats { column: 0 };
+        let mut got = CollectSink::default();
+        c_cubing_mm_with(&t, 2, MmConfig::default(), &spec, &mut got);
+        let mut want = CollectSink::default();
+        ccube_core::naive::naive_cube_with(
+            &t,
+            2,
+            ccube_core::naive::Mode::ClosedIceberg,
+            &spec,
+            &mut want,
+        );
+        assert_eq!(got.cells.len(), want.cells.len());
+        for (cell, (n, agg)) in &want.cells {
+            let (n2, agg2) = &got.cells[cell];
+            assert_eq!(n, n2, "count mismatch at {cell}");
+            assert!((agg.sum - agg2.sum).abs() < 1e-9, "sum mismatch at {cell}");
+            assert_eq!(agg.min, agg2.min);
+            assert_eq!(agg.max, agg2.max);
+        }
+    }
+}

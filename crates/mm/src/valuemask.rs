@@ -1,0 +1,100 @@
+//! The Value Mask side table (Section 3.3).
+//!
+//! MM-Cubing's subspaces are not mutually exclusive: a tuple participating in
+//! a sparse subspace may carry, on *other* dimensions, values whose
+//! combinations were already handled by an earlier subspace. The original
+//! MM-Cubing implementation overwrote such values with a special identifier
+//! in the tuple store; that breaks aggregation-based closedness checking,
+//! which must read *original* values through representative tuples. The fix
+//! introduced by C-Cubing(MM) — and implemented here for both the plain and
+//! closed variants — is a per-dimension-per-value bit table: the tuples stay
+//! untouched, and the cuber consults the mask when computing a tuple's dense
+//! array coordinate.
+//!
+//! Size is `Σ_d C_d` bits, "quite small compared to other data structures".
+
+use ccube_core::Table;
+
+/// Per-dimension, per-value "temporarily owned by another subspace" flags.
+#[derive(Clone, Debug)]
+pub struct ValueMask {
+    bits: Vec<Vec<bool>>,
+}
+
+impl ValueMask {
+    /// All-clear mask sized for `table`.
+    pub fn new(table: &Table) -> ValueMask {
+        ValueMask {
+            bits: (0..table.dims())
+                .map(|d| vec![false; table.card(d) as usize])
+                .collect(),
+        }
+    }
+
+    /// Is value `v` of dimension `d` currently masked?
+    #[inline]
+    pub fn is_masked(&self, d: usize, v: u32) -> bool {
+        self.bits[d][v as usize]
+    }
+
+    /// Mask value `v` of dimension `d`. Returns whether the bit changed
+    /// (callers record changes so they can restore on unwind).
+    #[inline]
+    pub fn mask(&mut self, d: usize, v: u32) -> bool {
+        let b = &mut self.bits[d][v as usize];
+        let changed = !*b;
+        *b = true;
+        changed
+    }
+
+    /// Clear value `v` of dimension `d`.
+    #[inline]
+    pub fn unmask(&mut self, d: usize, v: u32) {
+        self.bits[d][v as usize] = false;
+    }
+
+    /// Number of masked values across all dimensions (diagnostics).
+    pub fn masked_count(&self) -> usize {
+        self.bits
+            .iter()
+            .map(|b| b.iter().filter(|&&x| x).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_core::TableBuilder;
+
+    #[test]
+    fn mask_unmask_roundtrip() {
+        let t = TableBuilder::new(2)
+            .cards(vec![3, 4])
+            .row(&[0, 0])
+            .build()
+            .unwrap();
+        let mut vm = ValueMask::new(&t);
+        assert!(!vm.is_masked(1, 2));
+        assert!(vm.mask(1, 2));
+        assert!(vm.is_masked(1, 2));
+        assert!(!vm.mask(1, 2), "second mask reports no change");
+        assert_eq!(vm.masked_count(), 1);
+        vm.unmask(1, 2);
+        assert!(!vm.is_masked(1, 2));
+        assert_eq!(vm.masked_count(), 0);
+    }
+
+    #[test]
+    fn independent_per_dimension() {
+        let t = TableBuilder::new(2)
+            .cards(vec![3, 3])
+            .row(&[0, 0])
+            .build()
+            .unwrap();
+        let mut vm = ValueMask::new(&t);
+        vm.mask(0, 1);
+        assert!(vm.is_masked(0, 1));
+        assert!(!vm.is_masked(1, 1));
+    }
+}

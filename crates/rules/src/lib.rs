@@ -1,0 +1,26 @@
+//! # ccube-rules — closed rules and lossless recovery (Section 6.2)
+//!
+//! The closed cube losslessly compresses the full cube: the count of *any*
+//! cube cell `c` is the maximum count among closed cells extending `c`
+//! (the closure of `c` has the same tuple group, hence the same count, and
+//! every more specific closed cell has a smaller group). [`ClosedCube`]
+//! materializes a closed-cube result with a postings index and answers such
+//! point queries, which is the machinery behind the paper's claim that
+//! closed cubes preserve roll-up/drill-down semantics.
+//!
+//! On top of it, [`mine_rules`] extracts **closed rules**
+//! `a_c1, …, a_ci → a_t1, …, a_tj` (Section 6.2): whenever a cell binds the
+//! condition values, it must also bind the target values. Rules are derived
+//! per closed cell from a minimal generator (greedy removal of redundant
+//! bound dimensions), decomposed into single-target form and deduplicated —
+//! yielding the compact representation the paper recommends over
+//! lower-bound enumeration.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod mine;
+pub mod recovery;
+
+pub use mine::{mine_rules, ClosedRule, RuleStats};
+pub use recovery::ClosedCube;

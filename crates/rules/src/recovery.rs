@@ -1,0 +1,217 @@
+//! Materialized closed cubes and lossless point queries.
+
+use ccube_core::cell::{Cell, STAR};
+use ccube_core::fxhash::FxHashMap;
+use ccube_core::sink::CellSink;
+
+/// A materialized closed (iceberg) cube with a per-(dimension, value)
+/// postings index for extension queries.
+#[derive(Debug, Clone)]
+pub struct ClosedCube {
+    dims: usize,
+    min_sup: u64,
+    cells: Vec<(Cell, u64)>,
+    /// `postings[d][v]` = indices of cells binding dimension `d` to `v`.
+    postings: Vec<FxHashMap<u32, Vec<u32>>>,
+    max_count: u64,
+}
+
+impl ClosedCube {
+    /// Build from `(cell, count)` pairs (e.g. a
+    /// [`ccube_core::sink::CollectSink`] drained after running a closed
+    /// cuber). `min_sup` is recorded for query semantics.
+    pub fn new(dims: usize, min_sup: u64, cells: Vec<(Cell, u64)>) -> ClosedCube {
+        let mut postings: Vec<FxHashMap<u32, Vec<u32>>> =
+            (0..dims).map(|_| FxHashMap::default()).collect();
+        let mut max_count = 0;
+        for (i, (cell, count)) in cells.iter().enumerate() {
+            max_count = max_count.max(*count);
+            for (d, posting) in postings.iter_mut().enumerate() {
+                let v = cell.value(d);
+                if v != STAR {
+                    posting.entry(v).or_default().push(i as u32);
+                }
+            }
+        }
+        ClosedCube {
+            dims,
+            min_sup,
+            cells,
+            postings,
+            max_count,
+        }
+    }
+
+    /// Collector adapter: returns a sink and a closure-free way to finish.
+    pub fn collect<F>(dims: usize, min_sup: u64, run: F) -> ClosedCube
+    where
+        F: FnOnce(&mut CubeSink),
+    {
+        let mut sink = CubeSink { cells: Vec::new() };
+        run(&mut sink);
+        ClosedCube::new(dims, min_sup, sink.cells)
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The iceberg threshold the cube was computed with.
+    pub fn min_sup(&self) -> u64 {
+        self.min_sup
+    }
+
+    /// Number of closed cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the cube holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterate the closed cells.
+    pub fn iter(&self) -> impl Iterator<Item = (&Cell, u64)> + '_ {
+        self.cells.iter().map(|(c, n)| (c, *n))
+    }
+
+    /// Lossless point query: the count of *any* cube cell `c` whose true
+    /// count is `>= min_sup`, recovered as
+    /// `max { count(c') : c' closed, c' extends c }`. Returns `None` when no
+    /// closed cell extends `c` — i.e. `c`'s true count is below `min_sup`
+    /// (possibly zero).
+    pub fn query(&self, cell: &Cell) -> Option<u64> {
+        assert_eq!(cell.dims(), self.dims);
+        // Choose the smallest posting list among bound dimensions.
+        let mut best: Option<&Vec<u32>> = None;
+        for d in 0..self.dims {
+            let v = cell.value(d);
+            if v == STAR {
+                continue;
+            }
+            match self.postings[d].get(&v) {
+                None => return None,
+                Some(list) => {
+                    if best.map_or(true, |b| list.len() < b.len()) {
+                        best = Some(list);
+                    }
+                }
+            }
+        }
+        match best {
+            None => {
+                // All-star query: the apex closure is the cell with the
+                // global maximum count.
+                if self.cells.is_empty() {
+                    None
+                } else {
+                    Some(self.max_count)
+                }
+            }
+            Some(list) => list
+                .iter()
+                .filter_map(|&i| {
+                    let (c, n) = &self.cells[i as usize];
+                    if cell.generalizes(c) {
+                        Some(*n)
+                    } else {
+                        None
+                    }
+                })
+                .max(),
+        }
+    }
+
+    /// The closure of `cell` within this cube: the closed cell extending
+    /// `cell` with the maximal count (= the same tuple group), if any.
+    pub fn closure_of(&self, cell: &Cell) -> Option<&Cell> {
+        let target = self.query(cell)?;
+        // Among extensions with the target count, the closure is unique.
+        self.cells
+            .iter()
+            .find(|(c, n)| *n == target && cell.generalizes(c))
+            .map(|(c, _)| c)
+    }
+}
+
+/// Sink that feeds a [`ClosedCube`].
+pub struct CubeSink {
+    cells: Vec<(Cell, u64)>,
+}
+
+impl CellSink<()> for CubeSink {
+    fn emit(&mut self, cell: &[u32], count: u64, _acc: &()) {
+        self.cells.push((Cell::from_values(cell), count));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_core::naive::{naive_closed_counts, naive_iceberg_counts};
+    use ccube_core::{Table, TableBuilder};
+    use ccube_data::SyntheticSpec;
+
+    fn table1() -> Table {
+        TableBuilder::new(4)
+            .row(&[0, 0, 0, 0])
+            .row(&[0, 0, 0, 2])
+            .row(&[0, 1, 1, 1])
+            .build()
+            .unwrap()
+    }
+
+    fn closed_cube(t: &Table, min_sup: u64) -> ClosedCube {
+        let cells: Vec<(Cell, u64)> = naive_closed_counts(t, min_sup).into_iter().collect();
+        ClosedCube::new(t.dims(), min_sup, cells)
+    }
+
+    #[test]
+    fn recovers_every_iceberg_cell() {
+        // The heart of "closed cube = lossless compression".
+        for seed in 0..3 {
+            let t = SyntheticSpec::uniform(200, 4, 5, 1.0, seed).generate();
+            for min_sup in [1, 2, 4] {
+                let cube = closed_cube(&t, min_sup);
+                for (cell, count) in naive_iceberg_counts(&t, min_sup) {
+                    assert_eq!(cube.query(&cell), Some(count), "cell {cell} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn below_threshold_queries_return_none() {
+        let t = table1();
+        let cube = closed_cube(&t, 2);
+        // (a1,b2,...) has count 1 < min_sup.
+        assert_eq!(cube.query(&Cell::from_values(&[0, 1, STAR, STAR])), None);
+        // Unknown value entirely.
+        assert_eq!(cube.query(&Cell::from_values(&[0, STAR, STAR, 1])), None);
+    }
+
+    #[test]
+    fn apex_query() {
+        let t = table1();
+        let cube = closed_cube(&t, 1);
+        assert_eq!(cube.query(&Cell::apex(4)), Some(3));
+    }
+
+    #[test]
+    fn closure_of_returns_the_covering_cell() {
+        let t = table1();
+        let cube = closed_cube(&t, 1);
+        let c = Cell::from_values(&[0, STAR, 0, STAR]);
+        let closure = cube.closure_of(&c).unwrap();
+        assert_eq!(closure, &Cell::from_values(&[0, 0, 0, STAR]));
+    }
+
+    #[test]
+    fn empty_cube() {
+        let cube = ClosedCube::new(3, 5, Vec::new());
+        assert!(cube.is_empty());
+        assert_eq!(cube.query(&Cell::apex(3)), None);
+    }
+}

@@ -1,0 +1,375 @@
+//! Star-Cubing with multiway aggregation; C-Cubing(Star) when `CLOSED`.
+//!
+//! Every tree with remaining dimensions `r1..rm` emits exactly the cells at
+//! its last two levels — depth `m` (all remaining dims bound) and depth
+//! `m-1` (`rm = *`) — and derives one child tree per node at depth `≤ m-2`
+//! by collapsing the dimension of that node's sons. Every group-by cell of
+//! the cube is therefore produced by exactly one tree: the first starred
+//! dimension of the cell determines which collapse owns it. A single
+//! depth-first traversal of the parent constructs all child trees
+//! simultaneously (*multiway aggregation*): when the DFS visits a node at
+//! depth `j`, the node's aggregate `(count, closedness)` merges into the
+//! under-construction child tree of every ancestor at depth `≤ j - 2`.
+//!
+//! Pruning, all while still feeding ancestor merges:
+//! * iceberg: a node with `count < min_sup` can emit nothing below and
+//!   spawn no child tree (all its cells bind the node's path);
+//! * star nodes (and everything below them) never emit or spawn — their
+//!   cells would bind the compressed pseudo-value;
+//! * closed pruning (CLOSED only): `closed_mask ∩ tree_mask ≠ ∅` kills all
+//!   outputs below (Lemma 5), and a child tree is not even created when the
+//!   mask already covers the to-be-collapsed dimension (Lemma 6 — the
+//!   single-path rule — generalized exactly by the full-width mask).
+
+use crate::tree::{Node, Tree};
+use ccube_core::cell::STAR;
+use ccube_core::mask::DimMask;
+use ccube_core::sink::CellSink;
+use ccube_core::table::Table;
+
+/// Star-Cubing: plain iceberg cube.
+pub fn star_cube<S: CellSink<()>>(table: &Table, min_sup: u64, sink: &mut S) {
+    run::<false, S>(table, min_sup, sink)
+}
+
+/// C-Cubing(Star): closed iceberg cube with closed pruning.
+pub fn c_cubing_star<S: CellSink<()>>(table: &Table, min_sup: u64, sink: &mut S) {
+    run::<true, S>(table, min_sup, sink)
+}
+
+fn run<const CLOSED: bool, S: CellSink<()>>(table: &Table, min_sup: u64, sink: &mut S) {
+    assert!(min_sup >= 1, "min_sup must be at least 1");
+    if (table.rows() as u64) < min_sup {
+        return;
+    }
+    let base = build_base::<CLOSED>(table, min_sup);
+    let mut ctx = Ctx {
+        table,
+        min_sup,
+        sink,
+    };
+    ctx.process::<CLOSED>(base);
+}
+
+/// Build the base star tree: star reduction replaces values with global
+/// frequency `< min_sup` by star nodes, then every tuple is merged down its
+/// (reduced) path.
+fn build_base<const CLOSED: bool>(table: &Table, min_sup: u64) -> Tree {
+    let dims = table.dims();
+    let starred: Vec<Vec<bool>> = (0..dims)
+        .map(|d| {
+            table
+                .freq(d)
+                .iter()
+                .map(|&f| u64::from(f) < min_sup)
+                .collect()
+        })
+        .collect();
+    let mut tree = Tree::new(dims, (0..dims).collect(), DimMask::EMPTY, vec![STAR; dims]);
+    let mut path = vec![0u32; dims];
+    for (t, row) in table.iter_rows() {
+        for d in 0..dims {
+            path[d] = if starred[d][row[d] as usize] {
+                STAR
+            } else {
+                row[d]
+            };
+        }
+        tree.insert_tuple_path(table, &path, t, CLOSED);
+    }
+    tree
+}
+
+struct Ctx<'a, S> {
+    table: &'a Table,
+    min_sup: u64,
+    sink: &'a mut S,
+}
+
+/// An under-construction child tree plus its insertion cursor.
+struct Builder {
+    /// Depth (in the parent tree) of the node this child tree derives from.
+    src_depth: usize,
+    tree: Tree,
+    /// `path[k]` = node at child depth `k` currently being extended
+    /// (`path[0]` = root).
+    path: Vec<u32>,
+}
+
+impl Builder {
+    fn insert(&mut self, table: &Table, src: &Node, child_depth: usize, closed: bool) {
+        debug_assert!(child_depth >= 1);
+        let parent = self.path[child_depth - 1];
+        let id = self
+            .tree
+            .merge_son(table, parent, src.value, src.count, src.info, closed);
+        if self.path.len() == child_depth {
+            self.path.push(id);
+        } else {
+            self.path[child_depth] = id;
+        }
+    }
+}
+
+impl<'a, S: CellSink<()>> Ctx<'a, S> {
+    fn process<const CLOSED: bool>(&mut self, tree: Tree) {
+        let mut cell = tree.cell.clone();
+        let mut builders: Vec<Builder> = Vec::new();
+        self.dfs::<CLOSED>(&tree, tree.root(), 0, false, &mut builders, &mut cell);
+        debug_assert!(builders.is_empty());
+    }
+
+    /// `suppressed` = no outputs and no child trees below here (iceberg /
+    /// star-node / Lemma 5); the subtree still merges into ancestors'
+    /// builders.
+    fn dfs<const CLOSED: bool>(
+        &mut self,
+        tree: &Tree,
+        id: u32,
+        depth: usize,
+        suppressed: bool,
+        builders: &mut Vec<Builder>,
+        cell: &mut Vec<u32>,
+    ) {
+        let m = tree.depth();
+        let node = tree.nodes[id as usize].clone();
+        let mut suppressed =
+            suppressed || node.count < self.min_sup || (depth > 0 && node.value == STAR);
+        if CLOSED && !suppressed && node.info.mask.intersects(tree.tree_mask) {
+            suppressed = true; // Lemma 5
+        }
+        let bound_dim = if depth > 0 {
+            Some(tree.rem_dims[depth - 1])
+        } else {
+            None
+        };
+        if let Some(d) = bound_dim {
+            if node.value != STAR {
+                cell[d] = node.value;
+            }
+        }
+
+        if !suppressed {
+            if depth == m {
+                // Leaf: All Mask = Tree Mask; Lemma 5 already established
+                // `mask ∩ TM = ∅`, so the cell is closed (or CLOSED is off).
+                self.sink.emit(cell, node.count, &());
+            } else if depth + 1 == m {
+                // Last-but-one level: `rm` is additionally starred.
+                let all_mask = tree.tree_mask.with(tree.rem_dims[m - 1]);
+                if !CLOSED || node.info.is_closed(all_mask) {
+                    self.sink.emit(cell, node.count, &());
+                }
+            }
+        }
+
+        // Spawn this node's child tree (collapse the sons' dimension)?
+        let inherited = builders.len();
+        let mut spawned = false;
+        if depth + 2 <= m && !suppressed {
+            let collapse = tree.rem_dims[depth];
+            // Lemma 6 (generalized): if all tuples below already share one
+            // value on the dimension about to be collapsed, every cell of
+            // the child tree is covered — skip creating it.
+            if !CLOSED || !node.info.mask.contains(collapse) {
+                let child_rem = tree.rem_dims[depth + 1..].to_vec();
+                let mut child = Tree::new(
+                    self.table.dims(),
+                    child_rem,
+                    tree.tree_mask.with(collapse),
+                    cell.clone(),
+                );
+                child.nodes[0].count = node.count;
+                child.nodes[0].info = node.info;
+                builders.push(Builder {
+                    src_depth: depth,
+                    tree: child,
+                    path: vec![0],
+                });
+                spawned = true;
+            }
+        }
+
+        let mut son = node.first_son;
+        while son != crate::tree::NONE {
+            // A node at depth `depth + 1` merges into the child trees of
+            // ancestors at depth ≤ depth - 1 — i.e. every builder inherited
+            // from above, but not one spawned at this node (its sons are the
+            // collapsed dimension itself).
+            let son_node = tree.nodes[son as usize].clone();
+            for b in builders[..inherited].iter_mut() {
+                b.insert(self.table, &son_node, depth - b.src_depth, CLOSED);
+            }
+            self.dfs::<CLOSED>(tree, son, depth + 1, suppressed, builders, cell);
+            son = son_node.next_sib;
+        }
+
+        if spawned {
+            let b = builders
+                .pop()
+                .expect("spawned builder is on top of the stack");
+            debug_assert_eq!(b.src_depth, depth);
+            self.process::<CLOSED>(b.tree);
+        }
+        if let Some(d) = bound_dim {
+            cell[d] = STAR;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_core::naive::{naive_closed_counts, naive_iceberg_counts};
+    use ccube_core::sink::collect_counts;
+    use ccube_core::{Cell, TableBuilder};
+    use ccube_data::{RuleSet, SyntheticSpec};
+
+    fn table1() -> Table {
+        TableBuilder::new(4)
+            .row(&[0, 0, 0, 0])
+            .row(&[0, 0, 0, 2])
+            .row(&[0, 1, 1, 1])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_example() {
+        let t = table1();
+        let got = collect_counts(|s| c_cubing_star(&t, 2, s));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[&Cell::from_values(&[0, 0, 0, STAR])], 2);
+        assert_eq!(got[&Cell::from_values(&[0, STAR, STAR, STAR])], 3);
+    }
+
+    #[test]
+    fn plain_matches_naive_iceberg() {
+        for seed in 0..3 {
+            let t = SyntheticSpec::uniform(300, 4, 6, 1.0, seed).generate();
+            for min_sup in [1, 2, 8] {
+                let got = collect_counts(|s| star_cube(&t, min_sup, s));
+                let want = naive_iceberg_counts(&t, min_sup);
+                assert_eq!(got, want, "seed={seed} min_sup={min_sup}");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_matches_naive_closed() {
+        for seed in 0..3 {
+            let t = SyntheticSpec::uniform(300, 4, 6, 1.0, seed).generate();
+            for min_sup in [1, 2, 8] {
+                let got = collect_counts(|s| c_cubing_star(&t, min_sup, s));
+                let want = naive_closed_counts(&t, min_sup);
+                assert_eq!(got, want, "seed={seed} min_sup={min_sup}");
+            }
+        }
+    }
+
+    #[test]
+    fn star_reduction_under_high_min_sup() {
+        // High min_sup relative to cardinality makes star nodes ubiquitous.
+        let t = SyntheticSpec::uniform(400, 3, 40, 0.5, 7).generate();
+        for min_sup in [4, 10, 25] {
+            assert_eq!(
+                collect_counts(|s| star_cube(&t, min_sup, s)),
+                naive_iceberg_counts(&t, min_sup),
+                "plain min_sup={min_sup}"
+            );
+            assert_eq!(
+                collect_counts(|s| c_cubing_star(&t, min_sup, s)),
+                naive_closed_counts(&t, min_sup),
+                "closed min_sup={min_sup}"
+            );
+        }
+    }
+
+    #[test]
+    fn dependence_rules_exercise_closed_pruning() {
+        let cards = vec![4u32; 5];
+        let rules = RuleSet::with_dependence(&cards, 2.5, 5);
+        let t = SyntheticSpec {
+            tuples: 400,
+            cards,
+            skews: vec![1.0; 5],
+            seed: 2,
+            rules: Some(rules),
+        }
+        .generate();
+        for min_sup in [1, 2, 5] {
+            let got = collect_counts(|s| c_cubing_star(&t, min_sup, s));
+            assert_eq!(got, naive_closed_counts(&t, min_sup), "min_sup={min_sup}");
+        }
+    }
+
+    #[test]
+    fn skewed_and_dense() {
+        let t = SyntheticSpec::uniform(500, 4, 5, 2.0, 31).generate();
+        for min_sup in [1, 3, 10] {
+            assert_eq!(
+                collect_counts(|s| c_cubing_star(&t, min_sup, s)),
+                naive_closed_counts(&t, min_sup)
+            );
+        }
+    }
+
+    #[test]
+    fn two_dimensions_minimal() {
+        let t = TableBuilder::new(2)
+            .row(&[0, 0])
+            .row(&[0, 1])
+            .row(&[1, 1])
+            .build()
+            .unwrap();
+        for min_sup in 1..=3 {
+            assert_eq!(
+                collect_counts(|s| c_cubing_star(&t, min_sup, s)),
+                naive_closed_counts(&t, min_sup),
+                "min_sup={min_sup}"
+            );
+            assert_eq!(
+                collect_counts(|s| star_cube(&t, min_sup, s)),
+                naive_iceberg_counts(&t, min_sup),
+                "min_sup={min_sup}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_dimension() {
+        let t = TableBuilder::new(1)
+            .row(&[0])
+            .row(&[0])
+            .row(&[1])
+            .build()
+            .unwrap();
+        assert_eq!(
+            collect_counts(|s| c_cubing_star(&t, 1, s)),
+            naive_closed_counts(&t, 1)
+        );
+        assert_eq!(
+            collect_counts(|s| star_cube(&t, 1, s)),
+            naive_iceberg_counts(&t, 1)
+        );
+    }
+
+    #[test]
+    fn all_identical_tuples() {
+        let mut b = TableBuilder::new(3);
+        for _ in 0..6 {
+            b.push_row(&[2, 0, 1]);
+        }
+        let t = b.build().unwrap();
+        let got = collect_counts(|s| c_cubing_star(&t, 2, s));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[&Cell::from_values(&[2, 0, 1])], 6);
+    }
+
+    #[test]
+    fn under_supported_table_is_empty() {
+        let t = table1();
+        assert!(collect_counts(|s| c_cubing_star(&t, 50, s)).is_empty());
+        assert!(collect_counts(|s| star_cube(&t, 50, s)).is_empty());
+    }
+}

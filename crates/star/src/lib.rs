@@ -1,0 +1,39 @@
+//! # ccube-star — Star-Cubing, StarArray, C-Cubing(Star), C-Cubing(StarArray)
+//!
+//! Tree-based closed iceberg cubing (Section 4 of the C-Cubing paper).
+//!
+//! **Star-Cubing** (Xin et al., VLDB'03) represents the data as a *star
+//! tree*: one level per dimension, values with global frequency below
+//! `min_sup` compressed into *star nodes*. A depth-first traversal of each
+//! tree simultaneously constructs all of its *child trees* (one per node,
+//! collapsing the dimension of that node's sons — multiway **aggregation**),
+//! emits cells at the last two tree levels, and recurses into each finished
+//! child tree. Apriori pruning applies because every cell produced under a
+//! node binds that node's path values.
+//!
+//! **StarArray** (Section 4.1) is the paper's extension for sparse data: a
+//! hybrid `⟨A, T⟩` of a tuple-ID array `A`, lexicographically ordered by the
+//! remaining dimensions, and a partial tree `T` whose sub-`min_sup` branches
+//! are truncated into sorted pools of `A`. Child trees are built one at a
+//! time by merging the collapsed branches' sorted runs (multiway
+//! **traversal**, Section 4.2) so every child node's final aggregate is
+//! known at creation.
+//!
+//! **C-Cubing(Star)** / **C-Cubing(StarArray)** add the aggregation-based
+//! closedness measure to every node and exploit it for *closed pruning*
+//! (Lemmas 5 and 6): a node whose Closed Mask intersects the tree's Tree
+//! Mask can neither output a closed cell nor spawn a child tree that does.
+//!
+//! Note on Lemma 5's statement: the paper's text says "if `C & TM = 0` …
+//! non-closed", but its own rationale requires the opposite sign; we
+//! implement `C & TM ≠ 0 ⇒ prune` (see DESIGN.md, "Errata").
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggregate;
+pub mod stararray;
+pub mod tree;
+
+pub use aggregate::{c_cubing_star, star_cube};
+pub use stararray::{c_cubing_star_array, star_array_cube};

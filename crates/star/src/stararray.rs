@@ -1,0 +1,425 @@
+//! StarArray and multiway traversal; C-Cubing(StarArray) when `CLOSED`.
+//!
+//! A StarArray (Section 4.1) is a couple `⟨A, T⟩`: `A` is the tree's tuple-ID
+//! array, lexicographically ordered by the remaining dimensions, and `T` is a
+//! partial tree over contiguous ranges of `A`. A node whose aggregate falls
+//! below `min_sup` is *truncated*: its subtree is never expanded — the node
+//! just points at its (already sorted) pool of tuple IDs. With `min_sup = 1`
+//! nothing truncates and the StarArray degenerates to a full star tree, as
+//! the paper notes.
+//!
+//! Child trees are derived by **multiway traversal** (Section 4.2): instead
+//! of building all child trees in one pass over the parent (multiway
+//! aggregation), each child tree is built on its own by simultaneously
+//! walking the branches being collapsed — realized here as a multiway merge
+//! of the branches' sorted runs into the child's array `A'`, followed by a
+//! grouping pass that knows every node's final aggregate at creation (and
+//! can therefore truncate immediately). The parent is traversed once per
+//! child tree; each child tree is traversed exactly once while being built.
+//!
+//! Closed pruning mirrors `C-Cubing(Star)`: Lemma 5 suppression on
+//! `closed_mask ∩ tree_mask`, and the generalized Lemma 6 check before
+//! deriving a child tree.
+
+use crate::tree::{cmp_on_dims, Node, Tree, NONE};
+use ccube_core::cell::STAR;
+use ccube_core::closedness::ClosedInfo;
+use ccube_core::mask::DimMask;
+use ccube_core::sink::CellSink;
+use ccube_core::table::{Table, TupleId};
+
+/// StarArray cubing: plain iceberg cube (the non-closed host of Fig 17).
+pub fn star_array_cube<S: CellSink<()>>(table: &Table, min_sup: u64, sink: &mut S) {
+    run::<false, S>(table, min_sup, sink)
+}
+
+/// C-Cubing(StarArray): closed iceberg cube with closed pruning.
+pub fn c_cubing_star_array<S: CellSink<()>>(table: &Table, min_sup: u64, sink: &mut S) {
+    run::<true, S>(table, min_sup, sink)
+}
+
+fn run<const CLOSED: bool, S: CellSink<()>>(table: &Table, min_sup: u64, sink: &mut S) {
+    assert!(min_sup >= 1, "min_sup must be at least 1");
+    if (table.rows() as u64) < min_sup {
+        return;
+    }
+    let dims = table.dims();
+    let rem: Vec<usize> = (0..dims).collect();
+    let mut pool: Vec<TupleId> = table.all_tids();
+    pool.sort_unstable_by(|&a, &b| cmp_on_dims(table, a, b, &rem).then(a.cmp(&b)));
+    let mut tree = Tree::new(dims, rem, DimMask::EMPTY, vec![STAR; dims]);
+    tree.pool = pool;
+    build_nodes::<CLOSED>(table, &mut tree, min_sup);
+    let mut ctx = Ctx {
+        table,
+        min_sup,
+        sink,
+    };
+    ctx.process::<CLOSED>(&tree);
+}
+
+/// Expand the (already pooled) tree's nodes top-down: the root covers the
+/// whole array; each expanded node's range is grouped by the next remaining
+/// dimension; groups below `min_sup` become truncated leaves.
+fn build_nodes<const CLOSED: bool>(table: &Table, tree: &mut Tree, min_sup: u64) {
+    let n = tree.pool.len() as u32;
+    tree.nodes[0].count = u64::from(n);
+    tree.nodes[0].pool_start = 0;
+    tree.nodes[0].pool_end = n;
+    if CLOSED {
+        tree.nodes[0].info =
+            ClosedInfo::of_group(table, &tree.pool).expect("non-empty tree has tuples");
+    }
+    expand::<CLOSED>(table, tree, 0, 0, min_sup);
+}
+
+/// Recursively expand `node` (whose pool range is set and whose
+/// `count >= min_sup`) at `depth`, creating sons on `rem_dims[depth]`.
+fn expand<const CLOSED: bool>(
+    table: &Table,
+    tree: &mut Tree,
+    node: u32,
+    depth: usize,
+    min_sup: u64,
+) {
+    if depth >= tree.depth() {
+        return;
+    }
+    let d = tree.rem_dims[depth];
+    let (start, end) = (
+        tree.nodes[node as usize].pool_start as usize,
+        tree.nodes[node as usize].pool_end as usize,
+    );
+    // Contiguous runs by value of `d` (the pool is sorted by rem_dims, so
+    // runs are maximal).
+    let mut run_start = start;
+    let mut last_son = NONE;
+    while run_start < end {
+        let v = table.value(tree.pool[run_start], d);
+        let mut run_end = run_start + 1;
+        while run_end < end && table.value(tree.pool[run_end], d) == v {
+            run_end += 1;
+        }
+        let count = (run_end - run_start) as u64;
+        let info = if CLOSED && count >= min_sup {
+            ClosedInfo::of_group(table, &tree.pool[run_start..run_end]).expect("non-empty run")
+        } else {
+            // Truncated leaves never emit or spawn; their info is unused.
+            ClosedInfo {
+                mask: DimMask::EMPTY,
+                rep: tree.pool[run_start],
+            }
+        };
+        let id = tree.nodes.len() as u32;
+        let mut son = Node::new(v, count, info);
+        son.pool_start = run_start as u32;
+        son.pool_end = run_end as u32;
+        tree.nodes.push(son);
+        if last_son == NONE {
+            tree.nodes[node as usize].first_son = id;
+        } else {
+            tree.nodes[last_son as usize].next_sib = id;
+        }
+        last_son = id;
+        if count >= min_sup {
+            expand::<CLOSED>(table, tree, id, depth + 1, min_sup);
+        }
+        run_start = run_end;
+    }
+}
+
+struct Ctx<'a, S> {
+    table: &'a Table,
+    min_sup: u64,
+    sink: &'a mut S,
+}
+
+impl<'a, S: CellSink<()>> Ctx<'a, S> {
+    fn process<const CLOSED: bool>(&mut self, tree: &Tree) {
+        let mut cell = tree.cell.clone();
+        self.dfs::<CLOSED>(tree, tree.root(), 0, &mut cell);
+    }
+
+    fn dfs<const CLOSED: bool>(&mut self, tree: &Tree, id: u32, depth: usize, cell: &mut Vec<u32>) {
+        let m = tree.depth();
+        let node = tree.nodes[id as usize].clone();
+        // Truncated leaves (count < min_sup) never reach here: the DFS only
+        // descends into sufficiently supported sons.
+        debug_assert!(node.count >= self.min_sup);
+        if CLOSED && node.info.mask.intersects(tree.tree_mask) {
+            return; // Lemma 5. Unlike multiway aggregation, nothing below is
+                    // needed for other trees: child trees re-merge from pools.
+        }
+        if depth > 0 {
+            cell[tree.rem_dims[depth - 1]] = node.value;
+        }
+
+        if depth == m {
+            self.sink.emit(cell, node.count, &());
+        } else if depth + 1 == m {
+            let all_mask = tree.tree_mask.with(tree.rem_dims[m - 1]);
+            if !CLOSED || node.info.is_closed(all_mask) {
+                self.sink.emit(cell, node.count, &());
+            }
+        }
+
+        if depth + 2 <= m {
+            let collapse = tree.rem_dims[depth];
+            if !CLOSED || !node.info.mask.contains(collapse) {
+                let child = self.build_child::<CLOSED>(tree, &node, depth, cell);
+                self.process::<CLOSED>(&child);
+            }
+        }
+
+        let mut son = node.first_son;
+        while son != NONE {
+            let sn = &tree.nodes[son as usize];
+            let next = sn.next_sib;
+            if sn.count >= self.min_sup {
+                self.dfs::<CLOSED>(tree, son, depth + 1, cell);
+            }
+            son = next;
+        }
+
+        if depth > 0 {
+            cell[tree.rem_dims[depth - 1]] = STAR;
+        }
+    }
+
+    /// Multiway traversal: derive the child tree of `node` (at `depth`,
+    /// collapsing `rem_dims[depth]`) by merging its sons' sorted runs into
+    /// the child's array and grouping top-down.
+    fn build_child<const CLOSED: bool>(
+        &self,
+        tree: &Tree,
+        node: &Node,
+        depth: usize,
+        cell: &[u32],
+    ) -> Tree {
+        let child_rem = tree.rem_dims[depth + 1..].to_vec();
+        let collapse = tree.rem_dims[depth];
+        let mut child = Tree::new(
+            self.table.dims(),
+            child_rem.clone(),
+            tree.tree_mask.with(collapse),
+            cell.to_vec(),
+        );
+        // Gather the collapsed branches' runs. Each son's pool range is
+        // sorted by (collapse, child_rem...) within itself, hence sorted by
+        // child_rem alone (the collapsed value is constant per son).
+        let mut runs: Vec<Vec<TupleId>> = Vec::new();
+        let mut son = node.first_son;
+        while son != NONE {
+            let sn = &tree.nodes[son as usize];
+            runs.push(tree.pool[sn.pool_start as usize..sn.pool_end as usize].to_vec());
+            son = sn.next_sib;
+        }
+        child.pool = merge_runs(self.table, &child_rem, runs);
+        debug_assert_eq!(child.pool.len() as u64, node.count);
+        build_nodes::<CLOSED>(self.table, &mut child, self.min_sup);
+        child
+    }
+}
+
+/// Bottom-up multiway merge of pre-sorted runs (the paper's "multiway merge
+/// sort": linear passes over already partially ordered pools, `O(n log k)`).
+fn merge_runs(table: &Table, dims: &[usize], mut runs: Vec<Vec<TupleId>>) -> Vec<TupleId> {
+    if runs.is_empty() {
+        return Vec::new();
+    }
+    while runs.len() > 1 {
+        let mut next: Vec<Vec<TupleId>> = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge_two(table, dims, a, b)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    runs.pop().expect("at least one run")
+}
+
+fn merge_two(table: &Table, dims: &[usize], a: Vec<TupleId>, b: Vec<TupleId>) -> Vec<TupleId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let ord = cmp_on_dims(table, a[i], b[j], dims).then(a[i].cmp(&b[j]));
+        if ord != std::cmp::Ordering::Greater {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_core::naive::{naive_closed_counts, naive_iceberg_counts};
+    use ccube_core::sink::collect_counts;
+    use ccube_core::{Cell, TableBuilder};
+    use ccube_data::{RuleSet, SyntheticSpec};
+
+    fn table1() -> Table {
+        TableBuilder::new(4)
+            .row(&[0, 0, 0, 0])
+            .row(&[0, 0, 0, 2])
+            .row(&[0, 1, 1, 1])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_example() {
+        let t = table1();
+        let got = collect_counts(|s| c_cubing_star_array(&t, 2, s));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[&Cell::from_values(&[0, 0, 0, STAR])], 2);
+        assert_eq!(got[&Cell::from_values(&[0, STAR, STAR, STAR])], 3);
+    }
+
+    #[test]
+    fn figure1_example_data() {
+        // The 6-tuple A..E dataset of Fig 1, cubed at several thresholds
+        // (min_sup 3 is the figure's own setting).
+        let t = TableBuilder::new(5)
+            .cards(vec![2, 2, 3, 2, 2])
+            .row(&[0, 0, 0, 0, 1]) // t1 a1 b1 c1 d1 e2
+            .row(&[0, 0, 0, 1, 1]) // t2 a1 b1 c1 d2 e2
+            .row(&[0, 0, 1, 1, 0]) // t3 a1 b1 c2 d2 e1
+            .row(&[0, 1, 0, 0, 0]) // t4 a1 b2 c1 d1 e1
+            .row(&[0, 1, 1, 0, 0]) // t5 a1 b2 c2 d1 e1
+            .row(&[1, 1, 2, 0, 0]) // t6 a2 b2 c3 d1 e1
+            .build()
+            .unwrap();
+        for min_sup in [1, 2, 3] {
+            assert_eq!(
+                collect_counts(|s| c_cubing_star_array(&t, min_sup, s)),
+                naive_closed_counts(&t, min_sup),
+                "closed min_sup={min_sup}"
+            );
+            assert_eq!(
+                collect_counts(|s| star_array_cube(&t, min_sup, s)),
+                naive_iceberg_counts(&t, min_sup),
+                "plain min_sup={min_sup}"
+            );
+        }
+    }
+
+    #[test]
+    fn plain_matches_naive_iceberg() {
+        for seed in 0..3 {
+            let t = SyntheticSpec::uniform(300, 4, 6, 1.0, seed).generate();
+            for min_sup in [1, 2, 8] {
+                let got = collect_counts(|s| star_array_cube(&t, min_sup, s));
+                assert_eq!(
+                    got,
+                    naive_iceberg_counts(&t, min_sup),
+                    "seed={seed} m={min_sup}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_matches_naive_closed() {
+        for seed in 0..3 {
+            let t = SyntheticSpec::uniform(300, 4, 6, 1.0, seed).generate();
+            for min_sup in [1, 2, 8] {
+                let got = collect_counts(|s| c_cubing_star_array(&t, min_sup, s));
+                assert_eq!(
+                    got,
+                    naive_closed_counts(&t, min_sup),
+                    "seed={seed} m={min_sup}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn high_cardinality_sparse() {
+        // The StarArray target regime: wide domains, most branches truncate.
+        let t = SyntheticSpec::uniform(250, 3, 120, 0.0, 9).generate();
+        for min_sup in [1, 2, 3] {
+            assert_eq!(
+                collect_counts(|s| c_cubing_star_array(&t, min_sup, s)),
+                naive_closed_counts(&t, min_sup)
+            );
+        }
+    }
+
+    #[test]
+    fn dependence_rules() {
+        let cards = vec![4u32; 5];
+        let rules = RuleSet::with_dependence(&cards, 2.5, 5);
+        let t = SyntheticSpec {
+            tuples: 400,
+            cards,
+            skews: vec![1.0; 5],
+            seed: 2,
+            rules: Some(rules),
+        }
+        .generate();
+        for min_sup in [1, 2, 5] {
+            let got = collect_counts(|s| c_cubing_star_array(&t, min_sup, s));
+            assert_eq!(got, naive_closed_counts(&t, min_sup), "min_sup={min_sup}");
+        }
+    }
+
+    #[test]
+    fn merge_runs_produces_sorted_pool() {
+        let t = SyntheticSpec::uniform(60, 3, 4, 0.0, 3).generate();
+        let dims = vec![1usize, 2];
+        let mut all: Vec<TupleId> = t.all_tids();
+        all.sort_unstable_by(|&a, &b| cmp_on_dims(&t, a, b, &dims).then(a.cmp(&b)));
+        // Split into arbitrary sorted runs and re-merge.
+        let runs: Vec<Vec<TupleId>> = all.chunks(7).map(|c| c.to_vec()).collect();
+        let merged = merge_runs(&t, &dims, runs);
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn degenerates_to_full_tree_at_min_sup_one() {
+        // With min_sup = 1 nothing truncates; results equal the full cube.
+        let t = SyntheticSpec::uniform(150, 4, 4, 1.5, 12).generate();
+        assert_eq!(
+            collect_counts(|s| star_array_cube(&t, 1, s)),
+            naive_iceberg_counts(&t, 1)
+        );
+    }
+
+    #[test]
+    fn under_supported_is_empty() {
+        let t = table1();
+        assert!(collect_counts(|s| c_cubing_star_array(&t, 9, s)).is_empty());
+    }
+
+    #[test]
+    fn skewed_mixed_cardinalities() {
+        let spec = SyntheticSpec {
+            tuples: 350,
+            cards: vec![3, 50, 8, 20],
+            skews: vec![0.0, 2.0, 1.0, 0.5],
+            seed: 21,
+            rules: None,
+        };
+        let t = spec.generate();
+        for min_sup in [1, 2, 6] {
+            assert_eq!(
+                collect_counts(|s| c_cubing_star_array(&t, min_sup, s)),
+                naive_closed_counts(&t, min_sup)
+            );
+            assert_eq!(
+                collect_counts(|s| star_array_cube(&t, min_sup, s)),
+                naive_iceberg_counts(&t, min_sup)
+            );
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Shared cuboid-tree machinery for Star-Cubing and StarArray.
+//!
+//! A [`Tree`] is one cuboid tree in the recursive derivation: it carries the
+//! *prefix cell* (dimensions already fixed on the derivation path), the
+//! **Tree Mask** of collapsed dimensions, the ordered list of *remaining
+//! dimensions* (one per tree level), and an arena of [`Node`]s linked into
+//! value-sorted sibling lists.
+//!
+//! Star nodes use [`STAR`] as their node value and sort after all real
+//! values, which makes merged sibling lists line up naturally during child
+//! tree construction.
+
+use ccube_core::cell::STAR;
+use ccube_core::closedness::ClosedInfo;
+use ccube_core::mask::DimMask;
+use ccube_core::table::{Table, TupleId};
+
+/// Sentinel "no node" link.
+pub const NONE: u32 = u32::MAX;
+
+/// One tree node.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Dimension value (or [`STAR`] for star nodes and roots).
+    pub value: u32,
+    /// Tuples aggregated under this node.
+    pub count: u64,
+    /// Closedness measure; maintained only by the CLOSED cubers.
+    pub info: ClosedInfo,
+    /// First son (sons sorted ascending by value; [`NONE`] = leaf).
+    pub first_son: u32,
+    /// Next sibling in value order.
+    pub next_sib: u32,
+    /// StarArray only: start of this node's tuple range in the tree's `A`.
+    pub pool_start: u32,
+    /// StarArray only: end (exclusive) of the tuple range.
+    pub pool_end: u32,
+}
+
+impl Node {
+    /// Fresh node with the given stats and no links.
+    pub fn new(value: u32, count: u64, info: ClosedInfo) -> Node {
+        Node {
+            value,
+            count,
+            info,
+            first_son: NONE,
+            next_sib: NONE,
+            pool_start: 0,
+            pool_end: 0,
+        }
+    }
+}
+
+/// One cuboid tree (base or derived).
+#[derive(Clone, Debug)]
+pub struct Tree {
+    /// Node arena; index 0 is the root.
+    pub nodes: Vec<Node>,
+    /// Remaining (not yet fixed or collapsed) dimensions, outermost first:
+    /// nodes at depth `j ≥ 1` hold values of `rem_dims[j - 1]`.
+    pub rem_dims: Vec<usize>,
+    /// Tree Mask: dimensions collapsed on the derivation path (Section 4.3).
+    pub tree_mask: DimMask,
+    /// Prefix cell: fixed dimensions bound, everything else `*`.
+    pub cell: Vec<u32>,
+    /// StarArray only: the tuple-ID array `A`, lexicographically sorted by
+    /// `rem_dims`. Empty for plain star trees.
+    pub pool: Vec<TupleId>,
+}
+
+impl Tree {
+    /// Empty tree with a zeroed root.
+    pub fn new(dims: usize, rem_dims: Vec<usize>, tree_mask: DimMask, cell: Vec<u32>) -> Tree {
+        let root = Node::new(
+            STAR,
+            0,
+            ClosedInfo {
+                mask: DimMask::all(dims),
+                rep: 0,
+            },
+        );
+        Tree {
+            nodes: vec![root],
+            rem_dims,
+            tree_mask,
+            cell,
+            pool: Vec::new(),
+        }
+    }
+
+    /// Depth of the tree = number of remaining dimensions (`m`).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.rem_dims.len()
+    }
+
+    /// Root node ID.
+    #[inline]
+    pub fn root(&self) -> u32 {
+        0
+    }
+
+    /// Iterate a node's sons in ascending value order.
+    pub fn sons(&self, id: u32) -> SonIter<'_> {
+        SonIter {
+            tree: self,
+            cur: self.nodes[id as usize].first_son,
+        }
+    }
+
+    /// Number of sons of `id`.
+    pub fn son_count(&self, id: u32) -> usize {
+        self.sons(id).count()
+    }
+
+    /// Find or create the son of `parent` holding `value`, merging
+    /// `(count, info)` into it (the Lemma 3 closedness merge when `closed`).
+    /// Siblings stay sorted by value; [`STAR`] sorts last.
+    pub fn merge_son(
+        &mut self,
+        table: &Table,
+        parent: u32,
+        value: u32,
+        count: u64,
+        info: ClosedInfo,
+        closed: bool,
+    ) -> u32 {
+        let mut prev = NONE;
+        let mut cur = self.nodes[parent as usize].first_son;
+        while cur != NONE && self.nodes[cur as usize].value < value {
+            prev = cur;
+            cur = self.nodes[cur as usize].next_sib;
+        }
+        if cur != NONE && self.nodes[cur as usize].value == value {
+            let n = &mut self.nodes[cur as usize];
+            n.count += count;
+            if closed {
+                // Work around split borrows: merge on a copy, write back.
+                let mut merged = n.info;
+                merged.merge(table, &info);
+                self.nodes[cur as usize].info = merged;
+            }
+            return cur;
+        }
+        let id = self.nodes.len() as u32;
+        let mut node = Node::new(value, count, info);
+        node.next_sib = cur;
+        self.nodes.push(node);
+        if prev == NONE {
+            self.nodes[parent as usize].first_son = id;
+        } else {
+            self.nodes[prev as usize].next_sib = id;
+        }
+        id
+    }
+
+    /// Merge one tuple down a path of node values (base star-tree insert).
+    /// `values[j]` is the node value for depth `j + 1`.
+    pub fn insert_tuple_path(&mut self, table: &Table, values: &[u32], t: TupleId, closed: bool) {
+        let info = ClosedInfo::for_tuple(table, t);
+        // Root aggregates everything.
+        {
+            let root = &mut self.nodes[0];
+            if root.count == 0 {
+                root.count = 1;
+                root.info = info;
+            } else {
+                root.count += 1;
+                if closed {
+                    let mut merged = root.info;
+                    merged.merge_tuple(table, t);
+                    self.nodes[0].info = merged;
+                }
+            }
+        }
+        let mut cur = 0u32;
+        for &v in values {
+            cur = self.merge_son(table, cur, v, 1, info, closed);
+        }
+    }
+
+    /// Total number of nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Iterator over a sibling list.
+pub struct SonIter<'a> {
+    tree: &'a Tree,
+    cur: u32,
+}
+
+impl<'a> Iterator for SonIter<'a> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.cur == NONE {
+            None
+        } else {
+            let id = self.cur;
+            self.cur = self.tree.nodes[id as usize].next_sib;
+            Some(id)
+        }
+    }
+}
+
+/// Compare two tuples lexicographically over the given dimension list.
+#[inline]
+pub fn cmp_on_dims(table: &Table, a: TupleId, b: TupleId, dims: &[usize]) -> std::cmp::Ordering {
+    for &d in dims {
+        let ord = table.value(a, d).cmp(&table.value(b, d));
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_core::TableBuilder;
+
+    fn table() -> Table {
+        TableBuilder::new(3)
+            .cards(vec![3, 3, 3])
+            .row(&[0, 1, 2])
+            .row(&[0, 1, 0])
+            .row(&[1, 2, 2])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn merge_son_keeps_sorted_order() {
+        let t = table();
+        let mut tree = Tree::new(3, vec![0, 1, 2], DimMask::EMPTY, vec![STAR; 3]);
+        let info = ClosedInfo::for_tuple(&t, 0);
+        tree.merge_son(&t, 0, 2, 1, info, false);
+        tree.merge_son(&t, 0, 0, 1, info, false);
+        tree.merge_son(&t, 0, STAR, 1, info, false);
+        tree.merge_son(&t, 0, 1, 1, info, false);
+        let values: Vec<u32> = tree
+            .sons(0)
+            .map(|id| tree.nodes[id as usize].value)
+            .collect();
+        assert_eq!(values, vec![0, 1, 2, STAR]);
+    }
+
+    #[test]
+    fn merge_son_merges_counts() {
+        let t = table();
+        let mut tree = Tree::new(3, vec![0, 1, 2], DimMask::EMPTY, vec![STAR; 3]);
+        let a = tree.merge_son(&t, 0, 1, 2, ClosedInfo::for_tuple(&t, 0), true);
+        let b = tree.merge_son(&t, 0, 1, 3, ClosedInfo::for_tuple(&t, 2), true);
+        assert_eq!(a, b);
+        assert_eq!(tree.nodes[a as usize].count, 5);
+        // Tuples 0 and 2 differ on every dimension except none -> mask empty
+        // on dims where they differ; they agree nowhere except... rows
+        // (0,1,2) vs (1,2,2): agree on dim 2 only.
+        assert_eq!(tree.nodes[a as usize].info.mask, DimMask::single(2));
+        assert_eq!(tree.nodes[a as usize].info.rep, 0);
+    }
+
+    #[test]
+    fn insert_tuple_path_builds_prefix_tree() {
+        let t = table();
+        let mut tree = Tree::new(3, vec![0, 1, 2], DimMask::EMPTY, vec![STAR; 3]);
+        for tid in 0..3u32 {
+            let values: Vec<u32> = (0..3).map(|d| t.value(tid, d)).collect();
+            tree.insert_tuple_path(&t, &values, tid, true);
+        }
+        assert_eq!(tree.nodes[0].count, 3);
+        // Two first-level sons: values 0 (count 2) and 1 (count 1).
+        let sons: Vec<(u32, u64)> = tree
+            .sons(0)
+            .map(|id| (tree.nodes[id as usize].value, tree.nodes[id as usize].count))
+            .collect();
+        assert_eq!(sons, vec![(0, 2), (1, 1)]);
+        // Root info: tuples agree on no dimension... rows (0,1,2),(0,1,0),(1,2,2)
+        // agree pairwise but not all: dim0 {0,0,1} no, dim1 {1,1,2} no, dim2 {2,0,2} no.
+        assert_eq!(tree.nodes[0].info.mask, DimMask::EMPTY);
+    }
+
+    #[test]
+    fn son_count_and_iter() {
+        let t = table();
+        let mut tree = Tree::new(3, vec![0, 1, 2], DimMask::EMPTY, vec![STAR; 3]);
+        assert_eq!(tree.son_count(0), 0);
+        let info = ClosedInfo::for_tuple(&t, 0);
+        tree.merge_son(&t, 0, 5, 1, info, false);
+        tree.merge_son(&t, 0, 3, 1, info, false);
+        assert_eq!(tree.son_count(0), 2);
+    }
+
+    #[test]
+    fn cmp_on_dims_lexicographic() {
+        let t = table();
+        use std::cmp::Ordering::*;
+        assert_eq!(cmp_on_dims(&t, 0, 1, &[0, 1, 2]), Greater); // (0,1,2) vs (0,1,0)
+        assert_eq!(cmp_on_dims(&t, 0, 1, &[0, 1]), Equal);
+        assert_eq!(cmp_on_dims(&t, 1, 2, &[1]), Less);
+    }
+}

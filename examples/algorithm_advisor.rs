@@ -1,0 +1,73 @@
+//! Fig 15 in miniature: measure the CC(MM) / CC(Star) frontier over the
+//! (dependence, min_sup) grid and compare it with the static advisor.
+//!
+//! ```sh
+//! cargo run --release --example algorithm_advisor
+//! ```
+
+use c_cubing::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let tuples = 40_000;
+    let cards = vec![20u32; 8];
+    let min_sups = [1u64, 4, 16, 64];
+    let dependences = [0.0, 1.0, 2.0, 3.0];
+
+    println!("measured winner (CC(MM) vs CC(Star)) and advisor prediction");
+    println!("grid: T={tuples}, D=8, C=20, S=0\n");
+    print!("{:>6} |", "R\\M");
+    for m in min_sups {
+        print!(" {m:>20} |");
+    }
+    println!();
+
+    let mut agree = 0;
+    let mut total = 0;
+    for r in dependences {
+        print!("{r:>6} |");
+        for m in min_sups {
+            let rules = RuleSet::with_dependence(&cards, r, 99);
+            let table = SyntheticSpec {
+                tuples,
+                cards: cards.clone(),
+                skews: vec![0.0; 8],
+                seed: 1,
+                rules: Some(rules),
+            }
+            .generate();
+
+            let time = |algo: Algorithm| {
+                let mut sink = CountingSink::default();
+                let start = Instant::now();
+                algo.run(&table, m, &mut sink);
+                start.elapsed().as_secs_f64()
+            };
+            let mm = time(Algorithm::CCubingMm);
+            let star = time(Algorithm::CCubingStar);
+            let winner = if mm <= star {
+                Algorithm::CCubingMm
+            } else {
+                Algorithm::CCubingStar
+            };
+
+            let predicted = recommend(&Workload {
+                tuples: tuples as u64,
+                min_sup: m,
+                cardinality: 20,
+                dependence: r,
+            });
+            total += 1;
+            if winner == predicted {
+                agree += 1;
+            }
+            let marker = if winner == predicted { "=" } else { "!" };
+            print!(" {:>10}/{:<8}{marker} |", winner.name(), predicted.name());
+        }
+        println!();
+    }
+    println!(
+        "\nmeasured/predicted agreement: {agree}/{total} \
+         (expected shape: CC(Star) holds the low-min_sup, high-R corner)"
+    );
+}

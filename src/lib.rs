@@ -1,0 +1,291 @@
+//! # c-cubing — closed iceberg cubes by aggregation-based checking
+//!
+//! A from-scratch Rust implementation of *C-Cubing: Efficient Computation of
+//! Closed Cubes by Aggregation-Based Checking* (Xin, Shao, Han, Liu;
+//! ICDE 2006), including every substrate the paper builds on:
+//!
+//! * the closedness measure — `(Closed Mask, Representative Tuple ID)` —
+//!   that turns closedness into an algebraic aggregate
+//!   ([`ccube_core::closedness`]);
+//! * the three C-Cubing algorithms: [`Algorithm::CCubingMm`],
+//!   [`Algorithm::CCubingStar`], [`Algorithm::CCubingStarArray`];
+//! * their host iceberg cubers MM-Cubing, Star-Cubing and StarArray, plus
+//!   the BUC and QC-DFS baselines;
+//! * data generators matching the paper's experiments (Zipf skew,
+//!   dependence rules, a weather-dataset surrogate);
+//! * closed-rule mining and lossless recovery queries (Section 6.2).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use c_cubing::prelude::*;
+//!
+//! // Table 1 of the paper: (A, B, C, D), measure count, min_sup = 2.
+//! let table = TableBuilder::new(4)
+//!     .row(&[0, 0, 0, 0]) // a1 b1 c1 d1
+//!     .row(&[0, 0, 0, 2]) // a1 b1 c1 d3
+//!     .row(&[0, 1, 1, 1]) // a1 b2 c2 d2
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut sink = CollectSink::default();
+//! Algorithm::CCubingStar.run(&table, 2, &mut sink);
+//!
+//! // Exactly the two closed iceberg cells from Example 1:
+//! assert_eq!(sink.len(), 2);
+//! assert_eq!(sink.counts()[&Cell::from_values(&[0, 0, 0, STAR])], 2);
+//! assert_eq!(sink.counts()[&Cell::from_values(&[0, STAR, STAR, STAR])], 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use ccube_baselines as baselines;
+pub use ccube_core as core;
+pub use ccube_data as data;
+pub use ccube_mm as mm;
+pub use ccube_rules as rules;
+pub use ccube_star as star;
+
+use ccube_core::sink::CellSink;
+use ccube_core::Table;
+
+/// Everything needed for typical use.
+pub mod prelude {
+    pub use crate::{recommend, Algorithm, Workload};
+    pub use ccube_core::measure::{AllColumns, ColumnStats, CountOnly, MeasureSpec};
+    pub use ccube_core::order::DimOrdering;
+    pub use ccube_core::sink::{
+        CellSink, CollectSink, CountingSink, FnSink, NullSink, SizeSink, WriterSink,
+    };
+    pub use ccube_core::{Cell, ClosedInfo, DimMask, Table, TableBuilder, TupleId, STAR};
+    pub use ccube_data::{RuleSet, SyntheticSpec, WeatherSpec};
+    pub use ccube_rules::{mine_rules, ClosedCube};
+}
+
+/// All cubing algorithms in the workspace, runnable through one interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// BUC (iceberg baseline).
+    Buc,
+    /// QC-DFS (closed baseline; raw-data-based checking).
+    QcDfs,
+    /// MM-Cubing (iceberg).
+    Mm,
+    /// C-Cubing(MM) — closed, aggregation-based checking.
+    CCubingMm,
+    /// Star-Cubing (iceberg).
+    Star,
+    /// C-Cubing(Star) — closed, with closed pruning.
+    CCubingStar,
+    /// StarArray (iceberg; multiway traversal).
+    StarArray,
+    /// C-Cubing(StarArray) — closed, with closed pruning.
+    CCubingStarArray,
+}
+
+impl Algorithm {
+    /// Every algorithm, in presentation order.
+    pub const ALL: [Algorithm; 8] = [
+        Algorithm::Buc,
+        Algorithm::QcDfs,
+        Algorithm::Mm,
+        Algorithm::CCubingMm,
+        Algorithm::Star,
+        Algorithm::CCubingStar,
+        Algorithm::StarArray,
+        Algorithm::CCubingStarArray,
+    ];
+
+    /// The three C-Cubing variants (the paper's contribution).
+    pub const C_CUBING: [Algorithm; 3] = [
+        Algorithm::CCubingMm,
+        Algorithm::CCubingStar,
+        Algorithm::CCubingStarArray,
+    ];
+
+    /// Does this algorithm emit only closed cells?
+    pub fn is_closed(self) -> bool {
+        matches!(
+            self,
+            Algorithm::QcDfs
+                | Algorithm::CCubingMm
+                | Algorithm::CCubingStar
+                | Algorithm::CCubingStarArray
+        )
+    }
+
+    /// Short display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Buc => "BUC",
+            Algorithm::QcDfs => "QC-DFS",
+            Algorithm::Mm => "MM",
+            Algorithm::CCubingMm => "CC(MM)",
+            Algorithm::Star => "Star",
+            Algorithm::CCubingStar => "CC(Star)",
+            Algorithm::StarArray => "StarArray",
+            Algorithm::CCubingStarArray => "CC(StarArray)",
+        }
+    }
+
+    /// Compute the (closed) iceberg cube of `table` at threshold `min_sup`,
+    /// emitting into `sink`.
+    pub fn run<S: CellSink<()>>(self, table: &Table, min_sup: u64, sink: &mut S) {
+        match self {
+            Algorithm::Buc => ccube_baselines::buc(table, min_sup, sink),
+            Algorithm::QcDfs => ccube_baselines::qc_dfs(table, min_sup, sink),
+            Algorithm::Mm => ccube_mm::mm_cube(table, min_sup, sink),
+            Algorithm::CCubingMm => ccube_mm::c_cubing_mm(table, min_sup, sink),
+            Algorithm::Star => ccube_star::star_cube(table, min_sup, sink),
+            Algorithm::CCubingStar => ccube_star::c_cubing_star(table, min_sup, sink),
+            Algorithm::StarArray => ccube_star::star_array_cube(table, min_sup, sink),
+            Algorithm::CCubingStarArray => ccube_star::c_cubing_star_array(table, min_sup, sink),
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Algorithm, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "buc" => Ok(Algorithm::Buc),
+            "qcdfs" | "qc-dfs" => Ok(Algorithm::QcDfs),
+            "mm" => Ok(Algorithm::Mm),
+            "ccmm" | "cc(mm)" | "c-cubing(mm)" => Ok(Algorithm::CCubingMm),
+            "star" => Ok(Algorithm::Star),
+            "ccstar" | "cc(star)" | "c-cubing(star)" => Ok(Algorithm::CCubingStar),
+            "stararray" => Ok(Algorithm::StarArray),
+            "ccstararray" | "cc(stararray)" | "c-cubing(stararray)" => {
+                Ok(Algorithm::CCubingStarArray)
+            }
+            other => Err(format!("unknown algorithm `{other}`")),
+        }
+    }
+}
+
+/// A coarse description of a closed-cubing workload, used by [`recommend`].
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    /// Number of tuples.
+    pub tuples: u64,
+    /// Iceberg threshold.
+    pub min_sup: u64,
+    /// Typical dimension cardinality.
+    pub cardinality: u32,
+    /// Estimated data dependence `R` (0 = independent; see
+    /// [`ccube_data::rules::RuleSet::dependence`]).
+    pub dependence: f64,
+}
+
+/// Pick a closed cubing algorithm for a workload, following the decision
+/// surface of Section 5 (Figs 8–15):
+///
+/// * the Star family wins while `min_sup` is low — closed pruning still has
+///   material to prune; the switching point grows with the data dependence
+///   `R` (high dependence keeps closed pruning profitable longer);
+/// * past the switching point, iceberg pruning dominates and `C-Cubing(MM)`
+///   wins;
+/// * within the Star family, low cardinality favours `C-Cubing(Star)`
+///   (multiway aggregation), high cardinality favours `C-Cubing(StarArray)`
+///   (multiway traversal) — the Fig 5 / Fig 10 crossover.
+///
+/// The thresholds are heuristics fitted to our Fig 15 reproduction; see
+/// EXPERIMENTS.md.
+pub fn recommend(w: &Workload) -> Algorithm {
+    // Switching point: around min_sup ≈ 16 at R = 0 on 400K rows in the
+    // paper's Fig 15, scaling with dependence and (weakly) with data size.
+    let size_factor = ((w.tuples.max(1) as f64) / 400_000.0).max(0.1);
+    let switch = 16.0 * (1.0 + w.dependence * w.dependence) * size_factor.sqrt();
+    if (w.min_sup as f64) > switch {
+        Algorithm::CCubingMm
+    } else if w.cardinality > 300 {
+        Algorithm::CCubingStarArray
+    } else {
+        Algorithm::CCubingStar
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_core::sink::CollectSink;
+    use ccube_core::TableBuilder;
+
+    #[test]
+    fn dispatch_runs_every_algorithm() {
+        let t = TableBuilder::new(3)
+            .row(&[0, 0, 0])
+            .row(&[0, 1, 0])
+            .row(&[1, 1, 1])
+            .build()
+            .unwrap();
+        for algo in Algorithm::ALL {
+            let mut sink = CollectSink::default();
+            algo.run(&t, 1, &mut sink);
+            assert!(!sink.is_empty(), "{algo} produced no cells");
+            assert_eq!(sink.duplicates, 0, "{algo} duplicated cells");
+        }
+    }
+
+    #[test]
+    fn closed_flags() {
+        assert!(Algorithm::CCubingStar.is_closed());
+        assert!(Algorithm::QcDfs.is_closed());
+        assert!(!Algorithm::Buc.is_closed());
+        assert!(!Algorithm::StarArray.is_closed());
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(
+            "cc(star)".parse::<Algorithm>().unwrap(),
+            Algorithm::CCubingStar
+        );
+        assert_eq!("BUC".parse::<Algorithm>().unwrap(), Algorithm::Buc);
+        assert!("nope".parse::<Algorithm>().is_err());
+    }
+
+    #[test]
+    fn recommend_follows_fig15_shape() {
+        // Low min_sup, low cardinality -> CC(Star).
+        let w = Workload {
+            tuples: 400_000,
+            min_sup: 2,
+            cardinality: 20,
+            dependence: 0.0,
+        };
+        assert_eq!(recommend(&w), Algorithm::CCubingStar);
+        // Low min_sup, high cardinality -> CC(StarArray).
+        let w = Workload {
+            tuples: 400_000,
+            min_sup: 2,
+            cardinality: 2000,
+            dependence: 0.0,
+        };
+        assert_eq!(recommend(&w), Algorithm::CCubingStarArray);
+        // High min_sup, independent data -> CC(MM).
+        let w = Workload {
+            tuples: 400_000,
+            min_sup: 256,
+            cardinality: 20,
+            dependence: 0.0,
+        };
+        assert_eq!(recommend(&w), Algorithm::CCubingMm);
+        // Same min_sup but highly dependent data keeps Star ahead.
+        let w = Workload {
+            tuples: 400_000,
+            min_sup: 64,
+            cardinality: 20,
+            dependence: 3.0,
+        };
+        assert_eq!(recommend(&w), Algorithm::CCubingStar);
+    }
+}

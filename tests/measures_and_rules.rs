@@ -1,0 +1,161 @@
+//! Integration tests for complex measures (Section 6.1) and closed rules /
+//! recovery (Section 6.2) across crates.
+
+use c_cubing::prelude::*;
+use ccube_baselines::{buc_with, qc_dfs_with};
+use ccube_core::measure::{ColumnStats, CountOnly};
+use ccube_core::naive::{naive_cube_with, Mode};
+use ccube_mm::{c_cubing_mm_with, MmConfig};
+
+fn measured_table(seed: u64) -> Table {
+    SyntheticSpec::uniform(250, 4, 5, 1.0, seed).generate_with_measure("m")
+}
+
+fn oracle(table: &Table, min_sup: u64, mode: Mode) -> CollectSink<ccube_core::measure::ColumnAgg> {
+    let mut sink = CollectSink::default();
+    naive_cube_with(table, min_sup, mode, &ColumnStats { column: 0 }, &mut sink);
+    sink
+}
+
+fn assert_measures_match(
+    got: &CollectSink<ccube_core::measure::ColumnAgg>,
+    want: &CollectSink<ccube_core::measure::ColumnAgg>,
+    label: &str,
+) {
+    assert_eq!(got.cells.len(), want.cells.len(), "{label}: cell count");
+    for (cell, (n, agg)) in &want.cells {
+        let (n2, agg2) = got
+            .cells
+            .get(cell)
+            .unwrap_or_else(|| panic!("{label}: missing {cell}"));
+        assert_eq!(n, n2, "{label}: count at {cell}");
+        assert!((agg.sum - agg2.sum).abs() < 1e-6, "{label}: sum at {cell}");
+        assert_eq!(agg.min, agg2.min, "{label}: min at {cell}");
+        assert_eq!(agg.max, agg2.max, "{label}: max at {cell}");
+    }
+}
+
+#[test]
+fn buc_carries_column_measures() {
+    let t = measured_table(1);
+    for min_sup in [1, 3, 10] {
+        let mut got = CollectSink::default();
+        buc_with(&t, min_sup, &ColumnStats { column: 0 }, &mut got);
+        assert_measures_match(&got, &oracle(&t, min_sup, Mode::Iceberg), "buc");
+    }
+}
+
+#[test]
+fn qcdfs_carries_column_measures() {
+    let t = measured_table(2);
+    for min_sup in [1, 3] {
+        let mut got = CollectSink::default();
+        qc_dfs_with(&t, min_sup, &ColumnStats { column: 0 }, &mut got);
+        assert_measures_match(&got, &oracle(&t, min_sup, Mode::ClosedIceberg), "qcdfs");
+    }
+}
+
+#[test]
+fn c_cubing_mm_carries_column_measures() {
+    let t = measured_table(3);
+    for min_sup in [1, 3] {
+        let mut got = CollectSink::default();
+        c_cubing_mm_with(
+            &t,
+            min_sup,
+            MmConfig::default(),
+            &ColumnStats { column: 0 },
+            &mut got,
+        );
+        assert_measures_match(&got, &oracle(&t, min_sup, Mode::ClosedIceberg), "cc(mm)");
+    }
+}
+
+#[test]
+fn avg_is_algebraic_from_sum_and_count() {
+    // Example 2 of the paper: avg = sum / count must hold at every cell.
+    let t = measured_table(4);
+    let mut sink = CollectSink::default();
+    c_cubing_mm_with(
+        &t,
+        2,
+        MmConfig::default(),
+        &ColumnStats { column: 0 },
+        &mut sink,
+    );
+    for (cell, (count, agg)) in &sink.cells {
+        let avg = agg.avg(*count);
+        assert!(
+            agg.min - 1e-9 <= avg && avg <= agg.max + 1e-9,
+            "avg out of [min, max] at {cell}"
+        );
+    }
+}
+
+#[test]
+fn count_only_spec_matches_default_entrypoints() {
+    let t = measured_table(5);
+    let mut a = CollectSink::default();
+    c_cubing_mm_with(&t, 2, MmConfig::default(), &CountOnly, &mut a);
+    let mut b = CollectSink::default();
+    ccube_mm::c_cubing_mm(&t, 2, &mut b);
+    assert_eq!(a.counts(), b.counts());
+}
+
+#[test]
+fn recovery_across_algorithms() {
+    // Build the closed cube with CC(StarArray), recover iceberg counts
+    // computed by BUC.
+    let t = SyntheticSpec::uniform(300, 4, 6, 0.5, 6).generate();
+    let min_sup = 2;
+    let cube = ClosedCube::collect(t.dims(), min_sup, |sink| {
+        Algorithm::CCubingStarArray.run(&t, min_sup, sink)
+    });
+    let iceberg = ccube_core::sink::collect_counts(|s| Algorithm::Buc.run(&t, min_sup, s));
+    for (cell, count) in iceberg {
+        assert_eq!(cube.query(&cell), Some(count), "recovery of {cell}");
+    }
+}
+
+#[test]
+fn mined_rules_hold_on_raw_data() {
+    // Every mined rule must hold on the *tuples*, not just on closed cells:
+    // any tuple matching the conditions must carry the target value.
+    let cards = vec![5u32; 4];
+    let dep = RuleSet::with_dependence(&cards, 2.0, 11);
+    let t = SyntheticSpec {
+        tuples: 300,
+        cards,
+        skews: vec![0.5; 4],
+        seed: 7,
+        rules: Some(dep),
+    }
+    .generate();
+    let cube = ClosedCube::collect(t.dims(), 1, |sink| Algorithm::CCubingStar.run(&t, 1, sink));
+    let (rules, stats) = mine_rules(&cube);
+    assert_eq!(stats.rules, rules.len());
+    for rule in &rules {
+        for (_, row) in t.iter_rows() {
+            if rule.conditions.iter().all(|&(d, v)| row[d] == v) {
+                assert_eq!(
+                    row[rule.target.0], rule.target.1,
+                    "rule {rule} violated by tuple {row:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rules_compaction_on_dependent_data() {
+    let t = WeatherSpec::new(2_000, 3).generate_dims(5);
+    let cube = ClosedCube::collect(t.dims(), 5, |sink| {
+        Algorithm::CCubingStarArray.run(&t, 5, sink)
+    });
+    let (_, stats) = mine_rules(&cube);
+    assert!(stats.closed_cells > 0);
+    // The weather surrogate's functional dependences guarantee substantial
+    // compaction (paper reports < 15%; we only require < 100% here since the
+    // slice is small).
+    assert!(stats.rules < stats.closed_cells, "{stats:?}");
+}
