@@ -34,7 +34,7 @@ where
         spec,
         sink,
         partitioner: Partitioner::new(),
-        cell: vec![STAR; table.dims()],
+        cell: vec![STAR; table.cube_dims()],
     };
     let n = tids.len();
     ctx.recurse(&mut tids, 0);
@@ -66,7 +66,9 @@ where
         let acc = self.aggregate(tids);
         self.sink.emit(&self.cell, tids.len() as u64, &acc);
 
-        let dims = self.table.dims();
+        // Only the group-by dimensions are expanded; carried dimensions (if
+        // any) are closedness-only and irrelevant to an iceberg cuber.
+        let dims = self.table.cube_dims();
         let mut groups: Vec<Group> = Vec::new();
         for d in dim..dims {
             groups.clear();

@@ -2,7 +2,7 @@
 //!
 //! The two bottom-up baselines the paper positions C-Cubing against:
 //!
-//! * [`buc`] — **BUC** (Beyer & Ramakrishnan, SIGMOD'99): bottom-up iceberg
+//! * [`buc()`] — **BUC** (Beyer & Ramakrishnan, SIGMOD'99): bottom-up iceberg
 //!   cubing by recursive counting-sort partitioning with Apriori pruning
 //!   (Section 2.1.1 of the C-Cubing paper).
 //! * [`qcdfs`] — **QC-DFS** (Lakshmanan et al., VLDB'02): the BUC-derived

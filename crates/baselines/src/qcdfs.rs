@@ -54,7 +54,7 @@ where
         spec,
         sink,
         partitioner: Partitioner::new(),
-        cell: vec![STAR; table.dims()],
+        cell: vec![STAR; table.cube_dims()],
         counts: vec![0u32; max_card as usize],
     };
     ctx.recurse(&mut tids, 0);
@@ -86,17 +86,21 @@ where
     /// `self.cell` the current (pre-closure) cell.
     fn recurse(&mut self, tids: &mut [TupleId], dim: usize) {
         let dims = self.table.dims();
+        let cube = self.table.cube_dims();
 
         // ---- Closure check over the raw partition (the QC-DFS signature
         // cost): one counting pass per unbound dimension, as in the
         // BUC-derived original. Bind every unbound dimension with a
         // partition-wide shared value; abort if one of them precedes the
-        // expansion frontier.
+        // expansion frontier. Carried dimensions (`d >= cube`) behave like
+        // pre-frontier dimensions: a partition uniform on one cannot contain
+        // any closed cell (every sub-group is uniform on it too), so the
+        // whole subtree prunes.
         let first = tids[0];
         let mut jumped: Vec<usize> = Vec::new();
         let mut pruned = false;
         for d in 0..dims {
-            if self.cell[d] != STAR {
+            if d < cube && self.cell[d] != STAR {
                 continue;
             }
             let v = self.table.value(first, d);
@@ -115,10 +119,11 @@ where
                 distinct == 1
             };
             if uniform {
-                if d < dim {
-                    // Reached from a lexicographically earlier branch before:
-                    // this entire class (and everything below it) is already
-                    // computed. Undo jumps and prune.
+                if d >= cube || d < dim {
+                    // Carried dimension, or reached from a lexicographically
+                    // earlier branch before: this entire class (and
+                    // everything below it) is already computed or provably
+                    // non-closed. Undo jumps and prune.
                     pruned = true;
                     break;
                 }
@@ -132,7 +137,7 @@ where
             self.sink.emit(&self.cell, tids.len() as u64, &acc);
 
             let mut groups: Vec<Group> = Vec::new();
-            for d in dim..dims {
+            for d in dim..cube {
                 if self.cell[d] != STAR {
                     continue; // bound by the closure jump
                 }

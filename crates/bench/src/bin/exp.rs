@@ -1,13 +1,17 @@
 //! `exp` — regenerate the C-Cubing paper's tables and figures.
 //!
 //! ```text
-//! exp [--scale F] [--seed N] [--out PATH] [list | all | <id>...]
+//! exp [--scale F] [--seed N] [--threads N] [--out PATH] [list | all | <id>...]
 //! ```
 //!
 //! * `list` prints the available experiment ids.
 //! * `all` runs every experiment in paper order.
 //! * `--scale` multiplies tuple counts relative to the paper (default 0.1;
 //!   use `--scale 1.0` for paper-sized inputs).
+//! * `--threads` routes every timed cube computation through the
+//!   partition-parallel engine on N worker threads (default 1 =
+//!   sequential, the paper's setting). The `parallel` experiment sweeps
+//!   1/2/4/8 threads regardless and writes `BENCH_parallel.json`.
 //! * `--out` additionally appends the Markdown report to a file.
 
 use ccube_bench::{all_experiments, ExpOptions};
@@ -27,6 +31,12 @@ fn main() {
             "--seed" => {
                 let v = args.next().unwrap_or_else(|| die("--seed needs a value"));
                 opts.seed = v.parse().unwrap_or_else(|_| die("bad --seed value"));
+            }
+            "--threads" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--threads needs a value"));
+                opts.threads = v.parse().unwrap_or_else(|_| die("bad --threads value"));
             }
             "--out" => {
                 out_path = Some(args.next().unwrap_or_else(|| die("--out needs a path")));
@@ -66,8 +76,8 @@ fn main() {
 
     let mut report = String::new();
     report.push_str(&format!(
-        "## C-Cubing experiment run (scale {}, seed {})\n\n",
-        opts.scale, opts.seed
+        "## C-Cubing experiment run (scale {}, seed {}, threads {})\n\n",
+        opts.scale, opts.seed, opts.threads
     ));
     for (id, f) in selected {
         eprintln!("[exp] running {id} ...");
@@ -93,10 +103,12 @@ fn main() {
 fn print_help() {
     println!(
         "exp — regenerate the C-Cubing paper's tables and figures\n\n\
-         USAGE: exp [--scale F] [--seed N] [--out PATH] [list | all | <id>...]\n\n\
-         IDs: tbl1, fig3..fig18, rules, ablate-mm, ablate-order (see `exp list`).\n\
+         USAGE: exp [--scale F] [--seed N] [--threads N] [--out PATH] [list | all | <id>...]\n\n\
+         IDs: tbl1, fig3..fig18, rules, parallel, ablate-mm, ablate-order (see `exp list`).\n\
          Default scale 0.1 (100K tuples where the paper used 1M); \
-         --scale 1.0 reproduces paper-sized inputs."
+         --scale 1.0 reproduces paper-sized inputs.\n\
+         --threads N times every figure through the parallel engine; the `parallel`\n\
+         experiment sweeps 1/2/4/8 threads and writes BENCH_parallel.json."
     );
 }
 

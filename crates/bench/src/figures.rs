@@ -6,7 +6,7 @@
 //! EXPERIMENTS.md for an archived run with commentary.
 
 use crate::report::{mb, secs, Figure};
-use crate::{measure, measure_size, Algo};
+use crate::{measure_size, measure_threads, Algo};
 use ccube_core::order::DimOrdering;
 use ccube_core::sink::CollectSink;
 use ccube_core::Table;
@@ -21,6 +21,10 @@ pub struct ExpOptions {
     pub scale: f64,
     /// RNG seed for all generated datasets.
     pub seed: u64,
+    /// Worker threads for timed cube computations: `1` = sequential (the
+    /// paper's setting, default); `0` = the parallel engine with one thread
+    /// per CPU; `N > 1` = the parallel engine with `N` threads.
+    pub threads: usize,
 }
 
 impl Default for ExpOptions {
@@ -28,6 +32,7 @@ impl Default for ExpOptions {
         ExpOptions {
             scale: 0.1,
             seed: 42,
+            threads: 1,
         }
     }
 }
@@ -35,6 +40,10 @@ impl Default for ExpOptions {
 impl ExpOptions {
     fn tuples(&self, paper: usize) -> usize {
         ((paper as f64 * self.scale) as usize).max(1000)
+    }
+
+    fn measure(&self, algo: Algo, table: &Table, min_sup: u64) -> crate::Measurement {
+        measure_threads(algo, table, min_sup, self.threads)
     }
 }
 
@@ -62,6 +71,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("fig17", fig17),
         ("fig18", fig18),
         ("rules", rules_experiment),
+        ("parallel", parallel_speedup),
         ("ablate-mm", ablate_mm_budget),
         ("ablate-order", ablate_base_order),
     ]
@@ -71,6 +81,7 @@ const FULL_CLOSED: [Algo; 4] = [Algo::CcMm, Algo::CcStar, Algo::CcStarArray, Alg
 const CLOSED_ICEBERG: [Algo; 3] = [Algo::CcMm, Algo::CcStar, Algo::CcStarArray];
 
 fn timing_rows(
+    opt: &ExpOptions,
     series: &[Algo],
     points: impl Iterator<Item = (String, Table, u64)>,
 ) -> Vec<(String, Vec<String>)> {
@@ -78,7 +89,7 @@ fn timing_rows(
         .map(|(x, table, min_sup)| {
             let cells: Vec<String> = series
                 .iter()
-                .map(|&a| secs(measure(a, &table, min_sup).seconds))
+                .map(|&a| secs(opt.measure(a, &table, min_sup).seconds))
                 .collect();
             (x, cells)
         })
@@ -129,6 +140,7 @@ fn tbl1(_opt: &ExpOptions) -> Figure {
 fn fig3(opt: &ExpOptions) -> Figure {
     let series = FULL_CLOSED;
     let rows = timing_rows(
+        opt,
         &series,
         [200, 400, 600, 800, 1000].into_iter().map(|t_k| {
             let t = opt.tuples(t_k * 1000);
@@ -154,6 +166,7 @@ fn fig4(opt: &ExpOptions) -> Figure {
     let series = FULL_CLOSED;
     let t = opt.tuples(1_000_000);
     let rows = timing_rows(
+        opt,
         &series,
         (6..=10).map(|d| {
             let table = SyntheticSpec::uniform(t, d, 100, 2.0, opt.seed).generate();
@@ -178,6 +191,7 @@ fn fig5(opt: &ExpOptions) -> Figure {
     let series = FULL_CLOSED;
     let t = opt.tuples(1_000_000);
     let rows = timing_rows(
+        opt,
         &series,
         [10u32, 100, 1000, 10000].into_iter().map(|c| {
             let table = SyntheticSpec::uniform(t, 8, c, 1.0, opt.seed).generate();
@@ -204,6 +218,7 @@ fn fig6(opt: &ExpOptions) -> Figure {
     let series = FULL_CLOSED;
     let t = opt.tuples(1_000_000);
     let rows = timing_rows(
+        opt,
         &series,
         [0.0, 1.0, 2.0, 3.0].into_iter().map(|s| {
             let table = SyntheticSpec::uniform(t, 8, 100, s, opt.seed).generate();
@@ -229,6 +244,7 @@ fn fig7(opt: &ExpOptions) -> Figure {
     let spec = WeatherSpec::new(opt.tuples(1_002_752), opt.seed);
     let full = spec.generate();
     let rows = timing_rows(
+        opt,
         &series,
         (5..=8).map(|d| {
             let table = if d == 8 {
@@ -259,6 +275,7 @@ fn fig8(opt: &ExpOptions) -> Figure {
     let series = CLOSED_ICEBERG;
     let table = SyntheticSpec::uniform(opt.tuples(1_000_000), 8, 100, 0.0, opt.seed).generate();
     let rows = timing_rows(
+        opt,
         &series,
         [2u64, 4, 8, 16]
             .into_iter()
@@ -284,6 +301,7 @@ fn fig9(opt: &ExpOptions) -> Figure {
     let series = CLOSED_ICEBERG;
     let t = opt.tuples(1_000_000);
     let rows = timing_rows(
+        opt,
         &series,
         [0.0, 1.0, 2.0, 3.0].into_iter().map(|s| {
             let table = SyntheticSpec::uniform(t, 8, 100, s, opt.seed).generate();
@@ -308,6 +326,7 @@ fn fig10(opt: &ExpOptions) -> Figure {
     let series = CLOSED_ICEBERG;
     let t = opt.tuples(1_000_000);
     let rows = timing_rows(
+        opt,
         &series,
         [10u32, 100, 1000, 10000].into_iter().map(|c| {
             let table = SyntheticSpec::uniform(t, 8, c, 1.0, opt.seed).generate();
@@ -332,6 +351,7 @@ fn fig11(opt: &ExpOptions) -> Figure {
     let series = CLOSED_ICEBERG;
     let table = WeatherSpec::new(opt.tuples(1_002_752), opt.seed).generate_dims(8);
     let rows = timing_rows(
+        opt,
         &series,
         [2u64, 4, 8, 16]
             .into_iter()
@@ -369,6 +389,7 @@ fn dependence_table(opt: &ExpOptions, r: f64, min_sup: u64) -> (Table, u64) {
 fn fig12(opt: &ExpOptions) -> Figure {
     let series = [Algo::CcMm, Algo::CcStar];
     let rows = timing_rows(
+        opt,
         &series,
         [0.0, 1.0, 2.0, 3.0].into_iter().map(|r| {
             let (table, m) = dependence_table(opt, r, 16);
@@ -452,8 +473,8 @@ fn fig15(opt: &ExpOptions) -> Figure {
                 .iter()
                 .map(|&m| {
                     let (table, _) = dependence_table(opt, r, m);
-                    let mm = measure(Algo::CcMm, &table, m).seconds;
-                    let star = measure(Algo::CcStar, &table, m).seconds;
+                    let mm = opt.measure(Algo::CcMm, &table, m).seconds;
+                    let star = opt.measure(Algo::CcStar, &table, m).seconds;
                     if mm <= star {
                         format!("CC(MM) ({:.0}%)", 100.0 * mm / star)
                     } else {
@@ -485,6 +506,7 @@ fn fig16(opt: &ExpOptions) -> Figure {
     let series = [Algo::CcMm, Algo::Mm];
     let table = WeatherSpec::new(opt.tuples(1_002_752), opt.seed).generate_dims(8);
     let rows = timing_rows(
+        opt,
         &series,
         [1u64, 2, 4, 8, 16, 32]
             .into_iter()
@@ -511,6 +533,7 @@ fn fig17(opt: &ExpOptions) -> Figure {
     let series = [Algo::CcStarArray, Algo::StarArray];
     let table = WeatherSpec::new(opt.tuples(1_002_752), opt.seed).generate_dims(8);
     let rows = timing_rows(
+        opt,
         &series,
         [1u64, 2, 4, 8, 16, 32]
             .into_iter()
@@ -554,7 +577,7 @@ fn fig18(opt: &ExpOptions) -> Figure {
                 .iter()
                 .map(|&ord| {
                     let (table, _) = ord.apply(&base);
-                    secs(measure(Algo::CcStarArray, &table, m).seconds)
+                    secs(opt.measure(Algo::CcStarArray, &table, m).seconds)
                 })
                 .collect();
             (m.to_string(), cells)
@@ -607,6 +630,109 @@ fn rules_experiment(opt: &ExpOptions) -> Figure {
         notes: "Paper (Section 6.2): 57K rules for 462K closed cells (< 15%). Expected \
                 shape: rules ≪ closed cells."
             .into(),
+    }
+}
+
+/// Partition-parallel speedup of the three C-Cubing variants on the paper's
+/// Zipf workload (T=1M scaled, D=8, C=100, S=1, M=8), sweeping 1/2/4/8
+/// worker threads. Also writes the machine-readable curve to
+/// `BENCH_parallel.json` in the working directory.
+fn parallel_speedup(opt: &ExpOptions) -> Figure {
+    let tuples = opt.tuples(1_000_000);
+    let table = SyntheticSpec::uniform(tuples, 8, 100, 1.0, opt.seed).generate();
+    let min_sup = 8;
+    let algos = [Algo::CcMm, Algo::CcStar, Algo::CcStarArray];
+    let thread_counts = [1usize, 2, 4, 8];
+
+    let mut times: Vec<Vec<f64>> = Vec::new(); // times[algo][thread_idx]
+    let mut cells = 0u64;
+    for &algo in &algos {
+        let mut row = Vec::new();
+        for &threads in &thread_counts {
+            let m = measure_threads(algo, &table, min_sup, threads);
+            cells = m.cells;
+            row.push(m.seconds);
+        }
+        times.push(row);
+    }
+
+    // Machine-readable speedup curve.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"tuples\": {tuples}, \"dims\": 8, \"cardinality\": 100, \
+         \"skew\": 1.0, \"min_sup\": {min_sup}, \"seed\": {}}},\n",
+        opt.seed
+    ));
+    json.push_str(&format!(
+        "  \"threads\": [{}],\n",
+        thread_counts
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!("  \"closed_cells\": {cells},\n"));
+    json.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    json.push_str("  \"algorithms\": {\n");
+    for (i, algo) in algos.iter().enumerate() {
+        let secs_list = times[i]
+            .iter()
+            .map(|s| format!("{s:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let speedups = times[i]
+            .iter()
+            .map(|&s| format!("{:.3}", times[i][0] / s.max(1e-9)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        json.push_str(&format!(
+            "    \"{}\": {{\"seconds\": [{secs_list}], \"speedup\": [{speedups}]}}{}\n",
+            algo.name(),
+            if i + 1 < algos.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    let json_note = match std::fs::write("BENCH_parallel.json", &json) {
+        Ok(()) => "Curve written to BENCH_parallel.json.".to_string(),
+        Err(e) => format!("(could not write BENCH_parallel.json: {e})"),
+    };
+
+    let rows = thread_counts
+        .iter()
+        .enumerate()
+        .map(|(ti, t)| {
+            let cells: Vec<String> = algos
+                .iter()
+                .enumerate()
+                .map(|(ai, _)| {
+                    format!(
+                        "{} ({:.2}x)",
+                        secs(times[ai][ti]),
+                        times[ai][0] / times[ai][ti].max(1e-9)
+                    )
+                })
+                .collect();
+            (t.to_string(), cells)
+        })
+        .collect();
+    Figure {
+        id: "parallel",
+        title: format!(
+            "Partition-parallel speedup (T=1000K, D=8, C=100, S=1, M={min_sup}, scale {})",
+            opt.scale
+        ),
+        x_label: "Threads".into(),
+        series: names(&algos),
+        rows,
+        notes: format!(
+            "Speedup relative to 1 thread, same engine. Expected shape: near-linear until \
+             the skewed level-0 shard dominates (work stealing across levels hides the \
+             rest). {json_note}"
+        ),
     }
 }
 
@@ -678,7 +804,7 @@ fn ablate_base_order(opt: &ExpOptions) -> Figure {
                 .iter()
                 .map(|&ord| {
                     let (table, _) = ord.apply(&base);
-                    secs(measure(algo, &table, min_sup).seconds)
+                    secs(opt.measure(algo, &table, min_sup).seconds)
                 })
                 .collect();
             (algo.name().to_string(), cells)
@@ -708,6 +834,7 @@ mod tests {
         ExpOptions {
             scale: 0.001,
             seed: 7,
+            threads: 1,
         }
     }
 
@@ -719,7 +846,8 @@ mod tests {
         ] {
             assert!(ids.contains(&want), "{want} missing");
         }
-        assert_eq!(ids.len(), 20);
+        assert!(ids.contains(&"parallel"), "parallel missing");
+        assert_eq!(ids.len(), 21);
     }
 
     #[test]

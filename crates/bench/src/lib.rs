@@ -21,8 +21,9 @@ pub mod report;
 pub use figures::{all_experiments, ExpOptions};
 pub use report::Figure;
 
-use ccube_core::sink::{CountingSink, SizeSink};
+use ccube_core::sink::{CellSink, CountingSink, SizeSink};
 use ccube_core::Table;
+use ccube_engine::EngineConfig;
 use std::time::Instant;
 
 /// The algorithms under test.
@@ -61,8 +62,16 @@ impl Algo {
         }
     }
 
-    /// Run on `table` at `min_sup` with output disabled.
-    pub fn run(self, table: &Table, min_sup: u64, sink: &mut CountingSink) {
+    /// Does this algorithm emit only closed cells?
+    pub fn is_closed(self) -> bool {
+        matches!(
+            self,
+            Algo::QcDfs | Algo::CcMm | Algo::CcStar | Algo::CcStarArray
+        )
+    }
+
+    /// Run on `table` at `min_sup`, emitting into any sink.
+    pub fn run_into<S: CellSink<()>>(self, table: &Table, min_sup: u64, sink: &mut S) {
         match self {
             Algo::QcDfs => ccube_baselines::qc_dfs(table, min_sup, sink),
             Algo::Mm => ccube_mm::mm_cube(table, min_sup, sink),
@@ -73,6 +82,30 @@ impl Algo {
             Algo::CcStarArray => ccube_star::c_cubing_star_array(table, min_sup, sink),
             Algo::Buc => ccube_baselines::buc(table, min_sup, sink),
         }
+    }
+
+    /// Run on `table` at `min_sup` with output disabled.
+    pub fn run(self, table: &Table, min_sup: u64, sink: &mut CountingSink) {
+        self.run_into(table, min_sup, sink)
+    }
+
+    /// Run partition-parallel on `threads` worker threads through
+    /// [`ccube_engine`] (`0` = one per CPU).
+    pub fn run_parallel<S: CellSink<()>>(
+        self,
+        table: &Table,
+        min_sup: u64,
+        threads: usize,
+        sink: &mut S,
+    ) {
+        ccube_engine::run_partitioned(
+            table,
+            min_sup,
+            &EngineConfig::with_threads(threads),
+            self.is_closed(),
+            |shard, m, out| self.run_into(shard, m, out),
+            sink,
+        )
     }
 }
 
@@ -85,11 +118,22 @@ pub struct Measurement {
     pub cells: u64,
 }
 
-/// Time one cube computation.
+/// Time one cube computation (sequential).
 pub fn measure(algo: Algo, table: &Table, min_sup: u64) -> Measurement {
+    measure_threads(algo, table, min_sup, 1)
+}
+
+/// Time one cube computation on `threads` worker threads: `1` = sequential
+/// `Algo::run`; anything else goes through the parallel engine, with `0`
+/// meaning one thread per available CPU.
+pub fn measure_threads(algo: Algo, table: &Table, min_sup: u64, threads: usize) -> Measurement {
     let mut sink = CountingSink::default();
     let start = Instant::now();
-    algo.run(table, min_sup, &mut sink);
+    if threads == 1 {
+        algo.run(table, min_sup, &mut sink);
+    } else {
+        algo.run_parallel(table, min_sup, threads, &mut sink);
+    }
     Measurement {
         seconds: start.elapsed().as_secs_f64(),
         cells: sink.cells,

@@ -45,7 +45,7 @@ pub use cell::{Cell, STAR};
 pub use closedness::ClosedInfo;
 pub use mask::DimMask;
 pub use measure::{CountOnly, MeasureSpec};
-pub use sink::{CellSink, CollectSink, CountingSink, NullSink, SizeSink};
+pub use sink::{CellBatch, CellSink, CollectSink, CountingSink, NullSink, SizeSink};
 pub use table::{Table, TableBuilder, TupleId};
 
 /// Maximum number of dimensions supported by the mask representation.

@@ -20,6 +20,72 @@ use std::io::Write;
 pub trait CellSink<A = ()> {
     /// Deliver one result cell with its count and measure accumulator.
     fn emit(&mut self, cell: &[u32], count: u64, acc: &A);
+
+    /// Merge a batch of already-computed cells (the parallel engine's merge
+    /// path: each shard buffers its output into a [`CellBatch`], and batches
+    /// are merged into the final sink in deterministic shard order). The
+    /// default forwards cell by cell; sinks with a cheaper bulk path may
+    /// override.
+    fn emit_batch(&mut self, batch: &CellBatch<A>) {
+        for (cell, count, acc) in batch.iter() {
+            self.emit(cell, count, acc);
+        }
+    }
+}
+
+/// A buffered block of output cells, all of the same dimensionality. Cells
+/// are stored flattened to keep per-cell overhead at one `Vec` growth
+/// amortization instead of one allocation.
+#[derive(Clone, Debug)]
+pub struct CellBatch<A = ()> {
+    dims: usize,
+    values: Vec<u32>,
+    counts: Vec<u64>,
+    accs: Vec<A>,
+}
+
+impl<A> CellBatch<A> {
+    /// Empty batch of `dims`-dimensional cells.
+    pub fn new(dims: usize) -> CellBatch<A> {
+        CellBatch {
+            dims,
+            values: Vec::new(),
+            counts: Vec::new(),
+            accs: Vec::new(),
+        }
+    }
+
+    /// Cell width.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of buffered cells.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Append one cell.
+    pub fn push(&mut self, cell: &[u32], count: u64, acc: A) {
+        debug_assert_eq!(cell.len(), self.dims);
+        self.values.extend_from_slice(cell);
+        self.counts.push(count);
+        self.accs.push(acc);
+    }
+
+    /// Iterate the buffered cells in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u32], u64, &A)> + '_ {
+        self.values
+            .chunks_exact(self.dims.max(1))
+            .zip(self.counts.iter())
+            .zip(self.accs.iter())
+            .map(|((cell, &count), acc)| (cell, count, acc))
+    }
 }
 
 /// Discards everything (for timing pure computation).
@@ -278,6 +344,21 @@ mod tests {
         }
         assert_eq!(a.cells, 1);
         assert_eq!(b.cells, 1);
+    }
+
+    #[test]
+    fn emit_batch_forwards_in_order() {
+        let mut batch: CellBatch<()> = CellBatch::new(2);
+        batch.push(&[1, STAR], 2, ());
+        batch.push(&[STAR, 3], 5, ());
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        let mut sink = CountingSink::default();
+        CellSink::<()>::emit_batch(&mut sink, &batch);
+        assert_eq!(sink.cells, 2);
+        assert_eq!(sink.count_sum, 7);
+        let cells: Vec<Vec<u32>> = batch.iter().map(|(c, _, _)| c.to_vec()).collect();
+        assert_eq!(cells, vec![vec![1, STAR], vec![STAR, 3]]);
     }
 
     #[test]

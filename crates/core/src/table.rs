@@ -8,6 +8,7 @@
 //! the aggregated measures are separate, as in the paper).
 
 use crate::mask::DimMask;
+use crate::partition::{Group, Partitioner};
 use crate::{CubeError, Result, MAX_DIMS};
 
 /// Identifier of a tuple (row) in a [`Table`].
@@ -18,9 +19,20 @@ pub type TupleId = u32;
 
 /// An encoded relational table: `rows × dims` dense `u32` values stored
 /// row-major, plus optional `f64` measure columns.
+///
+/// The first [`Table::cube_dims`] dimensions are the *group-by* dimensions a
+/// cube algorithm enumerates; any trailing dimensions are **carried**: they
+/// never appear in output cells, but they participate in every closedness
+/// computation ([`Table::eq_mask`], [`crate::closedness::ClosedInfo`]).
+/// Ordinary tables have `cube_dims == dims`. Carried dimensions are how the
+/// parallel engine re-checks closedness across shard boundaries: a shard over
+/// a dimension suffix carries the starred prefix dimensions, so a cell whose
+/// shard-local tuple group is uniform on a prefix dimension is correctly
+/// rejected as non-closed.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Table {
     dims: usize,
+    cube_dims: usize,
     cards: Vec<u32>,
     names: Vec<String>,
     data: Vec<u32>,
@@ -28,10 +40,25 @@ pub struct Table {
 }
 
 impl Table {
-    /// Number of dimensions.
+    /// Number of dimensions (group-by plus carried).
     #[inline]
     pub fn dims(&self) -> usize {
         self.dims
+    }
+
+    /// Number of leading group-by dimensions cube algorithms enumerate.
+    /// Equals [`Table::dims`] unless this is a carried-dimension view.
+    #[inline]
+    pub fn cube_dims(&self) -> usize {
+        self.cube_dims
+    }
+
+    /// Mask of the carried (non-group-by) dimensions — empty for ordinary
+    /// tables. Closed cubers union this into every output-time All Mask so a
+    /// cell uniform on a carried dimension is rejected as non-closed.
+    #[inline]
+    pub fn carried_mask(&self) -> DimMask {
+        DimMask::all(self.dims) ^ DimMask::all(self.cube_dims)
     }
 
     /// Number of tuples.
@@ -183,6 +210,7 @@ impl Table {
         }
         Ok(Table {
             dims: self.dims,
+            cube_dims: self.dims,
             cards: perm.iter().map(|&p| self.cards[p]).collect(),
             names: perm.iter().map(|&p| self.names[p].clone()).collect(),
             data,
@@ -200,6 +228,7 @@ impl Table {
         }
         Table {
             dims: k,
+            cube_dims: k,
             cards: self.cards[..k].to_vec(),
             names: self.names[..k].to_vec(),
             data,
@@ -212,6 +241,7 @@ impl Table {
         let n = n.min(self.rows());
         Table {
             dims: self.dims,
+            cube_dims: self.cube_dims,
             cards: self.cards.clone(),
             names: self.names.clone(),
             data: self.data[..n * self.dims].to_vec(),
@@ -249,10 +279,65 @@ impl Table {
         }
         Table {
             dims: self.dims,
+            cube_dims: self.cube_dims,
             cards,
             names: self.names.clone(),
             data,
             measures: self.measures.clone(),
+        }
+    }
+
+    /// Partition all tuple IDs by their value on dimension `d` **without
+    /// copying any row data**: returns the value-sorted tuple-ID permutation
+    /// (stable — ascending tuple ID within a value) and one [`Group`] per
+    /// distinct value, ascending. Slicing the returned IDs by a group's
+    /// range yields that shard's tuples; the base table itself is shared.
+    pub fn shard_by_dim(&self, d: usize) -> (Vec<TupleId>, Vec<Group>) {
+        let mut tids = self.all_tids();
+        let mut groups = Vec::new();
+        Partitioner::new().partition(self, d, &mut tids, &mut groups);
+        (tids, groups)
+    }
+
+    /// [`Table::shard_by_dim`] on the first dimension — the sharding axis of
+    /// the partition-parallel engine under the default ordering.
+    pub fn shard_by_first_dim(&self) -> (Vec<TupleId>, Vec<Group>) {
+        self.shard_by_dim(0)
+    }
+
+    /// Materialize the sub-table holding rows `tids` with dimensions
+    /// reordered to `dim_order`, of which only the first `cube_dims` are
+    /// group-by dimensions (the rest are carried; see [`Table::cube_dims`]).
+    /// Tuple IDs in the view are `0..tids.len()` in the order given, so a
+    /// stable ascending `tids` keeps representative-tuple selection
+    /// deterministic. Measure columns are gathered along.
+    pub fn view(&self, tids: &[TupleId], dim_order: &[usize], cube_dims: usize) -> Table {
+        debug_assert!(cube_dims >= 1 && cube_dims <= dim_order.len());
+        debug_assert!(dim_order.iter().all(|&d| d < self.dims));
+        let vdims = dim_order.len();
+        let mut data = Vec::with_capacity(tids.len() * vdims);
+        for &t in tids {
+            let row = self.row(t);
+            for &d in dim_order {
+                data.push(row[d]);
+            }
+        }
+        Table {
+            dims: vdims,
+            cube_dims,
+            cards: dim_order.iter().map(|&d| self.cards[d]).collect(),
+            names: dim_order.iter().map(|&d| self.names[d].clone()).collect(),
+            data,
+            measures: self
+                .measures
+                .iter()
+                .map(|(name, col)| {
+                    (
+                        name.clone(),
+                        tids.iter().map(|&t| col[t as usize]).collect(),
+                    )
+                })
+                .collect(),
         }
     }
 }
@@ -398,6 +483,7 @@ impl TableBuilder {
         }
         Ok(Table {
             dims,
+            cube_dims: dims,
             cards,
             names,
             data: self.data,
@@ -556,6 +642,67 @@ mod tests {
         assert_eq!(t.measure_count(), 1);
         assert_eq!(t.measure(1, 0), 2.5);
         assert_eq!(t.measure_names().collect::<Vec<_>>(), vec!["price"]);
+    }
+
+    #[test]
+    fn ordinary_tables_have_no_carried_dims() {
+        let t = example_table();
+        assert_eq!(t.cube_dims(), t.dims());
+        assert_eq!(t.carried_mask(), DimMask::EMPTY);
+    }
+
+    #[test]
+    fn shard_by_first_dim_partitions_all_rows() {
+        let t = TableBuilder::new(2)
+            .cards(vec![3, 2])
+            .row(&[2, 0])
+            .row(&[0, 1])
+            .row(&[1, 0])
+            .row(&[0, 0])
+            .row(&[2, 1])
+            .build()
+            .unwrap();
+        let (tids, groups) = t.shard_by_first_dim();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups.iter().map(|g| g.len()).sum::<u32>(), 5);
+        // Stable: ascending tid within each value group.
+        assert_eq!(&tids[..], &[1, 3, 2, 0, 4]);
+        for g in &groups {
+            for &tid in &tids[g.range()] {
+                assert_eq!(t.value(tid, 0), g.value);
+            }
+        }
+    }
+
+    #[test]
+    fn view_reorders_and_carries_dims() {
+        let t = example_table();
+        // Active dims [2, 3], carried [0, 1].
+        let v = t.view(&[0, 2], &[2, 3, 0, 1], 2);
+        assert_eq!(v.dims(), 4);
+        assert_eq!(v.cube_dims(), 2);
+        assert_eq!(v.carried_mask(), [2usize, 3].into_iter().collect());
+        assert_eq!(v.rows(), 2);
+        // Row 0 of the view = tuple 0 reordered: (c, d, a, b).
+        assert_eq!(v.row(0), &[0, 0, 0, 0]);
+        assert_eq!(v.row(1), &[1, 1, 0, 1]);
+        assert_eq!(v.card(1), t.card(3));
+        assert_eq!(v.dim_name(2), t.dim_name(0));
+        // eq_mask spans carried dims too: view rows agree on dim 2 (= a).
+        assert_eq!(v.eq_mask(0, 1), DimMask::single(2));
+    }
+
+    #[test]
+    fn view_gathers_measures() {
+        let t = TableBuilder::new(2)
+            .row(&[0, 1])
+            .row(&[1, 0])
+            .row(&[1, 1])
+            .measure("m", vec![1.0, 2.0, 3.0])
+            .build()
+            .unwrap();
+        let v = t.view(&[2, 0], &[1, 0], 1);
+        assert_eq!(v.measure_column(0), &[3.0, 1.0]);
     }
 
     #[test]

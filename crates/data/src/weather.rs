@@ -102,14 +102,14 @@ impl WeatherSpec {
             };
             let change = {
                 // Change code strongly follows present weather.
-                let noise = rng.gen_range(0..4);
+                let noise = rng.gen_range(0u32..4);
                 (weather + noise) % cards[5]
             };
             // Solar altitude: deterministic in (hour band, latitude band)
             // with slight instrument jitter on a 1535-value scale.
             let hour_band = time % 8; // 3-hourly synoptic slots
             let lat_band = lat / 40;
-            let solar = (hour_band * 191 + lat_band + rng.gen_range(0..2)) % cards[6];
+            let solar = (hour_band * 191 + lat_band + rng.gen_range(0u32..2)) % cards[6];
             // Lunar illuminance: function of the date slot alone.
             let lunar = (time * 13 / 2) % cards[7];
             row = [time, lat, lon, station, weather, change, solar, lunar];

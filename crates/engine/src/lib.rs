@@ -1,0 +1,481 @@
+//! # ccube-engine — partition-parallel execution of the C-Cubing cubers
+//!
+//! Runs any of the workspace's cube algorithms across a pool of OS threads
+//! and produces **exactly** the cells the sequential run produces.
+//!
+//! ## Decomposition
+//!
+//! Fix a dimension order `perm` (the [`EngineConfig::ordering`]). Every
+//! output cell other than the apex has a first bound dimension along `perm`;
+//! group cells by that *level* `k` and by their value `v` on `perm[k]`. The
+//! cells of shard `(k, v)` aggregate only tuples with `perm[k] = v`, so each
+//! shard is an independent task:
+//!
+//! * level `k` partitions the **whole table** by `perm[k]` (the classic
+//!   first-dimension partitioning BUC-style recursion relies on — done
+//!   zero-copy via [`ccube_core::Table::shard_by_dim`]);
+//! * task `(k, v)` materializes a row view with group-by dimensions
+//!   `perm[k..]` and runs the algorithm on it. Because the view is constant
+//!   on its first dimension, every closed cell it finds binds `perm[k]`;
+//!   iceberg hosts additionally emit `perm[k] = *` cells, which are partial
+//!   aggregates belonging to deeper levels — [`ShardedSink`] filters them;
+//! * the **apex** (all-`*`) cell spans every shard: its count is the row
+//!   count and, for closed cubers, its closedness is re-checked by merging
+//!   the per-shard Closed Masks with the Lemma 3 rule (mask intersection
+//!   plus the representative-tuple equality mask) — the paper's
+//!   aggregation-based checking applied across shard boundaries.
+//!
+//! ## Closedness across shards
+//!
+//! A cell of shard `(k, v)` stars every dimension before `perm[k]`; it is
+//! only globally closed if its tuple group is non-uniform on those starred
+//! prefix dimensions, which the shard-local run cannot see through the
+//! group-by dimensions alone. The engine therefore builds closed-cuber views
+//! with the prefix dimensions **carried** ([`ccube_core::Table::view`] with
+//! `cube_dims < dims`): the `(Closed Mask, Representative Tuple ID)` measure
+//! spans carried dimensions, and each cuber unions the carried mask into its
+//! output-time All Masks, so a shard-locally-closed-but-globally-covered
+//! cell is rejected exactly where the sequential run would have rejected it.
+//!
+//! ## Determinism
+//!
+//! Tasks run on however many threads are configured, but each task buffers
+//! its cells into a [`ccube_core::CellBatch`] and batches are merged into
+//! the caller's sink in `(level, value)` order, apex last — the output
+//! *sequence* is identical for 1 thread and for 64.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use ccube_core::cell::STAR;
+use ccube_core::closedness::ClosedInfo;
+use ccube_core::order::DimOrdering;
+use ccube_core::partition::Group;
+use ccube_core::sink::{CellBatch, CellSink};
+use ccube_core::table::{Table, TupleId};
+use ccube_core::DimMask;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Configuration of the parallel engine.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads. `0` means one per available CPU.
+    pub threads: usize,
+    /// Dimension order used for sharding (and therefore for the per-level
+    /// partition dimension). Results are identical for every ordering; skew
+    /// and cardinality of the leading dimensions drive load balance.
+    pub ordering: DimOrdering,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            threads: 0,
+            ordering: DimOrdering::Original,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config running on `threads` threads with the default ordering.
+    pub fn with_threads(threads: usize) -> EngineConfig {
+        EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Per-shard output collector: implements [`CellSink`] for the shard-local
+/// algorithm run and reconciles shard-local cells into global ones —
+/// star-prefixing and dimension-unmapping each cell, and dropping the
+/// `perm[k] = *` cells an iceberg host emits for tuples it can only see
+/// partially (those span shard boundaries and are owned by deeper levels;
+/// closed cubers never emit them because the shard is uniform on `perm[k]`).
+pub struct ShardedSink {
+    /// Reconciled cells in the base table's dimension order.
+    batch: CellBatch<()>,
+    /// Scratch holding the global cell under construction (all `*` between
+    /// emissions).
+    global: Vec<u32>,
+    /// `dim_map[i]` = base-table dimension of view group-by dimension `i`.
+    dim_map: Vec<usize>,
+    /// Whether the algorithm emits only closed cells (no filtering needed).
+    closed: bool,
+}
+
+impl ShardedSink {
+    fn new(dims: usize, dim_map: Vec<usize>, closed: bool) -> ShardedSink {
+        ShardedSink {
+            batch: CellBatch::new(dims),
+            global: vec![STAR; dims],
+            dim_map,
+            closed,
+        }
+    }
+
+    /// Cells reconciled so far (diagnostics).
+    pub fn len(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// True when no cell has been kept yet.
+    pub fn is_empty(&self) -> bool {
+        self.batch.is_empty()
+    }
+}
+
+impl CellSink<()> for ShardedSink {
+    fn emit(&mut self, cell: &[u32], count: u64, _acc: &()) {
+        debug_assert_eq!(cell.len(), self.dim_map.len());
+        if cell[0] == STAR {
+            // Partial aggregate of a deeper level (iceberg hosts only).
+            debug_assert!(!self.closed, "closed cuber emitted a shard-spanning cell");
+            return;
+        }
+        for (i, &v) in cell.iter().enumerate() {
+            self.global[self.dim_map[i]] = v;
+        }
+        self.batch.push(&self.global, count, ());
+        for &d in &self.dim_map {
+            self.global[d] = STAR;
+        }
+    }
+}
+
+/// One schedulable unit: level `k`, one value-group of `perm[k]`.
+struct Task {
+    level: usize,
+    /// Index of the group within its level (deterministic output order).
+    group: usize,
+    /// Range into the level's sorted tuple-ID permutation.
+    start: usize,
+    end: usize,
+    /// Run the cuber (false for level-0 groups below `min_sup`, which exist
+    /// only to contribute their Closed Mask to the apex reconciliation).
+    cube: bool,
+}
+
+struct TaskOutput {
+    batch: CellBatch<()>,
+    /// Shard closedness summary over base-table tuple IDs (level 0, closed
+    /// runs only) — the input to the cross-shard apex merge.
+    shard_info: Option<ClosedInfo>,
+}
+
+/// Run `algo` partition-parallel over `table` and emit the exact sequential
+/// result set into `sink`.
+///
+/// `closed` declares whether `algo` emits only closed cells (the C-Cubing
+/// variants and QC-DFS): closed runs get carried-dimension views and apex
+/// closedness reconciliation; iceberg runs get plain suffix views and
+/// first-dimension filtering.
+///
+/// `algo` is invoked once per shard with a view of the base table (see
+/// [`ccube_core::Table::view`]) and must emit every qualifying cell of that
+/// view into the given [`ShardedSink`].
+pub fn run_partitioned<F, S>(
+    table: &Table,
+    min_sup: u64,
+    config: &EngineConfig,
+    closed: bool,
+    algo: F,
+    sink: &mut S,
+) where
+    F: Fn(&Table, u64, &mut ShardedSink) + Sync,
+    S: CellSink<()> + ?Sized,
+{
+    assert!(min_sup >= 1, "min_sup must be at least 1");
+    assert_eq!(
+        table.cube_dims(),
+        table.dims(),
+        "run_partitioned shards ordinary tables, not carried-dimension views"
+    );
+    let n = table.rows() as u64;
+    if n < min_sup {
+        return;
+    }
+    let dims = table.dims();
+    let perm = config.ordering.permutation(table);
+
+    // Per-level zero-copy shards of the full table.
+    let levels: Vec<(Vec<TupleId>, Vec<Group>)> =
+        (0..dims).map(|k| table.shard_by_dim(perm[k])).collect();
+
+    let mut tasks: Vec<Task> = Vec::new();
+    for (k, (_, groups)) in levels.iter().enumerate() {
+        for (gi, g) in groups.iter().enumerate() {
+            let cube = u64::from(g.len()) >= min_sup;
+            if cube || (k == 0 && closed) {
+                tasks.push(Task {
+                    level: k,
+                    group: gi,
+                    start: g.start as usize,
+                    end: g.end as usize,
+                    cube,
+                });
+            }
+        }
+    }
+
+    // Largest first: the heaviest shard starts earliest, bounding makespan
+    // under skew (LPT scheduling). Output order is restored afterwards.
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(tasks[i].end - tasks[i].start));
+
+    let run_task = |task: &Task| -> TaskOutput {
+        let k = task.level;
+        let tids = &levels[k].0[task.start..task.end];
+        let shard_info = (closed && k == 0)
+            .then(|| ClosedInfo::of_group(table, tids).expect("partition groups are non-empty"));
+        // Group-by dims = perm[k..]; closed runs carry the starred prefix.
+        let mut dim_order: Vec<usize> = perm[k..].to_vec();
+        if closed {
+            dim_order.extend_from_slice(&perm[..k]);
+        }
+        let mut out = ShardedSink::new(dims, perm[k..].to_vec(), closed);
+        if task.cube {
+            let view = table.view(tids, &dim_order, dims - k);
+            algo(&view, min_sup, &mut out);
+        }
+        TaskOutput {
+            batch: out.batch,
+            shard_info,
+        }
+    };
+
+    let threads = config.effective_threads().min(tasks.len().max(1));
+    let results: Vec<Option<TaskOutput>> = if threads <= 1 {
+        tasks.iter().map(|t| Some(run_task(t))).collect()
+    } else {
+        let slots: Vec<Mutex<Option<TaskOutput>>> =
+            tasks.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= order.len() {
+                        break;
+                    }
+                    let ti = order[i];
+                    let out = run_task(&tasks[ti]);
+                    *slots[ti].lock().expect("task slot poisoned") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("task slot poisoned"))
+            .collect()
+    };
+
+    // ---- Merge: deterministic (level, value) order, apex last.
+    let mut apex_info: Option<ClosedInfo> = None;
+    let mut outputs: Vec<(usize, usize, TaskOutput)> = results
+        .into_iter()
+        .zip(tasks.iter())
+        .map(|(out, t)| (t.level, t.group, out.expect("every task ran")))
+        .collect();
+    outputs.sort_by_key(|&(level, group, _)| (level, group));
+    for (_, _, out) in &outputs {
+        if !out.batch.is_empty() {
+            sink.emit_batch(&out.batch);
+        }
+        if let Some(info) = out.shard_info {
+            match &mut apex_info {
+                None => apex_info = Some(info),
+                Some(acc) => acc.merge(table, &info),
+            }
+        }
+    }
+
+    // ---- Apex reconciliation. Its count is the full row count; for closed
+    // runs the merged per-shard Closed Mask decides closedness (Definition 9
+    // with the all-dimensions All Mask).
+    let emit_apex = if closed {
+        apex_info
+            .expect("closed runs always collect level-0 shard summaries")
+            .is_closed(DimMask::all(dims))
+    } else {
+        // The apex is always an iceberg cell here (n >= min_sup was checked).
+        true
+    };
+    if emit_apex {
+        let apex = vec![STAR; dims];
+        sink.emit(&apex, n, &());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_core::sink::{collect_counts, CollectSink};
+    use ccube_core::TableBuilder;
+    use ccube_data::SyntheticSpec;
+
+    fn run_par_closed(
+        table: &Table,
+        min_sup: u64,
+        threads: usize,
+    ) -> ccube_core::fxhash::FxHashMap<ccube_core::Cell, u64> {
+        collect_counts(|sink| {
+            run_partitioned(
+                table,
+                min_sup,
+                &EngineConfig::with_threads(threads),
+                true,
+                ccube_star::c_cubing_star,
+                sink,
+            )
+        })
+    }
+
+    #[test]
+    fn paper_example_parallel() {
+        use ccube_core::{Cell, STAR};
+        let t = TableBuilder::new(4)
+            .row(&[0, 0, 0, 0])
+            .row(&[0, 0, 0, 2])
+            .row(&[0, 1, 1, 1])
+            .build()
+            .unwrap();
+        for threads in [1, 2, 8] {
+            let got = run_par_closed(&t, 2, threads);
+            assert_eq!(got.len(), 2, "threads={threads}");
+            assert_eq!(got[&Cell::from_values(&[0, 0, 0, STAR])], 2);
+            assert_eq!(got[&Cell::from_values(&[0, STAR, STAR, STAR])], 3);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_closed_star() {
+        let t = SyntheticSpec::uniform(400, 4, 6, 1.0, 3).generate();
+        for min_sup in [1, 2, 8] {
+            let want = collect_counts(|s| ccube_star::c_cubing_star(&t, min_sup, s));
+            for threads in [1, 2, 8] {
+                let got = run_par_closed(&t, min_sup, threads);
+                assert_eq!(got, want, "threads={threads} min_sup={min_sup}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_iceberg_buc() {
+        let t = SyntheticSpec::uniform(300, 4, 5, 0.5, 9).generate();
+        for min_sup in [1, 2, 4] {
+            let want = collect_counts(|s| ccube_baselines::buc(&t, min_sup, s));
+            for threads in [1, 3] {
+                let got = collect_counts(|sink| {
+                    run_partitioned(
+                        &t,
+                        min_sup,
+                        &EngineConfig::with_threads(threads),
+                        false,
+                        ccube_baselines::buc,
+                        sink,
+                    )
+                });
+                assert_eq!(got, want, "threads={threads} min_sup={min_sup}");
+            }
+        }
+    }
+
+    #[test]
+    fn apex_closedness_reconciles_across_shards() {
+        // dim0 varies, dim1 is globally constant: the apex is NOT closed
+        // (its closure binds dim1) even though no single level-0 shard spans
+        // enough tuples to prove it alone — only the merged Closed Mask does.
+        let t = TableBuilder::new(2)
+            .row(&[0, 7])
+            .row(&[1, 7])
+            .row(&[2, 7])
+            .build()
+            .unwrap();
+        let got = run_par_closed(&t, 1, 2);
+        let want = collect_counts(|s| ccube_star::c_cubing_star(&t, 1, s));
+        assert_eq!(got, want);
+        assert!(!got.contains_key(&ccube_core::Cell::apex(2)));
+    }
+
+    #[test]
+    fn deterministic_output_sequence_across_thread_counts() {
+        let t = SyntheticSpec::uniform(250, 3, 5, 1.0, 5).generate();
+        let trace = |threads: usize| {
+            let mut cells: Vec<(Vec<u32>, u64)> = Vec::new();
+            {
+                let mut sink = ccube_core::sink::FnSink(|cell: &[u32], count: u64, _: &()| {
+                    cells.push((cell.to_vec(), count));
+                });
+                run_partitioned(
+                    &t,
+                    2,
+                    &EngineConfig::with_threads(threads),
+                    true,
+                    ccube_mm::c_cubing_mm,
+                    &mut sink,
+                );
+            }
+            cells
+        };
+        let one = trace(1);
+        assert_eq!(one, trace(2));
+        assert_eq!(one, trace(8));
+    }
+
+    #[test]
+    fn empty_and_undersupported_tables() {
+        let t = TableBuilder::new(3).row(&[0, 1, 2]).build().unwrap();
+        assert!(run_par_closed(&t, 2, 4).is_empty());
+        let mut sink = CollectSink::<()>::default();
+        run_partitioned(
+            &t,
+            5,
+            &EngineConfig::default(),
+            false,
+            ccube_star::star_cube,
+            &mut sink,
+        );
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn orderings_agree() {
+        let t = SyntheticSpec {
+            tuples: 300,
+            cards: vec![3, 30, 8],
+            skews: vec![2.0, 0.0, 1.0],
+            seed: 12,
+            rules: None,
+        }
+        .generate();
+        let want = collect_counts(|s| ccube_star::c_cubing_star_array(&t, 2, s));
+        for ordering in ccube_core::order::ALL_ORDERINGS {
+            let got = collect_counts(|sink| {
+                run_partitioned(
+                    &t,
+                    2,
+                    &EngineConfig {
+                        threads: 2,
+                        ordering,
+                    },
+                    true,
+                    ccube_star::c_cubing_star_array,
+                    sink,
+                )
+            });
+            assert_eq!(got, want, "{ordering:?}");
+        }
+    }
+}

@@ -79,7 +79,9 @@ fn run<const CLOSED: bool, M, S>(
         return;
     }
     let mut tids = table.all_tids();
-    let unfixed: Vec<usize> = (0..table.dims()).collect();
+    // Only the group-by dimensions are cubed; carried dimensions participate
+    // in closedness through the full-width masks of `ClosedInfo`.
+    let unfixed: Vec<usize> = (0..table.cube_dims()).collect();
     let mut st = State {
         table,
         min_sup,
@@ -89,7 +91,7 @@ fn run<const CLOSED: bool, M, S>(
         vmask: ValueMask::new(table),
         partitioner: Partitioner::new(),
         scratch: FreqScratch::new(table),
-        cell: vec![STAR; table.dims()],
+        cell: vec![STAR; table.cube_dims()],
     };
     st.level::<CLOSED>(&mut tids, &unfixed, DimMask::EMPTY);
 }
@@ -208,6 +210,11 @@ where
     fn direct_output(&mut self, tids: &[TupleId], unfixed: &[usize]) {
         let info =
             ClosedInfo::of_group(self.table, tids).expect("subspace partitions are non-empty");
+        // Uniform on a carried dimension ⇒ the candidate's closure binds a
+        // dimension outside the group-by set ⇒ not closed; emit nothing.
+        if info.mask.intersects(self.table.carried_mask()) {
+            return;
+        }
         let mut bindings: Vec<(usize, u32)> = Vec::new();
         for &d in unfixed {
             if info.mask.contains(d) {

@@ -94,7 +94,7 @@ impl ClosedCube {
             match self.postings[d].get(&v) {
                 None => return None,
                 Some(list) => {
-                    if best.map_or(true, |b| list.len() < b.len()) {
+                    if best.is_none_or(|b| list.len() < b.len()) {
                         best = Some(list);
                     }
                 }

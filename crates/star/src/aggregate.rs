@@ -23,7 +23,6 @@
 
 use crate::tree::{Node, Tree};
 use ccube_core::cell::STAR;
-use ccube_core::mask::DimMask;
 use ccube_core::sink::CellSink;
 use ccube_core::table::Table;
 
@@ -53,10 +52,15 @@ fn run<const CLOSED: bool, S: CellSink<()>>(table: &Table, min_sup: u64, sink: &
 
 /// Build the base star tree: star reduction replaces values with global
 /// frequency `< min_sup` by star nodes, then every tuple is merged down its
-/// (reduced) path.
+/// (reduced) path. Only the group-by dimensions become tree levels; carried
+/// dimensions enter the base Tree Mask — they are exactly "dimensions
+/// collapsed on the derivation path", the collapse having happened in the
+/// parallel engine's sharding rather than in a child-tree derivation — so
+/// Lemma 5 pruning and every output-time All Mask account for them with no
+/// further changes.
 fn build_base<const CLOSED: bool>(table: &Table, min_sup: u64) -> Tree {
-    let dims = table.dims();
-    let starred: Vec<Vec<bool>> = (0..dims)
+    let cube = table.cube_dims();
+    let starred: Vec<Vec<bool>> = (0..cube)
         .map(|d| {
             table
                 .freq(d)
@@ -65,11 +69,16 @@ fn build_base<const CLOSED: bool>(table: &Table, min_sup: u64) -> Tree {
                 .collect()
         })
         .collect();
-    let mut tree = Tree::new(dims, (0..dims).collect(), DimMask::EMPTY, vec![STAR; dims]);
-    let mut path = vec![0u32; dims];
+    let mut tree = Tree::new(
+        table.dims(),
+        (0..cube).collect(),
+        table.carried_mask(),
+        vec![STAR; cube],
+    );
+    let mut path = vec![0u32; cube];
     for (t, row) in table.iter_rows() {
-        for d in 0..dims {
-            path[d] = if starred[d][row[d] as usize] {
+        for (d, slot) in path.iter_mut().enumerate() {
+            *slot = if starred[d][row[d] as usize] {
                 STAR
             } else {
                 row[d]

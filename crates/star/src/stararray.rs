@@ -43,11 +43,15 @@ fn run<const CLOSED: bool, S: CellSink<()>>(table: &Table, min_sup: u64, sink: &
     if (table.rows() as u64) < min_sup {
         return;
     }
-    let dims = table.dims();
-    let rem: Vec<usize> = (0..dims).collect();
+    // Group-by dimensions form the tree; carried dimensions seed the Tree
+    // Mask (they are collapsed-by-the-engine dimensions — see
+    // `aggregate::build_base`), so Lemma 5 and the output All Masks cover
+    // them without further changes.
+    let cube = table.cube_dims();
+    let rem: Vec<usize> = (0..cube).collect();
     let mut pool: Vec<TupleId> = table.all_tids();
     pool.sort_unstable_by(|&a, &b| cmp_on_dims(table, a, b, &rem).then(a.cmp(&b)));
-    let mut tree = Tree::new(dims, rem, DimMask::EMPTY, vec![STAR; dims]);
+    let mut tree = Tree::new(table.dims(), rem, table.carried_mask(), vec![STAR; cube]);
     tree.pool = pool;
     build_nodes::<CLOSED>(table, &mut tree, min_sup);
     let mut ctx = Ctx {

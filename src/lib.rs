@@ -43,20 +43,23 @@
 pub use ccube_baselines as baselines;
 pub use ccube_core as core;
 pub use ccube_data as data;
+pub use ccube_engine as engine;
 pub use ccube_mm as mm;
 pub use ccube_rules as rules;
 pub use ccube_star as star;
+
+pub use ccube_engine::EngineConfig;
 
 use ccube_core::sink::CellSink;
 use ccube_core::Table;
 
 /// Everything needed for typical use.
 pub mod prelude {
-    pub use crate::{recommend, Algorithm, Workload};
+    pub use crate::{recommend, Algorithm, EngineConfig, Workload};
     pub use ccube_core::measure::{AllColumns, ColumnStats, CountOnly, MeasureSpec};
     pub use ccube_core::order::DimOrdering;
     pub use ccube_core::sink::{
-        CellSink, CollectSink, CountingSink, FnSink, NullSink, SizeSink, WriterSink,
+        CellBatch, CellSink, CollectSink, CountingSink, FnSink, NullSink, SizeSink, WriterSink,
     };
     pub use ccube_core::{Cell, ClosedInfo, DimMask, Table, TableBuilder, TupleId, STAR};
     pub use ccube_data::{RuleSet, SyntheticSpec, WeatherSpec};
@@ -142,6 +145,56 @@ impl Algorithm {
             Algorithm::StarArray => ccube_star::star_array_cube(table, min_sup, sink),
             Algorithm::CCubingStarArray => ccube_star::c_cubing_star_array(table, min_sup, sink),
         }
+    }
+
+    /// Compute the same (closed) iceberg cube partition-parallel on
+    /// `threads` worker threads (`0` = one per CPU), emitting the exact
+    /// sequential result set into `sink` in a thread-count-independent
+    /// order. See [`ccube_engine`] for the sharding and shard-boundary
+    /// closedness reconciliation.
+    ///
+    /// ```
+    /// use c_cubing::prelude::*;
+    ///
+    /// let table = TableBuilder::new(4)
+    ///     .row(&[0, 0, 0, 0])
+    ///     .row(&[0, 0, 0, 2])
+    ///     .row(&[0, 1, 1, 1])
+    ///     .build()
+    ///     .unwrap();
+    /// let mut par = CollectSink::default();
+    /// Algorithm::CCubingStar.run_parallel(&table, 2, 4, &mut par);
+    /// let mut seq = CollectSink::default();
+    /// Algorithm::CCubingStar.run(&table, 2, &mut seq);
+    /// assert_eq!(par.counts(), seq.counts());
+    /// ```
+    pub fn run_parallel<S: CellSink<()>>(
+        self,
+        table: &Table,
+        min_sup: u64,
+        threads: usize,
+        sink: &mut S,
+    ) {
+        self.run_with_config(table, min_sup, &EngineConfig::with_threads(threads), sink)
+    }
+
+    /// [`Algorithm::run_parallel`] with full engine configuration (thread
+    /// count plus sharding [`ccube_core::order::DimOrdering`]).
+    pub fn run_with_config<S: CellSink<()>>(
+        self,
+        table: &Table,
+        min_sup: u64,
+        config: &EngineConfig,
+        sink: &mut S,
+    ) {
+        ccube_engine::run_partitioned(
+            table,
+            min_sup,
+            config,
+            self.is_closed(),
+            |shard, m, out| self.run(shard, m, out),
+            sink,
+        )
     }
 }
 

@@ -125,8 +125,11 @@ fn weather_cardinalities_never_exceed_schema() {
 #[test]
 fn orderings_are_permutations() {
     let t = SyntheticSpec::uniform(500, 6, 9, 1.0, 3).generate();
-    for ordering in [DimOrdering::Original, DimOrdering::CardinalityDesc, DimOrdering::EntropyDesc]
-    {
+    for ordering in [
+        DimOrdering::Original,
+        DimOrdering::CardinalityDesc,
+        DimOrdering::EntropyDesc,
+    ] {
         let perm = ordering.permutation(&t);
         let mut sorted = perm.clone();
         sorted.sort_unstable();
@@ -159,7 +162,10 @@ fn sink_algebra_counting_equals_collecting() {
     let mut collecting = CollectSink::default();
     Algorithm::CCubingStar.run(&t, 2, &mut collecting);
     assert_eq!(counting.cells as usize, collecting.len());
-    assert_eq!(counting.count_sum, collecting.counts().values().sum::<u64>());
+    assert_eq!(
+        counting.count_sum,
+        collecting.counts().values().sum::<u64>()
+    );
     let mut size = SizeSink::default();
     Algorithm::CCubingStar.run(&t, 2, &mut size);
     assert_eq!(size.cells, counting.cells);
@@ -168,7 +174,12 @@ fn sink_algebra_counting_equals_collecting() {
 
 #[test]
 fn writer_sink_round_trips_cell_counts() {
-    let t = TableBuilder::new(2).row(&[0, 1]).row(&[0, 1]).row(&[1, 0]).build().unwrap();
+    let t = TableBuilder::new(2)
+        .row(&[0, 1])
+        .row(&[0, 1])
+        .row(&[1, 0])
+        .build()
+        .unwrap();
     let mut buf = Vec::new();
     {
         let mut sink = WriterSink::new(&mut buf);

@@ -1,0 +1,178 @@
+//! Parallel-vs-sequential equivalence: `Algorithm::run_parallel` must
+//! produce exactly the cells of `Algorithm::run` — identical cell sets and
+//! counts — at every thread count, for every algorithm, across the data
+//! shapes that stress the engine differently (Zipf skew concentrates work in
+//! one shard; high cardinality makes many small shards; dependence rules
+//! make closedness reconciliation non-trivial at every level).
+
+use c_cubing::prelude::*;
+use ccube_core::sink::collect_counts;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn assert_parallel_equivalence(table: &Table, min_sups: &[u64], label: &str) {
+    for algo in Algorithm::ALL {
+        for &m in min_sups {
+            let want = collect_counts(|s| algo.run(table, m, s));
+            for threads in THREADS {
+                let got = collect_counts(|s| algo.run_parallel(table, m, threads, s));
+                assert_eq!(
+                    got, want,
+                    "{algo} parallel({threads}) != sequential on {label} at min_sup={m}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn c_cubing_variants_on_zipf_skew() {
+    // The headline acceptance check: all three C-Cubing variants, Zipf-skewed
+    // synthetic data, byte-identical closed-cell sets at 1/2/8 threads.
+    for skew in [0.5, 1.0, 2.0] {
+        let t = SyntheticSpec::uniform(600, 5, 8, skew, 42).generate();
+        for algo in Algorithm::C_CUBING {
+            for m in [1u64, 2, 8] {
+                let want = collect_counts(|s| algo.run(&t, m, s));
+                for threads in THREADS {
+                    let got = collect_counts(|s| algo.run_parallel(&t, m, threads, s));
+                    assert_eq!(got, want, "{algo} S={skew} threads={threads} min_sup={m}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_dense() {
+    let t = SyntheticSpec::uniform(400, 4, 4, 0.0, 7).generate();
+    assert_parallel_equivalence(&t, &[1, 2, 16], "dense low-card");
+}
+
+#[test]
+fn all_algorithms_sparse_high_cardinality() {
+    let t = SyntheticSpec::uniform(300, 4, 60, 0.0, 8).generate();
+    assert_parallel_equivalence(&t, &[1, 2], "sparse high-card");
+}
+
+#[test]
+fn all_algorithms_with_dependence_rules() {
+    let cards = vec![6u32; 5];
+    let rules = RuleSet::with_dependence(&cards, 2.5, 11);
+    let t = SyntheticSpec {
+        tuples: 400,
+        cards,
+        skews: vec![1.0; 5],
+        seed: 12,
+        rules: Some(rules),
+    }
+    .generate();
+    assert_parallel_equivalence(&t, &[1, 3], "dependent");
+}
+
+#[test]
+fn weather_slice() {
+    let t = WeatherSpec::new(400, 13).generate_dims(5);
+    assert_parallel_equivalence(&t, &[1, 2], "weather slice");
+}
+
+#[test]
+fn degenerate_tables() {
+    // Single tuple, all-identical tuples, single dimension.
+    let single = TableBuilder::new(3).row(&[1, 2, 0]).build().unwrap();
+    assert_parallel_equivalence(&single, &[1, 2], "single tuple");
+
+    let mut b = TableBuilder::new(2);
+    for _ in 0..6 {
+        b.push_row(&[3, 1]);
+    }
+    let identical = b.build().unwrap();
+    assert_parallel_equivalence(&identical, &[1, 6, 7], "identical tuples");
+
+    let one_dim = TableBuilder::new(1)
+        .row(&[0])
+        .row(&[0])
+        .row(&[2])
+        .build()
+        .unwrap();
+    assert_parallel_equivalence(&one_dim, &[1, 2], "one dimension");
+}
+
+#[test]
+fn sharding_ordering_does_not_change_results() {
+    let t = SyntheticSpec {
+        tuples: 500,
+        cards: vec![4, 50, 9],
+        skews: vec![2.0, 0.0, 1.0],
+        seed: 21,
+        rules: None,
+    }
+    .generate();
+    for algo in Algorithm::C_CUBING {
+        let want = collect_counts(|s| algo.run(&t, 2, s));
+        for ordering in [
+            DimOrdering::Original,
+            DimOrdering::CardinalityDesc,
+            DimOrdering::EntropyDesc,
+        ] {
+            let cfg = EngineConfig {
+                threads: 2,
+                ordering,
+            };
+            let got = collect_counts(|s| algo.run_with_config(&t, 2, &cfg, s));
+            assert_eq!(got, want, "{algo} {ordering:?}");
+        }
+    }
+}
+
+#[test]
+fn zero_threads_means_auto() {
+    let t = SyntheticSpec::uniform(200, 3, 5, 1.0, 31).generate();
+    let want = collect_counts(|s| Algorithm::CCubingStar.run(&t, 2, s));
+    let got = collect_counts(|s| Algorithm::CCubingStar.run_parallel(&t, 2, 0, s));
+    assert_eq!(got, want);
+}
+
+/// Wall-clock sanity on a larger workload. Timing assertions on shared CI
+/// runners flake, so by default this only guards against a pathological
+/// slowdown and reports the measured ratio; the authoritative speedup curve
+/// ships via `exp -- parallel` (BENCH_parallel.json). On dedicated hardware
+/// with ≥4 CPUs, set `CCUBE_ASSERT_SPEEDUP=1` to enforce the >1.5x-at-4-
+/// threads acceptance bar.
+#[test]
+fn speedup_smoke_20k() {
+    use std::time::Instant;
+
+    let t = SyntheticSpec::uniform(20_000, 6, 16, 1.0, 99).generate();
+    let algo = Algorithm::CCubingStar;
+
+    let mut seq_sink = CountingSink::default();
+    let seq_start = Instant::now();
+    algo.run(&t, 8, &mut seq_sink);
+    let seq_time = seq_start.elapsed();
+
+    let mut par_sink = CountingSink::default();
+    let par_start = Instant::now();
+    algo.run_parallel(&t, 8, 4, &mut par_sink);
+    let par_time = par_start.elapsed();
+
+    assert_eq!(seq_sink.cells, par_sink.cells);
+    assert_eq!(seq_sink.count_sum, par_sink.count_sum);
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedup = seq_time.as_secs_f64() / par_time.as_secs_f64().max(1e-9);
+    eprintln!("speedup_smoke_20k: {speedup:.2}x at 4 threads on {cpus} CPUs");
+    // Even single-CPU runs measure ~1x (the engine adds no blow-up); 2x
+    // slower than sequential would mean the engine regressed structurally.
+    assert!(
+        par_time.as_secs_f64() < seq_time.as_secs_f64() * 2.0 + 0.05,
+        "parallel run pathologically slow: seq {seq_time:?}, par {par_time:?}"
+    );
+    if std::env::var_os("CCUBE_ASSERT_SPEEDUP").is_some() && cpus >= 4 {
+        assert!(
+            speedup > 1.5,
+            "expected >1.5x at 4 threads on {cpus} CPUs, got {speedup:.2}x \
+             (seq {seq_time:?}, par {par_time:?})"
+        );
+    }
+}
