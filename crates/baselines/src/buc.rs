@@ -23,7 +23,23 @@ where
     M: MeasureSpec,
     S: CellSink<M::Acc>,
 {
+    buc_bound_with(table, 0, min_sup, spec, sink)
+}
+
+/// [`buc_with`] with the first `bound` group-by dimensions *pre-bound*: the
+/// table must be constant on each of them, and only cells binding all of
+/// them are emitted (their shared values, read off the first tuple, fill the
+/// cell prefix). This is the parallel engine's shard entry point — a shard
+/// is constant on its sharding dimensions by construction, and the cells
+/// that star one of them are owned by other shards, so computing them here
+/// (as `bound = 0` would) is pure waste.
+pub fn buc_bound_with<M, S>(table: &Table, bound: usize, min_sup: u64, spec: &M, sink: &mut S)
+where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
     assert!(min_sup >= 1, "min_sup must be at least 1");
+    assert!(bound <= table.cube_dims(), "bound exceeds group-by dims");
     let mut tids: Vec<TupleId> = table.all_tids();
     if (tids.len() as u64) < min_sup {
         return;
@@ -36,14 +52,27 @@ where
         partitioner: Partitioner::new(),
         cell: vec![STAR; table.cube_dims()],
     };
+    for d in 0..bound {
+        let v = table.value(0, d);
+        debug_assert!(
+            tids.iter().all(|&t| table.value(t, d) == v),
+            "pre-bound dimension {d} is not constant"
+        );
+        ctx.cell[d] = v;
+    }
     let n = tids.len();
-    ctx.recurse(&mut tids, 0);
+    ctx.recurse(&mut tids, bound);
     debug_assert_eq!(n, table.rows());
 }
 
 /// Count-only convenience wrapper around [`buc_with`].
 pub fn buc<S: CellSink<()>>(table: &Table, min_sup: u64, sink: &mut S) {
     buc_with(table, min_sup, &CountOnly, sink)
+}
+
+/// Count-only convenience wrapper around [`buc_bound_with`].
+pub fn buc_bound<S: CellSink<()>>(table: &Table, bound: usize, min_sup: u64, sink: &mut S) {
+    buc_bound_with(table, bound, min_sup, &CountOnly, sink)
 }
 
 struct Ctx<'a, M: MeasureSpec, S> {
@@ -73,7 +102,7 @@ where
         for d in dim..dims {
             groups.clear();
             self.partitioner.partition(self.table, d, tids, &mut groups);
-            for g in groups.clone() {
+            for &g in &groups {
                 if u64::from(g.len()) < self.min_sup {
                     continue; // Apriori pruning
                 }

@@ -143,7 +143,7 @@ where
                 }
                 groups.clear();
                 self.partitioner.partition(self.table, d, tids, &mut groups);
-                for g in groups.clone() {
+                for &g in &groups {
                     if u64::from(g.len()) < self.min_sup {
                         continue;
                     }

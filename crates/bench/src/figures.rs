@@ -633,37 +633,72 @@ fn rules_experiment(opt: &ExpOptions) -> Figure {
     }
 }
 
-/// Partition-parallel speedup of the three C-Cubing variants on the paper's
-/// Zipf workload (T=1M scaled, D=8, C=100, S=1, M=8), sweeping 1/2/4/8
-/// worker threads. Also writes the machine-readable curve to
-/// `BENCH_parallel.json` in the working directory.
+/// Partition-parallel engine study on the paper's workload shape (T=1M
+/// scaled, D=8, C=100, M=8) at three skews: the paper's S=1 plus the
+/// heavy-skew regimes (Zipf 1.5 / 2.0) where the hottest shard bounds the
+/// makespan and recursive shard splitting has to earn its keep. For every
+/// algorithm (the three C-Cubing variants and the four iceberg hosts) it
+/// records pure sequential time, engine time at 1/2/4/8 threads, and the
+/// *unbound* 1-thread engine time — the PR-1 execution shape in which
+/// iceberg hosts recompute the starred-prefix cells each shard drops — then
+/// writes the machine-readable curves to `BENCH_parallel.json`.
 fn parallel_speedup(opt: &ExpOptions) -> Figure {
+    use crate::{measure_engine, measure_engine_unbound};
+    use ccube_engine::EngineConfig;
+
     let tuples = opt.tuples(1_000_000);
-    let table = SyntheticSpec::uniform(tuples, 8, 100, 1.0, opt.seed).generate();
     let min_sup = 8;
-    let algos = [Algo::CcMm, Algo::CcStar, Algo::CcStarArray];
+    let skews = [1.0f64, 1.5, 2.0];
+    let algos = [
+        Algo::CcMm,
+        Algo::CcStar,
+        Algo::CcStarArray,
+        Algo::Buc,
+        Algo::Mm,
+        Algo::Star,
+        Algo::StarArray,
+    ];
     let thread_counts = [1usize, 2, 4, 8];
 
-    let mut times: Vec<Vec<f64>> = Vec::new(); // times[algo][thread_idx]
-    let mut cells = 0u64;
-    for &algo in &algos {
-        let mut row = Vec::new();
-        for &threads in &thread_counts {
-            let m = measure_threads(algo, &table, min_sup, threads);
-            cells = m.cells;
-            row.push(m.seconds);
-        }
-        times.push(row);
+    struct AlgoRun {
+        seq: f64,
+        engine: Vec<f64>,
+        unbound_1t: f64,
+        cells: u64,
+    }
+    struct WorkloadRun {
+        skew: f64,
+        runs: Vec<AlgoRun>,
     }
 
-    // Machine-readable speedup curve.
+    let mut workloads: Vec<WorkloadRun> = Vec::new();
+    for &skew in &skews {
+        let table = SyntheticSpec::uniform(tuples, 8, 100, skew, opt.seed).generate();
+        let mut runs = Vec::new();
+        for &algo in &algos {
+            let seq = measure_threads(algo, &table, min_sup, 1);
+            let engine: Vec<f64> = thread_counts
+                .iter()
+                .map(|&t| {
+                    measure_engine(algo, &table, min_sup, &EngineConfig::with_threads(t)).seconds
+                })
+                .collect();
+            let unbound =
+                measure_engine_unbound(algo, &table, min_sup, &EngineConfig::with_threads(1));
+            debug_assert_eq!(seq.cells, unbound.cells);
+            runs.push(AlgoRun {
+                seq: seq.seconds,
+                engine,
+                unbound_1t: unbound.seconds,
+                cells: seq.cells,
+            });
+        }
+        workloads.push(WorkloadRun { skew, runs });
+    }
+
+    // Machine-readable curves.
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str(&format!(
-        "  \"workload\": {{\"tuples\": {tuples}, \"dims\": 8, \"cardinality\": 100, \
-         \"skew\": 1.0, \"min_sup\": {min_sup}, \"seed\": {}}},\n",
-        opt.seed
-    ));
     json.push_str(&format!(
         "  \"threads\": [{}],\n",
         thread_counts
@@ -672,66 +707,96 @@ fn parallel_speedup(opt: &ExpOptions) -> Figure {
             .collect::<Vec<_>>()
             .join(", ")
     ));
-    json.push_str(&format!("  \"closed_cells\": {cells},\n"));
     json.push_str(&format!(
         "  \"available_parallelism\": {},\n",
         std::thread::available_parallelism().map_or(1, |n| n.get())
     ));
-    json.push_str("  \"algorithms\": {\n");
-    for (i, algo) in algos.iter().enumerate() {
-        let secs_list = times[i]
-            .iter()
-            .map(|s| format!("{s:.6}"))
-            .collect::<Vec<_>>()
-            .join(", ");
-        let speedups = times[i]
-            .iter()
-            .map(|&s| format!("{:.3}", times[i][0] / s.max(1e-9)))
-            .collect::<Vec<_>>()
-            .join(", ");
+    json.push_str("  \"workloads\": [\n");
+    for (wi, w) in workloads.iter().enumerate() {
         json.push_str(&format!(
-            "    \"{}\": {{\"seconds\": [{secs_list}], \"speedup\": [{speedups}]}}{}\n",
-            algo.name(),
-            if i + 1 < algos.len() { "," } else { "" }
+            "    {{\"tuples\": {tuples}, \"dims\": 8, \"cardinality\": 100, \"skew\": {}, \
+             \"min_sup\": {min_sup}, \"seed\": {},\n     \"algorithms\": {{\n",
+            w.skew, opt.seed
+        ));
+        for (i, algo) in algos.iter().enumerate() {
+            let r = &w.runs[i];
+            let secs_list = r
+                .engine
+                .iter()
+                .map(|s| format!("{s:.6}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let speedups = r
+                .engine
+                .iter()
+                .map(|&s| format!("{:.3}", r.engine[0] / s.max(1e-9)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            json.push_str(&format!(
+                "       \"{}\": {{\"cells\": {}, \"seq_seconds\": {:.6}, \
+                 \"engine_seconds\": [{secs_list}], \"speedup_vs_1t\": [{speedups}], \
+                 \"unbound_1t_seconds\": {:.6}}}{}\n",
+                algo.name(),
+                r.cells,
+                r.seq,
+                r.unbound_1t,
+                if i + 1 < algos.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "     }}}}{}\n",
+            if wi + 1 < workloads.len() { "," } else { "" }
         ));
     }
-    json.push_str("  }\n}\n");
+    json.push_str("  ]\n}\n");
     let json_note = match std::fs::write("BENCH_parallel.json", &json) {
-        Ok(()) => "Curve written to BENCH_parallel.json.".to_string(),
+        Ok(()) => "Curves written to BENCH_parallel.json.".to_string(),
         Err(e) => format!("(could not write BENCH_parallel.json: {e})"),
     };
 
-    let rows = thread_counts
+    let rows = workloads
         .iter()
-        .enumerate()
-        .map(|(ti, t)| {
-            let cells: Vec<String> = algos
-                .iter()
-                .enumerate()
-                .map(|(ai, _)| {
-                    format!(
-                        "{} ({:.2}x)",
-                        secs(times[ai][ti]),
-                        times[ai][0] / times[ai][ti].max(1e-9)
-                    )
-                })
-                .collect();
-            (t.to_string(), cells)
+        .flat_map(|w| {
+            let skew = w.skew;
+            algos.iter().enumerate().map(move |(ai, algo)| {
+                let r = &w.runs[ai];
+                (
+                    format!("S={skew} {}", algo.name()),
+                    vec![
+                        secs(r.seq),
+                        secs(r.engine[0]),
+                        format!(
+                            "{} ({:.2}x)",
+                            secs(r.engine[2]),
+                            r.engine[0] / r.engine[2].max(1e-9)
+                        ),
+                        secs(r.unbound_1t),
+                    ],
+                )
+            })
         })
         .collect();
     Figure {
         id: "parallel",
         title: format!(
-            "Partition-parallel speedup (T=1000K, D=8, C=100, S=1, M={min_sup}, scale {})",
+            "Partition-parallel engine: uniform vs. skewed (T=1000K, D=8, C=100, M={min_sup}, \
+             scale {})",
             opt.scale
         ),
-        x_label: "Threads".into(),
-        series: names(&algos),
+        x_label: "Workload / algorithm".into(),
+        series: vec![
+            "seq".into(),
+            "engine 1t".into(),
+            "engine 4t".into(),
+            "unbound 1t".into(),
+        ],
         rows,
         notes: format!(
-            "Speedup relative to 1 thread, same engine. Expected shape: near-linear until \
-             the skewed level-0 shard dominates (work stealing across levels hides the \
-             rest). {json_note}"
+            "engine 1t ≈ seq shows the bound entry points eliminating the per-shard \
+             starred-prefix redundancy (compare unbound 1t, the PR-1 shape, ~2x seq for \
+             the iceberg hosts). 4t speedup is relative to engine 1t; recursive shard \
+             splitting keeps it near-linear under Zipf 1.5/2.0 where whole-shard \
+             scheduling flatlines. {json_note}"
         ),
     }
 }

@@ -89,6 +89,28 @@ impl Algo {
         self.run_into(table, min_sup, sink)
     }
 
+    /// Run only the cells binding the first `bound` (constant) group-by
+    /// dimensions — the parallel engine's shard entry point. Iceberg hosts
+    /// use their dedicated `*_bound` entry; closed algorithms have no
+    /// redundancy to skip and run unchanged.
+    pub fn run_bound_into<S: CellSink<()>>(
+        self,
+        table: &Table,
+        bound: usize,
+        min_sup: u64,
+        sink: &mut S,
+    ) {
+        match self {
+            Algo::Buc => ccube_baselines::buc_bound(table, bound, min_sup, sink),
+            Algo::Mm => ccube_mm::mm_cube_bound(table, bound, min_sup, sink),
+            Algo::Star => ccube_star::star_cube_bound(table, bound, min_sup, sink),
+            Algo::StarArray => ccube_star::star_array_cube_bound(table, bound, min_sup, sink),
+            Algo::QcDfs | Algo::CcMm | Algo::CcStar | Algo::CcStarArray => {
+                self.run_into(table, min_sup, sink)
+            }
+        }
+    }
+
     /// Run partition-parallel on `threads` worker threads through
     /// [`ccube_engine`] (`0` = one per CPU).
     pub fn run_parallel<S: CellSink<()>>(
@@ -98,12 +120,23 @@ impl Algo {
         threads: usize,
         sink: &mut S,
     ) {
+        self.run_with_config(table, min_sup, &EngineConfig::with_threads(threads), sink)
+    }
+
+    /// [`Algo::run_parallel`] with full engine configuration.
+    pub fn run_with_config<S: CellSink<()>>(
+        self,
+        table: &Table,
+        min_sup: u64,
+        config: &EngineConfig,
+        sink: &mut S,
+    ) {
         ccube_engine::run_partitioned(
             table,
             min_sup,
-            &EngineConfig::with_threads(threads),
+            config,
             self.is_closed(),
-            |shard, m, out| self.run_into(shard, m, out),
+            |shard, bound, m, out| self.run_bound_into(shard, bound, m, out),
             sink,
         )
     }
@@ -134,6 +167,51 @@ pub fn measure_threads(algo: Algo, table: &Table, min_sup: u64, threads: usize) 
     } else {
         algo.run_parallel(table, min_sup, threads, &mut sink);
     }
+    Measurement {
+        seconds: start.elapsed().as_secs_f64(),
+        cells: sink.cells,
+    }
+}
+
+/// Time one cube computation routed through the parallel engine even at
+/// `threads = 1` (unlike [`measure_threads`], which treats 1 as pure
+/// sequential). This is the number that shows the engine's own overhead —
+/// and the bound-entry-point redundancy elimination — next to `Algo::run`.
+pub fn measure_engine(
+    algo: Algo,
+    table: &Table,
+    min_sup: u64,
+    config: &EngineConfig,
+) -> Measurement {
+    let mut sink = CountingSink::default();
+    let start = Instant::now();
+    algo.run_with_config(table, min_sup, config, &mut sink);
+    Measurement {
+        seconds: start.elapsed().as_secs_f64(),
+        cells: sink.cells,
+    }
+}
+
+/// Time one engine run with the shard cubers deliberately ignoring the
+/// pre-bound dimensions (every shard recomputes its starred-prefix cells and
+/// the [`ccube_engine::ShardedSink`] drops them) — the PR-1 execution shape,
+/// kept as the measurable baseline for the redundancy elimination.
+pub fn measure_engine_unbound(
+    algo: Algo,
+    table: &Table,
+    min_sup: u64,
+    config: &EngineConfig,
+) -> Measurement {
+    let mut sink = CountingSink::default();
+    let start = Instant::now();
+    ccube_engine::run_partitioned(
+        table,
+        min_sup,
+        config,
+        algo.is_closed(),
+        |shard, _bound, m, out| algo.run_into(shard, m, out),
+        &mut sink,
+    );
     Measurement {
         seconds: start.elapsed().as_secs_f64(),
         cells: sink.cells,

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `crossbeam-deque` crate.
+//!
+//! Supports the subset of the crossbeam-deque 0.8 API the workspace's
+//! parallel engine uses: per-worker [`Worker`] deques with LIFO owner access,
+//! [`Stealer`] handles taking from the opposite end, a shared FIFO
+//! [`Injector`], and the three-valued [`Steal`] result.
+//!
+//! Semantics match the real crate (owner pops newest for cache locality,
+//! thieves steal oldest for coarse-grained work), but the implementation is a
+//! `Mutex<VecDeque>` rather than a lock-free Chase–Lev deque: the build
+//! environment is offline, and the engine's tasks are coarse enough (one
+//! shard or sub-shard cubing run each) that queue synchronization is noise.
+//! Swap in the real crate via `[workspace.dependencies]` when network access
+//! exists.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True when the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+/// A worker-owned deque. The owner pushes and pops at the back (LIFO: the
+/// task just split off is the hottest); thieves steal from the front.
+#[derive(Debug)]
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// New empty deque with LIFO owner access.
+    pub fn new_lifo() -> Worker<T> {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Push a task onto the owner end.
+    pub fn push(&self, task: T) {
+        self.inner.lock().expect("deque poisoned").push_back(task);
+    }
+
+    /// Pop the most recently pushed task.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().expect("deque poisoned").pop_back()
+    }
+
+    /// True when no task is queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("deque poisoned").is_empty()
+    }
+
+    /// A handle other workers use to steal from this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Stealing handle of a [`Worker`]: takes the *oldest* task, which under
+/// recursive splitting is the coarsest one still queued.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Attempt to steal one task from the front.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().expect("deque poisoned").pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+/// A shared FIFO queue for seeding work into a pool of workers.
+#[derive(Debug)]
+pub struct Injector<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Injector<T> {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// New empty injector.
+    pub fn new() -> Injector<T> {
+        Injector {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueue a task at the back.
+    pub fn push(&self, task: T) {
+        self.inner
+            .lock()
+            .expect("injector poisoned")
+            .push_back(task);
+    }
+
+    /// Attempt to take the task at the front.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().expect("injector poisoned").pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True when no task is queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("injector poisoned").is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.steal(), Steal::Success("a"));
+        assert_eq!(inj.steal(), Steal::Success("b"));
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn steal_across_threads() {
+        let w = Worker::new_lifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let stealers: Vec<Stealer<i32>> = (0..4).map(|_| w.stealer()).collect();
+        let total: i32 = std::thread::scope(|scope| {
+            let handles: Vec<_> = stealers
+                .into_iter()
+                .map(|s| {
+                    scope.spawn(move || {
+                        let mut sum = 0;
+                        while let Steal::Success(v) = s.steal() {
+                            sum += v;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, (0..1000).sum::<i32>());
+    }
+}

@@ -89,16 +89,19 @@ impl Partitioner {
                 offset += n;
             }
         }
-        // Scatter into scratch, then copy back.
-        self.scratch.clear();
-        self.scratch.resize(tids.len(), 0);
+        // Scatter into scratch, then copy back. Only grow the scratch (never
+        // zero it): every slot below `tids.len()` is written by the scatter.
+        if self.scratch.len() < tids.len() {
+            self.scratch.resize(tids.len(), 0);
+        }
+        let scratch = &mut self.scratch[..tids.len()];
         for &t in tids.iter() {
             let v = table.value(t, d) as usize;
             let pos = self.counts[v];
-            self.scratch[pos as usize] = t;
+            scratch[pos as usize] = t;
             self.counts[v] = pos + 1;
         }
-        tids.copy_from_slice(&self.scratch);
+        tids.copy_from_slice(scratch);
         debug_assert_eq!(
             groups[base..].iter().map(|g| g.len()).sum::<u32>(),
             tids.len() as u32

@@ -112,6 +112,11 @@ impl<A> CellSink<A> for CountingSink {
         self.cells += 1;
         self.count_sum += count;
     }
+
+    fn emit_batch(&mut self, batch: &CellBatch<A>) {
+        self.cells += batch.len() as u64;
+        self.count_sum += batch.counts.iter().sum::<u64>();
+    }
 }
 
 /// Accumulates output size in bytes, modelling the fixed-width record format

@@ -312,10 +312,26 @@ impl Table {
     /// stable ascending `tids` keeps representative-tuple selection
     /// deterministic. Measure columns are gathered along.
     pub fn view(&self, tids: &[TupleId], dim_order: &[usize], cube_dims: usize) -> Table {
+        self.view_in(&mut ViewArena::new(), tids, dim_order, cube_dims)
+    }
+
+    /// [`Table::view`] drawing the large row/measure buffers from `arena`
+    /// instead of the allocator. Return the view to the arena with
+    /// [`ViewArena::reclaim`] once the cubing run over it is done; a worker
+    /// thread then materializes every shard view it processes into the same
+    /// recycled capacity.
+    pub fn view_in(
+        &self,
+        arena: &mut ViewArena,
+        tids: &[TupleId],
+        dim_order: &[usize],
+        cube_dims: usize,
+    ) -> Table {
         debug_assert!(cube_dims >= 1 && cube_dims <= dim_order.len());
         debug_assert!(dim_order.iter().all(|&d| d < self.dims));
         let vdims = dim_order.len();
-        let mut data = Vec::with_capacity(tids.len() * vdims);
+        let mut data = arena.take_u32();
+        data.reserve(tids.len() * vdims);
         for &t in tids {
             let row = self.row(t);
             for &d in dim_order {
@@ -332,12 +348,50 @@ impl Table {
                 .measures
                 .iter()
                 .map(|(name, col)| {
-                    (
-                        name.clone(),
-                        tids.iter().map(|&t| col[t as usize]).collect(),
-                    )
+                    let mut out = arena.take_f64();
+                    out.reserve(tids.len());
+                    out.extend(tids.iter().map(|&t| col[t as usize]));
+                    (name.clone(), out)
                 })
                 .collect(),
+        }
+    }
+}
+
+/// Recycled buffer pool for [`Table::view_in`]: the per-view row gather and
+/// measure gathers are the dominant allocations on the parallel engine's hot
+/// path (one view per shard task), and a per-worker arena turns them into
+/// amortized-free buffer reuse.
+#[derive(Debug, Default)]
+pub struct ViewArena {
+    u32_bufs: Vec<Vec<u32>>,
+    f64_bufs: Vec<Vec<f64>>,
+}
+
+impl ViewArena {
+    /// Fresh, empty arena.
+    pub fn new() -> ViewArena {
+        ViewArena::default()
+    }
+
+    fn take_u32(&mut self) -> Vec<u32> {
+        self.u32_bufs.pop().unwrap_or_default()
+    }
+
+    fn take_f64(&mut self) -> Vec<f64> {
+        self.f64_bufs.pop().unwrap_or_default()
+    }
+
+    /// Take a view's large buffers back into the arena. The view must have
+    /// been produced by [`Table::view_in`] on this or a compatible arena
+    /// (any `Table` works; its buffers are simply absorbed).
+    pub fn reclaim(&mut self, view: Table) {
+        let mut data = view.data;
+        data.clear();
+        self.u32_bufs.push(data);
+        for (_, mut col) in view.measures {
+            col.clear();
+            self.f64_bufs.push(col);
         }
     }
 }

@@ -15,47 +15,82 @@
 //!   first-dimension partitioning BUC-style recursion relies on — done
 //!   zero-copy via [`ccube_core::Table::shard_by_dim`]);
 //! * task `(k, v)` materializes a row view with group-by dimensions
-//!   `perm[k..]` and runs the algorithm on it. Because the view is constant
-//!   on its first dimension, every closed cell it finds binds `perm[k]`;
-//!   iceberg hosts additionally emit `perm[k] = *` cells, which are partial
-//!   aggregates belonging to deeper levels — [`ShardedSink`] filters them;
+//!   `perm[k..]` and runs the algorithm on it with its first dimension
+//!   **pre-bound** (the `run_bound` family): the shard is constant on
+//!   `perm[k]`, so the algorithm computes only the cells the shard owns.
+//!   Iceberg hosts previously recomputed every `perm[k] = *` cell only for
+//!   [`ShardedSink`] to drop it — roughly double work per shard; closed
+//!   cubers never had the redundancy (a cell starring a uniform dimension is
+//!   non-closed) but now share the same entry-point shape;
 //! * the **apex** (all-`*`) cell spans every shard: its count is the row
 //!   count and, for closed cubers, its closedness is re-checked by merging
 //!   the per-shard Closed Masks with the Lemma 3 rule (mask intersection
 //!   plus the representative-tuple equality mask) — the paper's
 //!   aggregation-based checking applied across shard boundaries.
 //!
+//! ## Recursive shard splitting and work stealing
+//!
+//! Under heavy skew the hottest `(0, v)` shard alone can bound the makespan.
+//! When a shard's estimated cost — `tuples × remaining unbound group-by
+//! dimensions` — exceeds [`EngineConfig::split_threshold`], the task does
+//! not run the cuber; it *splits* along its first unbound dimension `d` into
+//! independent sub-tasks:
+//!
+//! * one **sub-shard task** per sufficiently supported value `w` of `d`,
+//!   with `d` additionally pre-bound (`bound + 1` constant dimensions) —
+//!   these own the shard's cells that bind `d = w`;
+//! * one **rest task** over *all* the shard's tuples with `d` removed from
+//!   the group-by dimensions (and carried for closed runs) — it owns the
+//!   shard's cells that star `d`, and may recursively split again along the
+//!   next dimension.
+//!
+//! Sub-tasks go onto the splitting worker's deque (LIFO for locality);
+//! idle workers steal from the opposite end (coarsest task first), so the
+//! critical path shrinks from "hottest shard" to "deepest unsplittable
+//! sub-shard". Because the split decision depends only on shard size and
+//! configuration — never on thread count or timing — the task tree is
+//! deterministic.
+//!
 //! ## Closedness across shards
 //!
-//! A cell of shard `(k, v)` stars every dimension before `perm[k]`; it is
-//! only globally closed if its tuple group is non-uniform on those starred
-//! prefix dimensions, which the shard-local run cannot see through the
-//! group-by dimensions alone. The engine therefore builds closed-cuber views
-//! with the prefix dimensions **carried** ([`ccube_core::Table::view`] with
-//! `cube_dims < dims`): the `(Closed Mask, Representative Tuple ID)` measure
-//! spans carried dimensions, and each cuber unions the carried mask into its
-//! output-time All Masks, so a shard-locally-closed-but-globally-covered
-//! cell is rejected exactly where the sequential run would have rejected it.
+//! A cell of shard `(k, v)` stars every dimension before `perm[k]` (and
+//! every dimension a rest task collapsed); it is only globally closed if its
+//! tuple group is non-uniform on those starred dimensions, which the
+//! shard-local run cannot see through the group-by dimensions alone. The
+//! engine therefore builds closed-cuber views with those dimensions
+//! **carried** ([`ccube_core::Table::view`] with `cube_dims < dims`): the
+//! `(Closed Mask, Representative Tuple ID)` measure spans carried
+//! dimensions, and each cuber unions the carried mask into its output-time
+//! All Masks, so a shard-locally-closed-but-globally-covered cell is
+//! rejected exactly where the sequential run would have rejected it.
 //!
 //! ## Determinism
 //!
 //! Tasks run on however many threads are configured, but each task buffers
-//! its cells into a [`ccube_core::CellBatch`] and batches are merged into
-//! the caller's sink in `(level, value)` order, apex last — the output
-//! *sequence* is identical for 1 thread and for 64.
+//! its cells into a [`ccube_core::CellBatch`] tagged with its *shard path*
+//! (level, value-group, then one index per split), and batches are merged
+//! into the caller's sink in lexicographic path order, apex last — the
+//! output *sequence* is identical for 1 thread and for 64.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use ccube_core::cell::STAR;
 use ccube_core::closedness::ClosedInfo;
+use ccube_core::measure::{CountOnly, MeasureSpec};
 use ccube_core::order::DimOrdering;
-use ccube_core::partition::Group;
+use ccube_core::partition::{Group, Partitioner};
 use ccube_core::sink::{CellBatch, CellSink};
-use ccube_core::table::{Table, TupleId};
+use ccube_core::table::{Table, TupleId, ViewArena};
 use ccube_core::DimMask;
+use crossbeam_deque::{Injector, Steal, Stealer, Worker};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Default [`EngineConfig::split_threshold`]: shards costing more than this
+/// many tuple·dimension units are recursively split. Roughly: a 16k-tuple
+/// shard with one unbound dimension left, or a 2k-tuple shard with eight.
+pub const DEFAULT_SPLIT_THRESHOLD: u64 = 16 * 1024;
 
 /// Configuration of the parallel engine.
 #[derive(Clone, Copy, Debug)]
@@ -66,6 +101,17 @@ pub struct EngineConfig {
     /// partition dimension). Results are identical for every ordering; skew
     /// and cardinality of the leading dimensions drive load balance.
     pub ordering: DimOrdering,
+    /// Estimated-cost threshold above which a shard is split into sub-shard
+    /// tasks instead of being cubed whole. The estimate is
+    /// `tuples × remaining unbound group-by dimensions`. Splitting is what
+    /// lets parallel time track total work instead of the hottest shard
+    /// under skew; `u64::MAX` disables it. The split decision is
+    /// independent of the thread count, so with a *fixed* threshold the
+    /// result set **and** its emission order are identical at every thread
+    /// count. Changing the threshold re-groups the emission sequence (a
+    /// split shard's cells merge per sub-task path); the cell set itself is
+    /// invariant.
+    pub split_threshold: u64,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +119,7 @@ impl Default for EngineConfig {
         EngineConfig {
             threads: 0,
             ordering: DimOrdering::Original,
+            split_threshold: DEFAULT_SPLIT_THRESHOLD,
         }
     }
 }
@@ -99,13 +146,15 @@ impl EngineConfig {
 
 /// Per-shard output collector: implements [`CellSink`] for the shard-local
 /// algorithm run and reconciles shard-local cells into global ones —
-/// star-prefixing and dimension-unmapping each cell, and dropping the
-/// `perm[k] = *` cells an iceberg host emits for tuples it can only see
-/// partially (those span shard boundaries and are owned by deeper levels;
-/// closed cubers never emit them because the shard is uniform on `perm[k]`).
-pub struct ShardedSink {
+/// star-prefixing and dimension-unmapping each cell, and dropping any cell
+/// that stars one of the shard's pre-bound dimensions (an algorithm ignoring
+/// the `bound` hint emits those for tuples it can only see partially; they
+/// span shard boundaries and are owned by other tasks; bound-aware
+/// algorithms never compute them, and closed cubers never emit them because
+/// the shard is uniform on its bound dimensions).
+pub struct ShardedSink<A = ()> {
     /// Reconciled cells in the base table's dimension order.
-    batch: CellBatch<()>,
+    batch: CellBatch<A>,
     /// Scratch holding the global cell under construction (all `*` between
     /// emissions).
     global: Vec<u32>,
@@ -113,15 +162,19 @@ pub struct ShardedSink {
     dim_map: Vec<usize>,
     /// Whether the algorithm emits only closed cells (no filtering needed).
     closed: bool,
+    /// Leading view dimensions that are pre-bound for this task.
+    bound: usize,
 }
 
-impl ShardedSink {
-    fn new(dims: usize, dim_map: Vec<usize>, closed: bool) -> ShardedSink {
+impl<A> ShardedSink<A> {
+    fn new(dims: usize, dim_map: Vec<usize>, closed: bool, bound: usize) -> ShardedSink<A> {
+        debug_assert!(bound <= dim_map.len());
         ShardedSink {
             batch: CellBatch::new(dims),
             global: vec![STAR; dims],
             dim_map,
             closed,
+            bound,
         }
     }
 
@@ -136,55 +189,85 @@ impl ShardedSink {
     }
 }
 
-impl CellSink<()> for ShardedSink {
-    fn emit(&mut self, cell: &[u32], count: u64, _acc: &()) {
+impl<A: Clone> CellSink<A> for ShardedSink<A> {
+    fn emit(&mut self, cell: &[u32], count: u64, acc: &A) {
         debug_assert_eq!(cell.len(), self.dim_map.len());
-        if cell[0] == STAR {
-            // Partial aggregate of a deeper level (iceberg hosts only).
+        if cell[..self.bound].contains(&STAR) {
+            // Partial aggregate owned by another task (emitted only by
+            // algorithms that ignore the `bound` hint).
             debug_assert!(!self.closed, "closed cuber emitted a shard-spanning cell");
             return;
         }
         for (i, &v) in cell.iter().enumerate() {
             self.global[self.dim_map[i]] = v;
         }
-        self.batch.push(&self.global, count, ());
+        self.batch.push(&self.global, count, acc.clone());
         for &d in &self.dim_map {
             self.global[d] = STAR;
         }
     }
 }
 
-/// One schedulable unit: level `k`, one value-group of `perm[k]`.
+/// One schedulable unit: a shard of the cube's output cells, identified by
+/// its path in the split tree.
 struct Task {
-    level: usize,
-    /// Index of the group within its level (deterministic output order).
-    group: usize,
-    /// Range into the level's sorted tuple-ID permutation.
-    start: usize,
-    end: usize,
+    /// `[level, value-group, split-child, split-child, ...]` — lexicographic
+    /// path order is the deterministic output order.
+    path: Vec<u32>,
+    /// The shard's tuples (base-table IDs, ascending per the stable
+    /// partitioning, which keeps representative-tuple selection
+    /// deterministic).
+    tids: Vec<TupleId>,
+    /// Base-table dimensions forming the view's group-by set; the first
+    /// [`Task::bound`] of them are constant over [`Task::tids`].
+    group_dims: Vec<usize>,
+    /// Dimensions carried for cross-shard closedness (closed runs only):
+    /// the engine-level starred prefix plus every dimension a rest task
+    /// collapsed on the way here.
+    carried: Vec<usize>,
+    /// Leading group-by dimensions that are pre-bound.
+    bound: usize,
     /// Run the cuber (false for level-0 groups below `min_sup`, which exist
     /// only to contribute their Closed Mask to the apex reconciliation).
     cube: bool,
+    /// Compute the shard closedness summary over the task's tuples (level-0
+    /// tasks of closed runs) — the input to the cross-shard apex merge.
+    want_info: bool,
 }
 
-struct TaskOutput {
-    batch: CellBatch<()>,
-    /// Shard closedness summary over base-table tuple IDs (level 0, closed
-    /// runs only) — the input to the cross-shard apex merge.
+impl Task {
+    /// Scheduling cost estimate: tuples × remaining unbound group-by
+    /// dimensions. Drives both LPT seeding and the split decision. (PR 1
+    /// ordered by tuple count alone, which under-weighs low levels: a
+    /// level-0 shard recurses over every dimension, a level-`D-1` shard over
+    /// one.)
+    fn cost(&self) -> u64 {
+        self.tids.len() as u64 * (self.group_dims.len() - self.bound).max(1) as u64
+    }
+}
+
+/// One completed task's contribution to the merged output.
+struct TaskOutput<A> {
+    path: Vec<u32>,
+    batch: CellBatch<A>,
     shard_info: Option<ClosedInfo>,
 }
 
-/// Run `algo` partition-parallel over `table` and emit the exact sequential
-/// result set into `sink`.
+/// Count-only [`run_partitioned_with`]: run `algo` partition-parallel over
+/// `table` and emit the exact sequential result set into `sink`.
 ///
 /// `closed` declares whether `algo` emits only closed cells (the C-Cubing
 /// variants and QC-DFS): closed runs get carried-dimension views and apex
 /// closedness reconciliation; iceberg runs get plain suffix views and
-/// first-dimension filtering.
+/// pre-bound-dimension filtering.
 ///
-/// `algo` is invoked once per shard with a view of the base table (see
-/// [`ccube_core::Table::view`]) and must emit every qualifying cell of that
-/// view into the given [`ShardedSink`].
+/// `algo` is invoked once per (sub-)shard with a view of the base table (see
+/// [`ccube_core::Table::view`]) whose first `bound` group-by dimensions are
+/// constant, and must emit every qualifying cell *binding those dimensions*
+/// into the given [`ShardedSink`] — the `run_bound` entry points do exactly
+/// that. An algorithm that ignores `bound` and emits every cell of the view
+/// stays correct (the sink drops foreign cells) but wastes the redundancy
+/// the bound entry points eliminate.
 pub fn run_partitioned<F, S>(
     table: &Table,
     min_sup: u64,
@@ -193,8 +276,28 @@ pub fn run_partitioned<F, S>(
     algo: F,
     sink: &mut S,
 ) where
-    F: Fn(&Table, u64, &mut ShardedSink) + Sync,
+    F: Fn(&Table, usize, u64, &mut ShardedSink) + Sync,
     S: CellSink<()> + ?Sized,
+{
+    run_partitioned_with(table, min_sup, config, closed, &CountOnly, algo, sink)
+}
+
+/// Run `algo` partition-parallel over `table`, carrying the complex-measure
+/// accumulators of `spec`, and emit the exact sequential result set into
+/// `sink`. See [`run_partitioned`] for the contract on `algo` and `closed`.
+pub fn run_partitioned_with<M, F, S>(
+    table: &Table,
+    min_sup: u64,
+    config: &EngineConfig,
+    closed: bool,
+    spec: &M,
+    algo: F,
+    sink: &mut S,
+) where
+    M: MeasureSpec + Sync,
+    M::Acc: Send,
+    F: Fn(&Table, usize, u64, &mut ShardedSink<M::Acc>) + Sync,
+    S: CellSink<M::Acc> + ?Sized,
 {
     assert!(min_sup >= 1, "min_sup must be at least 1");
     assert_eq!(
@@ -209,87 +312,55 @@ pub fn run_partitioned<F, S>(
     let dims = table.dims();
     let perm = config.ordering.permutation(table);
 
-    // Per-level zero-copy shards of the full table.
-    let levels: Vec<(Vec<TupleId>, Vec<Group>)> =
-        (0..dims).map(|k| table.shard_by_dim(perm[k])).collect();
-
-    let mut tasks: Vec<Task> = Vec::new();
-    for (k, (_, groups)) in levels.iter().enumerate() {
+    // Seed tasks: one per (level, value) shard of the full table.
+    let mut seeds: Vec<Task> = Vec::new();
+    for (k, &dim) in perm.iter().enumerate() {
+        let (tids, groups) = table.shard_by_dim(dim);
         for (gi, g) in groups.iter().enumerate() {
             let cube = u64::from(g.len()) >= min_sup;
-            if cube || (k == 0 && closed) {
-                tasks.push(Task {
-                    level: k,
-                    group: gi,
-                    start: g.start as usize,
-                    end: g.end as usize,
+            let want_info = closed && k == 0;
+            if cube || want_info {
+                seeds.push(Task {
+                    path: vec![k as u32, gi as u32],
+                    tids: tids[g.range()].to_vec(),
+                    group_dims: perm[k..].to_vec(),
+                    carried: if closed {
+                        perm[..k].to_vec()
+                    } else {
+                        Vec::new()
+                    },
+                    bound: 1,
                     cube,
+                    want_info,
                 });
             }
         }
     }
 
-    // Largest first: the heaviest shard starts earliest, bounding makespan
-    // under skew (LPT scheduling). Output order is restored afterwards.
-    let mut order: Vec<usize> = (0..tasks.len()).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(tasks[i].end - tasks[i].start));
+    // Largest first: the heaviest shard is examined (and, if oversized,
+    // split) earliest, bounding makespan under skew — LPT scheduling with
+    // the tuples × remaining-dimensions estimate. Output order is restored
+    // from shard paths afterwards.
+    seeds.sort_by_key(|t| std::cmp::Reverse(t.cost()));
 
-    let run_task = |task: &Task| -> TaskOutput {
-        let k = task.level;
-        let tids = &levels[k].0[task.start..task.end];
-        let shard_info = (closed && k == 0)
-            .then(|| ClosedInfo::of_group(table, tids).expect("partition groups are non-empty"));
-        // Group-by dims = perm[k..]; closed runs carry the starred prefix.
-        let mut dim_order: Vec<usize> = perm[k..].to_vec();
-        if closed {
-            dim_order.extend_from_slice(&perm[..k]);
-        }
-        let mut out = ShardedSink::new(dims, perm[k..].to_vec(), closed);
-        if task.cube {
-            let view = table.view(tids, &dim_order, dims - k);
-            algo(&view, min_sup, &mut out);
-        }
-        TaskOutput {
-            batch: out.batch,
-            shard_info,
-        }
+    let ctx = Ctx {
+        table,
+        min_sup,
+        config,
+        closed,
+        algo: &algo,
     };
-
-    let threads = config.effective_threads().min(tasks.len().max(1));
-    let results: Vec<Option<TaskOutput>> = if threads <= 1 {
-        tasks.iter().map(|t| Some(run_task(t))).collect()
+    let threads = config.effective_threads().min(seeds.len().max(1));
+    let mut outputs: Vec<TaskOutput<M::Acc>> = if threads <= 1 {
+        ctx.run_sequential(seeds)
     } else {
-        let slots: Vec<Mutex<Option<TaskOutput>>> =
-            tasks.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= order.len() {
-                        break;
-                    }
-                    let ti = order[i];
-                    let out = run_task(&tasks[ti]);
-                    *slots[ti].lock().expect("task slot poisoned") = Some(out);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("task slot poisoned"))
-            .collect()
+        ctx.run_pool(seeds, threads)
     };
+    outputs.sort_by(|a, b| a.path.cmp(&b.path));
 
-    // ---- Merge: deterministic (level, value) order, apex last.
+    // ---- Merge: deterministic lexicographic shard-path order, apex last.
     let mut apex_info: Option<ClosedInfo> = None;
-    let mut outputs: Vec<(usize, usize, TaskOutput)> = results
-        .into_iter()
-        .zip(tasks.iter())
-        .map(|(out, t)| (t.level, t.group, out.expect("every task ran")))
-        .collect();
-    outputs.sort_by_key(|&(level, group, _)| (level, group));
-    for (_, _, out) in &outputs {
+    for out in &outputs {
         if !out.batch.is_empty() {
             sink.emit_batch(&out.batch);
         }
@@ -314,7 +385,234 @@ pub fn run_partitioned<F, S>(
     };
     if emit_apex {
         let apex = vec![STAR; dims];
-        sink.emit(&apex, n, &());
+        let mut acc = spec.unit(table, 0);
+        for t in 1..table.rows() as TupleId {
+            let unit = spec.unit(table, t);
+            spec.merge(&mut acc, &unit);
+        }
+        sink.emit(&apex, n, &acc);
+    }
+}
+
+/// Everything a worker needs to process tasks. The measure spec itself
+/// lives inside the `algo` closure; the engine only moves accumulators.
+struct Ctx<'a, F> {
+    table: &'a Table,
+    min_sup: u64,
+    config: &'a EngineConfig,
+    closed: bool,
+    algo: &'a F,
+}
+
+/// Per-worker reusable scratch.
+#[derive(Default)]
+struct Scratch {
+    arena: ViewArena,
+    partitioner: Partitioner,
+    groups: Vec<Group>,
+}
+
+impl<'a, F> Ctx<'a, F> {
+    /// Process one task: either run the cuber over its view, or split it
+    /// into `children`. Completed output (if any) is pushed onto `outputs`.
+    fn process<A>(
+        &self,
+        mut task: Task,
+        scratch: &mut Scratch,
+        outputs: &mut Vec<TaskOutput<A>>,
+        children: &mut Vec<Task>,
+    ) where
+        F: Fn(&Table, usize, u64, &mut ShardedSink<A>) + Sync,
+        A: Send,
+    {
+        let dims = self.table.dims();
+        let shard_info = task
+            .want_info
+            .then(|| ClosedInfo::of_group(self.table, &task.tids).expect("tasks are non-empty"));
+        if !task.cube {
+            outputs.push(TaskOutput {
+                path: task.path,
+                batch: CellBatch::new(dims),
+                shard_info,
+            });
+            return;
+        }
+
+        let remaining = task.group_dims.len() - task.bound;
+        if remaining >= 2 && task.cost() > self.config.split_threshold {
+            // ---- Split along the first unbound dimension.
+            if shard_info.is_some() {
+                outputs.push(TaskOutput {
+                    path: task.path.clone(),
+                    batch: CellBatch::new(dims),
+                    shard_info,
+                });
+            }
+            let split_dim = task.group_dims[task.bound];
+            scratch.groups.clear();
+            scratch.partitioner.partition(
+                self.table,
+                split_dim,
+                &mut task.tids,
+                &mut scratch.groups,
+            );
+            for (gi, g) in scratch.groups.iter().enumerate() {
+                if u64::from(g.len()) < self.min_sup {
+                    continue; // Apriori: no owned cell can reach min_sup.
+                }
+                let mut path = task.path.clone();
+                path.push(gi as u32);
+                children.push(Task {
+                    path,
+                    tids: task.tids[g.range()].to_vec(),
+                    group_dims: task.group_dims.clone(),
+                    carried: task.carried.clone(),
+                    bound: task.bound + 1,
+                    cube: true,
+                    want_info: false,
+                });
+            }
+            // The rest task owns the shard's cells starring `split_dim`: all
+            // the shard's tuples, `split_dim` out of the group-by set and
+            // carried for closed runs (a rest-cell uniform on it is covered
+            // by a sub-shard's cell and must be rejected).
+            let mut path = task.path;
+            path.push(scratch.groups.len() as u32);
+            let mut group_dims = task.group_dims;
+            group_dims.remove(task.bound);
+            let mut carried = task.carried;
+            if self.closed {
+                carried.push(split_dim);
+            }
+            children.push(Task {
+                path,
+                tids: task.tids,
+                group_dims,
+                carried,
+                bound: task.bound,
+                cube: true,
+                want_info: false,
+            });
+            return;
+        }
+
+        // ---- Run the cuber over the shard view.
+        let mut dim_order = task.group_dims.clone();
+        dim_order.extend_from_slice(&task.carried);
+        let view = self.table.view_in(
+            &mut scratch.arena,
+            &task.tids,
+            &dim_order,
+            task.group_dims.len(),
+        );
+        let mut out = ShardedSink::new(dims, task.group_dims, self.closed, task.bound);
+        (self.algo)(&view, task.bound, self.min_sup, &mut out);
+        scratch.arena.reclaim(view);
+        outputs.push(TaskOutput {
+            path: task.path,
+            batch: out.batch,
+            shard_info,
+        });
+    }
+
+    fn run_sequential<A>(&self, seeds: Vec<Task>) -> Vec<TaskOutput<A>>
+    where
+        F: Fn(&Table, usize, u64, &mut ShardedSink<A>) + Sync,
+        A: Send,
+    {
+        let mut outputs = Vec::with_capacity(seeds.len());
+        let mut scratch = Scratch::default();
+        let mut stack = seeds;
+        let mut children = Vec::new();
+        while let Some(task) = stack.pop() {
+            self.process(task, &mut scratch, &mut outputs, &mut children);
+            stack.append(&mut children);
+        }
+        outputs
+    }
+
+    fn run_pool<A>(&self, seeds: Vec<Task>, threads: usize) -> Vec<TaskOutput<A>>
+    where
+        F: Fn(&Table, usize, u64, &mut ShardedSink<A>) + Sync,
+        A: Send,
+    {
+        let injector: Injector<Task> = Injector::new();
+        let pending = AtomicUsize::new(seeds.len());
+        for task in seeds {
+            injector.push(task);
+        }
+        let workers: Vec<Worker<Task>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<Task>> = workers.iter().map(Worker::stealer).collect();
+        let results: Mutex<Vec<TaskOutput<A>>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for (wi, worker) in workers.into_iter().enumerate() {
+                let injector = &injector;
+                let pending = &pending;
+                let stealers = &stealers;
+                let results = &results;
+                scope.spawn(move || {
+                    let mut scratch = Scratch::default();
+                    let mut outputs: Vec<TaskOutput<A>> = Vec::new();
+                    let mut children: Vec<Task> = Vec::new();
+                    // Consecutive empty scans; drives the idle backoff so a
+                    // long tail task doesn't have the other workers hammering
+                    // its deque mutex (and a core) while they wait.
+                    let mut idle_scans = 0u32;
+                    loop {
+                        let task =
+                            worker
+                                .pop()
+                                .or_else(|| injector.steal().success())
+                                .or_else(|| {
+                                    stealers
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|&(si, _)| si != wi)
+                                        .find_map(|(_, s)| match s.steal() {
+                                            Steal::Success(t) => Some(t),
+                                            _ => None,
+                                        })
+                                });
+                        match task {
+                            Some(task) => {
+                                idle_scans = 0;
+                                self.process(task, &mut scratch, &mut outputs, &mut children);
+                                if !children.is_empty() {
+                                    // Count children before retiring the
+                                    // parent so `pending` can never dip to
+                                    // zero with work still queued.
+                                    pending.fetch_add(children.len(), Ordering::SeqCst);
+                                    for child in children.drain(..) {
+                                        worker.push(child);
+                                    }
+                                }
+                                pending.fetch_sub(1, Ordering::SeqCst);
+                            }
+                            None => {
+                                if pending.load(Ordering::SeqCst) == 0 {
+                                    break;
+                                }
+                                idle_scans += 1;
+                                if idle_scans < 16 {
+                                    std::thread::yield_now();
+                                } else {
+                                    // Still-idle worker: sleep briefly (new
+                                    // work appears only when a running task
+                                    // splits, which takes far longer than
+                                    // this nap).
+                                    std::thread::sleep(std::time::Duration::from_micros(100));
+                                }
+                            }
+                        }
+                    }
+                    results
+                        .lock()
+                        .expect("result collection poisoned")
+                        .append(&mut outputs);
+                });
+            }
+        });
+        results.into_inner().expect("result collection poisoned")
     }
 }
 
@@ -336,7 +634,7 @@ mod tests {
                 min_sup,
                 &EngineConfig::with_threads(threads),
                 true,
-                ccube_star::c_cubing_star,
+                |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
                 sink,
             )
         })
@@ -372,7 +670,7 @@ mod tests {
     }
 
     #[test]
-    fn matches_sequential_iceberg_buc() {
+    fn matches_sequential_iceberg_buc_bound() {
         let t = SyntheticSpec::uniform(300, 4, 5, 0.5, 9).generate();
         for min_sup in [1, 2, 4] {
             let want = collect_counts(|s| ccube_baselines::buc(&t, min_sup, s));
@@ -383,11 +681,65 @@ mod tests {
                         min_sup,
                         &EngineConfig::with_threads(threads),
                         false,
-                        ccube_baselines::buc,
+                        ccube_baselines::buc_bound,
                         sink,
                     )
                 });
                 assert_eq!(got, want, "threads={threads} min_sup={min_sup}");
+            }
+        }
+    }
+
+    #[test]
+    fn bound_oblivious_algorithms_stay_correct() {
+        // An algorithm that ignores the `bound` hint re-derives the dropped
+        // prefix cells; the sink must filter them even under splitting.
+        let t = SyntheticSpec::uniform(300, 4, 5, 1.5, 9).generate();
+        let want = collect_counts(|s| ccube_baselines::buc(&t, 2, s));
+        for threads in [1, 2] {
+            let config = EngineConfig {
+                threads,
+                split_threshold: 32,
+                ..EngineConfig::default()
+            };
+            let got = collect_counts(|sink| {
+                run_partitioned(
+                    &t,
+                    2,
+                    &config,
+                    false,
+                    |view, _bound, m, out| ccube_baselines::buc(view, m, out),
+                    sink,
+                )
+            });
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn splitting_matches_unsplit_results() {
+        let t = SyntheticSpec::uniform(500, 4, 6, 2.0, 11).generate();
+        for min_sup in [1, 2, 8] {
+            let want = collect_counts(|s| ccube_star::c_cubing_star(&t, min_sup, s));
+            for threshold in [1, 16, 256, u64::MAX] {
+                for threads in [1, 4] {
+                    let config = EngineConfig {
+                        threads,
+                        split_threshold: threshold,
+                        ..EngineConfig::default()
+                    };
+                    let got = collect_counts(|sink| {
+                        run_partitioned(
+                            &t,
+                            min_sup,
+                            &config,
+                            true,
+                            |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
+                            sink,
+                        )
+                    });
+                    assert_eq!(got, want, "threshold={threshold} threads={threads}");
+                }
             }
         }
     }
@@ -412,26 +764,69 @@ mod tests {
     #[test]
     fn deterministic_output_sequence_across_thread_counts() {
         let t = SyntheticSpec::uniform(250, 3, 5, 1.0, 5).generate();
-        let trace = |threads: usize| {
+        let trace = |threads: usize, threshold: u64| {
             let mut cells: Vec<(Vec<u32>, u64)> = Vec::new();
             {
                 let mut sink = ccube_core::sink::FnSink(|cell: &[u32], count: u64, _: &()| {
                     cells.push((cell.to_vec(), count));
                 });
+                let config = EngineConfig {
+                    threads,
+                    split_threshold: threshold,
+                    ..EngineConfig::default()
+                };
                 run_partitioned(
                     &t,
                     2,
-                    &EngineConfig::with_threads(threads),
+                    &config,
                     true,
-                    ccube_mm::c_cubing_mm,
+                    |view, _bound, m, out| ccube_mm::c_cubing_mm(view, m, out),
                     &mut sink,
                 );
             }
             cells
         };
-        let one = trace(1);
-        assert_eq!(one, trace(2));
-        assert_eq!(one, trace(8));
+        for threshold in [64, DEFAULT_SPLIT_THRESHOLD] {
+            let one = trace(1, threshold);
+            assert_eq!(one, trace(2, threshold), "threshold={threshold}");
+            assert_eq!(one, trace(8, threshold), "threshold={threshold}");
+        }
+    }
+
+    #[test]
+    fn measures_ride_through_the_engine() {
+        use ccube_core::measure::ColumnStats;
+        let t = SyntheticSpec::uniform(300, 4, 5, 1.0, 6).generate_with_measure("m");
+        let spec = ColumnStats { column: 0 };
+        let mut want = CollectSink::default();
+        ccube_mm::c_cubing_mm_with(&t, 2, ccube_mm::MmConfig::default(), &spec, &mut want);
+        for threads in [1, 4] {
+            let config = EngineConfig {
+                threads,
+                split_threshold: 128,
+                ..EngineConfig::default()
+            };
+            let mut got = CollectSink::default();
+            run_partitioned_with(
+                &t,
+                2,
+                &config,
+                true,
+                &spec,
+                |view, _bound, m, out| {
+                    ccube_mm::c_cubing_mm_with(view, m, ccube_mm::MmConfig::default(), &spec, out)
+                },
+                &mut got,
+            );
+            assert_eq!(got.cells.len(), want.cells.len(), "threads={threads}");
+            for (cell, (n, agg)) in &want.cells {
+                let (n2, agg2) = &got.cells[cell];
+                assert_eq!(n, n2, "count mismatch at {cell}");
+                assert!((agg.sum - agg2.sum).abs() < 1e-9, "sum mismatch at {cell}");
+                assert_eq!(agg.min, agg2.min, "min mismatch at {cell}");
+                assert_eq!(agg.max, agg2.max, "max mismatch at {cell}");
+            }
+        }
     }
 
     #[test]
@@ -444,7 +839,7 @@ mod tests {
             5,
             &EngineConfig::default(),
             false,
-            ccube_star::star_cube,
+            ccube_star::star_cube_bound,
             &mut sink,
         );
         assert!(sink.is_empty());
@@ -469,9 +864,10 @@ mod tests {
                     &EngineConfig {
                         threads: 2,
                         ordering,
+                        split_threshold: 200,
                     },
                     true,
-                    ccube_star::c_cubing_star_array,
+                    |view, _bound, m, out| ccube_star::c_cubing_star_array(view, m, out),
                     sink,
                 )
             });

@@ -41,7 +41,31 @@ where
     M: MeasureSpec,
     S: CellSink<M::Acc>,
 {
-    run::<false, M, S>(table, min_sup, config, spec, sink)
+    run::<false, M, S>(table, 0, min_sup, config, spec, sink)
+}
+
+/// [`mm_cube_with`] with the first `bound` group-by dimensions *pre-bound*:
+/// the table must be constant on each of them, and only cells binding all of
+/// them are emitted. The bound dimensions never enter the subspace
+/// factorization — they are fixed before the first classification — so a
+/// parallel shard pays nothing for the cells other shards own.
+pub fn mm_cube_bound_with<M, S>(
+    table: &Table,
+    bound: usize,
+    min_sup: u64,
+    config: MmConfig,
+    spec: &M,
+    sink: &mut S,
+) where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
+    run::<false, M, S>(table, bound, min_sup, config, spec, sink)
+}
+
+/// Count-only convenience wrapper around [`mm_cube_bound_with`].
+pub fn mm_cube_bound<S: CellSink<()>>(table: &Table, bound: usize, min_sup: u64, sink: &mut S) {
+    mm_cube_bound_with(table, bound, min_sup, MmConfig::default(), &CountOnly, sink)
 }
 
 /// MM-Cubing with measure `count` only.
@@ -55,7 +79,7 @@ where
     M: MeasureSpec,
     S: CellSink<M::Acc>,
 {
-    run::<true, M, S>(table, min_sup, config, spec, sink)
+    run::<true, M, S>(table, 0, min_sup, config, spec, sink)
 }
 
 /// C-Cubing(MM) with measure `count` only.
@@ -65,6 +89,7 @@ pub fn c_cubing_mm<S: CellSink<()>>(table: &Table, min_sup: u64, sink: &mut S) {
 
 fn run<const CLOSED: bool, M, S>(
     table: &Table,
+    bound: usize,
     min_sup: u64,
     config: MmConfig,
     spec: &M,
@@ -75,13 +100,15 @@ fn run<const CLOSED: bool, M, S>(
 {
     assert!(min_sup >= 1, "min_sup must be at least 1");
     assert!(config.max_array_cells >= 1);
+    assert!(bound <= table.cube_dims(), "bound exceeds group-by dims");
     if (table.rows() as u64) < min_sup {
         return;
     }
     let mut tids = table.all_tids();
     // Only the group-by dimensions are cubed; carried dimensions participate
-    // in closedness through the full-width masks of `ClosedInfo`.
-    let unfixed: Vec<usize> = (0..table.cube_dims()).collect();
+    // in closedness through the full-width masks of `ClosedInfo`. Pre-bound
+    // dimensions are fixed up front and excluded from the factorization.
+    let unfixed: Vec<usize> = (bound..table.cube_dims()).collect();
     let mut st = State {
         table,
         min_sup,
@@ -93,7 +120,17 @@ fn run<const CLOSED: bool, M, S>(
         scratch: FreqScratch::new(table),
         cell: vec![STAR; table.cube_dims()],
     };
-    st.level::<CLOSED>(&mut tids, &unfixed, DimMask::EMPTY);
+    let mut fixed = DimMask::EMPTY;
+    for d in 0..bound {
+        let v = table.value(0, d);
+        debug_assert!(
+            tids.iter().all(|&t| table.value(t, d) == v),
+            "pre-bound dimension {d} is not constant"
+        );
+        st.cell[d] = v;
+        fixed.insert(d);
+    }
+    st.level::<CLOSED>(&mut tids, &unfixed, fixed);
 }
 
 struct State<'a, M: MeasureSpec, S> {
@@ -172,7 +209,7 @@ where
                 groups.clear();
                 self.partitioner.partition(self.table, d, tids, &mut groups);
                 let sub_unfixed: Vec<usize> = unfixed.iter().copied().filter(|&x| x != d).collect();
-                for g in groups.clone() {
+                for &g in &groups {
                     if u64::from(g.len()) < self.min_sup {
                         continue;
                     }

@@ -8,8 +8,9 @@
 //! dimension of the cell determines which collapse owns it. A single
 //! depth-first traversal of the parent constructs all child trees
 //! simultaneously (*multiway aggregation*): when the DFS visits a node at
-//! depth `j`, the node's aggregate `(count, closedness)` merges into the
-//! under-construction child tree of every ancestor at depth `≤ j - 2`.
+//! depth `j`, the node's aggregate `(count, closedness, measures)` merges
+//! into the under-construction child tree of every ancestor at depth
+//! `≤ j - 2`.
 //!
 //! Pruning, all while still feeding ancestor merges:
 //! * iceberg: a node with `count < min_sup` can emit nothing below and
@@ -19,32 +20,79 @@
 //! * closed pruning (CLOSED only): `closed_mask ∩ tree_mask ≠ ∅` kills all
 //!   outputs below (Lemma 5), and a child tree is not even created when the
 //!   mask already covers the to-be-collapsed dimension (Lemma 6 — the
-//!   single-path rule — generalized exactly by the full-width mask).
+//!   single-path rule — generalized exactly by the full-width mask);
+//! * pre-bound dimensions (the `_bound` entry points): a collapse of a
+//!   dimension `< bound` would star it, so those child trees are never
+//!   derived and the depth-`m-1` emission is suppressed when it would star
+//!   a bound dimension — the shard computes only the cells it owns.
 
 use crate::tree::{Node, Tree};
 use ccube_core::cell::STAR;
+use ccube_core::measure::{CountOnly, MeasureSpec};
 use ccube_core::sink::CellSink;
 use ccube_core::table::Table;
 
 /// Star-Cubing: plain iceberg cube.
 pub fn star_cube<S: CellSink<()>>(table: &Table, min_sup: u64, sink: &mut S) {
-    run::<false, S>(table, min_sup, sink)
+    run::<false, CountOnly, S>(table, 0, min_sup, &CountOnly, sink)
+}
+
+/// Star-Cubing carrying the measures of `spec`.
+pub fn star_cube_with<M, S>(table: &Table, min_sup: u64, spec: &M, sink: &mut S)
+where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
+    run::<false, M, S>(table, 0, min_sup, spec, sink)
+}
+
+/// [`star_cube_with`] with the first `bound` group-by dimensions
+/// *pre-bound*: the table must be constant on each of them, and only cells
+/// binding all of them are emitted (the parallel engine's shard entry
+/// point — no work is spent on the starred-prefix cells other shards own).
+pub fn star_cube_bound_with<M, S>(table: &Table, bound: usize, min_sup: u64, spec: &M, sink: &mut S)
+where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
+    run::<false, M, S>(table, bound, min_sup, spec, sink)
+}
+
+/// Count-only convenience wrapper around [`star_cube_bound_with`].
+pub fn star_cube_bound<S: CellSink<()>>(table: &Table, bound: usize, min_sup: u64, sink: &mut S) {
+    star_cube_bound_with(table, bound, min_sup, &CountOnly, sink)
 }
 
 /// C-Cubing(Star): closed iceberg cube with closed pruning.
 pub fn c_cubing_star<S: CellSink<()>>(table: &Table, min_sup: u64, sink: &mut S) {
-    run::<true, S>(table, min_sup, sink)
+    run::<true, CountOnly, S>(table, 0, min_sup, &CountOnly, sink)
 }
 
-fn run<const CLOSED: bool, S: CellSink<()>>(table: &Table, min_sup: u64, sink: &mut S) {
+/// C-Cubing(Star) carrying the measures of `spec`.
+pub fn c_cubing_star_with<M, S>(table: &Table, min_sup: u64, spec: &M, sink: &mut S)
+where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
+    run::<true, M, S>(table, 0, min_sup, spec, sink)
+}
+
+fn run<const CLOSED: bool, M, S>(table: &Table, bound: usize, min_sup: u64, spec: &M, sink: &mut S)
+where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
     assert!(min_sup >= 1, "min_sup must be at least 1");
+    assert!(bound <= table.cube_dims(), "bound exceeds group-by dims");
     if (table.rows() as u64) < min_sup {
         return;
     }
-    let base = build_base::<CLOSED>(table, min_sup);
+    let base = build_base::<CLOSED, M>(table, min_sup, spec);
     let mut ctx = Ctx {
         table,
         min_sup,
+        bound,
+        spec,
         sink,
     };
     ctx.process::<CLOSED>(base);
@@ -58,7 +106,11 @@ fn run<const CLOSED: bool, S: CellSink<()>>(table: &Table, min_sup: u64, sink: &
 /// parallel engine's sharding rather than in a child-tree derivation — so
 /// Lemma 5 pruning and every output-time All Mask account for them with no
 /// further changes.
-fn build_base<const CLOSED: bool>(table: &Table, min_sup: u64) -> Tree {
+fn build_base<const CLOSED: bool, M: MeasureSpec>(
+    table: &Table,
+    min_sup: u64,
+    spec: &M,
+) -> Tree<M::Acc> {
     let cube = table.cube_dims();
     let starred: Vec<Vec<bool>> = (0..cube)
         .map(|d| {
@@ -74,6 +126,7 @@ fn build_base<const CLOSED: bool>(table: &Table, min_sup: u64) -> Tree {
         (0..cube).collect(),
         table.carried_mask(),
         vec![STAR; cube],
+        spec.unit(table, 0),
     );
     let mut path = vec![0u32; cube];
     for (t, row) in table.iter_rows() {
@@ -84,34 +137,44 @@ fn build_base<const CLOSED: bool>(table: &Table, min_sup: u64) -> Tree {
                 row[d]
             };
         }
-        tree.insert_tuple_path(table, &path, t, CLOSED);
+        tree.insert_tuple_path(table, spec, &path, t, CLOSED);
     }
     tree
 }
 
-struct Ctx<'a, S> {
+struct Ctx<'a, M: MeasureSpec, S> {
     table: &'a Table,
     min_sup: u64,
+    /// Leading group-by dimensions that are constant and must stay bound.
+    bound: usize,
+    spec: &'a M,
     sink: &'a mut S,
 }
 
 /// An under-construction child tree plus its insertion cursor.
-struct Builder {
+struct Builder<A> {
     /// Depth (in the parent tree) of the node this child tree derives from.
     src_depth: usize,
-    tree: Tree,
+    tree: Tree<A>,
     /// `path[k]` = node at child depth `k` currently being extended
     /// (`path[0]` = root).
     path: Vec<u32>,
 }
 
-impl Builder {
-    fn insert(&mut self, table: &Table, src: &Node, child_depth: usize, closed: bool) {
+impl<A: Clone> Builder<A> {
+    fn insert<M: MeasureSpec<Acc = A>>(
+        &mut self,
+        table: &Table,
+        spec: &M,
+        src: &Node<A>,
+        child_depth: usize,
+        closed: bool,
+    ) {
         debug_assert!(child_depth >= 1);
         let parent = self.path[child_depth - 1];
-        let id = self
-            .tree
-            .merge_son(table, parent, src.value, src.count, src.info, closed);
+        let id = self.tree.merge_son(
+            table, spec, parent, src.value, src.count, src.info, &src.acc, closed,
+        );
         if self.path.len() == child_depth {
             self.path.push(id);
         } else {
@@ -120,10 +183,14 @@ impl Builder {
     }
 }
 
-impl<'a, S: CellSink<()>> Ctx<'a, S> {
-    fn process<const CLOSED: bool>(&mut self, tree: Tree) {
+impl<'a, M, S> Ctx<'a, M, S>
+where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
+    fn process<const CLOSED: bool>(&mut self, tree: Tree<M::Acc>) {
         let mut cell = tree.cell.clone();
-        let mut builders: Vec<Builder> = Vec::new();
+        let mut builders: Vec<Builder<M::Acc>> = Vec::new();
         self.dfs::<CLOSED>(&tree, tree.root(), 0, false, &mut builders, &mut cell);
         debug_assert!(builders.is_empty());
     }
@@ -133,11 +200,11 @@ impl<'a, S: CellSink<()>> Ctx<'a, S> {
     /// builders.
     fn dfs<const CLOSED: bool>(
         &mut self,
-        tree: &Tree,
+        tree: &Tree<M::Acc>,
         id: u32,
         depth: usize,
         suppressed: bool,
-        builders: &mut Vec<Builder>,
+        builders: &mut Vec<Builder<M::Acc>>,
         cell: &mut Vec<u32>,
     ) {
         let m = tree.depth();
@@ -162,12 +229,14 @@ impl<'a, S: CellSink<()>> Ctx<'a, S> {
             if depth == m {
                 // Leaf: All Mask = Tree Mask; Lemma 5 already established
                 // `mask ∩ TM = ∅`, so the cell is closed (or CLOSED is off).
-                self.sink.emit(cell, node.count, &());
-            } else if depth + 1 == m {
-                // Last-but-one level: `rm` is additionally starred.
+                self.sink.emit(cell, node.count, &node.acc);
+            } else if depth + 1 == m && tree.rem_dims[m - 1] >= self.bound {
+                // Last-but-one level: `rm` is additionally starred. Skipped
+                // when `rm` is a pre-bound dimension — that cell belongs to
+                // another shard.
                 let all_mask = tree.tree_mask.with(tree.rem_dims[m - 1]);
                 if !CLOSED || node.info.is_closed(all_mask) {
-                    self.sink.emit(cell, node.count, &());
+                    self.sink.emit(cell, node.count, &node.acc);
                 }
             }
         }
@@ -175,11 +244,13 @@ impl<'a, S: CellSink<()>> Ctx<'a, S> {
         // Spawn this node's child tree (collapse the sons' dimension)?
         let inherited = builders.len();
         let mut spawned = false;
-        if depth + 2 <= m && !suppressed {
+        if depth + 2 <= m && !suppressed && tree.rem_dims[depth] >= self.bound {
             let collapse = tree.rem_dims[depth];
             // Lemma 6 (generalized): if all tuples below already share one
             // value on the dimension about to be collapsed, every cell of
-            // the child tree is covered — skip creating it.
+            // the child tree is covered — skip creating it. (Collapses of
+            // pre-bound dimensions are skipped above: their cells would star
+            // a bound dimension and are owned by other shards.)
             if !CLOSED || !node.info.mask.contains(collapse) {
                 let child_rem = tree.rem_dims[depth + 1..].to_vec();
                 let mut child = Tree::new(
@@ -187,6 +258,7 @@ impl<'a, S: CellSink<()>> Ctx<'a, S> {
                     child_rem,
                     tree.tree_mask.with(collapse),
                     cell.clone(),
+                    node.acc.clone(),
                 );
                 child.nodes[0].count = node.count;
                 child.nodes[0].info = node.info;
@@ -207,7 +279,13 @@ impl<'a, S: CellSink<()>> Ctx<'a, S> {
             // collapsed dimension itself).
             let son_node = tree.nodes[son as usize].clone();
             for b in builders[..inherited].iter_mut() {
-                b.insert(self.table, &son_node, depth - b.src_depth, CLOSED);
+                b.insert(
+                    self.table,
+                    self.spec,
+                    &son_node,
+                    depth - b.src_depth,
+                    CLOSED,
+                );
             }
             self.dfs::<CLOSED>(tree, son, depth + 1, suppressed, builders, cell);
             son = son_node.next_sib;
@@ -272,6 +350,63 @@ mod tests {
                 let got = collect_counts(|s| c_cubing_star(&t, min_sup, s));
                 let want = naive_closed_counts(&t, min_sup);
                 assert_eq!(got, want, "seed={seed} min_sup={min_sup}");
+            }
+        }
+    }
+
+    #[test]
+    fn bound_emits_exactly_the_owned_cells() {
+        // Bind dim 0: run on each value-shard of dim 0 and check the union
+        // against the cells of the full run that bind dim 0.
+        let t = SyntheticSpec::uniform(200, 3, 4, 1.0, 5).generate();
+        for min_sup in [1, 2, 4] {
+            let want = naive_iceberg_counts(&t, min_sup);
+            let (tids, groups) = t.shard_by_first_dim();
+            let mut union = ccube_core::fxhash::FxHashMap::default();
+            for g in &groups {
+                if u64::from(g.len()) < min_sup {
+                    continue;
+                }
+                let view = t.view(&tids[g.range()], &[0, 1, 2], 3);
+                let got = collect_counts(|s| star_cube_bound(&view, 1, min_sup, s));
+                for (cell, n) in got {
+                    assert_eq!(cell.values()[0], g.value, "emitted a foreign cell");
+                    assert!(union.insert(cell, n).is_none(), "duplicate across shards");
+                }
+            }
+            let want_bound: ccube_core::fxhash::FxHashMap<_, _> = want
+                .into_iter()
+                .filter(|(c, _)| c.values()[0] != STAR)
+                .collect();
+            assert_eq!(union, want_bound, "min_sup={min_sup}");
+        }
+    }
+
+    #[test]
+    fn measures_flow_through() {
+        use ccube_core::measure::ColumnStats;
+        use ccube_core::sink::CollectSink;
+        let t = SyntheticSpec::uniform(150, 3, 4, 0.5, 9).generate_with_measure("m");
+        let spec = ColumnStats { column: 0 };
+        for (closed, mode) in [
+            (true, ccube_core::naive::Mode::ClosedIceberg),
+            (false, ccube_core::naive::Mode::Iceberg),
+        ] {
+            let mut got = CollectSink::default();
+            if closed {
+                c_cubing_star_with(&t, 2, &spec, &mut got);
+            } else {
+                star_cube_with(&t, 2, &spec, &mut got);
+            }
+            let mut want = CollectSink::default();
+            ccube_core::naive::naive_cube_with(&t, 2, mode, &spec, &mut want);
+            assert_eq!(got.cells.len(), want.cells.len());
+            for (cell, (n, agg)) in &want.cells {
+                let (n2, agg2) = &got.cells[cell];
+                assert_eq!(n, n2, "count mismatch at {cell}");
+                assert!((agg.sum - agg2.sum).abs() < 1e-9, "sum mismatch at {cell}");
+                assert_eq!(agg.min, agg2.min);
+                assert_eq!(agg.max, agg2.max);
             }
         }
     }

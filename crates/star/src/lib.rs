@@ -35,5 +35,11 @@ pub mod aggregate;
 pub mod stararray;
 pub mod tree;
 
-pub use aggregate::{c_cubing_star, star_cube};
-pub use stararray::{c_cubing_star_array, star_array_cube};
+pub use aggregate::{
+    c_cubing_star, c_cubing_star_with, star_cube, star_cube_bound, star_cube_bound_with,
+    star_cube_with,
+};
+pub use stararray::{
+    c_cubing_star_array, c_cubing_star_array_with, star_array_cube, star_array_cube_bound,
+    star_array_cube_bound_with, star_array_cube_with,
+};

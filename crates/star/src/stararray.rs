@@ -19,27 +19,81 @@
 //!
 //! Closed pruning mirrors `C-Cubing(Star)`: Lemma 5 suppression on
 //! `closed_mask ∩ tree_mask`, and the generalized Lemma 6 check before
-//! deriving a child tree.
+//! deriving a child tree. Pre-bound dimensions (the `_bound` entry points)
+//! suppress exactly the collapses and emissions that would star them, so a
+//! parallel shard computes only the cells it owns. Complex measures ride on
+//! the node accumulators ([`ccube_core::measure::MeasureSpec`]).
 
 use crate::tree::{cmp_on_dims, Node, Tree, NONE};
 use ccube_core::cell::STAR;
 use ccube_core::closedness::ClosedInfo;
 use ccube_core::mask::DimMask;
+use ccube_core::measure::{CountOnly, MeasureSpec};
 use ccube_core::sink::CellSink;
 use ccube_core::table::{Table, TupleId};
 
 /// StarArray cubing: plain iceberg cube (the non-closed host of Fig 17).
 pub fn star_array_cube<S: CellSink<()>>(table: &Table, min_sup: u64, sink: &mut S) {
-    run::<false, S>(table, min_sup, sink)
+    run::<false, CountOnly, S>(table, 0, min_sup, &CountOnly, sink)
+}
+
+/// StarArray cubing carrying the measures of `spec`.
+pub fn star_array_cube_with<M, S>(table: &Table, min_sup: u64, spec: &M, sink: &mut S)
+where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
+    run::<false, M, S>(table, 0, min_sup, spec, sink)
+}
+
+/// [`star_array_cube_with`] with the first `bound` group-by dimensions
+/// *pre-bound*: the table must be constant on each of them, and only cells
+/// binding all of them are emitted (the parallel engine's shard entry
+/// point).
+pub fn star_array_cube_bound_with<M, S>(
+    table: &Table,
+    bound: usize,
+    min_sup: u64,
+    spec: &M,
+    sink: &mut S,
+) where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
+    run::<false, M, S>(table, bound, min_sup, spec, sink)
+}
+
+/// Count-only convenience wrapper around [`star_array_cube_bound_with`].
+pub fn star_array_cube_bound<S: CellSink<()>>(
+    table: &Table,
+    bound: usize,
+    min_sup: u64,
+    sink: &mut S,
+) {
+    star_array_cube_bound_with(table, bound, min_sup, &CountOnly, sink)
 }
 
 /// C-Cubing(StarArray): closed iceberg cube with closed pruning.
 pub fn c_cubing_star_array<S: CellSink<()>>(table: &Table, min_sup: u64, sink: &mut S) {
-    run::<true, S>(table, min_sup, sink)
+    run::<true, CountOnly, S>(table, 0, min_sup, &CountOnly, sink)
 }
 
-fn run<const CLOSED: bool, S: CellSink<()>>(table: &Table, min_sup: u64, sink: &mut S) {
+/// C-Cubing(StarArray) carrying the measures of `spec`.
+pub fn c_cubing_star_array_with<M, S>(table: &Table, min_sup: u64, spec: &M, sink: &mut S)
+where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
+    run::<true, M, S>(table, 0, min_sup, spec, sink)
+}
+
+fn run<const CLOSED: bool, M, S>(table: &Table, bound: usize, min_sup: u64, spec: &M, sink: &mut S)
+where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
     assert!(min_sup >= 1, "min_sup must be at least 1");
+    assert!(bound <= table.cube_dims(), "bound exceeds group-by dims");
     if (table.rows() as u64) < min_sup {
         return;
     }
@@ -51,21 +105,45 @@ fn run<const CLOSED: bool, S: CellSink<()>>(table: &Table, min_sup: u64, sink: &
     let rem: Vec<usize> = (0..cube).collect();
     let mut pool: Vec<TupleId> = table.all_tids();
     pool.sort_unstable_by(|&a, &b| cmp_on_dims(table, a, b, &rem).then(a.cmp(&b)));
-    let mut tree = Tree::new(table.dims(), rem, table.carried_mask(), vec![STAR; cube]);
+    let mut tree = Tree::new(
+        table.dims(),
+        rem,
+        table.carried_mask(),
+        vec![STAR; cube],
+        spec.unit(table, 0),
+    );
     tree.pool = pool;
-    build_nodes::<CLOSED>(table, &mut tree, min_sup);
+    build_nodes::<CLOSED, M>(table, &mut tree, min_sup, spec);
     let mut ctx = Ctx {
         table,
         min_sup,
+        bound,
+        spec,
         sink,
     };
     ctx.process::<CLOSED>(&tree);
 }
 
+/// Fold the measure accumulator of a non-empty tuple group.
+fn fold_acc<M: MeasureSpec>(table: &Table, spec: &M, tids: &[TupleId]) -> M::Acc {
+    let (&first, rest) = tids.split_first().expect("non-empty group");
+    let mut acc = spec.unit(table, first);
+    for &t in rest {
+        let unit = spec.unit(table, t);
+        spec.merge(&mut acc, &unit);
+    }
+    acc
+}
+
 /// Expand the (already pooled) tree's nodes top-down: the root covers the
 /// whole array; each expanded node's range is grouped by the next remaining
 /// dimension; groups below `min_sup` become truncated leaves.
-fn build_nodes<const CLOSED: bool>(table: &Table, tree: &mut Tree, min_sup: u64) {
+fn build_nodes<const CLOSED: bool, M: MeasureSpec>(
+    table: &Table,
+    tree: &mut Tree<M::Acc>,
+    min_sup: u64,
+    spec: &M,
+) {
     let n = tree.pool.len() as u32;
     tree.nodes[0].count = u64::from(n);
     tree.nodes[0].pool_start = 0;
@@ -74,17 +152,19 @@ fn build_nodes<const CLOSED: bool>(table: &Table, tree: &mut Tree, min_sup: u64)
         tree.nodes[0].info =
             ClosedInfo::of_group(table, &tree.pool).expect("non-empty tree has tuples");
     }
-    expand::<CLOSED>(table, tree, 0, 0, min_sup);
+    tree.nodes[0].acc = fold_acc(table, spec, &tree.pool);
+    expand::<CLOSED, M>(table, tree, 0, 0, min_sup, spec);
 }
 
 /// Recursively expand `node` (whose pool range is set and whose
 /// `count >= min_sup`) at `depth`, creating sons on `rem_dims[depth]`.
-fn expand<const CLOSED: bool>(
+fn expand<const CLOSED: bool, M: MeasureSpec>(
     table: &Table,
-    tree: &mut Tree,
+    tree: &mut Tree<M::Acc>,
     node: u32,
     depth: usize,
     min_sup: u64,
+    spec: &M,
 ) {
     if depth >= tree.depth() {
         return;
@@ -114,8 +194,14 @@ fn expand<const CLOSED: bool>(
                 rep: tree.pool[run_start],
             }
         };
+        // Truncated leaves never emit, so their accumulator stays a unit.
+        let acc = if count >= min_sup {
+            fold_acc(table, spec, &tree.pool[run_start..run_end])
+        } else {
+            spec.unit(table, tree.pool[run_start])
+        };
         let id = tree.nodes.len() as u32;
-        let mut son = Node::new(v, count, info);
+        let mut son = Node::new(v, count, info, acc);
         son.pool_start = run_start as u32;
         son.pool_end = run_end as u32;
         tree.nodes.push(son);
@@ -126,25 +212,38 @@ fn expand<const CLOSED: bool>(
         }
         last_son = id;
         if count >= min_sup {
-            expand::<CLOSED>(table, tree, id, depth + 1, min_sup);
+            expand::<CLOSED, M>(table, tree, id, depth + 1, min_sup, spec);
         }
         run_start = run_end;
     }
 }
 
-struct Ctx<'a, S> {
+struct Ctx<'a, M: MeasureSpec, S> {
     table: &'a Table,
     min_sup: u64,
+    /// Leading group-by dimensions that are constant and must stay bound.
+    bound: usize,
+    spec: &'a M,
     sink: &'a mut S,
 }
 
-impl<'a, S: CellSink<()>> Ctx<'a, S> {
-    fn process<const CLOSED: bool>(&mut self, tree: &Tree) {
+impl<'a, M, S> Ctx<'a, M, S>
+where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
+    fn process<const CLOSED: bool>(&mut self, tree: &Tree<M::Acc>) {
         let mut cell = tree.cell.clone();
         self.dfs::<CLOSED>(tree, tree.root(), 0, &mut cell);
     }
 
-    fn dfs<const CLOSED: bool>(&mut self, tree: &Tree, id: u32, depth: usize, cell: &mut Vec<u32>) {
+    fn dfs<const CLOSED: bool>(
+        &mut self,
+        tree: &Tree<M::Acc>,
+        id: u32,
+        depth: usize,
+        cell: &mut Vec<u32>,
+    ) {
         let m = tree.depth();
         let node = tree.nodes[id as usize].clone();
         // Truncated leaves (count < min_sup) never reach here: the DFS only
@@ -159,15 +258,17 @@ impl<'a, S: CellSink<()>> Ctx<'a, S> {
         }
 
         if depth == m {
-            self.sink.emit(cell, node.count, &());
-        } else if depth + 1 == m {
+            self.sink.emit(cell, node.count, &node.acc);
+        } else if depth + 1 == m && tree.rem_dims[m - 1] >= self.bound {
+            // Skipped when the starred dimension is pre-bound: that cell is
+            // owned by another shard.
             let all_mask = tree.tree_mask.with(tree.rem_dims[m - 1]);
             if !CLOSED || node.info.is_closed(all_mask) {
-                self.sink.emit(cell, node.count, &());
+                self.sink.emit(cell, node.count, &node.acc);
             }
         }
 
-        if depth + 2 <= m {
+        if depth + 2 <= m && tree.rem_dims[depth] >= self.bound {
             let collapse = tree.rem_dims[depth];
             if !CLOSED || !node.info.mask.contains(collapse) {
                 let child = self.build_child::<CLOSED>(tree, &node, depth, cell);
@@ -195,11 +296,11 @@ impl<'a, S: CellSink<()>> Ctx<'a, S> {
     /// the child's array and grouping top-down.
     fn build_child<const CLOSED: bool>(
         &self,
-        tree: &Tree,
-        node: &Node,
+        tree: &Tree<M::Acc>,
+        node: &Node<M::Acc>,
         depth: usize,
         cell: &[u32],
-    ) -> Tree {
+    ) -> Tree<M::Acc> {
         let child_rem = tree.rem_dims[depth + 1..].to_vec();
         let collapse = tree.rem_dims[depth];
         let mut child = Tree::new(
@@ -207,6 +308,7 @@ impl<'a, S: CellSink<()>> Ctx<'a, S> {
             child_rem.clone(),
             tree.tree_mask.with(collapse),
             cell.to_vec(),
+            node.acc.clone(),
         );
         // Gather the collapsed branches' runs. Each son's pool range is
         // sorted by (collapse, child_rem...) within itself, hence sorted by
@@ -220,7 +322,7 @@ impl<'a, S: CellSink<()>> Ctx<'a, S> {
         }
         child.pool = merge_runs(self.table, &child_rem, runs);
         debug_assert_eq!(child.pool.len() as u64, node.count);
-        build_nodes::<CLOSED>(self.table, &mut child, self.min_sup);
+        build_nodes::<CLOSED, M>(self.table, &mut child, self.min_sup, self.spec);
         child
     }
 }
@@ -344,6 +446,58 @@ mod tests {
                     "seed={seed} m={min_sup}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn bound_emits_exactly_the_owned_cells() {
+        let t = SyntheticSpec::uniform(200, 3, 5, 0.5, 8).generate();
+        for min_sup in [1, 2, 3] {
+            let want = naive_iceberg_counts(&t, min_sup);
+            let (tids, groups) = t.shard_by_first_dim();
+            let mut union = ccube_core::fxhash::FxHashMap::default();
+            for g in &groups {
+                if u64::from(g.len()) < min_sup {
+                    continue;
+                }
+                let view = t.view(&tids[g.range()], &[0, 1, 2], 3);
+                let got = collect_counts(|s| star_array_cube_bound(&view, 1, min_sup, s));
+                for (cell, n) in got {
+                    assert_eq!(cell.values()[0], g.value, "emitted a foreign cell");
+                    assert!(union.insert(cell, n).is_none(), "duplicate across shards");
+                }
+            }
+            let want_bound: ccube_core::fxhash::FxHashMap<_, _> = want
+                .into_iter()
+                .filter(|(c, _)| c.values()[0] != STAR)
+                .collect();
+            assert_eq!(union, want_bound, "min_sup={min_sup}");
+        }
+    }
+
+    #[test]
+    fn measures_flow_through() {
+        use ccube_core::measure::ColumnStats;
+        use ccube_core::sink::CollectSink;
+        let t = SyntheticSpec::uniform(150, 3, 5, 1.0, 3).generate_with_measure("m");
+        let spec = ColumnStats { column: 0 };
+        let mut got = CollectSink::default();
+        c_cubing_star_array_with(&t, 2, &spec, &mut got);
+        let mut want = CollectSink::default();
+        ccube_core::naive::naive_cube_with(
+            &t,
+            2,
+            ccube_core::naive::Mode::ClosedIceberg,
+            &spec,
+            &mut want,
+        );
+        assert_eq!(got.cells.len(), want.cells.len());
+        for (cell, (n, agg)) in &want.cells {
+            let (n2, agg2) = &got.cells[cell];
+            assert_eq!(n, n2, "count mismatch at {cell}");
+            assert!((agg.sum - agg2.sum).abs() < 1e-9, "sum mismatch at {cell}");
+            assert_eq!(agg.min, agg2.min);
+            assert_eq!(agg.max, agg2.max);
         }
     }
 

@@ -6,6 +6,12 @@
 //! dimensions* (one per tree level), and an arena of [`Node`]s linked into
 //! value-sorted sibling lists.
 //!
+//! Trees are generic over the complex-measure accumulator `A` (Section 6.1):
+//! every node aggregates an `A` alongside its count and closedness measure,
+//! merged through the [`MeasureSpec`] the cuber runs with. With the default
+//! [`ccube_core::measure::CountOnly`] spec `A = ()` and the plumbing
+//! compiles away.
+//!
 //! Star nodes use [`STAR`] as their node value and sort after all real
 //! values, which makes merged sibling lists line up naturally during child
 //! tree construction.
@@ -13,6 +19,7 @@
 use ccube_core::cell::STAR;
 use ccube_core::closedness::ClosedInfo;
 use ccube_core::mask::DimMask;
+use ccube_core::measure::MeasureSpec;
 use ccube_core::table::{Table, TupleId};
 
 /// Sentinel "no node" link.
@@ -20,13 +27,15 @@ pub const NONE: u32 = u32::MAX;
 
 /// One tree node.
 #[derive(Clone, Debug)]
-pub struct Node {
+pub struct Node<A = ()> {
     /// Dimension value (or [`STAR`] for star nodes and roots).
     pub value: u32,
     /// Tuples aggregated under this node.
     pub count: u64,
     /// Closedness measure; maintained only by the CLOSED cubers.
     pub info: ClosedInfo,
+    /// Complex-measure accumulator of the node's tuples.
+    pub acc: A,
     /// First son (sons sorted ascending by value; [`NONE`] = leaf).
     pub first_son: u32,
     /// Next sibling in value order.
@@ -37,13 +46,14 @@ pub struct Node {
     pub pool_end: u32,
 }
 
-impl Node {
+impl<A> Node<A> {
     /// Fresh node with the given stats and no links.
-    pub fn new(value: u32, count: u64, info: ClosedInfo) -> Node {
+    pub fn new(value: u32, count: u64, info: ClosedInfo, acc: A) -> Node<A> {
         Node {
             value,
             count,
             info,
+            acc,
             first_son: NONE,
             next_sib: NONE,
             pool_start: 0,
@@ -54,9 +64,9 @@ impl Node {
 
 /// One cuboid tree (base or derived).
 #[derive(Clone, Debug)]
-pub struct Tree {
+pub struct Tree<A = ()> {
     /// Node arena; index 0 is the root.
-    pub nodes: Vec<Node>,
+    pub nodes: Vec<Node<A>>,
     /// Remaining (not yet fixed or collapsed) dimensions, outermost first:
     /// nodes at depth `j ≥ 1` hold values of `rem_dims[j - 1]`.
     pub rem_dims: Vec<usize>,
@@ -69,9 +79,16 @@ pub struct Tree {
     pub pool: Vec<TupleId>,
 }
 
-impl Tree {
-    /// Empty tree with a zeroed root.
-    pub fn new(dims: usize, rem_dims: Vec<usize>, tree_mask: DimMask, cell: Vec<u32>) -> Tree {
+impl<A: Clone> Tree<A> {
+    /// Empty tree with a zeroed root carrying `root_acc` as its accumulator
+    /// placeholder (overwritten by the first merge into the root).
+    pub fn new(
+        dims: usize,
+        rem_dims: Vec<usize>,
+        tree_mask: DimMask,
+        cell: Vec<u32>,
+        root_acc: A,
+    ) -> Tree<A> {
         let root = Node::new(
             STAR,
             0,
@@ -79,6 +96,7 @@ impl Tree {
                 mask: DimMask::all(dims),
                 rep: 0,
             },
+            root_acc,
         );
         Tree {
             nodes: vec![root],
@@ -102,7 +120,7 @@ impl Tree {
     }
 
     /// Iterate a node's sons in ascending value order.
-    pub fn sons(&self, id: u32) -> SonIter<'_> {
+    pub fn sons(&self, id: u32) -> SonIter<'_, A> {
         SonIter {
             tree: self,
             cur: self.nodes[id as usize].first_son,
@@ -115,15 +133,19 @@ impl Tree {
     }
 
     /// Find or create the son of `parent` holding `value`, merging
-    /// `(count, info)` into it (the Lemma 3 closedness merge when `closed`).
-    /// Siblings stay sorted by value; [`STAR`] sorts last.
-    pub fn merge_son(
+    /// `(count, info, acc)` into it (the Lemma 3 closedness merge when
+    /// `closed`; the measure merge always). Siblings stay sorted by value;
+    /// [`STAR`] sorts last.
+    #[allow(clippy::too_many_arguments)]
+    pub fn merge_son<M: MeasureSpec<Acc = A>>(
         &mut self,
         table: &Table,
+        spec: &M,
         parent: u32,
         value: u32,
         count: u64,
         info: ClosedInfo,
+        acc: &A,
         closed: bool,
     ) -> u32 {
         let mut prev = NONE;
@@ -135,6 +157,7 @@ impl Tree {
         if cur != NONE && self.nodes[cur as usize].value == value {
             let n = &mut self.nodes[cur as usize];
             n.count += count;
+            spec.merge(&mut n.acc, acc);
             if closed {
                 // Work around split borrows: merge on a copy, write back.
                 let mut merged = n.info;
@@ -144,7 +167,7 @@ impl Tree {
             return cur;
         }
         let id = self.nodes.len() as u32;
-        let mut node = Node::new(value, count, info);
+        let mut node = Node::new(value, count, info, acc.clone());
         node.next_sib = cur;
         self.nodes.push(node);
         if prev == NONE {
@@ -157,16 +180,26 @@ impl Tree {
 
     /// Merge one tuple down a path of node values (base star-tree insert).
     /// `values[j]` is the node value for depth `j + 1`.
-    pub fn insert_tuple_path(&mut self, table: &Table, values: &[u32], t: TupleId, closed: bool) {
+    pub fn insert_tuple_path<M: MeasureSpec<Acc = A>>(
+        &mut self,
+        table: &Table,
+        spec: &M,
+        values: &[u32],
+        t: TupleId,
+        closed: bool,
+    ) {
         let info = ClosedInfo::for_tuple(table, t);
+        let unit = spec.unit(table, t);
         // Root aggregates everything.
         {
             let root = &mut self.nodes[0];
             if root.count == 0 {
                 root.count = 1;
                 root.info = info;
+                root.acc = unit.clone();
             } else {
                 root.count += 1;
+                spec.merge(&mut root.acc, &unit);
                 if closed {
                     let mut merged = root.info;
                     merged.merge_tuple(table, t);
@@ -176,7 +209,7 @@ impl Tree {
         }
         let mut cur = 0u32;
         for &v in values {
-            cur = self.merge_son(table, cur, v, 1, info, closed);
+            cur = self.merge_son(table, spec, cur, v, 1, info, &unit, closed);
         }
     }
 
@@ -187,12 +220,12 @@ impl Tree {
 }
 
 /// Iterator over a sibling list.
-pub struct SonIter<'a> {
-    tree: &'a Tree,
+pub struct SonIter<'a, A = ()> {
+    tree: &'a Tree<A>,
     cur: u32,
 }
 
-impl<'a> Iterator for SonIter<'a> {
+impl<'a, A> Iterator for SonIter<'a, A> {
     type Item = u32;
 
     fn next(&mut self) -> Option<u32> {
@@ -221,6 +254,7 @@ pub fn cmp_on_dims(table: &Table, a: TupleId, b: TupleId, dims: &[usize]) -> std
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ccube_core::measure::CountOnly;
     use ccube_core::TableBuilder;
 
     fn table() -> Table {
@@ -233,15 +267,19 @@ mod tests {
             .unwrap()
     }
 
+    fn empty_tree() -> Tree<()> {
+        Tree::new(3, vec![0, 1, 2], DimMask::EMPTY, vec![STAR; 3], ())
+    }
+
     #[test]
     fn merge_son_keeps_sorted_order() {
         let t = table();
-        let mut tree = Tree::new(3, vec![0, 1, 2], DimMask::EMPTY, vec![STAR; 3]);
+        let mut tree = empty_tree();
         let info = ClosedInfo::for_tuple(&t, 0);
-        tree.merge_son(&t, 0, 2, 1, info, false);
-        tree.merge_son(&t, 0, 0, 1, info, false);
-        tree.merge_son(&t, 0, STAR, 1, info, false);
-        tree.merge_son(&t, 0, 1, 1, info, false);
+        tree.merge_son(&t, &CountOnly, 0, 2, 1, info, &(), false);
+        tree.merge_son(&t, &CountOnly, 0, 0, 1, info, &(), false);
+        tree.merge_son(&t, &CountOnly, 0, STAR, 1, info, &(), false);
+        tree.merge_son(&t, &CountOnly, 0, 1, 1, info, &(), false);
         let values: Vec<u32> = tree
             .sons(0)
             .map(|id| tree.nodes[id as usize].value)
@@ -252,9 +290,27 @@ mod tests {
     #[test]
     fn merge_son_merges_counts() {
         let t = table();
-        let mut tree = Tree::new(3, vec![0, 1, 2], DimMask::EMPTY, vec![STAR; 3]);
-        let a = tree.merge_son(&t, 0, 1, 2, ClosedInfo::for_tuple(&t, 0), true);
-        let b = tree.merge_son(&t, 0, 1, 3, ClosedInfo::for_tuple(&t, 2), true);
+        let mut tree = empty_tree();
+        let a = tree.merge_son(
+            &t,
+            &CountOnly,
+            0,
+            1,
+            2,
+            ClosedInfo::for_tuple(&t, 0),
+            &(),
+            true,
+        );
+        let b = tree.merge_son(
+            &t,
+            &CountOnly,
+            0,
+            1,
+            3,
+            ClosedInfo::for_tuple(&t, 2),
+            &(),
+            true,
+        );
         assert_eq!(a, b);
         assert_eq!(tree.nodes[a as usize].count, 5);
         // Tuples 0 and 2 differ on every dimension except none -> mask empty
@@ -267,10 +323,10 @@ mod tests {
     #[test]
     fn insert_tuple_path_builds_prefix_tree() {
         let t = table();
-        let mut tree = Tree::new(3, vec![0, 1, 2], DimMask::EMPTY, vec![STAR; 3]);
+        let mut tree = empty_tree();
         for tid in 0..3u32 {
             let values: Vec<u32> = (0..3).map(|d| t.value(tid, d)).collect();
-            tree.insert_tuple_path(&t, &values, tid, true);
+            tree.insert_tuple_path(&t, &CountOnly, &values, tid, true);
         }
         assert_eq!(tree.nodes[0].count, 3);
         // Two first-level sons: values 0 (count 2) and 1 (count 1).
@@ -285,13 +341,42 @@ mod tests {
     }
 
     #[test]
+    fn measures_aggregate_along_paths() {
+        use ccube_core::measure::ColumnStats;
+        let t = TableBuilder::new(2)
+            .row(&[0, 0])
+            .row(&[0, 1])
+            .row(&[1, 0])
+            .measure("m", vec![2.0, 4.0, 8.0])
+            .build()
+            .unwrap();
+        let spec = ColumnStats { column: 0 };
+        let mut tree = Tree::new(
+            2,
+            vec![0, 1],
+            DimMask::EMPTY,
+            vec![STAR; 2],
+            spec.unit(&t, 0),
+        );
+        for tid in 0..3u32 {
+            let values: Vec<u32> = (0..2).map(|d| t.value(tid, d)).collect();
+            tree.insert_tuple_path(&t, &spec, &values, tid, false);
+        }
+        assert_eq!(tree.nodes[0].acc.sum, 14.0);
+        let first = tree.sons(0).next().unwrap();
+        // Value 0 of dim 0 aggregates tuples 0 and 1.
+        assert_eq!(tree.nodes[first as usize].acc.sum, 6.0);
+        assert_eq!(tree.nodes[first as usize].acc.max, 4.0);
+    }
+
+    #[test]
     fn son_count_and_iter() {
         let t = table();
-        let mut tree = Tree::new(3, vec![0, 1, 2], DimMask::EMPTY, vec![STAR; 3]);
+        let mut tree = empty_tree();
         assert_eq!(tree.son_count(0), 0);
         let info = ClosedInfo::for_tuple(&t, 0);
-        tree.merge_son(&t, 0, 5, 1, info, false);
-        tree.merge_son(&t, 0, 3, 1, info, false);
+        tree.merge_son(&t, &CountOnly, 0, 5, 1, info, &(), false);
+        tree.merge_son(&t, &CountOnly, 0, 3, 1, info, &(), false);
         assert_eq!(tree.son_count(0), 2);
     }
 

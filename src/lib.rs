@@ -50,8 +50,10 @@ pub use ccube_star as star;
 
 pub use ccube_engine::EngineConfig;
 
+use ccube_core::measure::{CountOnly, MeasureSpec};
 use ccube_core::sink::CellSink;
 use ccube_core::Table;
+use ccube_engine::ShardedSink;
 
 /// Everything needed for typical use.
 pub mod prelude {
@@ -135,15 +137,86 @@ impl Algorithm {
     /// Compute the (closed) iceberg cube of `table` at threshold `min_sup`,
     /// emitting into `sink`.
     pub fn run<S: CellSink<()>>(self, table: &Table, min_sup: u64, sink: &mut S) {
+        self.run_with(table, min_sup, &CountOnly, sink)
+    }
+
+    /// [`Algorithm::run`] carrying the complex-measure accumulators of
+    /// `spec` (Section 6.1) on every emitted cell.
+    pub fn run_with<M, S>(self, table: &Table, min_sup: u64, spec: &M, sink: &mut S)
+    where
+        M: MeasureSpec,
+        S: CellSink<M::Acc>,
+    {
         match self {
-            Algorithm::Buc => ccube_baselines::buc(table, min_sup, sink),
-            Algorithm::QcDfs => ccube_baselines::qc_dfs(table, min_sup, sink),
-            Algorithm::Mm => ccube_mm::mm_cube(table, min_sup, sink),
-            Algorithm::CCubingMm => ccube_mm::c_cubing_mm(table, min_sup, sink),
-            Algorithm::Star => ccube_star::star_cube(table, min_sup, sink),
-            Algorithm::CCubingStar => ccube_star::c_cubing_star(table, min_sup, sink),
-            Algorithm::StarArray => ccube_star::star_array_cube(table, min_sup, sink),
-            Algorithm::CCubingStarArray => ccube_star::c_cubing_star_array(table, min_sup, sink),
+            Algorithm::Buc => ccube_baselines::buc_with(table, min_sup, spec, sink),
+            Algorithm::QcDfs => ccube_baselines::qc_dfs_with(table, min_sup, spec, sink),
+            Algorithm::Mm => {
+                ccube_mm::mm_cube_with(table, min_sup, ccube_mm::MmConfig::default(), spec, sink)
+            }
+            Algorithm::CCubingMm => ccube_mm::c_cubing_mm_with(
+                table,
+                min_sup,
+                ccube_mm::MmConfig::default(),
+                spec,
+                sink,
+            ),
+            Algorithm::Star => ccube_star::star_cube_with(table, min_sup, spec, sink),
+            Algorithm::CCubingStar => ccube_star::c_cubing_star_with(table, min_sup, spec, sink),
+            Algorithm::StarArray => ccube_star::star_array_cube_with(table, min_sup, spec, sink),
+            Algorithm::CCubingStarArray => {
+                ccube_star::c_cubing_star_array_with(table, min_sup, spec, sink)
+            }
+        }
+    }
+
+    /// Compute only the cells binding the table's first `bound` group-by
+    /// dimensions, which must be constant over the table (a shard of a
+    /// first-dimension partition). For the iceberg hosts this dispatches to
+    /// the dedicated `*_bound` entry points, skipping the starred-prefix
+    /// cells entirely; the closed algorithms need no special entry point —
+    /// a cell starring a constant dimension is non-closed and is never
+    /// emitted — so they run unchanged.
+    pub fn run_bound<S: CellSink<()>>(
+        self,
+        table: &Table,
+        bound: usize,
+        min_sup: u64,
+        sink: &mut S,
+    ) {
+        self.run_bound_with(table, bound, min_sup, &CountOnly, sink)
+    }
+
+    /// [`Algorithm::run_bound`] carrying the measures of `spec`.
+    pub fn run_bound_with<M, S>(
+        self,
+        table: &Table,
+        bound: usize,
+        min_sup: u64,
+        spec: &M,
+        sink: &mut S,
+    ) where
+        M: MeasureSpec,
+        S: CellSink<M::Acc>,
+    {
+        match self {
+            Algorithm::Buc => ccube_baselines::buc_bound_with(table, bound, min_sup, spec, sink),
+            Algorithm::Mm => ccube_mm::mm_cube_bound_with(
+                table,
+                bound,
+                min_sup,
+                ccube_mm::MmConfig::default(),
+                spec,
+                sink,
+            ),
+            Algorithm::Star => ccube_star::star_cube_bound_with(table, bound, min_sup, spec, sink),
+            Algorithm::StarArray => {
+                ccube_star::star_array_cube_bound_with(table, bound, min_sup, spec, sink)
+            }
+            // Closed algorithms: zero redundancy already (see above).
+            Algorithm::QcDfs
+            | Algorithm::CCubingMm
+            | Algorithm::CCubingStar
+            | Algorithm::CCubingStarArray => self.run_with(table, min_sup, spec, sink),
         }
     }
 
@@ -178,8 +251,32 @@ impl Algorithm {
         self.run_with_config(table, min_sup, &EngineConfig::with_threads(threads), sink)
     }
 
+    /// [`Algorithm::run_parallel`] carrying the complex-measure accumulators
+    /// of `spec` on every emitted cell (the engine threads them through its
+    /// shard batches and merges them in the same deterministic order).
+    pub fn run_parallel_with<M, S>(
+        self,
+        table: &Table,
+        min_sup: u64,
+        threads: usize,
+        spec: &M,
+        sink: &mut S,
+    ) where
+        M: MeasureSpec + Sync,
+        M::Acc: Send,
+        S: CellSink<M::Acc>,
+    {
+        self.run_with_config_with(
+            table,
+            min_sup,
+            &EngineConfig::with_threads(threads),
+            spec,
+            sink,
+        )
+    }
+
     /// [`Algorithm::run_parallel`] with full engine configuration (thread
-    /// count plus sharding [`ccube_core::order::DimOrdering`]).
+    /// count, sharding [`ccube_core::order::DimOrdering`], split threshold).
     pub fn run_with_config<S: CellSink<()>>(
         self,
         table: &Table,
@@ -187,12 +284,31 @@ impl Algorithm {
         config: &EngineConfig,
         sink: &mut S,
     ) {
-        ccube_engine::run_partitioned(
+        self.run_with_config_with(table, min_sup, config, &CountOnly, sink)
+    }
+
+    /// [`Algorithm::run_with_config`] carrying the measures of `spec`.
+    pub fn run_with_config_with<M, S>(
+        self,
+        table: &Table,
+        min_sup: u64,
+        config: &EngineConfig,
+        spec: &M,
+        sink: &mut S,
+    ) where
+        M: MeasureSpec + Sync,
+        M::Acc: Send,
+        S: CellSink<M::Acc>,
+    {
+        ccube_engine::run_partitioned_with(
             table,
             min_sup,
             config,
             self.is_closed(),
-            |shard, m, out| self.run(shard, m, out),
+            spec,
+            |shard: &Table, bound: usize, m: u64, out: &mut ShardedSink<M::Acc>| {
+                self.run_bound_with(shard, bound, m, spec, out)
+            },
             sink,
         )
     }

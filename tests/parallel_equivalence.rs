@@ -7,6 +7,7 @@
 
 use c_cubing::prelude::*;
 use ccube_core::sink::collect_counts;
+use proptest::prelude::*;
 
 const THREADS: [usize; 3] = [1, 2, 8];
 
@@ -40,6 +41,72 @@ fn c_cubing_variants_on_zipf_skew() {
                 }
             }
         }
+    }
+}
+
+#[test]
+fn all_algorithms_heavy_skew_zipf_15() {
+    // Zipf 1.5: one value of every dimension dominates; the hot level-0
+    // shard is the scheduling worst case the splitter exists for.
+    let t = SyntheticSpec::uniform(500, 5, 8, 1.5, 77).generate();
+    assert_parallel_equivalence(&t, &[1, 2, 8], "zipf 1.5");
+}
+
+#[test]
+fn all_algorithms_heavy_skew_zipf_20() {
+    let t = SyntheticSpec::uniform(500, 5, 8, 2.0, 78).generate();
+    assert_parallel_equivalence(&t, &[1, 2, 8], "zipf 2.0");
+}
+
+#[test]
+fn recursive_splitting_forced_matches_sequential() {
+    // A split threshold far below every shard's cost forces the engine down
+    // the recursive sub-shard path for every task; the result set must not
+    // move, for any algorithm, at any thread count.
+    for skew in [1.5, 2.0] {
+        let t = SyntheticSpec::uniform(400, 4, 6, skew, 91).generate();
+        for algo in Algorithm::ALL {
+            for m in [1u64, 3] {
+                let want = collect_counts(|s| algo.run(&t, m, s));
+                for threads in THREADS {
+                    let cfg = EngineConfig {
+                        threads,
+                        split_threshold: 16,
+                        ..EngineConfig::default()
+                    };
+                    let got = collect_counts(|s| algo.run_with_config(&t, m, &cfg, s));
+                    assert_eq!(
+                        got, want,
+                        "{algo} forced-split S={skew} threads={threads} min_sup={m}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_splitting_output_sequence_is_thread_count_invariant() {
+    let t = SyntheticSpec::uniform(400, 4, 5, 2.0, 13).generate();
+    for algo in [Algorithm::CCubingStar, Algorithm::Star, Algorithm::Buc] {
+        let trace = |threads: usize| {
+            let mut cells: Vec<(Vec<u32>, u64)> = Vec::new();
+            {
+                let mut sink = FnSink(|cell: &[u32], count: u64, _: &()| {
+                    cells.push((cell.to_vec(), count));
+                });
+                let cfg = EngineConfig {
+                    threads,
+                    split_threshold: 32,
+                    ..EngineConfig::default()
+                };
+                algo.run_with_config(&t, 2, &cfg, &mut sink);
+            }
+            cells
+        };
+        let one = trace(1);
+        assert_eq!(one, trace(2), "{algo}");
+        assert_eq!(one, trace(8), "{algo}");
     }
 }
 
@@ -118,6 +185,7 @@ fn sharding_ordering_does_not_change_results() {
             let cfg = EngineConfig {
                 threads: 2,
                 ordering,
+                ..EngineConfig::default()
             };
             let got = collect_counts(|s| algo.run_with_config(&t, 2, &cfg, s));
             assert_eq!(got, want, "{algo} {ordering:?}");
@@ -131,6 +199,77 @@ fn zero_threads_means_auto() {
     let want = collect_counts(|s| Algorithm::CCubingStar.run(&t, 2, s));
     let got = collect_counts(|s| Algorithm::CCubingStar.run_parallel(&t, 2, 0, s));
     assert_eq!(got, want);
+}
+
+/// Strategy: a small random table (2–4 dims, cards 2–6, 20–80 rows) plus an
+/// iceberg threshold, kept tiny so the full `(dim, value)` sweep stays fast.
+fn arb_bound_case() -> impl Strategy<Value = (Table, u64)> {
+    (2usize..=4, 2u32..=6, 1u64..=3).prop_flat_map(|(dims, card, min_sup)| {
+        proptest::collection::vec(proptest::collection::vec(0..card, dims), 20..80).prop_map(
+            move |rows| {
+                let mut b = TableBuilder::new(dims).cards(vec![card; dims]);
+                for r in &rows {
+                    b.push_row(r);
+                }
+                (b.build().expect("valid random table"), min_sup)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The decomposition invariant behind the engine: for every dimension
+    /// `d` and every value `v` of `d`, `run_bound` over the `(d, v)` tuple
+    /// shard emits exactly the sequential cells binding `d = v`; the union
+    /// over all `(d, v)` pairs plus the apex is exactly the sequential
+    /// result. Holds for each iceberg host's dedicated bound entry point.
+    #[test]
+    fn run_bound_unions_to_exactly_the_sequential_result(case in arb_bound_case()) {
+        let (table, min_sup) = case;
+        let dims = table.dims();
+        for algo in [Algorithm::Buc, Algorithm::Mm, Algorithm::Star, Algorithm::StarArray] {
+            let want = collect_counts(|s| algo.run(&table, min_sup, s));
+            let mut union: ccube_core::fxhash::FxHashMap<Cell, u64> = Default::default();
+            for d in 0..dims {
+                let (tids, groups) = table.shard_by_dim(d);
+                let mut dim_order = vec![d];
+                dim_order.extend((0..dims).filter(|&x| x != d));
+                for g in &groups {
+                    if u64::from(g.len()) < min_sup {
+                        continue;
+                    }
+                    let view = table.view(&tids[g.range()], &dim_order, dims);
+                    let shard = collect_counts(|s| algo.run_bound(&view, 1, min_sup, s));
+                    for (cell, n) in shard {
+                        let mut global = vec![STAR; dims];
+                        for (i, &v) in cell.values().iter().enumerate() {
+                            global[dim_order[i]] = v;
+                        }
+                        prop_assert_eq!(
+                            global[d], g.value,
+                            "{} bound run emitted a cell not binding d{}={}",
+                            algo, d, g.value
+                        );
+                        let gc = Cell::from_values(&global);
+                        prop_assert_eq!(
+                            want.get(&gc).copied(),
+                            Some(n),
+                            "{} bound cell disagrees with sequential at {}",
+                            algo,
+                            gc
+                        );
+                        union.insert(gc, n);
+                    }
+                }
+            }
+            if table.rows() as u64 >= min_sup {
+                union.insert(Cell::apex(dims), table.rows() as u64);
+            }
+            prop_assert_eq!(union, want, "{} union != sequential", algo);
+        }
+    }
 }
 
 /// Wall-clock sanity on a larger workload. Timing assertions on shared CI
