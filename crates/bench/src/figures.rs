@@ -638,13 +638,19 @@ fn rules_experiment(opt: &ExpOptions) -> Figure {
 /// heavy-skew regimes (Zipf 1.5 / 2.0) where the hottest shard bounds the
 /// makespan and recursive shard splitting has to earn its keep. For every
 /// algorithm (the three C-Cubing variants and the four iceberg hosts) it
-/// records pure sequential time, engine time at 1/2/4/8 threads, and the
+/// records pure sequential time, engine time at 1/2/4/8 threads with the
+/// engine's scheduling counters and peak/total merge bytes, and the
 /// *unbound* 1-thread engine time — the PR-1 execution shape in which
 /// iceberg hosts recompute the starred-prefix cells each shard drops — then
 /// writes the machine-readable curves to `BENCH_parallel.json`.
+///
+/// With `CCUBE_ASSERT_OVERHEAD=1` in the environment the experiment fails
+/// hard if any algorithm's 1-thread engine run exceeds its sequential run by
+/// more than 25% on any workload — the standing regression guard for the
+/// engine overhead the sequential fast path eliminates.
 fn parallel_speedup(opt: &ExpOptions) -> Figure {
-    use crate::{measure_engine, measure_engine_unbound};
-    use ccube_engine::EngineConfig;
+    use crate::{measure_engine_stats, measure_engine_unbound};
+    use ccube_engine::{EngineConfig, EngineStats};
 
     let tuples = opt.tuples(1_000_000);
     let min_sup = 8;
@@ -663,6 +669,7 @@ fn parallel_speedup(opt: &ExpOptions) -> Figure {
     struct AlgoRun {
         seq: f64,
         engine: Vec<f64>,
+        stats: Vec<EngineStats>,
         unbound_1t: f64,
         cells: u64,
     }
@@ -677,18 +684,21 @@ fn parallel_speedup(opt: &ExpOptions) -> Figure {
         let mut runs = Vec::new();
         for &algo in &algos {
             let seq = measure_threads(algo, &table, min_sup, 1);
-            let engine: Vec<f64> = thread_counts
-                .iter()
-                .map(|&t| {
-                    measure_engine(algo, &table, min_sup, &EngineConfig::with_threads(t)).seconds
-                })
-                .collect();
+            let mut engine = Vec::new();
+            let mut stats = Vec::new();
+            for &t in &thread_counts {
+                let (m, s) =
+                    measure_engine_stats(algo, &table, min_sup, &EngineConfig::with_threads(t));
+                engine.push(m.seconds);
+                stats.push(s);
+            }
             let unbound =
                 measure_engine_unbound(algo, &table, min_sup, &EngineConfig::with_threads(1));
             debug_assert_eq!(seq.cells, unbound.cells);
             runs.push(AlgoRun {
                 seq: seq.seconds,
                 engine,
+                stats,
                 unbound_1t: unbound.seconds,
                 cells: seq.cells,
             });
@@ -696,7 +706,41 @@ fn parallel_speedup(opt: &ExpOptions) -> Figure {
         workloads.push(WorkloadRun { skew, runs });
     }
 
+    // Standing regression guard for the 1-thread engine overhead (armed in
+    // the nightly workflow): fail if engine-1t exceeds sequential by >25%
+    // (plus a 5 ms absolute floor so micro-workload timing noise cannot trip
+    // it) on any workload.
+    let mut overhead_violations: Vec<String> = Vec::new();
+    for w in &workloads {
+        for (ai, algo) in algos.iter().enumerate() {
+            let r = &w.runs[ai];
+            if r.engine[0] > r.seq * 1.25 + 0.005 {
+                overhead_violations.push(format!(
+                    "{} at skew {}: engine-1t {:.4}s vs seq {:.4}s ({:.2}x)",
+                    algo.name(),
+                    w.skew,
+                    r.engine[0],
+                    r.seq,
+                    r.engine[0] / r.seq.max(1e-9)
+                ));
+            }
+        }
+    }
+    if std::env::var_os("CCUBE_ASSERT_OVERHEAD").is_some() && !overhead_violations.is_empty() {
+        panic!(
+            "1-thread engine overhead exceeds the 25% budget:\n  {}",
+            overhead_violations.join("\n  ")
+        );
+    }
+
     // Machine-readable curves.
+    fn u64_list<T: Copy, F: Fn(T) -> u64>(items: &[T], f: F) -> String {
+        items
+            .iter()
+            .map(|&s| f(s).to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
@@ -735,11 +779,29 @@ fn parallel_speedup(opt: &ExpOptions) -> Figure {
             json.push_str(&format!(
                 "       \"{}\": {{\"cells\": {}, \"seq_seconds\": {:.6}, \
                  \"engine_seconds\": [{secs_list}], \"speedup_vs_1t\": [{speedups}], \
-                 \"unbound_1t_seconds\": {:.6}}}{}\n",
+                 \"unbound_1t_seconds\": {:.6},\n",
                 algo.name(),
                 r.cells,
                 r.seq,
                 r.unbound_1t,
+            ));
+            json.push_str(&format!(
+                "                  \"fast_path\": [{}], \"tasks\": [{}], \"splits\": [{}], \
+                 \"steals\": [{}],\n",
+                r.stats
+                    .iter()
+                    .map(|s| s.fast_path.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                u64_list(&r.stats, |s| s.tasks),
+                u64_list(&r.stats, |s| s.splits),
+                u64_list(&r.stats, |s| s.steals),
+            ));
+            json.push_str(&format!(
+                "                  \"peak_buffered_bytes\": [{}], \
+                 \"total_output_bytes\": [{}]}}{}\n",
+                u64_list(&r.stats, |s| s.peak_buffered_bytes),
+                u64_list(&r.stats, |s| s.total_output_bytes),
                 if i + 1 < algos.len() { "," } else { "" }
             ));
         }
@@ -752,6 +814,14 @@ fn parallel_speedup(opt: &ExpOptions) -> Figure {
     let json_note = match std::fs::write("BENCH_parallel.json", &json) {
         Ok(()) => "Curves written to BENCH_parallel.json.".to_string(),
         Err(e) => format!("(could not write BENCH_parallel.json: {e})"),
+    };
+    let overhead_note = if overhead_violations.is_empty() {
+        "engine-1t within the 25% overhead budget everywhere.".to_string()
+    } else {
+        format!(
+            "OVERHEAD BUDGET EXCEEDED: {}.",
+            overhead_violations.join("; ")
+        )
     };
 
     let rows = workloads
@@ -771,6 +841,10 @@ fn parallel_speedup(opt: &ExpOptions) -> Figure {
                             r.engine[0] / r.engine[2].max(1e-9)
                         ),
                         secs(r.unbound_1t),
+                        format!(
+                            "{}/{}/{}",
+                            r.stats[2].tasks, r.stats[2].splits, r.stats[2].steals
+                        ),
                     ],
                 )
             })
@@ -789,14 +863,17 @@ fn parallel_speedup(opt: &ExpOptions) -> Figure {
             "engine 1t".into(),
             "engine 4t".into(),
             "unbound 1t".into(),
+            "tasks/splits/steals 4t".into(),
         ],
         rows,
         notes: format!(
-            "engine 1t ≈ seq shows the bound entry points eliminating the per-shard \
-             starred-prefix redundancy (compare unbound 1t, the PR-1 shape, ~2x seq for \
-             the iceberg hosts). 4t speedup is relative to engine 1t; recursive shard \
-             splitting keeps it near-linear under Zipf 1.5/2.0 where whole-shard \
-             scheduling flatlines. {json_note}"
+            "engine 1t ≈ seq is the sequential fast path (no sharding at one thread); \
+             unbound 1t is the PR-1 always-sharded shape kept as the overhead baseline. \
+             4t speedup is relative to engine 1t; recursive shard splitting keeps it \
+             near-linear under Zipf 1.5/2.0 where whole-shard scheduling flatlines. \
+             peak_buffered_bytes in the JSON tracks the streaming merge's completion \
+             frontier (vs total_output_bytes the old merge buffered). {overhead_note} \
+             {json_note}"
         ),
     }
 }

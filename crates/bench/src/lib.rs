@@ -23,7 +23,7 @@ pub use report::Figure;
 
 use ccube_core::sink::{CellSink, CountingSink, SizeSink};
 use ccube_core::Table;
-use ccube_engine::EngineConfig;
+use ccube_engine::{EngineConfig, EngineStats};
 use std::time::Instant;
 
 /// The algorithms under test.
@@ -131,7 +131,19 @@ impl Algo {
         config: &EngineConfig,
         sink: &mut S,
     ) {
-        ccube_engine::run_partitioned(
+        self.run_with_config_stats(table, min_sup, config, sink);
+    }
+
+    /// [`Algo::run_with_config`] returning the engine's scheduling and
+    /// peak-buffered-bytes counters.
+    pub fn run_with_config_stats<S: CellSink<()>>(
+        self,
+        table: &Table,
+        min_sup: u64,
+        config: &EngineConfig,
+        sink: &mut S,
+    ) -> EngineStats {
+        ccube_engine::run_partitioned_stats(
             table,
             min_sup,
             config,
@@ -183,31 +195,49 @@ pub fn measure_engine(
     min_sup: u64,
     config: &EngineConfig,
 ) -> Measurement {
+    measure_engine_stats(algo, table, min_sup, config).0
+}
+
+/// [`measure_engine`] also returning the run's [`EngineStats`] (task, split
+/// and steal counters plus peak/total merge bytes) for the machine-readable
+/// benchmark reports.
+pub fn measure_engine_stats(
+    algo: Algo,
+    table: &Table,
+    min_sup: u64,
+    config: &EngineConfig,
+) -> (Measurement, EngineStats) {
     let mut sink = CountingSink::default();
     let start = Instant::now();
-    algo.run_with_config(table, min_sup, config, &mut sink);
-    Measurement {
-        seconds: start.elapsed().as_secs_f64(),
-        cells: sink.cells,
-    }
+    let stats = algo.run_with_config_stats(table, min_sup, config, &mut sink);
+    (
+        Measurement {
+            seconds: start.elapsed().as_secs_f64(),
+            cells: sink.cells,
+        },
+        stats,
+    )
 }
 
 /// Time one engine run with the shard cubers deliberately ignoring the
 /// pre-bound dimensions (every shard recomputes its starred-prefix cells and
 /// the [`ccube_engine::ShardedSink`] drops them) — the PR-1 execution shape,
-/// kept as the measurable baseline for the redundancy elimination.
+/// kept as the measurable baseline for the redundancy elimination. The
+/// sequential fast path is disabled (`always_sharded`): this measurement
+/// exists precisely to show the sharded shape's cost.
 pub fn measure_engine_unbound(
     algo: Algo,
     table: &Table,
     min_sup: u64,
     config: &EngineConfig,
 ) -> Measurement {
+    let config = config.always_sharded();
     let mut sink = CountingSink::default();
     let start = Instant::now();
     ccube_engine::run_partitioned(
         table,
         min_sup,
-        config,
+        &config,
         algo.is_closed(),
         |shard, _bound, m, out| algo.run_into(shard, m, out),
         &mut sink,

@@ -151,6 +151,20 @@ impl Cell {
         Cell { values }
     }
 
+    /// Bind dimension `d` to `v` in place — the hot-path form of
+    /// [`Cell::bind`], for callers mutating a scratch cell per iteration
+    /// (bind, use, [`Cell::unbind`]) instead of cloning a fresh cell.
+    #[inline]
+    pub fn bind_mut(&mut self, d: usize, v: u32) {
+        self.values[d] = v;
+    }
+
+    /// Reset dimension `d` back to `*` (the inverse of [`Cell::bind_mut`]).
+    #[inline]
+    pub fn unbind(&mut self, d: usize) {
+        self.values[d] = STAR;
+    }
+
     /// Map this cell through a dimension permutation: output dimension `i`
     /// takes the value of input dimension `perm[i]`. This is how results from
     /// a permuted table ([`Table::permute_dims`]) are expressed in the
@@ -267,6 +281,15 @@ mod tests {
         let c = Cell::apex(3).bind(1, 7);
         assert_eq!(c, Cell::from_bindings(3, &[(1, 7)]));
         assert!(Cell::apex(3).strictly_generalizes(&c));
+    }
+
+    #[test]
+    fn bind_mut_roundtrips_without_clone() {
+        let mut c = Cell::apex(3);
+        c.bind_mut(1, 7);
+        assert_eq!(c, Cell::apex(3).bind(1, 7));
+        c.unbind(1);
+        assert_eq!(c, Cell::apex(3));
     }
 
     #[test]

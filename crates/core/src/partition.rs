@@ -89,6 +89,13 @@ impl Partitioner {
                 offset += n;
             }
         }
+        // Single distinct value: the slice is already one (stable) group, so
+        // skip the scatter/copy-back entirely. Skewed data hits this case
+        // constantly in deep BUC-style recursions and in the parallel
+        // engine's split probes.
+        if groups.len() - base == 1 {
+            return;
+        }
         // Scatter into scratch, then copy back. Only grow the scratch (never
         // zero it): every slot below `tids.len()` is written by the scatter.
         if self.scratch.len() < tids.len() {
@@ -197,6 +204,32 @@ mod tests {
         p.partition(&t, 1, &mut tids, &mut groups);
         assert_eq!(groups.iter().map(|g| g.len()).sum::<u32>(), 5);
         assert_eq!(groups[0].value, 0);
+    }
+
+    #[test]
+    fn single_value_slice_is_untouched() {
+        let t = TableBuilder::new(1)
+            .cards(vec![4])
+            .row(&[2])
+            .row(&[2])
+            .row(&[2])
+            .build()
+            .unwrap();
+        let mut p = Partitioner::new();
+        let mut tids: Vec<TupleId> = vec![2, 0, 1];
+        let mut groups = Vec::new();
+        p.partition(&t, 0, &mut tids, &mut groups);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(
+            groups[0],
+            Group {
+                value: 2,
+                start: 0,
+                end: 3
+            }
+        );
+        // Stable: the single group preserves the input order exactly.
+        assert_eq!(&tids[..], &[2, 0, 1]);
     }
 
     #[test]

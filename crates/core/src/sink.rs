@@ -12,6 +12,7 @@
 use crate::cell::{Cell, STAR};
 use crate::fxhash::FxHashMap;
 use crate::measure::CountOnly;
+use crate::table::ViewArena;
 use std::io::Write;
 
 /// Consumer of cube output cells.
@@ -55,22 +56,78 @@ impl<A> CellBatch<A> {
         }
     }
 
+    /// Empty batch drawing its value/count buffers from `arena` instead of
+    /// the allocator, pre-reserved for about `rows_hint` cells. The parallel
+    /// engine creates one batch per shard task; recycling drained batches
+    /// back with [`CellBatch::recycle_into`] turns the per-task buffer churn
+    /// into amortized-free reuse. (The accumulator vector cannot live in the
+    /// type-erased arena; for count-only cubing `A = ()` it never allocates.)
+    pub fn new_in(arena: &mut ViewArena, dims: usize, rows_hint: usize) -> CellBatch<A> {
+        let mut values = arena.take_u32();
+        values.reserve(rows_hint.saturating_mul(dims));
+        let mut counts = arena.take_u64();
+        counts.reserve(rows_hint);
+        let accs = Vec::with_capacity(rows_hint);
+        CellBatch {
+            dims,
+            values,
+            counts,
+            accs,
+        }
+    }
+
+    /// Return the batch's value/count buffers to `arena` for reuse (the
+    /// inverse of [`CellBatch::new_in`]; accumulators are dropped).
+    pub fn recycle_into(self, arena: &mut ViewArena) {
+        let mut values = self.values;
+        values.clear();
+        arena.put_u32(values);
+        let mut counts = self.counts;
+        counts.clear();
+        arena.put_u64(counts);
+    }
+
     /// Cell width.
     pub fn dims(&self) -> usize {
         self.dims
     }
 
     /// Number of buffered cells.
+    #[inline]
     pub fn len(&self) -> usize {
         self.counts.len()
     }
 
     /// True when nothing is buffered.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.counts.is_empty()
     }
 
+    /// True when the batch owns allocated buffers worth recycling (a
+    /// freshly-`new`ed placeholder holds none).
+    pub fn has_capacity(&self) -> bool {
+        self.values.capacity() > 0 || self.counts.capacity() > 0
+    }
+
+    /// Grow the buffers to hold `cells` more cells without reallocation.
+    pub fn reserve(&mut self, cells: usize) {
+        self.values.reserve(cells.saturating_mul(self.dims));
+        self.counts.reserve(cells);
+        self.accs.reserve(cells);
+    }
+
+    /// Bytes buffered by this batch: cell values plus counts plus the inline
+    /// size of the accumulators (heap behind an accumulator is not counted).
+    /// This is the unit of the engine's peak-buffered-bytes accounting.
+    pub fn byte_size(&self) -> u64 {
+        self.values.len() as u64 * 4
+            + self.counts.len() as u64 * 8
+            + (self.accs.len() * std::mem::size_of::<A>()) as u64
+    }
+
     /// Append one cell.
+    #[inline]
     pub fn push(&mut self, cell: &[u32], count: u64, acc: A) {
         debug_assert_eq!(cell.len(), self.dims);
         self.values.extend_from_slice(cell);
@@ -79,6 +136,7 @@ impl<A> CellBatch<A> {
     }
 
     /// Iterate the buffered cells in insertion order.
+    #[inline]
     pub fn iter(&self) -> impl Iterator<Item = (&[u32], u64, &A)> + '_ {
         self.values
             .chunks_exact(self.dims.max(1))
@@ -364,6 +422,31 @@ mod tests {
         assert_eq!(sink.count_sum, 7);
         let cells: Vec<Vec<u32>> = batch.iter().map(|(c, _, _)| c.to_vec()).collect();
         assert_eq!(cells, vec![vec![1, STAR], vec![STAR, 3]]);
+    }
+
+    #[test]
+    fn batch_arena_roundtrip_reuses_buffers() {
+        let mut arena = ViewArena::new();
+        let mut batch: CellBatch<()> = CellBatch::new_in(&mut arena, 3, 8);
+        batch.push(&[1, 2, STAR], 4, ());
+        assert_eq!(batch.byte_size(), 3 * 4 + 8);
+        let cap = {
+            let values_cap = batch.values.capacity();
+            assert!(values_cap >= 24, "rows_hint not pre-reserved");
+            values_cap
+        };
+        batch.recycle_into(&mut arena);
+        let again: CellBatch<()> = CellBatch::new_in(&mut arena, 3, 0);
+        assert!(again.is_empty());
+        assert!(again.values.capacity() >= cap, "buffer was not recycled");
+    }
+
+    #[test]
+    fn batch_reserve_and_byte_size_track_accs() {
+        let mut batch: CellBatch<u64> = CellBatch::new(2);
+        batch.reserve(4);
+        batch.push(&[1, 2], 1, 99);
+        assert_eq!(batch.byte_size(), 2 * 4 + 8 + 8);
     }
 
     #[test]

@@ -358,13 +358,16 @@ impl Table {
     }
 }
 
-/// Recycled buffer pool for [`Table::view_in`]: the per-view row gather and
-/// measure gathers are the dominant allocations on the parallel engine's hot
-/// path (one view per shard task), and a per-worker arena turns them into
-/// amortized-free buffer reuse.
+/// Recycled buffer pool for [`Table::view_in`] and
+/// [`crate::sink::CellBatch::new_in`]: the per-view row/measure gathers and
+/// the per-task output batches are the dominant allocations on the parallel
+/// engine's hot path, and an arena turns them into amortized-free buffer
+/// reuse (per-worker for views; shared behind the engine's batch recycler
+/// for output batches, which drain on the merging thread).
 #[derive(Debug, Default)]
 pub struct ViewArena {
     u32_bufs: Vec<Vec<u32>>,
+    u64_bufs: Vec<Vec<u64>>,
     f64_bufs: Vec<Vec<f64>>,
 }
 
@@ -374,8 +377,22 @@ impl ViewArena {
         ViewArena::default()
     }
 
-    fn take_u32(&mut self) -> Vec<u32> {
+    pub(crate) fn take_u32(&mut self) -> Vec<u32> {
         self.u32_bufs.pop().unwrap_or_default()
+    }
+
+    pub(crate) fn put_u32(&mut self, buf: Vec<u32>) {
+        debug_assert!(buf.is_empty());
+        self.u32_bufs.push(buf);
+    }
+
+    pub(crate) fn take_u64(&mut self) -> Vec<u64> {
+        self.u64_bufs.pop().unwrap_or_default()
+    }
+
+    pub(crate) fn put_u64(&mut self, buf: Vec<u64>) {
+        debug_assert!(buf.is_empty());
+        self.u64_bufs.push(buf);
     }
 
     fn take_f64(&mut self) -> Vec<f64> {

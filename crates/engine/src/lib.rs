@@ -12,8 +12,9 @@
 //! shard is an independent task:
 //!
 //! * level `k` partitions the **whole table** by `perm[k]` (the classic
-//!   first-dimension partitioning BUC-style recursion relies on — done
-//!   zero-copy via [`ccube_core::Table::shard_by_dim`]);
+//!   first-dimension partitioning BUC-style recursion relies on — one
+//!   counting-sort partitioner reused across levels; each seed task owns a
+//!   copy of its group's tuple IDs so it can move to any worker);
 //! * task `(k, v)` materializes a row view with group-by dimensions
 //!   `perm[k..]` and runs the algorithm on it with its first dimension
 //!   **pre-bound** (the `run_bound` family): the shard is constant on
@@ -64,13 +65,53 @@
 //! All Masks, so a shard-locally-closed-but-globally-covered cell is
 //! rejected exactly where the sequential run would have rejected it.
 //!
-//! ## Determinism
+//! ## Cost model and the sequential fast path
+//!
+//! A task's scheduling cost is `tuples × effective dimension span`, where
+//! the span counts the remaining unbound group-by dimensions **plus, for
+//! closed runs, the carried dimensions**: carried dimensions ride along in
+//! every view row and in every `eq_mask`/[`ClosedInfo`] merge, so a rest
+//! task that has collapsed `k` dimensions re-scans its tuples with `k`
+//! extra columns of closedness work. Charging them keeps LPT seeding and
+//! the split decision honest under heavy skew. Two further guards bound
+//! the split tree's overhead:
+//!
+//! * [`EngineConfig::max_rest_depth`] caps consecutive rest-collapse steps
+//!   per shard (each rest task re-scans all of its parent's tuples; the cap
+//!   bounds that duplication at `max_rest_depth` extra passes). Binding a
+//!   value (a sub-shard child) starts a fresh chain.
+//! * A split along a dimension with a **single distinct value** in the shard
+//!   is aborted (one sub-shard + one rest task over the same tuples is pure
+//!   duplication with zero parallelism); the task runs whole instead.
+//!
+//! When the configured thread count resolves to 1, or the whole table's
+//! estimated work is below [`EngineConfig::sequential_threshold`], sharding
+//! cannot pay for itself: the engine takes a **sequential fast path** and
+//! runs the plain algorithm once over the base table (`bound = 0`), making
+//! the 1-thread engine cost sequential-plus-one-output-copy instead of the
+//! per-level re-sharding the decomposition otherwise performs.
+//!
+//! ## Streaming ordered merge
 //!
 //! Tasks run on however many threads are configured, but each task buffers
 //! its cells into a [`ccube_core::CellBatch`] tagged with its *shard path*
 //! (level, value-group, then one index per split), and batches are merged
 //! into the caller's sink in lexicographic path order, apex last — the
-//! output *sequence* is identical for 1 thread and for 64.
+//! output *sequence* is identical for 1 thread and for 64 among sharded
+//! runs. (A run that takes the sequential fast path emits the same cell
+//! set in the plain algorithm's own order; disable the fast path when
+//! comparing sequences across thread counts.)
+//!
+//! The merge is **streaming and bounded-memory**: a frontier keyed by shard
+//! path tracks every outstanding task (a split atomically replaces its path
+//! with its children's paths), and a completed batch is emitted — and its
+//! buffers recycled through a shared [`ccube_core::table::ViewArena`] — as
+//! soon as every lexicographically earlier path has finished, while a
+//! bounded worker→merger channel back-pressures completions when the final
+//! sink is the bottleneck. Peak buffered bytes therefore track the
+//! completion *frontier* (frontier plus channel, both counted), not the
+//! total output; [`EngineStats`] reports both, next to task/split/steal
+//! counters.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -84,13 +125,25 @@ use ccube_core::sink::{CellBatch, CellSink};
 use ccube_core::table::{Table, TupleId, ViewArena};
 use ccube_core::DimMask;
 use crossbeam_deque::{Injector, Steal, Stealer, Worker};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
 
 /// Default [`EngineConfig::split_threshold`]: shards costing more than this
 /// many tuple·dimension units are recursively split. Roughly: a 16k-tuple
 /// shard with one unbound dimension left, or a 2k-tuple shard with eight.
 pub const DEFAULT_SPLIT_THRESHOLD: u64 = 16 * 1024;
+
+/// Default [`EngineConfig::sequential_threshold`]: tables whose whole-cube
+/// estimated work (`rows × dims` tuple·dimension units) is below this run on
+/// the sequential fast path at any thread count — per-shard view
+/// materialization and merge bookkeeping would outweigh the parallelism.
+pub const DEFAULT_SEQUENTIAL_THRESHOLD: u64 = 8 * 1024;
+
+/// Default [`EngineConfig::max_rest_depth`]: at most this many consecutive
+/// rest-collapse steps per shard (each one re-scans the task's full tuple
+/// set, with one more carried dimension on closed runs).
+pub const DEFAULT_MAX_REST_DEPTH: u32 = 4;
 
 /// Configuration of the parallel engine.
 #[derive(Clone, Copy, Debug)]
@@ -103,15 +156,33 @@ pub struct EngineConfig {
     pub ordering: DimOrdering,
     /// Estimated-cost threshold above which a shard is split into sub-shard
     /// tasks instead of being cubed whole. The estimate is
-    /// `tuples × remaining unbound group-by dimensions`. Splitting is what
+    /// `tuples × remaining unbound group-by dimensions` (plus carried
+    /// dimensions on closed runs — see the module docs). Splitting is what
     /// lets parallel time track total work instead of the hottest shard
     /// under skew; `u64::MAX` disables it. The split decision is
-    /// independent of the thread count, so with a *fixed* threshold the
+    /// independent of the thread count, so with a *fixed* configuration the
     /// result set **and** its emission order are identical at every thread
-    /// count. Changing the threshold re-groups the emission sequence (a
-    /// split shard's cells merge per sub-task path); the cell set itself is
-    /// invariant.
+    /// count — provided every thread count takes the same path: a run that
+    /// takes the sequential fast path emits in the plain algorithm's own
+    /// order instead (set [`EngineConfig::sequential_threshold`] to `0` for
+    /// cross-thread-count sequence comparisons). Changing the threshold
+    /// re-groups the emission sequence (a split shard's cells merge per
+    /// sub-task path); the cell set itself is invariant.
     pub split_threshold: u64,
+    /// Estimated whole-table work (`rows × dims` tuple·dimension units)
+    /// below which — or whenever the configured thread count resolves
+    /// to 1 — the engine skips sharding entirely and runs the plain
+    /// sequential algorithm (emission order is then the algorithm's own).
+    /// `0` disables the fast path: the engine always shards, which is what
+    /// benchmarks measuring the sharded shape and tests exercising the
+    /// merge machinery on small tables want.
+    pub sequential_threshold: u64,
+    /// Cap on consecutive rest-collapse steps per shard. A rest task owns
+    /// the cells starring the split dimension over *all* of its parent's
+    /// tuples, so a chain of `k` rest tasks re-scans those tuples `k` extra
+    /// times; past the cap the task runs whole instead of splitting again.
+    /// `0` disables splitting entirely.
+    pub max_rest_depth: u32,
 }
 
 impl Default for EngineConfig {
@@ -120,6 +191,8 @@ impl Default for EngineConfig {
             threads: 0,
             ordering: DimOrdering::Original,
             split_threshold: DEFAULT_SPLIT_THRESHOLD,
+            sequential_threshold: DEFAULT_SEQUENTIAL_THRESHOLD,
+            max_rest_depth: DEFAULT_MAX_REST_DEPTH,
         }
     }
 }
@@ -130,6 +203,15 @@ impl EngineConfig {
         EngineConfig {
             threads,
             ..EngineConfig::default()
+        }
+    }
+
+    /// This config with the sequential fast path disabled (always shard) —
+    /// the shape benchmarks and merge-machinery tests want.
+    pub fn always_sharded(self) -> EngineConfig {
+        EngineConfig {
+            sequential_threshold: 0,
+            ..self
         }
     }
 
@@ -144,6 +226,31 @@ impl EngineConfig {
     }
 }
 
+/// Scheduling and memory counters of one engine run (see
+/// [`run_partitioned_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Whether the run took the sequential fast path (no sharding; the
+    /// remaining counters then describe the single plain-algorithm run).
+    pub fast_path: bool,
+    /// Tasks processed (seeds plus split children, including summary-only
+    /// level-0 tasks).
+    pub tasks: u64,
+    /// Tasks that split into sub-shard + rest children instead of cubing.
+    pub splits: u64,
+    /// Successful cross-worker deque steals (0 on single-threaded runs).
+    pub steals: u64,
+    /// High-water mark of bytes buffered in completed-but-not-yet-emittable
+    /// batches, in the merge frontier or still queued in the (bounded)
+    /// worker channel ([`CellBatch::byte_size`] units: written cells, the
+    /// same unit the old collect-everything merge buffered — reserved-but-
+    /// unwritten batch capacity is not counted). The streaming merge keeps
+    /// this at the completion frontier, not the full output.
+    pub peak_buffered_bytes: u64,
+    /// Total bytes that passed through the merge (≈ output size).
+    pub total_output_bytes: u64,
+}
+
 /// Per-shard output collector: implements [`CellSink`] for the shard-local
 /// algorithm run and reconciles shard-local cells into global ones —
 /// star-prefixing and dimension-unmapping each cell, and dropping any cell
@@ -152,9 +259,10 @@ impl EngineConfig {
 /// span shard boundaries and are owned by other tasks; bound-aware
 /// algorithms never compute them, and closed cubers never emit them because
 /// the shard is uniform on its bound dimensions).
-pub struct ShardedSink<A = ()> {
-    /// Reconciled cells in the base table's dimension order.
-    batch: CellBatch<A>,
+pub struct ShardedSink<'s, A = ()> {
+    /// Where reconciled cells go: buffered for the merger (worker tasks) or
+    /// straight through to the caller's sink (sequential fast path).
+    out: SinkMode<'s, A>,
     /// Scratch holding the global cell under construction (all `*` between
     /// emissions).
     global: Vec<u32>,
@@ -166,11 +274,33 @@ pub struct ShardedSink<A = ()> {
     bound: usize,
 }
 
-impl<A> ShardedSink<A> {
-    fn new(dims: usize, dim_map: Vec<usize>, closed: bool, bound: usize) -> ShardedSink<A> {
+enum SinkMode<'s, A> {
+    /// Worker-task mode: cells buffer into a path-tagged batch for the
+    /// streaming merger.
+    Buffered(CellBatch<A>),
+    /// Sequential-fast-path mode: the view is the base table itself
+    /// (identity dimension map, `bound = 0`), so cells forward straight to
+    /// the caller's sink with **zero buffering**; `cells`/`bytes` feed the
+    /// run's [`EngineStats`].
+    Direct {
+        forward: &'s mut dyn FnMut(&[u32], u64, &A),
+        cells: usize,
+        bytes: u64,
+    },
+}
+
+impl<'s, A> ShardedSink<'s, A> {
+    fn new(
+        batch: CellBatch<A>,
+        dims: usize,
+        dim_map: Vec<usize>,
+        closed: bool,
+        bound: usize,
+    ) -> ShardedSink<'s, A> {
         debug_assert!(bound <= dim_map.len());
+        debug_assert_eq!(batch.dims(), dims);
         ShardedSink {
-            batch: CellBatch::new(dims),
+            out: SinkMode::Buffered(batch),
             global: vec![STAR; dims],
             dim_map,
             closed,
@@ -178,18 +308,51 @@ impl<A> ShardedSink<A> {
         }
     }
 
+    fn direct(forward: &'s mut dyn FnMut(&[u32], u64, &A), dims: usize) -> ShardedSink<'s, A> {
+        ShardedSink {
+            out: SinkMode::Direct {
+                forward,
+                cells: 0,
+                bytes: 0,
+            },
+            global: Vec::new(),
+            dim_map: (0..dims).collect(),
+            closed: false,
+            bound: 0,
+        }
+    }
+
+    /// Take the buffered batch out (worker-task mode only).
+    fn into_batch(self) -> CellBatch<A> {
+        match self.out {
+            SinkMode::Buffered(batch) => batch,
+            SinkMode::Direct { .. } => unreachable!("direct sinks never reach the merger"),
+        }
+    }
+
+    /// `(cells, bytes)` forwarded so far (fast-path mode only).
+    fn direct_totals(&self) -> (usize, u64) {
+        match &self.out {
+            SinkMode::Direct { cells, bytes, .. } => (*cells, *bytes),
+            SinkMode::Buffered(_) => unreachable!("buffered sinks count via the merger"),
+        }
+    }
+
     /// Cells reconciled so far (diagnostics).
     pub fn len(&self) -> usize {
-        self.batch.len()
+        match &self.out {
+            SinkMode::Buffered(batch) => batch.len(),
+            SinkMode::Direct { cells, .. } => *cells,
+        }
     }
 
     /// True when no cell has been kept yet.
     pub fn is_empty(&self) -> bool {
-        self.batch.is_empty()
+        self.len() == 0
     }
 }
 
-impl<A: Clone> CellSink<A> for ShardedSink<A> {
+impl<'s, A: Clone> CellSink<A> for ShardedSink<'s, A> {
     fn emit(&mut self, cell: &[u32], count: u64, acc: &A) {
         debug_assert_eq!(cell.len(), self.dim_map.len());
         if cell[..self.bound].contains(&STAR) {
@@ -198,12 +361,26 @@ impl<A: Clone> CellSink<A> for ShardedSink<A> {
             debug_assert!(!self.closed, "closed cuber emitted a shard-spanning cell");
             return;
         }
-        for (i, &v) in cell.iter().enumerate() {
-            self.global[self.dim_map[i]] = v;
-        }
-        self.batch.push(&self.global, count, acc.clone());
-        for &d in &self.dim_map {
-            self.global[d] = STAR;
+        match &mut self.out {
+            SinkMode::Direct {
+                forward,
+                cells,
+                bytes,
+            } => {
+                // Fast path: the cell already is in base-table order.
+                *cells += 1;
+                *bytes += cell.len() as u64 * 4 + 8 + std::mem::size_of::<A>() as u64;
+                forward(cell, count, acc);
+            }
+            SinkMode::Buffered(batch) => {
+                for (i, &v) in cell.iter().enumerate() {
+                    self.global[self.dim_map[i]] = v;
+                }
+                batch.push(&self.global, count, acc.clone());
+                for &d in &self.dim_map {
+                    self.global[d] = STAR;
+                }
+            }
         }
     }
 }
@@ -227,6 +404,10 @@ struct Task {
     carried: Vec<usize>,
     /// Leading group-by dimensions that are pre-bound.
     bound: usize,
+    /// Consecutive rest-collapse steps that led to this task (0 for seeds
+    /// and for sub-shard children, which bind a value and start a fresh
+    /// chain). Compared against [`EngineConfig::max_rest_depth`].
+    rest_depth: u32,
     /// Run the cuber (false for level-0 groups below `min_sup`, which exist
     /// only to contribute their Closed Mask to the apex reconciliation).
     cube: bool,
@@ -236,21 +417,172 @@ struct Task {
 }
 
 impl Task {
-    /// Scheduling cost estimate: tuples × remaining unbound group-by
-    /// dimensions. Drives both LPT seeding and the split decision. (PR 1
-    /// ordered by tuple count alone, which under-weighs low levels: a
-    /// level-0 shard recurses over every dimension, a level-`D-1` shard over
-    /// one.)
-    fn cost(&self) -> u64 {
-        self.tids.len() as u64 * (self.group_dims.len() - self.bound).max(1) as u64
+    /// Scheduling cost estimate: tuples × effective dimension span. The
+    /// span counts the remaining unbound group-by dimensions plus, for
+    /// closed runs, the carried dimensions — carried columns ride in every
+    /// view row and every `ClosedInfo`/`eq_mask` merge, so a rest chain's
+    /// re-scans get costed instead of hidden. Drives both LPT seeding and
+    /// the split decision. (PR 1 ordered by tuple count alone, which
+    /// under-weighs low levels; PR 2 ignored carried dimensions, which
+    /// under-weighs closed rest chains.)
+    fn cost(&self, closed: bool) -> u64 {
+        let mut span = (self.group_dims.len() - self.bound).max(1);
+        if closed {
+            span += self.carried.len();
+        }
+        self.tids.len() as u64 * span as u64
     }
 }
 
-/// One completed task's contribution to the merged output.
-struct TaskOutput<A> {
+/// A completed batch parked in the merge frontier until every
+/// lexicographically earlier shard path finishes.
+type Ready<A> = (CellBatch<A>, Option<ClosedInfo>);
+
+/// One completed task's message to the streaming merger.
+struct Completion<A> {
+    /// The task's shard path (the merge key).
     path: Vec<u32>,
+    /// The task's reconciled output cells (empty for summary-only and split
+    /// tasks).
     batch: CellBatch<A>,
+    /// Level-0 closedness summary for the apex merge, if requested.
     shard_info: Option<ClosedInfo>,
+    /// Paths of the children this task split into (registered with the
+    /// merger atomically with the parent's completion, so the frontier is
+    /// never transiently empty while work remains).
+    child_paths: Vec<Vec<u32>>,
+}
+
+/// Shared recycler closing the batch-buffer loop: workers draw per-task
+/// [`CellBatch`]es out, the merging thread returns drained ones. One lock
+/// per task and per emitted batch — tasks are coarse, so contention is
+/// noise, and every buffer the merge drains comes back to the next shard.
+struct BatchRecycler {
+    pool: Mutex<ViewArena>,
+}
+
+impl BatchRecycler {
+    fn new() -> BatchRecycler {
+        BatchRecycler {
+            pool: Mutex::new(ViewArena::new()),
+        }
+    }
+
+    fn take<A>(&self, dims: usize, rows_hint: usize) -> CellBatch<A> {
+        let mut arena = self.pool.lock().expect("batch recycler poisoned");
+        CellBatch::new_in(&mut arena, dims, rows_hint)
+    }
+
+    fn put<A>(&self, batch: CellBatch<A>) {
+        let mut arena = self.pool.lock().expect("batch recycler poisoned");
+        batch.recycle_into(&mut arena);
+    }
+}
+
+/// The streaming ordered merge: tracks every outstanding shard path and
+/// emits completed batches into the final sink as soon as all
+/// lexicographically earlier paths have completed (apex reconciliation
+/// happens after the frontier drains). Lives on the merging thread; workers
+/// reach it through a **bounded** mpsc channel, so a slow final sink
+/// back-pressures the workers instead of letting completed batches pile up
+/// unaccounted — `in_flight` tracks the bytes parked in that channel and
+/// counts toward the peak.
+struct Merger<'a, A, S: ?Sized> {
+    sink: &'a mut S,
+    table: &'a Table,
+    recycler: &'a BatchRecycler,
+    /// Bytes of completed batches sent by workers but not yet received here
+    /// (incremented at send, decremented at receive; 0 on sequential runs).
+    in_flight: &'a AtomicU64,
+    /// Outstanding paths → completed-but-not-yet-emittable output. `None`
+    /// means the task is known but still running.
+    frontier: BTreeMap<Vec<u32>, Option<Ready<A>>>,
+    apex_info: Option<ClosedInfo>,
+    buffered_bytes: u64,
+    stats: EngineStats,
+}
+
+impl<'a, A: Clone, S: CellSink<A> + ?Sized> Merger<'a, A, S> {
+    fn new(
+        sink: &'a mut S,
+        table: &'a Table,
+        recycler: &'a BatchRecycler,
+        in_flight: &'a AtomicU64,
+    ) -> Merger<'a, A, S> {
+        Merger {
+            sink,
+            table,
+            recycler,
+            in_flight,
+            frontier: BTreeMap::new(),
+            apex_info: None,
+            buffered_bytes: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    fn register(&mut self, path: Vec<u32>) {
+        self.frontier.insert(path, None);
+    }
+
+    /// All registered work has been merged (no more completions can be in
+    /// flight: children are registered atomically with their parent).
+    fn is_done(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    fn complete(&mut self, done: Completion<A>) {
+        self.stats.tasks += 1;
+        if !done.child_paths.is_empty() {
+            self.stats.splits += 1;
+        }
+        for child in done.child_paths {
+            // `or_insert`: with >1 worker a child's own completion can
+            // arrive before its parent's (channel order is per-sender).
+            self.frontier.entry(child).or_insert(None);
+        }
+        let bytes = done.batch.byte_size();
+        self.buffered_bytes += bytes;
+        self.stats.total_output_bytes += bytes;
+        let slot = self
+            .frontier
+            .entry(done.path)
+            .or_insert(None /* out-of-order child */);
+        debug_assert!(slot.is_none(), "shard path completed twice");
+        *slot = Some((done.batch, done.shard_info));
+        // Peak accounting spans the frontier *and* the bytes still queued in
+        // the worker channel (sampled here, once per received completion).
+        self.stats.peak_buffered_bytes = self
+            .stats
+            .peak_buffered_bytes
+            .max(self.buffered_bytes + self.in_flight.load(Ordering::Relaxed));
+        // Drain the completed prefix of the frontier.
+        while self
+            .frontier
+            .first_key_value()
+            .is_some_and(|(_, slot)| slot.is_some())
+        {
+            let (_, slot) = self.frontier.pop_first().expect("non-empty frontier");
+            let (batch, shard_info) = slot.expect("checked completed");
+            self.buffered_bytes -= batch.byte_size();
+            if !batch.is_empty() {
+                self.sink.emit_batch(&batch);
+            }
+            // Recycle any batch that owns buffers (including a cubing
+            // task's pre-reserved batch that happened to emit nothing);
+            // capacity-less split-parent/summary placeholders are dropped
+            // rather than burying real buffers in the pool.
+            if batch.has_capacity() {
+                self.recycler.put(batch);
+            }
+            if let Some(info) = shard_info {
+                match &mut self.apex_info {
+                    None => self.apex_info = Some(info),
+                    Some(acc) => acc.merge(self.table, &info),
+                }
+            }
+        }
+    }
 }
 
 /// Count-only [`run_partitioned_with`]: run `algo` partition-parallel over
@@ -276,10 +608,27 @@ pub fn run_partitioned<F, S>(
     algo: F,
     sink: &mut S,
 ) where
-    F: Fn(&Table, usize, u64, &mut ShardedSink) + Sync,
+    F: Fn(&Table, usize, u64, &mut ShardedSink<'_>) + Sync,
     S: CellSink<()> + ?Sized,
 {
     run_partitioned_with(table, min_sup, config, closed, &CountOnly, algo, sink)
+}
+
+/// [`run_partitioned`] returning the run's [`EngineStats`] (scheduling and
+/// peak-buffered-bytes counters).
+pub fn run_partitioned_stats<F, S>(
+    table: &Table,
+    min_sup: u64,
+    config: &EngineConfig,
+    closed: bool,
+    algo: F,
+    sink: &mut S,
+) -> EngineStats
+where
+    F: Fn(&Table, usize, u64, &mut ShardedSink<'_>) + Sync,
+    S: CellSink<()> + ?Sized,
+{
+    run_partitioned_with_stats(table, min_sup, config, closed, &CountOnly, algo, sink)
 }
 
 /// Run `algo` partition-parallel over `table`, carrying the complex-measure
@@ -296,7 +645,26 @@ pub fn run_partitioned_with<M, F, S>(
 ) where
     M: MeasureSpec + Sync,
     M::Acc: Send,
-    F: Fn(&Table, usize, u64, &mut ShardedSink<M::Acc>) + Sync,
+    F: Fn(&Table, usize, u64, &mut ShardedSink<'_, M::Acc>) + Sync,
+    S: CellSink<M::Acc> + ?Sized,
+{
+    run_partitioned_with_stats(table, min_sup, config, closed, spec, algo, sink);
+}
+
+/// [`run_partitioned_with`] returning the run's [`EngineStats`].
+pub fn run_partitioned_with_stats<M, F, S>(
+    table: &Table,
+    min_sup: u64,
+    config: &EngineConfig,
+    closed: bool,
+    spec: &M,
+    algo: F,
+    sink: &mut S,
+) -> EngineStats
+where
+    M: MeasureSpec + Sync,
+    M::Acc: Send,
+    F: Fn(&Table, usize, u64, &mut ShardedSink<'_, M::Acc>) + Sync,
     S: CellSink<M::Acc> + ?Sized,
 {
     assert!(min_sup >= 1, "min_sup must be at least 1");
@@ -307,15 +675,46 @@ pub fn run_partitioned_with<M, F, S>(
     );
     let n = table.rows() as u64;
     if n < min_sup {
-        return;
+        return EngineStats::default();
     }
     let dims = table.dims();
+
+    // ---- Sequential fast path: with one effective thread, or a table too
+    // small for sharding to pay for itself, run the plain algorithm once
+    // over the base table (bound = 0: the sink keeps every cell, the
+    // algorithm emits the apex itself), streaming every cell straight into
+    // the caller's sink — zero buffering. This is what keeps the 1-thread
+    // engine within noise of `Algorithm::run` instead of paying per-level
+    // re-sharding for parallelism it cannot bank.
+    if config.sequential_threshold > 0
+        && (config.effective_threads() <= 1 || n * (dims as u64) < config.sequential_threshold)
+    {
+        let mut forward = |cell: &[u32], count: u64, acc: &M::Acc| sink.emit(cell, count, acc);
+        let mut out = ShardedSink::direct(&mut forward, dims);
+        algo(table, 0, min_sup, &mut out);
+        let (_, bytes) = out.direct_totals();
+        return EngineStats {
+            fast_path: true,
+            tasks: 1,
+            peak_buffered_bytes: 0,
+            total_output_bytes: bytes,
+            ..EngineStats::default()
+        };
+    }
+
     let perm = config.ordering.permutation(table);
 
-    // Seed tasks: one per (level, value) shard of the full table.
+    // Seed tasks: one per (level, value) shard of the full table. One
+    // partitioner + tid buffer is reused across levels.
     let mut seeds: Vec<Task> = Vec::new();
+    let mut partitioner = Partitioner::new();
+    let mut tids: Vec<TupleId> = Vec::new();
+    let mut groups: Vec<Group> = Vec::new();
     for (k, &dim) in perm.iter().enumerate() {
-        let (tids, groups) = table.shard_by_dim(dim);
+        tids.clear();
+        tids.extend(0..table.rows() as TupleId);
+        groups.clear();
+        partitioner.partition(table, dim, &mut tids, &mut groups);
         for (gi, g) in groups.iter().enumerate() {
             let cube = u64::from(g.len()) >= min_sup;
             let want_info = closed && k == 0;
@@ -330,6 +729,7 @@ pub fn run_partitioned_with<M, F, S>(
                         Vec::new()
                     },
                     bound: 1,
+                    rest_depth: 0,
                     cube,
                     want_info,
                 });
@@ -337,44 +737,33 @@ pub fn run_partitioned_with<M, F, S>(
         }
     }
 
-    // Largest first: the heaviest shard is examined (and, if oversized,
-    // split) earliest, bounding makespan under skew — LPT scheduling with
-    // the tuples × remaining-dimensions estimate. Output order is restored
-    // from shard paths afterwards.
-    seeds.sort_by_key(|t| std::cmp::Reverse(t.cost()));
-
+    let recycler = BatchRecycler::new();
     let ctx = Ctx {
         table,
         min_sup,
         config,
         closed,
+        recycler: &recycler,
         algo: &algo,
     };
-    let threads = config.effective_threads().min(seeds.len().max(1));
-    let mut outputs: Vec<TaskOutput<M::Acc>> = if threads <= 1 {
-        ctx.run_sequential(seeds)
-    } else {
-        ctx.run_pool(seeds, threads)
-    };
-    outputs.sort_by(|a, b| a.path.cmp(&b.path));
-
-    // ---- Merge: deterministic lexicographic shard-path order, apex last.
-    let mut apex_info: Option<ClosedInfo> = None;
-    for out in &outputs {
-        if !out.batch.is_empty() {
-            sink.emit_batch(&out.batch);
-        }
-        if let Some(info) = out.shard_info {
-            match &mut apex_info {
-                None => apex_info = Some(info),
-                Some(acc) => acc.merge(table, &info),
-            }
-        }
+    let in_flight = AtomicU64::new(0);
+    let mut merger: Merger<'_, M::Acc, S> = Merger::new(sink, table, &recycler, &in_flight);
+    for seed in &seeds {
+        merger.register(seed.path.clone());
     }
+    let threads = config.effective_threads().min(seeds.len().max(1));
+    if threads <= 1 {
+        ctx.run_sequential(seeds, &mut merger);
+    } else {
+        ctx.run_pool(seeds, threads, &mut merger);
+    }
+    debug_assert!(merger.is_done(), "streaming merge left work buffered");
 
     // ---- Apex reconciliation. Its count is the full row count; for closed
     // runs the merged per-shard Closed Mask decides closedness (Definition 9
     // with the all-dimensions All Mask).
+    let apex_info = merger.apex_info;
+    let mut stats = merger.stats;
     let emit_apex = if closed {
         apex_info
             .expect("closed runs always collect level-0 shard summaries")
@@ -391,7 +780,9 @@ pub fn run_partitioned_with<M, F, S>(
             spec.merge(&mut acc, &unit);
         }
         sink.emit(&apex, n, &acc);
+        stats.total_output_bytes += dims as u64 * 4 + 8 + std::mem::size_of::<M::Acc>() as u64;
     }
+    stats
 }
 
 /// Everything a worker needs to process tasks. The measure spec itself
@@ -401,6 +792,7 @@ struct Ctx<'a, F> {
     min_sup: u64,
     config: &'a EngineConfig,
     closed: bool,
+    recycler: &'a BatchRecycler,
     algo: &'a F,
 }
 
@@ -414,86 +806,114 @@ struct Scratch {
 
 impl<'a, F> Ctx<'a, F> {
     /// Process one task: either run the cuber over its view, or split it
-    /// into `children`. Completed output (if any) is pushed onto `outputs`.
+    /// into `children` (left for the caller to schedule). Returns the
+    /// task's [`Completion`] for the streaming merger.
     fn process<A>(
         &self,
         mut task: Task,
         scratch: &mut Scratch,
-        outputs: &mut Vec<TaskOutput<A>>,
         children: &mut Vec<Task>,
-    ) where
-        F: Fn(&Table, usize, u64, &mut ShardedSink<A>) + Sync,
+    ) -> Completion<A>
+    where
+        F: Fn(&Table, usize, u64, &mut ShardedSink<'_, A>) + Sync,
         A: Send,
     {
+        debug_assert!(children.is_empty());
         let dims = self.table.dims();
         let shard_info = task
             .want_info
             .then(|| ClosedInfo::of_group(self.table, &task.tids).expect("tasks are non-empty"));
         if !task.cube {
-            outputs.push(TaskOutput {
+            return Completion {
                 path: task.path,
                 batch: CellBatch::new(dims),
                 shard_info,
-            });
-            return;
+                child_paths: Vec::new(),
+            };
         }
 
         let remaining = task.group_dims.len() - task.bound;
-        if remaining >= 2 && task.cost() > self.config.split_threshold {
-            // ---- Split along the first unbound dimension.
-            if shard_info.is_some() {
-                outputs.push(TaskOutput {
-                    path: task.path.clone(),
-                    batch: CellBatch::new(dims),
-                    shard_info,
-                });
-            }
-            let split_dim = task.group_dims[task.bound];
-            scratch.groups.clear();
-            scratch.partitioner.partition(
-                self.table,
-                split_dim,
-                &mut task.tids,
-                &mut scratch.groups,
-            );
-            for (gi, g) in scratch.groups.iter().enumerate() {
-                if u64::from(g.len()) < self.min_sup {
-                    continue; // Apriori: no owned cell can reach min_sup.
+        if remaining >= 2
+            && task.rest_depth < self.config.max_rest_depth
+            && task.cost(self.closed) > self.config.split_threshold
+        {
+            // ---- Split along the first unbound dimension with at least
+            // two distinct values in the shard. A single-valued dimension
+            // makes the split pure duplication (one sub-shard plus a rest
+            // task over the same tuples), so such dimensions are skipped:
+            // probe forward until a splittable one is found, then swap it
+            // into the `bound` slot so the sub-shard/rest construction
+            // below stays uniform. A failed probe's single-group partition
+            // leaves `tids` untouched (see `Partitioner::partition`), so
+            // probing is free of side effects; if every unbound dimension
+            // is single-valued the shard runs whole. All of this depends
+            // only on the data, never on timing, so the task tree stays
+            // deterministic.
+            let mut split_at = task.bound;
+            while split_at < task.group_dims.len() {
+                scratch.groups.clear();
+                scratch.partitioner.partition(
+                    self.table,
+                    task.group_dims[split_at],
+                    &mut task.tids,
+                    &mut scratch.groups,
+                );
+                if scratch.groups.len() >= 2 {
+                    break;
                 }
-                let mut path = task.path.clone();
-                path.push(gi as u32);
+                split_at += 1;
+            }
+            if split_at < task.group_dims.len() {
+                task.group_dims.swap(task.bound, split_at);
+                let split_dim = task.group_dims[task.bound];
+                let parent_path = task.path.clone();
+                for (gi, g) in scratch.groups.iter().enumerate() {
+                    if u64::from(g.len()) < self.min_sup {
+                        continue; // Apriori: no owned cell can reach min_sup.
+                    }
+                    let mut path = task.path.clone();
+                    path.push(gi as u32);
+                    children.push(Task {
+                        path,
+                        tids: task.tids[g.range()].to_vec(),
+                        group_dims: task.group_dims.clone(),
+                        carried: task.carried.clone(),
+                        bound: task.bound + 1,
+                        // Binding a value starts a fresh rest chain.
+                        rest_depth: 0,
+                        cube: true,
+                        want_info: false,
+                    });
+                }
+                // The rest task owns the shard's cells starring `split_dim`:
+                // all the shard's tuples, `split_dim` out of the group-by set
+                // and carried for closed runs (a rest-cell uniform on it is
+                // covered by a sub-shard's cell and must be rejected).
+                let mut path = task.path;
+                path.push(scratch.groups.len() as u32);
+                let mut group_dims = task.group_dims;
+                group_dims.remove(task.bound);
+                let mut carried = task.carried;
+                if self.closed {
+                    carried.push(split_dim);
+                }
                 children.push(Task {
                     path,
-                    tids: task.tids[g.range()].to_vec(),
-                    group_dims: task.group_dims.clone(),
-                    carried: task.carried.clone(),
-                    bound: task.bound + 1,
+                    tids: task.tids,
+                    group_dims,
+                    carried,
+                    bound: task.bound,
+                    rest_depth: task.rest_depth + 1,
                     cube: true,
                     want_info: false,
                 });
+                return Completion {
+                    path: parent_path,
+                    batch: CellBatch::new(dims),
+                    shard_info,
+                    child_paths: children.iter().map(|c| c.path.clone()).collect(),
+                };
             }
-            // The rest task owns the shard's cells starring `split_dim`: all
-            // the shard's tuples, `split_dim` out of the group-by set and
-            // carried for closed runs (a rest-cell uniform on it is covered
-            // by a sub-shard's cell and must be rejected).
-            let mut path = task.path;
-            path.push(scratch.groups.len() as u32);
-            let mut group_dims = task.group_dims;
-            group_dims.remove(task.bound);
-            let mut carried = task.carried;
-            if self.closed {
-                carried.push(split_dim);
-            }
-            children.push(Task {
-                path,
-                tids: task.tids,
-                group_dims,
-                carried,
-                bound: task.bound,
-                cube: true,
-                want_info: false,
-            });
-            return;
         }
 
         // ---- Run the cuber over the shard view.
@@ -505,37 +925,68 @@ impl<'a, F> Ctx<'a, F> {
             &dim_order,
             task.group_dims.len(),
         );
-        let mut out = ShardedSink::new(dims, task.group_dims, self.closed, task.bound);
+        // Output batch from the recycler, pre-reserved from the shard's
+        // tuple count tempered by the iceberg threshold: high thresholds
+        // admit far fewer qualifying cells, and reserving the raw tuple
+        // count there would hold (and pool) large unwritten capacity. The
+        // hint is a heuristic, not a bound — `Vec` growth covers the rest.
+        let hint = (task.tids.len() / self.min_sup.max(1) as usize)
+            .saturating_mul(2)
+            .clamp(16, task.tids.len().max(16));
+        let batch = self.recycler.take(dims, hint);
+        let mut out = ShardedSink::new(batch, dims, task.group_dims, self.closed, task.bound);
         (self.algo)(&view, task.bound, self.min_sup, &mut out);
         scratch.arena.reclaim(view);
-        outputs.push(TaskOutput {
+        Completion {
             path: task.path,
-            batch: out.batch,
+            batch: out.into_batch(),
             shard_info,
-        });
+            child_paths: Vec::new(),
+        }
     }
 
-    fn run_sequential<A>(&self, seeds: Vec<Task>) -> Vec<TaskOutput<A>>
+    /// Single-threaded sharded run: process tasks in **lexicographic path
+    /// order** (parents first, then children depth-first), so every batch is
+    /// emittable the moment it completes and the merge frontier stays at one
+    /// task — the bounded-memory ideal. (LPT order only matters when there
+    /// is parallelism to balance.)
+    fn run_sequential<A, S>(&self, mut seeds: Vec<Task>, merger: &mut Merger<'_, A, S>)
     where
-        F: Fn(&Table, usize, u64, &mut ShardedSink<A>) + Sync,
-        A: Send,
+        F: Fn(&Table, usize, u64, &mut ShardedSink<'_, A>) + Sync,
+        A: Send + Clone,
+        S: CellSink<A> + ?Sized,
     {
-        let mut outputs = Vec::with_capacity(seeds.len());
+        // Descending path order: `pop` yields ascending.
+        seeds.sort_by(|a, b| b.path.cmp(&a.path));
         let mut scratch = Scratch::default();
         let mut stack = seeds;
         let mut children = Vec::new();
         while let Some(task) = stack.pop() {
-            self.process(task, &mut scratch, &mut outputs, &mut children);
-            stack.append(&mut children);
+            let completion = self.process(task, &mut scratch, &mut children);
+            // Children are generated in ascending path order; push reversed
+            // so the lexicographically first child is processed next.
+            while let Some(child) = children.pop() {
+                stack.push(child);
+            }
+            merger.complete(completion);
         }
-        outputs
     }
 
-    fn run_pool<A>(&self, seeds: Vec<Task>, threads: usize) -> Vec<TaskOutput<A>>
+    /// Multi-threaded run: workers process tasks off stealing deques and
+    /// stream completions to the merger on this (the calling) thread, which
+    /// emits each batch as soon as its lexicographic predecessors finished.
+    fn run_pool<A, S>(&self, seeds: Vec<Task>, threads: usize, merger: &mut Merger<'_, A, S>)
     where
-        F: Fn(&Table, usize, u64, &mut ShardedSink<A>) + Sync,
-        A: Send,
+        F: Fn(&Table, usize, u64, &mut ShardedSink<'_, A>) + Sync,
+        A: Send + Clone,
+        S: CellSink<A> + ?Sized,
     {
+        // Largest first: the heaviest shard is examined (and, if oversized,
+        // split) earliest, bounding makespan under skew — LPT scheduling
+        // with the closed-aware cost estimate. Output order is restored by
+        // the merger from shard paths.
+        let mut seeds = seeds;
+        seeds.sort_by_key(|t| std::cmp::Reverse(t.cost(self.closed)));
         let injector: Injector<Task> = Injector::new();
         let pending = AtomicUsize::new(seeds.len());
         for task in seeds {
@@ -543,22 +994,34 @@ impl<'a, F> Ctx<'a, F> {
         }
         let workers: Vec<Worker<Task>> = (0..threads).map(|_| Worker::new_lifo()).collect();
         let stealers: Vec<Stealer<Task>> = workers.iter().map(Worker::stealer).collect();
-        let results: Mutex<Vec<TaskOutput<A>>> = Mutex::new(Vec::new());
+        let steals = AtomicU64::new(0);
+        let in_flight = merger.in_flight;
+        // Abort flag: set by whichever side unwinds from a panic, so the
+        // other side stops blocking and `thread::scope` can join (and
+        // re-raise the panic) instead of deadlocking on a full channel or a
+        // `pending` count that will never reach zero.
+        let aborted = std::sync::atomic::AtomicBool::new(false);
+        // Bounded channel: a slow final sink back-pressures the workers at a
+        // few completions each instead of letting the whole output queue up
+        // unaccounted behind the merging thread.
+        let (tx, rx) = mpsc::sync_channel::<Completion<A>>(threads * 4);
         std::thread::scope(|scope| {
             for (wi, worker) in workers.into_iter().enumerate() {
                 let injector = &injector;
                 let pending = &pending;
                 let stealers = &stealers;
-                let results = &results;
+                let steals = &steals;
+                let aborted = &aborted;
+                let tx = tx.clone();
                 scope.spawn(move || {
+                    let _panic_guard = AbortOnPanic(aborted);
                     let mut scratch = Scratch::default();
-                    let mut outputs: Vec<TaskOutput<A>> = Vec::new();
                     let mut children: Vec<Task> = Vec::new();
                     // Consecutive empty scans; drives the idle backoff so a
                     // long tail task doesn't have the other workers hammering
                     // its deque mutex (and a core) while they wait.
                     let mut idle_scans = 0u32;
-                    loop {
+                    'work: loop {
                         let task =
                             worker
                                 .pop()
@@ -569,14 +1032,17 @@ impl<'a, F> Ctx<'a, F> {
                                         .enumerate()
                                         .filter(|&(si, _)| si != wi)
                                         .find_map(|(_, s)| match s.steal() {
-                                            Steal::Success(t) => Some(t),
+                                            Steal::Success(t) => {
+                                                steals.fetch_add(1, Ordering::Relaxed);
+                                                Some(t)
+                                            }
                                             _ => None,
                                         })
                                 });
                         match task {
                             Some(task) => {
                                 idle_scans = 0;
-                                self.process(task, &mut scratch, &mut outputs, &mut children);
+                                let completion = self.process(task, &mut scratch, &mut children);
                                 if !children.is_empty() {
                                     // Count children before retiring the
                                     // parent so `pending` can never dip to
@@ -586,10 +1052,23 @@ impl<'a, F> Ctx<'a, F> {
                                         worker.push(child);
                                     }
                                 }
+                                in_flight
+                                    .fetch_add(completion.batch.byte_size(), Ordering::Relaxed);
+                                // Blocks on a full channel (merge
+                                // backpressure) and errs once the receiver
+                                // is gone — the merging side owns `rx`
+                                // inside the scope closure, so every exit
+                                // of the merge loop (done, abort, panic
+                                // unwind) drops it and releases us.
+                                if tx.send(completion).is_err() {
+                                    break 'work;
+                                }
                                 pending.fetch_sub(1, Ordering::SeqCst);
                             }
                             None => {
-                                if pending.load(Ordering::SeqCst) == 0 {
+                                if pending.load(Ordering::SeqCst) == 0
+                                    || aborted.load(Ordering::SeqCst)
+                                {
                                     break;
                                 }
                                 idle_scans += 1;
@@ -605,21 +1084,56 @@ impl<'a, F> Ctx<'a, F> {
                             }
                         }
                     }
-                    results
-                        .lock()
-                        .expect("result collection poisoned")
-                        .append(&mut outputs);
                 });
             }
+            drop(tx);
+            // ---- Streaming merge on the calling thread: every completion
+            // is folded into the frontier as it lands; batches drain to the
+            // sink the moment their lexicographic predecessors are done. The
+            // timeout exists only to notice a panicked worker (whose task
+            // would otherwise leave the frontier waiting forever). `rx` is
+            // moved into this closure so that leaving the loop — normally
+            // or by unwinding from a sink panic — drops it and unblocks any
+            // worker parked in `tx.send`.
+            let rx = rx;
+            let _panic_guard = AbortOnPanic(&aborted);
+            while !merger.is_done() {
+                match rx.recv_timeout(std::time::Duration::from_millis(20)) {
+                    Ok(completion) => {
+                        in_flight.fetch_sub(completion.batch.byte_size(), Ordering::Relaxed);
+                        merger.complete(completion);
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if aborted.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                    // All workers gone with work outstanding: a worker
+                    // panicked; scope exit re-raises it.
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
         });
-        results.into_inner().expect("result collection poisoned")
+        merger.stats.steals = steals.load(Ordering::Relaxed);
+    }
+}
+
+/// Sets the flag when dropped during a panic unwind — the cross-thread
+/// "stop waiting for me" signal of [`Ctx::run_pool`].
+struct AbortOnPanic<'a>(&'a std::sync::atomic::AtomicBool);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::SeqCst);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccube_core::sink::{collect_counts, CollectSink};
+    use ccube_core::sink::{collect_counts, CollectSink, CountingSink};
     use ccube_core::TableBuilder;
     use ccube_data::SyntheticSpec;
 
@@ -628,11 +1142,14 @@ mod tests {
         min_sup: u64,
         threads: usize,
     ) -> ccube_core::fxhash::FxHashMap<ccube_core::Cell, u64> {
+        // `always_sharded`: exercise the sharding/merge machinery even on
+        // tables small enough for the sequential fast path (which has its
+        // own dedicated tests).
         collect_counts(|sink| {
             run_partitioned(
                 table,
                 min_sup,
-                &EngineConfig::with_threads(threads),
+                &EngineConfig::with_threads(threads).always_sharded(),
                 true,
                 |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
                 sink,
@@ -679,9 +1196,9 @@ mod tests {
                     run_partitioned(
                         &t,
                         min_sup,
-                        &EngineConfig::with_threads(threads),
+                        &EngineConfig::with_threads(threads).always_sharded(),
                         false,
-                        ccube_baselines::buc_bound,
+                        |view, bound, m, out| ccube_baselines::buc_bound(view, bound, m, out),
                         sink,
                     )
                 });
@@ -700,6 +1217,7 @@ mod tests {
             let config = EngineConfig {
                 threads,
                 split_threshold: 32,
+                sequential_threshold: 0,
                 ..EngineConfig::default()
             };
             let got = collect_counts(|sink| {
@@ -726,6 +1244,7 @@ mod tests {
                     let config = EngineConfig {
                         threads,
                         split_threshold: threshold,
+                        sequential_threshold: 0,
                         ..EngineConfig::default()
                     };
                     let got = collect_counts(|sink| {
@@ -773,6 +1292,7 @@ mod tests {
                 let config = EngineConfig {
                     threads,
                     split_threshold: threshold,
+                    sequential_threshold: 0,
                     ..EngineConfig::default()
                 };
                 run_partitioned(
@@ -804,6 +1324,7 @@ mod tests {
             let config = EngineConfig {
                 threads,
                 split_threshold: 128,
+                sequential_threshold: 0,
                 ..EngineConfig::default()
             };
             let mut got = CollectSink::default();
@@ -839,10 +1360,187 @@ mod tests {
             5,
             &EngineConfig::default(),
             false,
-            ccube_star::star_cube_bound,
+            |view, bound, m, out| ccube_star::star_cube_bound(view, bound, m, out),
             &mut sink,
         );
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn fast_path_matches_sequential_and_reports_stats() {
+        // Small table + default config: every thread count is below the
+        // sequential-work threshold, so all runs take the fast path and the
+        // emission order is the plain algorithm's own.
+        let t = SyntheticSpec::uniform(300, 4, 6, 1.0, 5).generate();
+        let want = collect_counts(|s| ccube_star::c_cubing_star(&t, 2, s));
+        for threads in [1, 2, 8] {
+            let mut sink = CollectSink::<()>::default();
+            let stats = run_partitioned_stats(
+                &t,
+                2,
+                &EngineConfig::with_threads(threads),
+                true,
+                |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
+                &mut sink,
+            );
+            assert!(stats.fast_path, "threads={threads}");
+            assert_eq!(stats.tasks, 1);
+            assert_eq!(stats.splits, 0);
+            assert_eq!(stats.steals, 0);
+            assert!(stats.total_output_bytes > 0);
+            assert_eq!(sink.counts(), want, "threads={threads}");
+        }
+        // A 1-thread run with the fast path disabled shards — and agrees.
+        let mut sink = CollectSink::<()>::default();
+        let stats = run_partitioned_stats(
+            &t,
+            2,
+            &EngineConfig::with_threads(1).always_sharded(),
+            true,
+            |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
+            &mut sink,
+        );
+        assert!(!stats.fast_path);
+        assert!(stats.tasks > 1);
+        assert_eq!(sink.counts(), want);
+    }
+
+    #[test]
+    fn streaming_merge_buffers_less_than_total_output() {
+        // Forced splitting on a single thread: tasks complete in
+        // lexicographic path order, so the frontier drains every batch the
+        // moment it lands and peak buffered bytes stay far below the total
+        // output the old collect-everything merge would have held.
+        let t = SyntheticSpec::uniform(600, 5, 6, 1.5, 23).generate();
+        for threads in [1usize, 3] {
+            let config = EngineConfig {
+                threads,
+                split_threshold: 64,
+                sequential_threshold: 0,
+                ..EngineConfig::default()
+            };
+            let mut sink = CountingSink::default();
+            let stats = run_partitioned_stats(
+                &t,
+                2,
+                &config,
+                true,
+                |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
+                &mut sink,
+            );
+            assert!(stats.splits > 0, "threads={threads}: split was not forced");
+            assert!(
+                stats.peak_buffered_bytes <= stats.total_output_bytes,
+                "threads={threads}"
+            );
+            if threads == 1 {
+                // Deterministic path-order processing: strictly less.
+                assert!(
+                    stats.peak_buffered_bytes < stats.total_output_bytes,
+                    "streaming merge buffered the whole output \
+                     (peak {} vs total {})",
+                    stats.peak_buffered_bytes,
+                    stats.total_output_bytes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rest_depth_cap_bounds_the_split_tree() {
+        let t = SyntheticSpec::uniform(500, 4, 6, 2.0, 31).generate();
+        let want = collect_counts(|s| ccube_star::c_cubing_star(&t, 2, s));
+        // max_rest_depth = 0 disables splitting outright.
+        let config = EngineConfig {
+            threads: 2,
+            split_threshold: 1,
+            sequential_threshold: 0,
+            max_rest_depth: 0,
+            ..EngineConfig::default()
+        };
+        let mut sink = CollectSink::<()>::default();
+        let stats = run_partitioned_stats(
+            &t,
+            2,
+            &config,
+            true,
+            |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
+            &mut sink,
+        );
+        assert_eq!(stats.splits, 0);
+        assert_eq!(sink.counts(), want);
+        // A deeper cap splits, and the cell set still does not move.
+        let deeper = EngineConfig {
+            max_rest_depth: 2,
+            ..config
+        };
+        let mut sink = CollectSink::<()>::default();
+        let stats = run_partitioned_stats(
+            &t,
+            2,
+            &deeper,
+            true,
+            |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
+            &mut sink,
+        );
+        assert!(stats.splits > 0);
+        assert_eq!(sink.counts(), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "sink exploded")]
+    fn sink_panic_propagates_instead_of_deadlocking() {
+        // A panicking final sink unwinds the merging thread; the abort flag
+        // must release the workers (bounded-channel senders) so the scope
+        // can join and re-raise — a hang here fails the suite by timeout.
+        let t = SyntheticSpec::uniform(400, 4, 6, 1.5, 9).generate();
+        let mut sink = ccube_core::sink::FnSink(|_: &[u32], _: u64, _: &()| {
+            panic!("sink exploded");
+        });
+        let config = EngineConfig {
+            threads: 3,
+            split_threshold: 32,
+            sequential_threshold: 0,
+            ..EngineConfig::default()
+        };
+        run_partitioned(
+            &t,
+            2,
+            &config,
+            true,
+            |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
+            &mut sink,
+        );
+    }
+
+    #[test]
+    fn single_value_split_dimension_aborts_the_split() {
+        // Dimension 1 is constant: any split probe along it finds one group
+        // and must fall through to cubing the shard whole instead of
+        // duplicating it into sub-shard + rest.
+        let mut b = ccube_core::TableBuilder::new(3).cards(vec![4, 1, 4]);
+        for i in 0..200u32 {
+            b.push_row(&[i % 4, 0, (i / 4) % 4]);
+        }
+        let t = b.build().unwrap();
+        let want = collect_counts(|s| ccube_star::c_cubing_star(&t, 2, s));
+        let config = EngineConfig {
+            threads: 2,
+            split_threshold: 1,
+            sequential_threshold: 0,
+            ..EngineConfig::default()
+        };
+        let got = collect_counts(|sink| {
+            run_partitioned(
+                &t,
+                2,
+                &config,
+                true,
+                |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
+                sink,
+            )
+        });
+        assert_eq!(got, want);
     }
 
     #[test]
@@ -865,6 +1563,8 @@ mod tests {
                         threads: 2,
                         ordering,
                         split_threshold: 200,
+                        sequential_threshold: 0,
+                        max_rest_depth: DEFAULT_MAX_REST_DEPTH,
                     },
                     true,
                     |view, _bound, m, out| ccube_star::c_cubing_star_array(view, m, out),

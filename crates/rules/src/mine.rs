@@ -76,19 +76,23 @@ pub fn mine_rules(cube: &ClosedCube) -> (Vec<ClosedRule>, RuleStats) {
             .collect();
         // Greedy minimal generator: drop any binding whose removal keeps the
         // recovered count equal (same count ⇒ same tuple group ⇒ same
-        // closure).
+        // closure). One scratch probe cell mutated in place per trial
+        // (`unbind` to test a removal, `bind_mut` to back out) instead of a
+        // fresh candidate vector + cell allocation per step — this loop runs
+        // once per binding per closed cell.
         let mut generator = bound.clone();
+        let mut probe = Cell::from_bindings(cell.dims(), &generator);
         let mut i = 0;
         while i < generator.len() {
             if generator.len() == 1 {
                 break; // keep at least one binding as the condition
             }
-            let mut candidate = generator.clone();
-            candidate.remove(i);
-            let probe = Cell::from_bindings(cell.dims(), &candidate);
+            let (d, v) = generator[i];
+            probe.unbind(d);
             if cube.query(&probe) == Some(count) {
-                generator = candidate;
+                generator.remove(i);
             } else {
+                probe.bind_mut(d, v);
                 i += 1;
             }
         }

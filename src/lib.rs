@@ -48,7 +48,7 @@ pub use ccube_mm as mm;
 pub use ccube_rules as rules;
 pub use ccube_star as star;
 
-pub use ccube_engine::EngineConfig;
+pub use ccube_engine::{EngineConfig, EngineStats};
 
 use ccube_core::measure::{CountOnly, MeasureSpec};
 use ccube_core::sink::CellSink;
@@ -57,7 +57,7 @@ use ccube_engine::ShardedSink;
 
 /// Everything needed for typical use.
 pub mod prelude {
-    pub use crate::{recommend, Algorithm, EngineConfig, Workload};
+    pub use crate::{recommend, Algorithm, EngineConfig, EngineStats, Workload};
     pub use ccube_core::measure::{AllColumns, ColumnStats, CountOnly, MeasureSpec};
     pub use ccube_core::order::DimOrdering;
     pub use ccube_core::sink::{
@@ -287,6 +287,27 @@ impl Algorithm {
         self.run_with_config_with(table, min_sup, config, &CountOnly, sink)
     }
 
+    /// [`Algorithm::run_with_config`] returning the engine's scheduling and
+    /// peak-buffered-bytes counters ([`EngineStats`]) alongside the output —
+    /// the observability hook the `parallel` benchmark records in
+    /// `BENCH_parallel.json`.
+    pub fn run_with_config_stats<S: CellSink<()>>(
+        self,
+        table: &Table,
+        min_sup: u64,
+        config: &EngineConfig,
+        sink: &mut S,
+    ) -> EngineStats {
+        ccube_engine::run_partitioned_stats(
+            table,
+            min_sup,
+            config,
+            self.is_closed(),
+            |shard, bound, m, out| self.run_bound(shard, bound, m, out),
+            sink,
+        )
+    }
+
     /// [`Algorithm::run_with_config`] carrying the measures of `spec`.
     pub fn run_with_config_with<M, S>(
         self,
@@ -306,7 +327,7 @@ impl Algorithm {
             config,
             self.is_closed(),
             spec,
-            |shard: &Table, bound: usize, m: u64, out: &mut ShardedSink<M::Acc>| {
+            |shard: &Table, bound: usize, m: u64, out: &mut ShardedSink<'_, M::Acc>| {
                 self.run_bound_with(shard, bound, m, spec, out)
             },
             sink,

@@ -16,10 +16,20 @@ fn assert_parallel_equivalence(table: &Table, min_sups: &[u64], label: &str) {
         for &m in min_sups {
             let want = collect_counts(|s| algo.run(table, m, s));
             for threads in THREADS {
+                // Default config (small tables may take the sequential fast
+                // path — that must be equivalent too) ...
                 let got = collect_counts(|s| algo.run_parallel(table, m, threads, s));
                 assert_eq!(
                     got, want,
                     "{algo} parallel({threads}) != sequential on {label} at min_sup={m}"
+                );
+                // ... and with the fast path disabled, so the sharding and
+                // streaming-merge machinery is always exercised.
+                let cfg = EngineConfig::with_threads(threads).always_sharded();
+                let got = collect_counts(|s| algo.run_with_config(table, m, &cfg, s));
+                assert_eq!(
+                    got, want,
+                    "{algo} sharded({threads}) != sequential on {label} at min_sup={m}"
                 );
             }
         }
@@ -72,6 +82,7 @@ fn recursive_splitting_forced_matches_sequential() {
                     let cfg = EngineConfig {
                         threads,
                         split_threshold: 16,
+                        sequential_threshold: 0,
                         ..EngineConfig::default()
                     };
                     let got = collect_counts(|s| algo.run_with_config(&t, m, &cfg, s));
@@ -98,6 +109,7 @@ fn forced_splitting_output_sequence_is_thread_count_invariant() {
                 let cfg = EngineConfig {
                     threads,
                     split_threshold: 32,
+                    sequential_threshold: 0,
                     ..EngineConfig::default()
                 };
                 algo.run_with_config(&t, 2, &cfg, &mut sink);
@@ -185,6 +197,7 @@ fn sharding_ordering_does_not_change_results() {
             let cfg = EngineConfig {
                 threads: 2,
                 ordering,
+                sequential_threshold: 0,
                 ..EngineConfig::default()
             };
             let got = collect_counts(|s| algo.run_with_config(&t, 2, &cfg, s));
@@ -270,6 +283,115 @@ proptest! {
             prop_assert_eq!(union, want, "{} union != sequential", algo);
         }
     }
+}
+
+/// Trace an engine run's full emission sequence (cells and counts, in
+/// order) — "byte-identical" in the acceptance criteria means this sequence.
+fn trace_run(
+    algo: Algorithm,
+    table: &Table,
+    min_sup: u64,
+    cfg: &EngineConfig,
+) -> Vec<(Vec<u32>, u64)> {
+    let mut cells: Vec<(Vec<u32>, u64)> = Vec::new();
+    {
+        let mut sink = FnSink(|cell: &[u32], count: u64, _: &()| {
+            cells.push((cell.to_vec(), count));
+        });
+        algo.run_with_config(table, min_sup, cfg, &mut sink);
+    }
+    cells
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The streaming merge must be byte-identical to the buffered merge it
+    /// replaced: the buffered merge emitted batches in lexicographic
+    /// shard-path order (apex last), which is exactly the order a 1-thread
+    /// sharded run completes tasks in — so for every algorithm, thread
+    /// count and forced-split threshold, the full emission sequence must
+    /// equal the 1-thread sharded sequence, and its cell set must equal the
+    /// sequential run's.
+    #[test]
+    fn streaming_merge_is_byte_identical_across_threads(case in arb_bound_case()) {
+        let (table, min_sup) = case;
+        for algo in Algorithm::ALL {
+            let want_set = collect_counts(|s| algo.run(&table, min_sup, s));
+            for split_threshold in [8u64, 64, u64::MAX] {
+                let cfg = |threads: usize| EngineConfig {
+                    threads,
+                    split_threshold,
+                    sequential_threshold: 0,
+                    ..EngineConfig::default()
+                };
+                let reference = trace_run(algo, &table, min_sup, &cfg(1));
+                let got_set: ccube_core::fxhash::FxHashMap<Cell, u64> = reference
+                    .iter()
+                    .map(|(c, n)| (Cell::from_values(c), *n))
+                    .collect();
+                prop_assert_eq!(
+                    &got_set, &want_set,
+                    "{} sharded cell set != sequential (threshold {})",
+                    algo, split_threshold
+                );
+                for threads in [2usize, 8] {
+                    let got = trace_run(algo, &table, min_sup, &cfg(threads));
+                    prop_assert_eq!(
+                        &got, &reference,
+                        "{} emission sequence moved at {} threads (threshold {})",
+                        algo, threads, split_threshold
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The streaming merge's peak buffered bytes must stay below the full
+/// output size under forced splitting — the bounded-memory acceptance
+/// criterion. The 1-thread sharded run completes tasks in lexicographic
+/// path order, so its frontier (and therefore the peak) is one batch deep.
+#[test]
+fn streaming_merge_peak_stays_below_full_output() {
+    let t = SyntheticSpec::uniform(2_000, 5, 8, 1.5, 44).generate();
+    for algo in [Algorithm::CCubingStar, Algorithm::Buc, Algorithm::Mm] {
+        let cfg = EngineConfig {
+            threads: 1,
+            split_threshold: 256,
+            sequential_threshold: 0,
+            ..EngineConfig::default()
+        };
+        let mut sink = CountingSink::default();
+        let stats = algo.run_with_config_stats(&t, 4, &cfg, &mut sink);
+        assert!(stats.splits > 0, "{algo}: splitting was not forced");
+        assert!(
+            stats.peak_buffered_bytes < stats.total_output_bytes,
+            "{algo}: peak {} bytes not below total {} bytes",
+            stats.peak_buffered_bytes,
+            stats.total_output_bytes
+        );
+        // The counters describe a real run: every cell passed through.
+        assert!(sink.cells > 0);
+    }
+}
+
+/// At one thread with the default config the engine takes the sequential
+/// fast path: same cells, and the engine reports it.
+#[test]
+fn one_thread_engine_takes_the_fast_path() {
+    let t = SyntheticSpec::uniform(5_000, 5, 10, 1.0, 45).generate();
+    let algo = Algorithm::CCubingMm;
+    let want = collect_counts(|s| algo.run(&t, 4, s));
+    let mut sink = CollectSink::default();
+    let stats = algo.run_with_config_stats(&t, 4, &EngineConfig::with_threads(1), &mut sink);
+    assert!(stats.fast_path);
+    assert_eq!(sink.counts(), want);
+    // Multi-threaded on the same table: sharded, still equivalent.
+    let mut sink = CollectSink::default();
+    let stats = algo.run_with_config_stats(&t, 4, &EngineConfig::with_threads(4), &mut sink);
+    assert!(!stats.fast_path);
+    assert_eq!(sink.counts(), want);
 }
 
 /// Wall-clock sanity on a larger workload. Timing assertions on shared CI
