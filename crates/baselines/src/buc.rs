@@ -49,7 +49,12 @@ where
         min_sup,
         spec,
         sink,
-        partitioner: Partitioner::new(),
+        // Sparse counter reset: deep BUC recursions partition ever-smaller
+        // tid slices, where zero-filling O(cardinality) counters per call
+        // would dominate (BUC is not the baseline the paper's Section 5.1
+        // counting-sort observation is about — that is QC-DFS, which keeps
+        // the dense default).
+        partitioner: Partitioner::with_sparse_reset(),
         cell: vec![STAR; table.cube_dims()],
     };
     for d in 0..bound {
@@ -114,12 +119,7 @@ where
     }
 
     fn aggregate(&self, tids: &[TupleId]) -> M::Acc {
-        let (&first, rest) = tids.split_first().expect("partitions are non-empty");
-        let mut acc = self.spec.unit(self.table, first);
-        for &t in rest {
-            self.spec.merge(&mut acc, &self.spec.unit(self.table, t));
-        }
-        acc
+        self.spec.fold(self.table, tids)
     }
 }
 

@@ -103,14 +103,19 @@ where
             if d < cube && self.cell[d] != STAR {
                 continue;
             }
-            let v = self.table.value(first, d);
+            // Counting pass over the dimension's column (the faithful
+            // BUC-derived machinery: O(cardinality + |partition|), no early
+            // exit — see the module docs). The columnar layout at least
+            // makes the per-tuple reads gathers from one contiguous slice.
+            let col = self.table.col(d);
+            let v = col[first as usize];
             let uniform = {
                 let card = self.table.card(d) as usize;
                 let counts = &mut self.counts[..card];
                 counts.fill(0);
                 let mut distinct = 0u32;
                 for &t in tids.iter() {
-                    let val = self.table.value(t, d) as usize;
+                    let val = col[t as usize] as usize;
                     if counts[val] == 0 {
                         distinct += 1;
                     }
@@ -160,12 +165,7 @@ where
     }
 
     fn aggregate(&self, tids: &[TupleId]) -> M::Acc {
-        let (&first, rest) = tids.split_first().expect("partitions are non-empty");
-        let mut acc = self.spec.unit(self.table, first);
-        for &t in rest {
-            self.spec.merge(&mut acc, &self.spec.unit(self.table, t));
-        }
-        acc
+        self.spec.fold(self.table, tids)
     }
 }
 

@@ -1,9 +1,14 @@
-//! Substrate micro-benchmarks: partitioning, generation, tree building —
-//! the building blocks whose costs explain the figure-level behaviour
-//! (e.g. QC-DFS's counting-sort degradation at high cardinality).
+//! Substrate micro-benchmarks: partitioning, view gathers, group-wise
+//! closedness, generation — the building blocks whose costs explain the
+//! figure-level behaviour (e.g. QC-DFS's counting-sort degradation at high
+//! cardinality, or the columnar layout's effect on every scan). The same
+//! micro-numbers ship machine-readable via `exp -- substrate`
+//! (BENCH_substrate.json).
 
+use ccube_core::closedness::ClosedInfo;
 use ccube_core::partition::Partitioner;
 use ccube_core::sink::CountingSink;
+use ccube_core::table::ViewArena;
 use ccube_data::{SyntheticSpec, WeatherSpec, Zipf};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -23,6 +28,72 @@ fn partitioning(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+
+    // The sparse-reset payoff case: many narrow slices over a wide domain.
+    let mut group = c.benchmark_group("partition_narrow_slices_c10000");
+    let table = SyntheticSpec::uniform(50_000, 2, 10_000, 0.5, 3).generate();
+    for (name, mut p) in [
+        ("dense", Partitioner::new()),
+        ("sparse", Partitioner::with_sparse_reset()),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let tids = table.all_tids();
+            b.iter(|| {
+                let mut total = 0usize;
+                let mut groups = Vec::new();
+                for chunk in tids.chunks(64).take(64) {
+                    let mut slice = chunk.to_vec();
+                    groups.clear();
+                    p.partition(&table, 1, &mut slice, &mut groups);
+                    total += groups.len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn view_gather(c: &mut Criterion) {
+    // Shard-view materialization — the engine's per-task setup cost, now a
+    // per-column gather.
+    let table = SyntheticSpec::uniform(100_000, 8, 100, 1.0, 7).generate();
+    let (tids, groups) = table.shard_by_first_dim();
+    let dim_order: Vec<usize> = (0..8).collect();
+    c.bench_function("view_gather_hottest_shard_d8", |b| {
+        let g = groups
+            .iter()
+            .max_by_key(|g| g.len())
+            .expect("non-empty table");
+        let shard = &tids[g.range()];
+        let mut arena = ViewArena::new();
+        b.iter(|| {
+            let view = table.view_in(&mut arena, shard, &dim_order, 8);
+            let rows = view.rows();
+            arena.reclaim(view);
+            black_box(rows)
+        })
+    });
+}
+
+fn closedness_construction(c: &mut Criterion) {
+    // Group-wise ClosedInfo::for_group (columnar early-exit fold) vs the
+    // tuple-at-a-time merge chain it replaced on the cubers' hot paths.
+    let table = SyntheticSpec::uniform(100_000, 8, 100, 1.0, 7).generate();
+    let (tids, groups) = table.shard_by_first_dim();
+    let g = groups
+        .iter()
+        .max_by_key(|g| g.len())
+        .expect("non-empty table");
+    let shard = &tids[g.range()];
+    let mut group = c.benchmark_group("closed_info_hottest_shard");
+    group.bench_function("for_group", |b| {
+        b.iter(|| black_box(ClosedInfo::for_group(&table, shard)))
+    });
+    group.bench_function("merge_tuple_chain", |b| {
+        b.iter(|| black_box(ClosedInfo::of_group(&table, shard)))
+    });
     group.finish();
 }
 
@@ -67,5 +138,41 @@ fn iceberg_hosts(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, partitioning, generators, iceberg_hosts);
+fn acceptance_workload(c: &mut Criterion) {
+    // All 8 algorithms, sequential, on the Zipf-1.5 acceptance workload
+    // (the `seq_seconds` column of BENCH_parallel.json at scale 0.02) — the
+    // stable medians behind the substrate-refactor acceptance numbers.
+    let table = SyntheticSpec::uniform(20_000, 8, 100, 1.5, 4).generate();
+    let mut group = c.benchmark_group("seq_20k_d8_c100_zipf15_m8");
+    group.sample_size(10);
+    for algo in [
+        ccube_bench::Algo::QcDfs,
+        ccube_bench::Algo::CcMm,
+        ccube_bench::Algo::CcStar,
+        ccube_bench::Algo::CcStarArray,
+        ccube_bench::Algo::Buc,
+        ccube_bench::Algo::Mm,
+        ccube_bench::Algo::Star,
+        ccube_bench::Algo::StarArray,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
+            b.iter(|| {
+                let mut sink = CountingSink::default();
+                algo.run(&table, 8, &mut sink);
+                sink.cells
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    partitioning,
+    view_gather,
+    closedness_construction,
+    generators,
+    iceberg_hosts,
+    acceptance_workload
+);
 criterion_main!(benches);

@@ -72,9 +72,141 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("fig18", fig18),
         ("rules", rules_experiment),
         ("parallel", parallel_speedup),
+        ("substrate", substrate_micro),
         ("ablate-mm", ablate_mm_budget),
         ("ablate-order", ablate_base_order),
     ]
+}
+
+/// Columnar-substrate micro-benchmarks: counting-sort partitioning (dense
+/// vs sparse-reset), shard-view gathering, and group-wise vs tuple-at-a-time
+/// closedness construction — the building-block costs behind the
+/// figure-level numbers. Writes the medians to `BENCH_substrate.json`
+/// (median of 15 samples each, so the numbers survive noisy-neighbour CI
+/// boxes).
+fn substrate_micro(opt: &ExpOptions) -> Figure {
+    use ccube_core::closedness::ClosedInfo;
+    use ccube_core::partition::Partitioner;
+    use ccube_core::table::ViewArena;
+    use std::time::Instant;
+
+    fn median_secs(mut run: impl FnMut()) -> f64 {
+        let mut samples: Vec<f64> = (0..15)
+            .map(|_| {
+                let start = Instant::now();
+                run();
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    }
+
+    let tuples = opt.tuples(1_000_000);
+    let table = SyntheticSpec::uniform(tuples, 8, 100, 1.5, opt.seed).generate();
+    let (tids, groups) = table.shard_by_first_dim();
+    let hot = groups
+        .iter()
+        .max_by_key(|g| g.len())
+        .expect("non-empty table");
+    let shard = &tids[hot.range()];
+    let dim_order: Vec<usize> = (0..8).collect();
+
+    // Full-table counting-sort partition of dimension 1.
+    let mut partitioner = Partitioner::new();
+    let partition = median_secs(|| {
+        let mut t = table.all_tids();
+        let mut g = Vec::new();
+        partitioner.partition(&table, 1, &mut t, &mut g);
+        std::hint::black_box(g.len());
+    });
+    // Narrow slices over a wide domain (the sparse-reset payoff case):
+    // dense vs sparse counter reset at cardinality 10000.
+    let wide = SyntheticSpec::uniform(tuples.min(50_000), 2, 10_000, 0.5, opt.seed).generate();
+    let wide_tids = wide.all_tids();
+    let narrow = |p: &mut Partitioner| {
+        let mut total = 0usize;
+        let mut g = Vec::new();
+        for chunk in wide_tids.chunks(64).take(64) {
+            let mut slice = chunk.to_vec();
+            g.clear();
+            p.partition(&wide, 1, &mut slice, &mut g);
+            total += g.len();
+        }
+        std::hint::black_box(total);
+    };
+    let mut dense = Partitioner::new();
+    let narrow_dense = median_secs(|| narrow(&mut dense));
+    let mut sparse = Partitioner::with_sparse_reset();
+    let narrow_sparse = median_secs(|| narrow(&mut sparse));
+    // Shard-view materialization (per-column gather).
+    let mut arena = ViewArena::new();
+    let gather = median_secs(|| {
+        let view = table.view_in(&mut arena, shard, &dim_order, 8);
+        let rows = view.rows();
+        arena.reclaim(view);
+        std::hint::black_box(rows);
+    });
+    // Group-wise closedness vs the tuple-at-a-time merge chain.
+    let for_group = median_secs(|| {
+        std::hint::black_box(ClosedInfo::for_group(&table, shard));
+    });
+    let merge_chain = median_secs(|| {
+        std::hint::black_box(ClosedInfo::of_group(&table, shard));
+    });
+
+    let json = format!(
+        "{{\n  \"tuples\": {tuples}, \"dims\": 8, \"cardinality\": 100, \"skew\": 1.5, \
+         \"seed\": {},\n  \"shard_tuples\": {},\n  \"partition_seconds\": {partition:.9},\n  \
+         \"partition_narrow_dense_seconds\": {narrow_dense:.9},\n  \
+         \"partition_narrow_sparse_seconds\": {narrow_sparse:.9},\n  \
+         \"view_gather_seconds\": {gather:.9},\n  \"for_group_seconds\": {for_group:.9},\n  \
+         \"merge_tuple_chain_seconds\": {merge_chain:.9}\n}}\n",
+        opt.seed,
+        shard.len(),
+    );
+    let json_note = match std::fs::write("BENCH_substrate.json", &json) {
+        Ok(()) => "Micro-numbers written to BENCH_substrate.json.".to_string(),
+        Err(e) => format!("(could not write BENCH_substrate.json: {e})"),
+    };
+
+    Figure {
+        id: "substrate",
+        title: format!(
+            "Columnar substrate micro-benchmarks (T={tuples}, D=8, C=100, Zipf 1.5, scale {})",
+            opt.scale
+        ),
+        x_label: "Primitive".into(),
+        series: vec!["median".into()],
+        rows: vec![
+            ("partition (full table)".into(), vec![secs(partition)]),
+            (
+                "partition 64×64-tuple slices, dense reset".into(),
+                vec![secs(narrow_dense)],
+            ),
+            (
+                "partition 64×64-tuple slices, sparse reset".into(),
+                vec![secs(narrow_sparse)],
+            ),
+            (
+                "view gather (hottest shard, 8 dims)".into(),
+                vec![secs(gather)],
+            ),
+            (
+                "ClosedInfo::for_group (hottest shard)".into(),
+                vec![secs(for_group)],
+            ),
+            (
+                "ClosedInfo merge_tuple chain (hottest shard)".into(),
+                vec![secs(merge_chain)],
+            ),
+        ],
+        notes: format!(
+            "Group-wise for_group vs tuple-at-a-time chain is the Closed-Mask construction \
+             speedup; sparse vs dense narrow-slice partitioning is the deferred counter reset. \
+             {json_note}"
+        ),
+    }
 }
 
 const FULL_CLOSED: [Algo; 4] = [Algo::CcMm, Algo::CcStar, Algo::CcStarArray, Algo::QcDfs];
@@ -683,12 +815,27 @@ fn parallel_speedup(opt: &ExpOptions) -> Figure {
         let table = SyntheticSpec::uniform(tuples, 8, 100, skew, opt.seed).generate();
         let mut runs = Vec::new();
         for &algo in &algos {
-            let seq = measure_threads(algo, &table, min_sup, 1);
+            // Best of three: the sequential column is the acceptance
+            // baseline other changes are measured against, so it must not
+            // absorb a noisy-neighbour spike on a shared box.
+            let seq = (0..3)
+                .map(|_| measure_threads(algo, &table, min_sup, 1))
+                .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
+                .expect("three samples");
             let mut engine = Vec::new();
             let mut stats = Vec::new();
             for &t in &thread_counts {
-                let (m, s) =
-                    measure_engine_stats(algo, &table, min_sup, &EngineConfig::with_threads(t));
+                // 1-thread engine is best-of-three too: the armed
+                // CCUBE_ASSERT_OVERHEAD guard compares it against the
+                // best-of-three `seq`, and a one-sided noise spike would
+                // trip the 25% budget spuriously.
+                let samples = if t == 1 { 3 } else { 1 };
+                let (m, s) = (0..samples)
+                    .map(|_| {
+                        measure_engine_stats(algo, &table, min_sup, &EngineConfig::with_threads(t))
+                    })
+                    .min_by(|a, b| a.0.seconds.total_cmp(&b.0.seconds))
+                    .expect("at least one sample");
                 engine.push(m.seconds);
                 stats.push(s);
             }
@@ -989,7 +1136,8 @@ mod tests {
             assert!(ids.contains(&want), "{want} missing");
         }
         assert!(ids.contains(&"parallel"), "parallel missing");
-        assert_eq!(ids.len(), 21);
+        assert!(ids.contains(&"substrate"), "substrate missing");
+        assert_eq!(ids.len(), 22);
     }
 
     #[test]

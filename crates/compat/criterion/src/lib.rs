@@ -113,7 +113,32 @@ impl Bencher {
     }
 }
 
+/// First positional CLI argument, if any — the benchmark name filter,
+/// matching real criterion's behaviour (`cargo bench -- <substr>`). Flags
+/// are skipped; an unknown `--flag value` pair is skipped whole so a flag's
+/// value is never mistaken for the filter.
+fn name_filter() -> Option<String> {
+    // Flags cargo/criterion pass that take no value.
+    const BOOL_FLAGS: [&str; 5] = ["--bench", "--test", "--list", "--exact", "--nocapture"];
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if !a.starts_with('-') {
+            return Some(a);
+        }
+        if a.starts_with("--") && !a.contains('=') && !BOOL_FLAGS.contains(&a.as_str()) {
+            // Value-carrying flag (e.g. `--sample-size 20`): drop its value.
+            let _ = args.next();
+        }
+    }
+    None
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    if let Some(filter) = name_filter() {
+        if !name.contains(&filter) {
+            return;
+        }
+    }
     let mut b = Bencher {
         samples: Vec::new(),
         sample_size,

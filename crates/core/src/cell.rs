@@ -129,11 +129,10 @@ impl Cell {
 
     /// Does tuple `t` of `table` belong to this cell's group?
     pub fn matches_tuple(&self, table: &Table, t: TupleId) -> bool {
-        let row = table.row(t);
         self.values
             .iter()
-            .zip(row.iter())
-            .all(|(&c, &v)| c == STAR || c == v)
+            .enumerate()
+            .all(|(d, &c)| c == STAR || c == table.value(t, d))
     }
 
     /// IDs of all tuples aggregating into this cell (linear scan; intended

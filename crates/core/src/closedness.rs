@@ -23,6 +23,22 @@
 //! algorithm aggregates a `ClosedInfo` wherever it aggregates a `count`.
 //! At output time the check is one AND (Definition 9): with All Mask `A`,
 //! the cell is closed iff `mask & A == 0`.
+//!
+//! ## Group-wise construction
+//!
+//! When a whole tuple group is in hand — a counting-sort partition, a
+//! StarArray pool run, an engine shard — the summary does not need the
+//! tuple-at-a-time [`ClosedInfo::merge_tuple`] chain (which re-reads *every*
+//! dimension per tuple via `eq_mask`, even dimensions whose uniformity bit
+//! died long ago). [`ClosedInfo::for_group`] instead scans **one dimension's
+//! column at a time** over the columnar [`Table`], folding eight tuples per
+//! step with XOR/OR (`x |= col[t] ^ v0`: zero iff all equal) so the uniform
+//! prefix auto-vectorizes, and exits a dimension on the first mismatching
+//! chunk. The result is identical to the fold of
+//! [`ClosedInfo::for_tuple`]/[`ClosedInfo::merge_tuple`] (the mask is set
+//! uniformity and the representative is the minimum tuple ID, both
+//! order-insensitive) — a property pinned by a proptest in
+//! `tests/columnar_substrate.rs`.
 
 use crate::mask::DimMask;
 use crate::table::{Table, TupleId};
@@ -77,16 +93,36 @@ impl ClosedInfo {
     }
 
     /// Lemma 3 merge of two non-empty parts.
+    ///
+    /// Only dimensions whose uniformity bit is still alive in **both** parts
+    /// are probed (a dead bit stays dead, so `mask_a & mask_b` bounds the
+    /// result) — a merge whose surviving mask is empty touches no table data
+    /// at all. This is what keeps pairwise merging cheap on the columnar
+    /// layout, where a full-width `eq_mask` would gather from every column.
     #[inline]
     pub fn merge(&mut self, table: &Table, other: &ClosedInfo) {
-        self.mask &= other.mask & table.eq_mask(self.rep, other.rep);
+        let mut need = self.mask & other.mask;
+        for d in need.iter() {
+            if table.value(self.rep, d) != table.value(other.rep, d) {
+                need.remove(d);
+            }
+        }
+        self.mask = need;
         self.rep = self.rep.min(other.rep);
     }
 
-    /// Merge a single tuple into the summary (`other` = singleton `{t}`).
+    /// Merge a single tuple into the summary (`other` = singleton `{t}`,
+    /// whose mask is all-ones — only this summary's still-alive dimensions
+    /// are probed).
     #[inline]
     pub fn merge_tuple(&mut self, table: &Table, t: TupleId) {
-        self.mask &= table.eq_mask(self.rep, t);
+        let mut need = self.mask;
+        for d in need.iter() {
+            if table.value(self.rep, d) != table.value(t, d) {
+                need.remove(d);
+            }
+        }
+        self.mask = need;
         self.rep = self.rep.min(t);
     }
 
@@ -105,8 +141,9 @@ impl ClosedInfo {
         self.mask & all_mask
     }
 
-    /// Exhaustively computed summary of an arbitrary tuple group (reference
-    /// path for tests and the naive cuber).
+    /// Exhaustively computed summary of an arbitrary tuple group by pairwise
+    /// merging (the reference path [`ClosedInfo::for_group`] is checked
+    /// against; kept for tests and as executable documentation of Lemma 3).
     pub fn of_group(table: &Table, tids: &[TupleId]) -> Option<ClosedInfo> {
         let (&first, rest) = tids.split_first()?;
         let mut info = ClosedInfo::for_tuple(table, first);
@@ -114,6 +151,59 @@ impl ClosedInfo {
             info.merge_tuple(table, t);
         }
         Some(info)
+    }
+
+    /// Group-wise summary of an arbitrary tuple group: one pass per
+    /// dimension over the table's column, with per-dimension early exit on
+    /// the first mismatch and an 8-wide XOR/OR fold over the uniform prefix
+    /// (see the module docs). Equal to [`ClosedInfo::of_group`] on every
+    /// input; `None` for an empty group.
+    pub fn for_group(table: &Table, tids: &[TupleId]) -> Option<ClosedInfo> {
+        let (&first, rest) = tids.split_first()?;
+        if rest.is_empty() {
+            return Some(ClosedInfo::for_tuple(table, first));
+        }
+        if rest.len() < 8 {
+            // Below one fold chunk the per-column setup dominates; the
+            // tuple-at-a-time chain (which probes only still-alive
+            // dimensions) is cheaper.
+            return ClosedInfo::of_group(table, tids);
+        }
+        let mut mask = DimMask::EMPTY;
+        for d in 0..table.dims() {
+            let col = table.col(d);
+            let v0 = col[first as usize];
+            let mut x = 0u32;
+            let mut chunks = rest.chunks_exact(8);
+            for c in &mut chunks {
+                // Zero iff all eight tuples hold `v0`; the OR-of-XOR fold is
+                // branch-free within the chunk and auto-vectorizes.
+                x |= (col[c[0] as usize] ^ v0)
+                    | (col[c[1] as usize] ^ v0)
+                    | (col[c[2] as usize] ^ v0)
+                    | (col[c[3] as usize] ^ v0)
+                    | (col[c[4] as usize] ^ v0)
+                    | (col[c[5] as usize] ^ v0)
+                    | (col[c[6] as usize] ^ v0)
+                    | (col[c[7] as usize] ^ v0);
+                if x != 0 {
+                    break; // Uniformity bit is dead; next dimension.
+                }
+            }
+            if x == 0 {
+                for &t in chunks.remainder() {
+                    x |= col[t as usize] ^ v0;
+                }
+            }
+            if x == 0 {
+                mask.insert(d);
+            }
+        }
+        let mut rep = first;
+        for &t in rest {
+            rep = rep.min(t);
+        }
+        Some(ClosedInfo { mask, rep })
     }
 }
 
@@ -255,6 +345,43 @@ mod tests {
     fn of_group_empty_is_none() {
         let t = table1();
         assert_eq!(ClosedInfo::of_group(&t, &[]), None);
+        assert_eq!(ClosedInfo::for_group(&t, &[]), None);
+    }
+
+    #[test]
+    fn for_group_matches_of_group() {
+        // Group sizes straddling the 8-wide chunk boundary, unsorted and
+        // duplicated tids, uniform and non-uniform columns.
+        let mut b = TableBuilder::new(3);
+        for i in 0..23u32 {
+            b.push_row(&[1, i % 2, i % 5]);
+        }
+        let t = b.build().unwrap();
+        let all: Vec<u32> = (0..23).collect();
+        for hi in 1..=23usize {
+            let tids = &all[..hi];
+            assert_eq!(
+                ClosedInfo::for_group(&t, tids),
+                ClosedInfo::of_group(&t, tids),
+                "prefix of {hi}"
+            );
+        }
+        let scrambled = vec![22, 3, 3, 17, 0, 9, 14, 5, 21, 2];
+        assert_eq!(
+            ClosedInfo::for_group(&t, &scrambled),
+            ClosedInfo::of_group(&t, &scrambled)
+        );
+        // Mismatch only in a chunk remainder (first 16 uniform, 17th not).
+        let mut b = TableBuilder::new(1).cards(vec![2]);
+        for i in 0..17u32 {
+            b.push_row(&[u32::from(i == 16)]);
+        }
+        let t = b.build().unwrap();
+        let tids: Vec<u32> = (0..17).collect();
+        assert_eq!(
+            ClosedInfo::for_group(&t, &tids),
+            ClosedInfo::of_group(&t, &tids)
+        );
     }
 
     #[test]

@@ -26,6 +26,24 @@ pub trait MeasureSpec {
 
     /// Merge `other` into `acc` (must be associative and commutative).
     fn merge(&self, acc: &mut Self::Acc, other: &Self::Acc);
+
+    /// Aggregate a whole non-empty tuple group (the group-wise form the
+    /// cubers use whenever a full tid-group is in hand). The default is the
+    /// tuple-at-a-time `unit`/`merge` fold in slice order; specs whose
+    /// accumulator reads table columns can override with a direct column
+    /// gather — the override must produce the same result as the default.
+    ///
+    /// # Panics
+    /// Panics on an empty group.
+    fn fold(&self, table: &Table, tids: &[TupleId]) -> Self::Acc {
+        let (&first, rest) = tids.split_first().expect("non-empty group");
+        let mut acc = self.unit(table, first);
+        for &t in rest {
+            let unit = self.unit(table, t);
+            self.merge(&mut acc, &unit);
+        }
+        acc
+    }
 }
 
 /// The paper's default: measure = `count` only. Zero-sized accumulator.
@@ -89,6 +107,26 @@ impl MeasureSpec for ColumnStats {
         acc.sum += other.sum;
         acc.min = acc.min.min(other.min);
         acc.max = acc.max.max(other.max);
+    }
+
+    fn fold(&self, table: &Table, tids: &[TupleId]) -> ColumnAgg {
+        // Same left-to-right accumulation as the default fold (bit-identical
+        // sums), gathering straight from the measure column.
+        let col = table.measure_column(self.column);
+        let (&first, rest) = tids.split_first().expect("non-empty group");
+        let v = col[first as usize];
+        let mut acc = ColumnAgg {
+            sum: v,
+            min: v,
+            max: v,
+        };
+        for &t in rest {
+            let v = col[t as usize];
+            acc.sum += v;
+            acc.min = acc.min.min(v);
+            acc.max = acc.max.max(v);
+        }
+        acc
     }
 }
 
@@ -173,6 +211,23 @@ mod tests {
         let mut right2 = u[0];
         spec.merge(&mut right2, &right);
         assert_eq!(left, right2);
+    }
+
+    #[test]
+    fn fold_matches_unit_merge_chain() {
+        let t = table();
+        let spec = ColumnStats { column: 0 };
+        let tids = [2u32, 0, 1];
+        let mut want = spec.unit(&t, 2);
+        spec.merge(&mut want, &spec.unit(&t, 0));
+        spec.merge(&mut want, &spec.unit(&t, 1));
+        assert_eq!(spec.fold(&t, &tids), want);
+        // The default fold (AllColumns) agrees with its own chain too.
+        let all = AllColumns;
+        let mut want = all.unit(&t, 2);
+        all.merge(&mut want, &all.unit(&t, 0));
+        all.merge(&mut want, &all.unit(&t, 1));
+        assert_eq!(all.fold(&t, &tids), want);
     }
 
     #[test]

@@ -38,9 +38,13 @@ where
         let bound = DimMask(subset);
         let all_mask = all ^ bound;
         groups.clear();
-        for (t, row) in table.iter_rows() {
-            for d in 0..dims {
-                key[d] = if bound.contains(d) { row[d] } else { STAR };
+        for t in 0..table.rows() as TupleId {
+            for (d, slot) in key.iter_mut().enumerate() {
+                *slot = if bound.contains(d) {
+                    table.value(t, d)
+                } else {
+                    STAR
+                };
             }
             match groups.get_mut(key.as_slice()) {
                 Some((agg, acc)) => {

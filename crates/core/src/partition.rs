@@ -3,13 +3,19 @@
 //! BUC-family algorithms (BUC, QC-DFS) and MM-Cubing's sparse recursion all
 //! partition a slice of tuple IDs by the value of one dimension. This module
 //! provides the classic counting-sort partition with reusable scratch
-//! buffers.
+//! buffers, reading the dimension's **column** directly
+//! ([`Partitioner::partition_col`]) so both the counting pass and the
+//! scatter pass gather from one contiguous slice.
 //!
 //! Note the `O(cardinality)` cost per call for zeroing/prefix-summing the
 //! counter array — this is inherent to counting sort and is exactly why the
 //! paper observes "QC-DFS performs much worse in high cardinality because
-//! the counting sort costs more computation" (Section 5.1). We keep the
-//! faithful implementation rather than papering over it.
+//! the counting sort costs more computation" (Section 5.1). The dense
+//! zeroing path is the default so that observation stays reproducible;
+//! callers that are not a measured baseline can opt into
+//! [`Partitioner::with_sparse_reset`], which clears only the counters the
+//! previous call touched (tracked via the emitted groups) instead of the
+//! whole `O(cardinality)` array.
 
 use crate::table::{Table, TupleId};
 
@@ -18,6 +24,12 @@ use crate::table::{Table, TupleId};
 pub struct Partitioner {
     counts: Vec<u32>,
     scratch: Vec<TupleId>,
+    /// Sparse-reset mode: `counts` is kept all-zero *between* calls by
+    /// clearing only the entries a call touched, instead of zero-filling
+    /// `O(cardinality)` on entry.
+    sparse: bool,
+    /// Values whose counters were touched by the current call (sparse mode).
+    touched: Vec<u32>,
 }
 
 /// One partition: a value and the half-open `tids` range holding its tuples.
@@ -52,9 +64,24 @@ impl Group {
 }
 
 impl Partitioner {
-    /// Fresh partitioner.
+    /// Fresh partitioner with the faithful dense counter reset (zero-fill
+    /// `O(cardinality)` per call — the cost profile the paper measures for
+    /// QC-DFS).
     pub fn new() -> Partitioner {
         Partitioner::default()
+    }
+
+    /// Fresh partitioner that resets only the counters each call touched.
+    /// When a call partitions a small tuple slice over a wide domain, the
+    /// dense reset's `O(cardinality)` zero-fill dominates; the sparse reset
+    /// makes a call `O(|slice| + distinct values)` instead. Deliberately a
+    /// separate constructor: QC-DFS keeps the dense default so the paper's
+    /// Section 5.1 high-cardinality observation stays reproducible.
+    pub fn with_sparse_reset() -> Partitioner {
+        Partitioner {
+            sparse: true,
+            ..Partitioner::default()
+        }
     }
 
     /// Reorder `tids` so tuples sharing a value of dimension `d` are
@@ -68,25 +95,126 @@ impl Partitioner {
         tids: &mut [TupleId],
         groups: &mut Vec<Group>,
     ) {
-        let card = table.card(d) as usize;
+        self.partition_col(table.col(d), table.card(d), tids, groups)
+    }
+
+    /// One stable counting-sort pass: reorder `tids` ascending by `col[t]`
+    /// (values in `0..card`), preserving input order within equal values —
+    /// the building block of an LSD radix sort. Looping `sort_pass` over a
+    /// dimension list in reverse sorts tuple IDs lexicographically in
+    /// `O(dims · (|tids| + card))`, replacing comparator sorts whose every
+    /// comparison gathers from several columns.
+    pub fn sort_pass(&mut self, col: &[u32], card: u32, tids: &mut [TupleId]) {
+        let card = card as usize;
         self.counts.clear();
         self.counts.resize(card, 0);
         for &t in tids.iter() {
-            self.counts[table.value(t, d) as usize] += 1;
+            self.counts[col[t as usize] as usize] += 1;
+        }
+        let mut offset = 0u32;
+        for c in self.counts.iter_mut() {
+            let n = *c;
+            *c = offset;
+            offset += n;
+        }
+        if self.scratch.len() < tids.len() {
+            self.scratch.resize(tids.len(), 0);
+        }
+        let scratch = &mut self.scratch[..tids.len()];
+        for &t in tids.iter() {
+            let v = col[t as usize] as usize;
+            let pos = self.counts[v];
+            scratch[pos as usize] = t;
+            self.counts[v] = pos + 1;
+        }
+        tids.copy_from_slice(scratch);
+        if self.sparse {
+            // Restore the sparse invariant (counters all-zero between
+            // calls) so mixing `sort_pass` and `partition` on one
+            // sparse-reset instance stays sound.
+            self.counts[..card].fill(0);
+        }
+    }
+
+    /// [`Partitioner::partition`] over a raw value column: `col[t]` is the
+    /// partitioning value of tuple `t`, with values in `0..card`. Both the
+    /// counting pass and the scatter pass read `col` as a sequence of
+    /// gathers from one contiguous slice.
+    pub fn partition_col(
+        &mut self,
+        col: &[u32],
+        card: u32,
+        tids: &mut [TupleId],
+        groups: &mut Vec<Group>,
+    ) {
+        let card = card as usize;
+        // Sparse mode maintains the invariant that `counts` is all-zero
+        // *between* calls, so no call ever pays an `O(cardinality)`
+        // zero-fill. Two regimes:
+        //
+        // * wide slice (`4·|tids| >= card`): count with the dense inner loop
+        //   (no per-tuple bookkeeping), emit groups by the dense
+        //   `0..card` scan — both `O(card)` terms are bounded by the slice
+        //   size here — and zero the touched counters at the end via the
+        //   emitted groups, which *are* the dirty list;
+        // * narrow slice over a wide domain (the case the sparse mode
+        //   exists for): track first-touch values in a small list, sort it,
+        //   and emit/reset through it — `O(|tids| + k log k)` for `k`
+        //   distinct values, independent of cardinality.
+        let narrow = self.sparse && tids.len() * 4 < card;
+        if self.sparse {
+            if self.counts.len() < card {
+                self.counts.resize(card, 0);
+            }
+            if narrow {
+                self.touched.clear();
+                for &t in tids.iter() {
+                    let v = col[t as usize] as usize;
+                    if self.counts[v] == 0 {
+                        self.touched.push(v as u32);
+                    }
+                    self.counts[v] += 1;
+                }
+                self.touched.sort_unstable();
+            } else {
+                for &t in tids.iter() {
+                    self.counts[col[t as usize] as usize] += 1;
+                }
+            }
+        } else {
+            self.counts.clear();
+            self.counts.resize(card, 0);
+            for &t in tids.iter() {
+                self.counts[col[t as usize] as usize] += 1;
+            }
         }
         // Prefix sums -> start offsets, and emit groups.
         let mut offset = 0u32;
         let base = groups.len();
-        for (v, c) in self.counts.iter_mut().enumerate() {
-            let n = *c;
-            if n > 0 {
+        if narrow {
+            for &v in &self.touched {
+                let n = self.counts[v as usize];
+                debug_assert!(n > 0);
                 groups.push(Group {
-                    value: v as u32,
+                    value: v,
                     start: offset,
                     end: offset + n,
                 });
-                *c = offset;
+                self.counts[v as usize] = offset;
                 offset += n;
+            }
+        } else {
+            for (v, c) in self.counts[..card].iter_mut().enumerate() {
+                let n = *c;
+                if n > 0 {
+                    groups.push(Group {
+                        value: v as u32,
+                        start: offset,
+                        end: offset + n,
+                    });
+                    *c = offset;
+                    offset += n;
+                }
             }
         }
         // Single distinct value: the slice is already one (stable) group, so
@@ -94,6 +222,9 @@ impl Partitioner {
         // constantly in deep BUC-style recursions and in the parallel
         // engine's split probes.
         if groups.len() - base == 1 {
+            if self.sparse {
+                self.counts[groups[base].value as usize] = 0;
+            }
             return;
         }
         // Scatter into scratch, then copy back. Only grow the scratch (never
@@ -103,12 +234,19 @@ impl Partitioner {
         }
         let scratch = &mut self.scratch[..tids.len()];
         for &t in tids.iter() {
-            let v = table.value(t, d) as usize;
+            let v = col[t as usize] as usize;
             let pos = self.counts[v];
             scratch[pos as usize] = t;
             self.counts[v] = pos + 1;
         }
         tids.copy_from_slice(scratch);
+        if self.sparse {
+            // Leave the counters all-zero for the next call — O(distinct
+            // values), never O(cardinality).
+            for g in &groups[base..] {
+                self.counts[g.value as usize] = 0;
+            }
+        }
         debug_assert_eq!(
             groups[base..].iter().map(|g| g.len()).sum::<u32>(),
             tids.len() as u32
@@ -215,21 +353,22 @@ mod tests {
             .row(&[2])
             .build()
             .unwrap();
-        let mut p = Partitioner::new();
-        let mut tids: Vec<TupleId> = vec![2, 0, 1];
-        let mut groups = Vec::new();
-        p.partition(&t, 0, &mut tids, &mut groups);
-        assert_eq!(groups.len(), 1);
-        assert_eq!(
-            groups[0],
-            Group {
-                value: 2,
-                start: 0,
-                end: 3
-            }
-        );
-        // Stable: the single group preserves the input order exactly.
-        assert_eq!(&tids[..], &[2, 0, 1]);
+        for mut p in [Partitioner::new(), Partitioner::with_sparse_reset()] {
+            let mut tids: Vec<TupleId> = vec![2, 0, 1];
+            let mut groups = Vec::new();
+            p.partition(&t, 0, &mut tids, &mut groups);
+            assert_eq!(groups.len(), 1);
+            assert_eq!(
+                groups[0],
+                Group {
+                    value: 2,
+                    start: 0,
+                    end: 3
+                }
+            );
+            // Stable: the single group preserves the input order exactly.
+            assert_eq!(&tids[..], &[2, 0, 1]);
+        }
     }
 
     #[test]
@@ -240,5 +379,62 @@ mod tests {
         let mut groups = Vec::new();
         p.partition(&t, 0, &mut tids, &mut groups);
         assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn sparse_reset_matches_dense_across_repeated_calls() {
+        // Wide domain, tiny slices, repeated reuse — the sparse path's
+        // target shape. Results must be identical to the dense partitioner
+        // call for call, including stability.
+        let mut b = TableBuilder::new(2).cards(vec![1000, 997]);
+        for i in 0..200u32 {
+            b.push_row(&[(i * 37) % 1000, (i * 91) % 997]);
+        }
+        let t = b.build().unwrap();
+        let mut dense = Partitioner::new();
+        let mut sparse = Partitioner::with_sparse_reset();
+        for (d, lo, hi) in [(0, 0, 200), (1, 10, 60), (0, 50, 55), (1, 0, 1)] {
+            let mut tids_a: Vec<TupleId> = (lo..hi).collect();
+            let mut tids_b = tids_a.clone();
+            let (mut ga, mut gb) = (Vec::new(), Vec::new());
+            dense.partition(&t, d, &mut tids_a, &mut ga);
+            sparse.partition(&t, d, &mut tids_b, &mut gb);
+            assert_eq!(ga, gb, "groups diverged on dim {d} range {lo}..{hi}");
+            assert_eq!(tids_a, tids_b, "order diverged on dim {d}");
+        }
+    }
+
+    #[test]
+    fn sort_pass_keeps_sparse_invariant() {
+        // Mixing sort_pass and partition on one sparse-reset instance must
+        // stay sound: sort_pass restores the all-zero counter invariant.
+        let t = table();
+        let mut p = Partitioner::with_sparse_reset();
+        let mut tids: Vec<TupleId> = vec![4, 1, 0, 3, 2];
+        p.sort_pass(t.col(0), t.card(0), &mut tids);
+        assert_eq!(&tids[..], &[1, 3, 2, 4, 0]);
+        let mut groups = Vec::new();
+        p.partition(&t, 1, &mut tids, &mut groups);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups.iter().map(|g| g.len()).sum::<u32>(), 5);
+        for g in &groups {
+            for &tid in &tids[g.range()] {
+                assert_eq!(t.value(tid, 1), g.value);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_col_on_raw_slice() {
+        let col = vec![3u32, 1, 3, 0, 1];
+        let mut p = Partitioner::with_sparse_reset();
+        let mut tids: Vec<TupleId> = (0..5).collect();
+        let mut groups = Vec::new();
+        p.partition_col(&col, 4, &mut tids, &mut groups);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].value, 0);
+        assert_eq!(groups[1].value, 1);
+        assert_eq!(groups[2].value, 3);
+        assert_eq!(&tids[..], &[3, 1, 4, 0, 2]);
     }
 }

@@ -1,4 +1,4 @@
-//! Encoded relational tables (the base cuboid).
+//! Encoded relational tables (the base cuboid) — **columnar layout**.
 //!
 //! Cube algorithms in this workspace operate over tables whose dimension
 //! values are dense `u32` codes: dimension `d` with cardinality `c` holds
@@ -6,6 +6,21 @@
 //! `ccube-data`. Tables may also carry named `f64` *measure columns* used by
 //! the complex-measure support of Section 6.1 (the group-by dimensions and
 //! the aggregated measures are separate, as in the paper).
+//!
+//! ## Data layout
+//!
+//! Values are stored **dimension-major**: one contiguous `u32` column per
+//! dimension ([`Table::col`]), all columns packed back to back in a single
+//! allocation. Every hot scan in the workspace — counting-sort partitioning,
+//! per-dimension frequency/uniformity checks, group-wise
+//! [`crate::closedness::ClosedInfo`] construction, and shard-view
+//! materialization — reads *one dimension across many tuples*, so the
+//! columnar layout turns what used to be a `dims`-stride walk into a
+//! sequential (or at worst gather-from-one-column) access pattern, and view
+//! materialization becomes one `memcpy`-like gather loop per column.
+//! Row-major access is preserved as thin shims ([`Table::value`],
+//! [`Table::row`], [`Table::iter_rows`]) for builders, IO and tests; the
+//! shims are not for inner loops.
 
 use crate::mask::DimMask;
 use crate::partition::{Group, Partitioner};
@@ -18,7 +33,8 @@ use crate::{CubeError, Result, MAX_DIMS};
 pub type TupleId = u32;
 
 /// An encoded relational table: `rows × dims` dense `u32` values stored
-/// row-major, plus optional `f64` measure columns.
+/// **dimension-major** (one contiguous column per dimension), plus optional
+/// `f64` measure columns.
 ///
 /// The first [`Table::cube_dims`] dimensions are the *group-by* dimensions a
 /// cube algorithm enumerates; any trailing dimensions are **carried**: they
@@ -33,8 +49,11 @@ pub type TupleId = u32;
 pub struct Table {
     dims: usize,
     cube_dims: usize,
+    rows: usize,
     cards: Vec<u32>,
     names: Vec<String>,
+    /// Column-major values: dimension `d` occupies
+    /// `data[d * rows .. (d + 1) * rows]`.
     data: Vec<u32>,
     measures: Vec<(String, Vec<f64>)>,
 }
@@ -64,7 +83,7 @@ impl Table {
     /// Number of tuples.
     #[inline]
     pub fn rows(&self) -> usize {
-        self.data.len().checked_div(self.dims).unwrap_or(0)
+        self.rows
     }
 
     /// Declared cardinality of dimension `d`.
@@ -85,30 +104,35 @@ impl Table {
         &self.names[d]
     }
 
+    /// The contiguous value column of dimension `d` (`col(d)[t]` = value of
+    /// tuple `t` on `d`) — the substrate every hot scan iterates.
+    #[inline]
+    pub fn col(&self, d: usize) -> &[u32] {
+        &self.data[d * self.rows..(d + 1) * self.rows]
+    }
+
     /// Value of tuple `t` on dimension `d`.
     #[inline]
     pub fn value(&self, t: TupleId, d: usize) -> u32 {
-        self.data[t as usize * self.dims + d]
+        self.data[d * self.rows + t as usize]
     }
 
-    /// The full row of tuple `t`.
-    #[inline]
-    pub fn row(&self, t: TupleId) -> &[u32] {
-        let start = t as usize * self.dims;
-        &self.data[start..start + self.dims]
+    /// The full row of tuple `t`, gathered from the columns. A shim for
+    /// builders, IO and tests — inner loops should use [`Table::col`] /
+    /// [`Table::value`] instead.
+    pub fn row(&self, t: TupleId) -> Vec<u32> {
+        (0..self.dims).map(|d| self.value(t, d)).collect()
     }
 
-    /// Iterate over `(TupleId, row)` pairs.
-    pub fn iter_rows(&self) -> impl Iterator<Item = (TupleId, &[u32])> + '_ {
-        self.data
-            .chunks_exact(self.dims.max(1))
-            .enumerate()
-            .map(|(i, r)| (i as TupleId, r))
+    /// Iterate over `(TupleId, row)` pairs (each row gathered from the
+    /// columns; a shim — see [`Table::row`]).
+    pub fn iter_rows(&self) -> impl Iterator<Item = (TupleId, Vec<u32>)> + '_ {
+        (0..self.rows as TupleId).map(|t| (t, self.row(t)))
     }
 
     /// All tuple IDs, `0..rows`.
     pub fn all_tids(&self) -> Vec<TupleId> {
-        (0..self.rows() as TupleId).collect()
+        (0..self.rows as TupleId).collect()
     }
 
     /// Names of the measure columns.
@@ -138,25 +162,28 @@ impl Table {
     ///
     /// This is the `Eq(|{V(T(S_i), d)}|, 1)` factor of Lemma 3 vectorized over
     /// all dimensions: the Closed Mask merge of two parts is
-    /// `mask_a & mask_b & eq_mask(rep_a, rep_b)`.
+    /// `mask_a & mask_b & eq_mask(rep_a, rep_b)`. Reads two entries per
+    /// column; whole-group uniformity checks should use
+    /// [`crate::closedness::ClosedInfo::for_group`], which scans each column
+    /// once with early exit, instead of chaining pairwise `eq_mask` merges.
     #[inline]
     pub fn eq_mask(&self, a: TupleId, b: TupleId) -> DimMask {
-        let ra = self.row(a);
-        let rb = self.row(b);
+        let (a, b) = (a as usize, b as usize);
         let mut m = 0u64;
-        for d in 0..self.dims {
-            // Branch-free accumulation keeps this hot loop tight: it runs on
-            // every closedness merge in every algorithm.
-            m |= ((ra[d] == rb[d]) as u64) << d;
+        // Branch-free accumulation keeps this hot loop tight: it runs on
+        // every pairwise closedness merge in every algorithm.
+        for (d, col) in self.data.chunks_exact(self.rows.max(1)).enumerate() {
+            m |= ((col[a] == col[b]) as u64) << d;
         }
         DimMask(m)
     }
 
-    /// Per-value frequency histogram of dimension `d`.
+    /// Per-value frequency histogram of dimension `d` (one sequential pass
+    /// over the column).
     pub fn freq(&self, d: usize) -> Vec<u32> {
         let mut f = vec![0u32; self.cards[d] as usize];
-        for r in self.data.chunks_exact(self.dims) {
-            f[r[d] as usize] += 1;
+        for &v in self.col(d) {
+            f[v as usize] += 1;
         }
         f
     }
@@ -164,8 +191,9 @@ impl Table {
     /// Per-value frequency histogram of dimension `d` restricted to `tids`.
     pub fn freq_of(&self, d: usize, tids: &[TupleId]) -> Vec<u32> {
         let mut f = vec![0u32; self.cards[d] as usize];
+        let col = self.col(d);
         for &t in tids {
-            f[self.value(t, d) as usize] += 1;
+            f[col[t as usize] as usize] += 1;
         }
         f
     }
@@ -187,7 +215,8 @@ impl Table {
 
     /// Build a new table with dimensions permuted: new dimension `i` is old
     /// dimension `perm[i]`. Measure columns are untouched. Returns an error if
-    /// `perm` is not a permutation of `0..dims`.
+    /// `perm` is not a permutation of `0..dims`. Columnar storage makes this a
+    /// straight per-column copy.
     pub fn permute_dims(&self, perm: &[usize]) -> Result<Table> {
         if perm.len() != self.dims {
             return Err(CubeError::BadRowWidth {
@@ -203,14 +232,13 @@ impl Table {
             seen[p] = true;
         }
         let mut data = Vec::with_capacity(self.data.len());
-        for r in self.data.chunks_exact(self.dims) {
-            for &p in perm {
-                data.push(r[p]);
-            }
+        for &p in perm {
+            data.extend_from_slice(self.col(p));
         }
         Ok(Table {
             dims: self.dims,
             cube_dims: self.dims,
+            rows: self.rows,
             cards: perm.iter().map(|&p| self.cards[p]).collect(),
             names: perm.iter().map(|&p| self.names[p].clone()).collect(),
             data,
@@ -219,32 +247,34 @@ impl Table {
     }
 
     /// Keep only the first `k` dimensions (used by the weather experiments,
-    /// which select 5–8 leading dimensions).
+    /// which select 5–8 leading dimensions). A columnar prefix copy.
     pub fn truncate_dims(&self, k: usize) -> Table {
         assert!(k <= self.dims && k > 0);
-        let mut data = Vec::with_capacity(self.rows() * k);
-        for r in self.data.chunks_exact(self.dims) {
-            data.extend_from_slice(&r[..k]);
-        }
         Table {
             dims: k,
             cube_dims: k,
+            rows: self.rows,
             cards: self.cards[..k].to_vec(),
             names: self.names[..k].to_vec(),
-            data,
+            data: self.data[..k * self.rows].to_vec(),
             measures: self.measures.clone(),
         }
     }
 
     /// Keep only the first `n` rows.
     pub fn truncate_rows(&self, n: usize) -> Table {
-        let n = n.min(self.rows());
+        let n = n.min(self.rows);
+        let mut data = Vec::with_capacity(n * self.dims);
+        for d in 0..self.dims {
+            data.extend_from_slice(&self.col(d)[..n]);
+        }
         Table {
             dims: self.dims,
             cube_dims: self.cube_dims,
+            rows: n,
             cards: self.cards.clone(),
             names: self.names.clone(),
-            data: self.data[..n * self.dims].to_vec(),
+            data,
             measures: self
                 .measures
                 .iter()
@@ -256,7 +286,7 @@ impl Table {
     /// Re-encode so every dimension's cardinality equals the number of values
     /// that actually occur (dense re-coding). Useful after truncation.
     pub fn compact(&self) -> Table {
-        let mut maps: Vec<Vec<u32>> = Vec::with_capacity(self.dims);
+        let mut data = Vec::with_capacity(self.data.len());
         let mut cards = Vec::with_capacity(self.dims);
         for d in 0..self.dims {
             let freq = self.freq(d);
@@ -268,18 +298,13 @@ impl Table {
                     next += 1;
                 }
             }
-            maps.push(map);
+            data.extend(self.col(d).iter().map(|&v| map[v as usize]));
             cards.push(next.max(1));
-        }
-        let mut data = Vec::with_capacity(self.data.len());
-        for r in self.data.chunks_exact(self.dims) {
-            for (d, &v) in r.iter().enumerate() {
-                data.push(maps[d][v as usize]);
-            }
         }
         Table {
             dims: self.dims,
             cube_dims: self.cube_dims,
+            rows: self.rows,
             cards,
             names: self.names.clone(),
             data,
@@ -319,7 +344,8 @@ impl Table {
     /// instead of the allocator. Return the view to the arena with
     /// [`ViewArena::reclaim`] once the cubing run over it is done; a worker
     /// thread then materializes every shard view it processes into the same
-    /// recycled capacity.
+    /// recycled capacity. With the columnar layout each view dimension is one
+    /// straight gather loop over the source column — no row scatter.
     pub fn view_in(
         &self,
         arena: &mut ViewArena,
@@ -332,15 +358,14 @@ impl Table {
         let vdims = dim_order.len();
         let mut data = arena.take_u32();
         data.reserve(tids.len() * vdims);
-        for &t in tids {
-            let row = self.row(t);
-            for &d in dim_order {
-                data.push(row[d]);
-            }
+        for &d in dim_order {
+            let col = self.col(d);
+            data.extend(tids.iter().map(|&t| col[t as usize]));
         }
         Table {
             dims: vdims,
             cube_dims,
+            rows: tids.len(),
             cards: dim_order.iter().map(|&d| self.cards[d]).collect(),
             names: dim_order.iter().map(|&d| self.names[d].clone()).collect(),
             data,
@@ -359,11 +384,11 @@ impl Table {
 }
 
 /// Recycled buffer pool for [`Table::view_in`] and
-/// [`crate::sink::CellBatch::new_in`]: the per-view row/measure gathers and
-/// the per-task output batches are the dominant allocations on the parallel
-/// engine's hot path, and an arena turns them into amortized-free buffer
-/// reuse (per-worker for views; shared behind the engine's batch recycler
-/// for output batches, which drain on the merging thread).
+/// [`crate::sink::CellBatch::new_in`]: the per-view column/measure gathers
+/// and the per-task output batches are the dominant allocations on the
+/// parallel engine's hot path, and an arena turns them into amortized-free
+/// buffer reuse (per-worker for views; shared behind the engine's batch
+/// recycler for output batches, which drain on the merging thread).
 #[derive(Debug, Default)]
 pub struct ViewArena {
     u32_bufs: Vec<Vec<u32>>,
@@ -415,6 +440,12 @@ impl ViewArena {
 
 /// Incremental builder for [`Table`].
 ///
+/// Rows are accumulated row-major (the natural ingestion order) and
+/// transposed into the columnar layout once, at [`TableBuilder::build`].
+/// All validation — dimension count, row widths, declared cardinalities,
+/// measure lengths — reports through [`CubeError`] in release builds too;
+/// nothing is debug-assert-only.
+///
 /// ```
 /// use ccube_core::TableBuilder;
 /// // Table 1 of the paper: 3 tuples over A, B, C, D.
@@ -434,6 +465,10 @@ pub struct TableBuilder {
     cards: Option<Vec<u32>>,
     names: Option<Vec<String>>,
     data: Vec<u32>,
+    /// Width of the first row that did not match `dims` (reported at build
+    /// time; previously a debug assertion, which let release builds
+    /// silently mis-frame every subsequent row).
+    bad_row_width: Option<usize>,
     measures: Vec<(String, Vec<f64>)>,
 }
 
@@ -445,6 +480,7 @@ impl TableBuilder {
             cards: None,
             names: None,
             data: Vec::new(),
+            bad_row_width: None,
             measures: Vec::new(),
         }
     }
@@ -474,9 +510,12 @@ impl TableBuilder {
         self
     }
 
-    /// Append one tuple (non-consuming form for loops).
+    /// Append one tuple (non-consuming form for loops). A wrong-width row is
+    /// recorded and reported as [`CubeError::BadRowWidth`] at build time.
     pub fn push_row(&mut self, values: &[u32]) {
-        debug_assert_eq!(values.len(), self.dims);
+        if values.len() != self.dims && self.bad_row_width.is_none() {
+            self.bad_row_width = Some(values.len());
+        }
         self.data.extend_from_slice(values);
     }
 
@@ -486,11 +525,18 @@ impl TableBuilder {
         self
     }
 
-    /// Validate and produce the [`Table`].
+    /// Validate and produce the [`Table`] (transposing the accumulated rows
+    /// into the columnar layout).
     pub fn build(self) -> Result<Table> {
         let dims = self.dims;
         if dims == 0 || dims > MAX_DIMS {
             return Err(CubeError::BadDimensionCount(dims));
+        }
+        if let Some(got) = self.bad_row_width {
+            return Err(CubeError::BadRowWidth {
+                expected: dims,
+                got,
+            });
         }
         if !self.data.len().is_multiple_of(dims) {
             return Err(CubeError::BadRowWidth {
@@ -507,10 +553,9 @@ impl TableBuilder {
                         got: c.len(),
                     });
                 }
-                for (i, r) in self.data.chunks_exact(dims).enumerate() {
+                for r in self.data.chunks_exact(dims) {
                     for d in 0..dims {
                         if r[d] >= c[d] {
-                            let _ = i;
                             return Err(CubeError::ValueOutOfRange {
                                 dim: d,
                                 value: r[d],
@@ -552,12 +597,20 @@ impl TableBuilder {
                 });
             }
         }
+        // Transpose row-major ingestion into the columnar layout.
+        let mut data = vec![0u32; rows * dims];
+        for (t, r) in self.data.chunks_exact(dims).enumerate() {
+            for (d, &v) in r.iter().enumerate() {
+                data[d * rows + t] = v;
+            }
+        }
         Ok(Table {
             dims,
             cube_dims: dims,
+            rows,
             cards,
             names,
-            data: self.data,
+            data,
             measures: self.measures,
         })
     }
@@ -615,6 +668,22 @@ mod tests {
     }
 
     #[test]
+    fn builder_rejects_bad_row_width_in_release() {
+        // A wrong-width row is a hard error even when the widths happen to
+        // sum to a multiple of `dims` (3 + 5 = 2 × 4).
+        let mut b = TableBuilder::new(4);
+        b.push_row(&[0, 0, 0]);
+        b.push_row(&[0, 0, 0, 0, 0]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            CubeError::BadRowWidth {
+                expected: 4,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
     fn value_and_row_access() {
         let t = example_table();
         assert_eq!(t.value(1, 3), 2);
@@ -622,6 +691,19 @@ mod tests {
         let rows: Vec<_> = t.iter_rows().collect();
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[1].0, 1);
+    }
+
+    #[test]
+    fn columns_are_contiguous_per_dimension() {
+        let t = example_table();
+        assert_eq!(t.col(0), &[0, 0, 0]);
+        assert_eq!(t.col(1), &[0, 0, 1]);
+        assert_eq!(t.col(3), &[0, 2, 1]);
+        for d in 0..t.dims() {
+            for tid in 0..t.rows() as TupleId {
+                assert_eq!(t.col(d)[tid as usize], t.value(tid, d));
+            }
+        }
     }
 
     #[test]

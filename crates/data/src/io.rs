@@ -30,10 +30,10 @@ pub fn write_table<W: Write>(table: &Table, writer: W) -> std::io::Result<()> {
         write!(w, " {}", table.dim_name(d))?;
     }
     writeln!(w)?;
-    for (_, row) in table.iter_rows() {
+    for t in 0..table.rows() as u32 {
         write!(w, "row")?;
-        for &v in row {
-            write!(w, " {v}")?;
+        for d in 0..table.dims() {
+            write!(w, " {}", table.value(t, d))?;
         }
         writeln!(w)?;
     }

@@ -215,7 +215,7 @@ mod tests {
         let last = rules.rules.last().unwrap();
         let mut matched = 0;
         for (_, row) in t.iter_rows() {
-            if last.matches(row) {
+            if last.matches(&row) {
                 matched += 1;
                 assert_eq!(row[last.target_dim], last.target_value);
             }

@@ -94,7 +94,7 @@ impl SyntheticSpec {
         let rows = base.rows();
         let mut builder = TableBuilder::new(base.dims()).cards(base.cards().to_vec());
         for (_, row) in base.iter_rows() {
-            builder.push_row(row);
+            builder.push_row(&row);
         }
         let column: Vec<f64> = (0..rows).map(|_| rng.gen_range(0.0..100.0)).collect();
         builder.measure(name, column).build().expect("valid table")

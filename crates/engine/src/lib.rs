@@ -707,7 +707,7 @@ where
     // Seed tasks: one per (level, value) shard of the full table. One
     // partitioner + tid buffer is reused across levels.
     let mut seeds: Vec<Task> = Vec::new();
-    let mut partitioner = Partitioner::new();
+    let mut partitioner = Partitioner::with_sparse_reset();
     let mut tids: Vec<TupleId> = Vec::new();
     let mut groups: Vec<Group> = Vec::new();
     for (k, &dim) in perm.iter().enumerate() {
@@ -797,11 +797,23 @@ struct Ctx<'a, F> {
 }
 
 /// Per-worker reusable scratch.
-#[derive(Default)]
 struct Scratch {
     arena: ViewArena,
     partitioner: Partitioner,
     groups: Vec<Group>,
+}
+
+impl Default for Scratch {
+    fn default() -> Scratch {
+        Scratch {
+            arena: ViewArena::default(),
+            // Split probes partition small sub-shards; sparse counter reset
+            // keeps each probe O(|shard| + distinct) instead of
+            // O(cardinality).
+            partitioner: Partitioner::with_sparse_reset(),
+            groups: Vec::new(),
+        }
+    }
 }
 
 impl<'a, F> Ctx<'a, F> {
@@ -822,7 +834,7 @@ impl<'a, F> Ctx<'a, F> {
         let dims = self.table.dims();
         let shard_info = task
             .want_info
-            .then(|| ClosedInfo::of_group(self.table, &task.tids).expect("tasks are non-empty"));
+            .then(|| ClosedInfo::for_group(self.table, &task.tids).expect("tasks are non-empty"));
         if !task.cube {
             return Completion {
                 path: task.path,

@@ -23,6 +23,51 @@ use ccube_core::measure::MeasureSpec;
 use ccube_core::sink::CellSink;
 use ccube_core::table::{Table, TupleId};
 
+/// Row-major mirror of a table's values, built **once per cubing run** (one
+/// column-pinned fill pass) and shared by every aggregation array of the
+/// recursion.
+///
+/// The MultiWay lattice's closedness merges compare two representative
+/// tuples across *all* dimensions — a row-shaped access the columnar
+/// [`Table`] would answer with one gather per dimension per merge. The
+/// mirror keeps those comparisons at two contiguous row reads, like the
+/// merge-heavy inner loops want, while every scan-shaped pass (counting,
+/// classification, partitioning, group-wise closedness) stays on the
+/// columns.
+pub struct RowMirror {
+    dims: usize,
+    data: Vec<u32>,
+}
+
+impl RowMirror {
+    /// Materialize the mirror (column-pinned: one pass per dimension).
+    pub fn new(table: &Table) -> RowMirror {
+        let dims = table.dims();
+        let rows = table.rows();
+        let mut data = vec![0u32; rows * dims];
+        for d in 0..dims {
+            let col = table.col(d);
+            for (t, &v) in col.iter().enumerate() {
+                data[t * dims + d] = v;
+            }
+        }
+        RowMirror { dims, data }
+    }
+
+    /// Bit mask of the dimensions on which tuples `a` and `b` agree
+    /// (branch-free, two contiguous row reads).
+    #[inline]
+    pub fn eq_mask(&self, a: TupleId, b: TupleId) -> DimMask {
+        let ra = &self.data[a as usize * self.dims..a as usize * self.dims + self.dims];
+        let rb = &self.data[b as usize * self.dims..b as usize * self.dims + self.dims];
+        let mut m = 0u64;
+        for d in 0..self.dims {
+            m |= u64::from(ra[d] == rb[d]) << d;
+        }
+        DimMask(m)
+    }
+}
+
 /// One dimension of the dense array.
 #[derive(Clone, Debug)]
 pub struct DenseDim {
@@ -98,17 +143,23 @@ impl<A> Entry<A> {
 /// The dense array plus everything needed to emit cells from it.
 pub struct DenseArray<'a, const CLOSED: bool, M: MeasureSpec> {
     table: &'a Table,
+    /// Present exactly when `CLOSED` (non-closed runs never merge reps).
+    mirror: Option<&'a RowMirror>,
     spec: &'a M,
     dims: Vec<DenseDim>,
     base: Vec<Entry<M::Acc>>,
 }
 
 impl<'a, const CLOSED: bool, M: MeasureSpec> DenseArray<'a, CLOSED, M> {
-    /// Build the base array by scanning the partition once. `coord_of(t, i)`
-    /// must return the coordinate of tuple `t` on array dimension `i`
-    /// (consulting the value mask).
+    /// Build the base array from the partition. `coord_of(t, i)` must
+    /// return the coordinate of tuple `t` on array dimension `i`
+    /// (consulting the value mask). A first pass computes every tuple's
+    /// flat array index **one dimension at a time** (each pass gathers from
+    /// a single table column); the merge pass then folds tuples into their
+    /// cells, with closedness merges going through the row-major `mirror`.
     pub fn build<F>(
         table: &'a Table,
+        mirror: Option<&'a RowMirror>,
         spec: &'a M,
         dims: Vec<DenseDim>,
         tids: &[TupleId],
@@ -122,12 +173,17 @@ impl<'a, const CLOSED: bool, M: MeasureSpec> DenseArray<'a, CLOSED, M> {
         for _ in 0..size {
             base.push(Entry::empty(table.dims()));
         }
-        for &t in tids {
-            let mut idx = 0usize;
-            for d in &dims {
-                idx = idx * d.size() + coord_of(t, d) as usize;
+        // Pass 1 (per dimension, columnar): flat index of each tuple.
+        let mut idx = vec![0u32; tids.len()];
+        for d in &dims {
+            let dsize = d.size() as u32;
+            for (slot, &t) in idx.iter_mut().zip(tids.iter()) {
+                *slot = *slot * dsize + coord_of(t, d);
             }
-            let e = &mut base[idx];
+        }
+        // Pass 2: merge each tuple into its cell.
+        for (&ix, &t) in idx.iter().zip(tids.iter()) {
+            let e = &mut base[ix as usize];
             if e.count == 0 {
                 e.count = 1;
                 if CLOSED {
@@ -137,7 +193,9 @@ impl<'a, const CLOSED: bool, M: MeasureSpec> DenseArray<'a, CLOSED, M> {
             } else {
                 e.count += 1;
                 if CLOSED {
-                    e.info.merge_tuple(table, t);
+                    let mirror = mirror.expect("closed runs carry a row mirror");
+                    e.info.mask &= mirror.eq_mask(e.info.rep, t);
+                    e.info.rep = e.info.rep.min(t);
                 }
                 let unit = spec.unit(table, t);
                 spec.merge(
@@ -148,6 +206,7 @@ impl<'a, const CLOSED: bool, M: MeasureSpec> DenseArray<'a, CLOSED, M> {
         }
         DenseArray {
             table,
+            mirror,
             spec,
             dims,
             base,
@@ -234,7 +293,9 @@ impl<'a, const CLOSED: bool, M: MeasureSpec> DenseArray<'a, CLOSED, M> {
             } else {
                 c.count += e.count;
                 if CLOSED {
-                    c.info.merge(self.table, &e.info);
+                    let mirror = self.mirror.expect("closed runs carry a row mirror");
+                    c.info.mask &= e.info.mask & mirror.eq_mask(c.info.rep, e.info.rep);
+                    c.info.rep = c.info.rep.min(e.info.rep);
                 }
                 self.spec.merge(
                     c.acc.as_mut().expect("occupied entry has an accumulator"),
@@ -325,8 +386,9 @@ mod tests {
         let t = table();
         let dims = full_dense(&t);
         let spec = CountOnly;
+        let mirror = RowMirror::new(&t);
         let arr: DenseArray<'_, false, _> =
-            DenseArray::build(&t, &spec, dims, &t.all_tids(), |tid, d| {
+            DenseArray::build(&t, Some(&mirror), &spec, dims, &t.all_tids(), |tid, d| {
                 d.coord(t.value(tid, d.dim), false)
             });
         let mut sink = CollectSink::default();
@@ -341,8 +403,9 @@ mod tests {
         let t = table();
         let dims = full_dense(&t);
         let spec = CountOnly;
+        let mirror = RowMirror::new(&t);
         let arr: DenseArray<'_, true, _> =
-            DenseArray::build(&t, &spec, dims, &t.all_tids(), |tid, d| {
+            DenseArray::build(&t, Some(&mirror), &spec, dims, &t.all_tids(), |tid, d| {
                 d.coord(t.value(tid, d.dim), false)
             });
         for min_sup in 1..=3 {
@@ -363,8 +426,9 @@ mod tests {
         // Only value 0 of dim 0 is dense; value 1 -> OTHER.
         let dims = vec![DenseDim::new(&t, 0, vec![0])];
         let spec = CountOnly;
+        let mirror = RowMirror::new(&t);
         let arr: DenseArray<'_, false, _> =
-            DenseArray::build(&t, &spec, dims, &t.all_tids(), |tid, d| {
+            DenseArray::build(&t, Some(&mirror), &spec, dims, &t.all_tids(), |tid, d| {
                 d.coord(t.value(tid, d.dim), false)
             });
         let mut sink = CollectSink::default();
@@ -384,8 +448,9 @@ mod tests {
         let dims = vec![DenseDim::new(&t, 0, vec![0, 1])];
         let spec = CountOnly;
         // Mask value 1 of dim 0 via the coord_of closure.
+        let mirror = RowMirror::new(&t);
         let arr: DenseArray<'_, false, _> =
-            DenseArray::build(&t, &spec, dims, &t.all_tids(), |tid, d| {
+            DenseArray::build(&t, Some(&mirror), &spec, dims, &t.all_tids(), |tid, d| {
                 let v = t.value(tid, d.dim);
                 d.coord(v, v == 1)
             });

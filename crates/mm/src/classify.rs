@@ -87,17 +87,21 @@ pub fn classify(
     max_array_cells: usize,
     scratch: &mut FreqScratch,
 ) -> LevelClass {
-    // Count frequencies per dimension, recording the values we touch.
+    // Count frequencies per dimension, recording the values we touch. One
+    // dimension at a time: the outer loop pins one table column, so every
+    // tuple read is a gather from a single contiguous slice (and the counts
+    // array for that dimension stays hot).
     for &d in unfixed {
         scratch.touched[d].clear();
-    }
-    for &t in tids {
-        for &d in unfixed {
-            let v = table.value(t, d) as usize;
-            if scratch.counts[d][v] == 0 {
-                scratch.touched[d].push(v as u32);
+        let col = table.col(d);
+        let counts = &mut scratch.counts[d];
+        let touched = &mut scratch.touched[d];
+        for &t in tids {
+            let v = col[t as usize] as usize;
+            if counts[v] == 0 {
+                touched.push(v as u32);
             }
-            scratch.counts[d][v] += 1;
+            counts[v] += 1;
         }
     }
 

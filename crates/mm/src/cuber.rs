@@ -7,7 +7,7 @@
 //! sufficiently-supported sparse value's partition, masking the current
 //! level's sparse values of earlier dimensions so no cell is produced twice.
 
-use crate::array::{DenseArray, DenseDim};
+use crate::array::{DenseArray, DenseDim, RowMirror};
 use crate::classify::{classify, FreqScratch};
 use crate::valuemask::ValueMask;
 use ccube_core::cell::STAR;
@@ -116,7 +116,10 @@ fn run<const CLOSED: bool, M, S>(
         spec,
         sink,
         vmask: ValueMask::new(table),
-        partitioner: Partitioner::new(),
+        mirror: CLOSED.then(|| RowMirror::new(table)),
+        // Sparse counter reset: subspace recursion partitions shrinking tid
+        // slices, often over wide domains (MM-Cubing's target regime).
+        partitioner: Partitioner::with_sparse_reset(),
         scratch: FreqScratch::new(table),
         cell: vec![STAR; table.cube_dims()],
     };
@@ -140,6 +143,9 @@ struct State<'a, M: MeasureSpec, S> {
     spec: &'a M,
     sink: &'a mut S,
     vmask: ValueMask,
+    /// Row-major value mirror for the lattice's closedness merges (built
+    /// once per run, closed runs only; see [`RowMirror`]).
+    mirror: Option<RowMirror>,
     partitioner: Partitioner,
     scratch: FreqScratch,
     cell: Vec<u32>,
@@ -191,11 +197,17 @@ where
                 .collect();
             let table = self.table;
             let vmask = &self.vmask;
-            let arr: DenseArray<'_, CLOSED, M> =
-                DenseArray::build(table, self.spec, dense_dims, tids, |t, d| {
+            let arr: DenseArray<'_, CLOSED, M> = DenseArray::build(
+                table,
+                self.mirror.as_ref(),
+                self.spec,
+                dense_dims,
+                tids,
+                |t, d| {
                     let v = table.value(t, d.dim);
                     d.coord(v, vmask.is_masked(d.dim, v))
-                });
+                },
+            );
             arr.emit_all(self.min_sup, &mut self.cell, fixed_bound, self.sink);
         }
 
@@ -246,7 +258,7 @@ where
     /// emitted here.
     fn direct_output(&mut self, tids: &[TupleId], unfixed: &[usize]) {
         let info =
-            ClosedInfo::of_group(self.table, tids).expect("subspace partitions are non-empty");
+            ClosedInfo::for_group(self.table, tids).expect("subspace partitions are non-empty");
         // Uniform on a carried dimension ⇒ the candidate's closure binds a
         // dimension outside the group-by set ⇒ not closed; emit nothing.
         if info.mask.intersects(self.table.carried_mask()) {
@@ -262,12 +274,7 @@ where
                 bindings.push((d, v));
             }
         }
-        let (&first, rest) = tids.split_first().expect("non-empty");
-        let mut acc = self.spec.unit(self.table, first);
-        for &t in rest {
-            let unit = self.spec.unit(self.table, t);
-            self.spec.merge(&mut acc, &unit);
-        }
+        let acc = self.spec.fold(self.table, tids);
         for &(d, v) in &bindings {
             self.cell[d] = v;
         }

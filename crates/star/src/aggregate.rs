@@ -28,9 +28,11 @@
 
 use crate::tree::{Node, Tree};
 use ccube_core::cell::STAR;
+use ccube_core::closedness::ClosedInfo;
 use ccube_core::measure::{CountOnly, MeasureSpec};
+use ccube_core::partition::Partitioner;
 use ccube_core::sink::CellSink;
-use ccube_core::table::Table;
+use ccube_core::table::{Table, TupleId};
 
 /// Star-Cubing: plain iceberg cube.
 pub fn star_cube<S: CellSink<()>>(table: &Table, min_sup: u64, sink: &mut S) {
@@ -98,29 +100,54 @@ where
     ctx.process::<CLOSED>(base);
 }
 
-/// Build the base star tree: star reduction replaces values with global
-/// frequency `< min_sup` by star nodes, then every tuple is merged down its
-/// (reduced) path. Only the group-by dimensions become tree levels; carried
-/// dimensions enter the base Tree Mask — they are exactly "dimensions
-/// collapsed on the derivation path", the collapse having happened in the
-/// parallel engine's sharding rather than in a child-tree derivation — so
-/// Lemma 5 pruning and every output-time All Mask account for them with no
-/// further changes.
+/// Build the base star tree **group-wise**: star reduction replaces values
+/// with global frequency `< min_sup` by star nodes; the reduced table is
+/// materialized one column at a time, tuples are sorted lexicographically by
+/// their reduced path (stars sort last, matching sibling order), and the
+/// tree is then built from the sorted pool's contiguous runs — each node's
+/// whole tuple group is in hand, so its closedness summary comes from one
+/// [`ClosedInfo::for_group`] column scan (early exit per dimension) and its
+/// accumulator from one [`MeasureSpec::fold`], instead of a per-tuple
+/// `eq_mask`-merge chain down every path. The resulting tree is
+/// link-for-link the one tuple-at-a-time insertion produced.
+///
+/// Only the group-by dimensions become tree levels; carried dimensions enter
+/// the base Tree Mask — they are exactly "dimensions collapsed on the
+/// derivation path", the collapse having happened in the parallel engine's
+/// sharding rather than in a child-tree derivation — so Lemma 5 pruning and
+/// every output-time All Mask account for them with no further changes.
 fn build_base<const CLOSED: bool, M: MeasureSpec>(
     table: &Table,
     min_sup: u64,
     spec: &M,
 ) -> Tree<M::Acc> {
     let cube = table.cube_dims();
-    let starred: Vec<Vec<bool>> = (0..cube)
+    // Reduced columns: dimension-major, star-reduced copies of the group-by
+    // columns. The star sentinel is `card(d)` (not `STAR`) so each column
+    // radix-sorts with `card + 1` buckets, stars last — matching star
+    // nodes' sort-after-real-values sibling order.
+    let reduced: Vec<Vec<u32>> = (0..cube)
         .map(|d| {
-            table
+            let sentinel = table.card(d);
+            let starred: Vec<bool> = table
                 .freq(d)
                 .iter()
                 .map(|&f| u64::from(f) < min_sup)
+                .collect();
+            table
+                .col(d)
+                .iter()
+                .map(|&v| if starred[v as usize] { sentinel } else { v })
                 .collect()
         })
         .collect();
+    // Lexicographic (reduced path, tid) order by LSD radix — one stable
+    // counting pass per dimension over its reduced column.
+    let mut pool: Vec<TupleId> = table.all_tids();
+    let mut sorter = Partitioner::new();
+    for d in (0..cube).rev() {
+        sorter.sort_pass(&reduced[d], table.card(d) + 1, &mut pool);
+    }
     let mut tree = Tree::new(
         table.dims(),
         (0..cube).collect(),
@@ -128,18 +155,68 @@ fn build_base<const CLOSED: bool, M: MeasureSpec>(
         vec![STAR; cube],
         spec.unit(table, 0),
     );
-    let mut path = vec![0u32; cube];
-    for (t, row) in table.iter_rows() {
-        for (d, slot) in path.iter_mut().enumerate() {
-            *slot = if starred[d][row[d] as usize] {
-                STAR
-            } else {
-                row[d]
-            };
-        }
-        tree.insert_tuple_path(table, spec, &path, t, CLOSED);
+    tree.nodes[0].count = pool.len() as u64;
+    if CLOSED {
+        tree.nodes[0].info = ClosedInfo::for_group(table, &pool).expect("non-empty table");
+    } else {
+        tree.nodes[0].info = ClosedInfo::for_tuple(table, pool[0]);
     }
+    tree.nodes[0].acc = spec.fold(table, &pool);
+    build_sons::<CLOSED, M>(table, spec, &reduced, &pool, &mut tree, 0, 0);
     tree
+}
+
+/// Create the sons of `node` (at `depth`) from the maximal contiguous runs
+/// of `run` (the node's slice of the sorted pool) on reduced dimension
+/// `depth`, recursing to full depth. Runs ascend by reduced value, so the
+/// sibling lists come out sorted exactly as `merge_son` would build them.
+fn build_sons<const CLOSED: bool, M: MeasureSpec>(
+    table: &Table,
+    spec: &M,
+    reduced: &[Vec<u32>],
+    run: &[TupleId],
+    tree: &mut Tree<M::Acc>,
+    node: u32,
+    depth: usize,
+) {
+    if depth >= tree.depth() {
+        return;
+    }
+    let rc = &reduced[depth];
+    // Base-tree levels are dims `0..cube` in order, so the star sentinel of
+    // this level's reduced column is `card(depth)`.
+    let sentinel = table.card(depth);
+    let mut start = 0usize;
+    let mut last_son = crate::tree::NONE;
+    while start < run.len() {
+        let key = rc[run[start] as usize];
+        let v = if key == sentinel { STAR } else { key };
+        let mut end = start + 1;
+        while end < run.len() && rc[run[end] as usize] == key {
+            end += 1;
+        }
+        let sub = &run[start..end];
+        // Even star nodes and under-supported nodes need real aggregates:
+        // the multiway-aggregation DFS merges every node into its ancestors'
+        // child-tree builders, suppressed or not.
+        let info = if CLOSED {
+            ClosedInfo::for_group(table, sub).expect("non-empty run")
+        } else {
+            ClosedInfo::for_tuple(table, sub[0])
+        };
+        let id = tree.nodes.len() as u32;
+        let mut son = Node::new(v, sub.len() as u64, info, spec.fold(table, sub));
+        son.next_sib = crate::tree::NONE;
+        tree.nodes.push(son);
+        if last_son == crate::tree::NONE {
+            tree.nodes[node as usize].first_son = id;
+        } else {
+            tree.nodes[last_son as usize].next_sib = id;
+        }
+        last_son = id;
+        build_sons::<CLOSED, M>(table, spec, reduced, sub, tree, id, depth + 1);
+        start = end;
+    }
 }
 
 struct Ctx<'a, M: MeasureSpec, S> {
@@ -208,7 +285,7 @@ where
         cell: &mut Vec<u32>,
     ) {
         let m = tree.depth();
-        let node = tree.nodes[id as usize].clone();
+        let node = &tree.nodes[id as usize];
         let mut suppressed =
             suppressed || node.count < self.min_sup || (depth > 0 && node.value == STAR);
         if CLOSED && !suppressed && node.info.mask.intersects(tree.tree_mask) {
@@ -277,18 +354,13 @@ where
             // ancestors at depth ≤ depth - 1 — i.e. every builder inherited
             // from above, but not one spawned at this node (its sons are the
             // collapsed dimension itself).
-            let son_node = tree.nodes[son as usize].clone();
+            let son_node = &tree.nodes[son as usize];
+            let next = son_node.next_sib;
             for b in builders[..inherited].iter_mut() {
-                b.insert(
-                    self.table,
-                    self.spec,
-                    &son_node,
-                    depth - b.src_depth,
-                    CLOSED,
-                );
+                b.insert(self.table, self.spec, son_node, depth - b.src_depth, CLOSED);
             }
             self.dfs::<CLOSED>(tree, son, depth + 1, suppressed, builders, cell);
-            son = son_node.next_sib;
+            son = next;
         }
 
         if spawned {

@@ -10,12 +10,12 @@
 //!
 //! Child trees are derived by **multiway traversal** (Section 4.2): instead
 //! of building all child trees in one pass over the parent (multiway
-//! aggregation), each child tree is built on its own by simultaneously
-//! walking the branches being collapsed — realized here as a multiway merge
-//! of the branches' sorted runs into the child's array `A'`, followed by a
-//! grouping pass that knows every node's final aggregate at creation (and
-//! can therefore truncate immediately). The parent is traversed once per
-//! child tree; each child tree is traversed exactly once while being built.
+//! aggregation), each child tree's array `A'` is re-ordered from the
+//! collapsed branches' pooled tuples — one stable LSD counting pass per
+//! remaining dimension over its column — followed by a grouping pass that
+//! knows every node's final aggregate at creation (and can therefore
+//! truncate immediately). The parent is traversed once per child tree; each
+//! child tree is traversed exactly once while being built.
 //!
 //! Closed pruning mirrors `C-Cubing(Star)`: Lemma 5 suppression on
 //! `closed_mask ∩ tree_mask`, and the generalized Lemma 6 check before
@@ -24,11 +24,12 @@
 //! parallel shard computes only the cells it owns. Complex measures ride on
 //! the node accumulators ([`ccube_core::measure::MeasureSpec`]).
 
-use crate::tree::{cmp_on_dims, Node, Tree, NONE};
+use crate::tree::{Node, Tree, NONE};
 use ccube_core::cell::STAR;
 use ccube_core::closedness::ClosedInfo;
 use ccube_core::mask::DimMask;
 use ccube_core::measure::{CountOnly, MeasureSpec};
+use ccube_core::partition::Partitioner;
 use ccube_core::sink::CellSink;
 use ccube_core::table::{Table, TupleId};
 
@@ -103,8 +104,14 @@ where
     // them without further changes.
     let cube = table.cube_dims();
     let rem: Vec<usize> = (0..cube).collect();
+    // Lexicographic (rem_dims, tid) order by LSD radix: the pool starts
+    // tid-ascending, then one stable counting pass per dimension, last
+    // dimension first — each pass a sequential gather from one column.
     let mut pool: Vec<TupleId> = table.all_tids();
-    pool.sort_unstable_by(|&a, &b| cmp_on_dims(table, a, b, &rem).then(a.cmp(&b)));
+    let mut sorter = Partitioner::new();
+    for &d in rem.iter().rev() {
+        sorter.sort_pass(table.col(d), table.card(d), &mut pool);
+    }
     let mut tree = Tree::new(
         table.dims(),
         rem,
@@ -120,24 +127,18 @@ where
         bound,
         spec,
         sink,
+        sorter,
     };
     ctx.process::<CLOSED>(&tree);
 }
 
-/// Fold the measure accumulator of a non-empty tuple group.
-fn fold_acc<M: MeasureSpec>(table: &Table, spec: &M, tids: &[TupleId]) -> M::Acc {
-    let (&first, rest) = tids.split_first().expect("non-empty group");
-    let mut acc = spec.unit(table, first);
-    for &t in rest {
-        let unit = spec.unit(table, t);
-        spec.merge(&mut acc, &unit);
-    }
-    acc
-}
-
 /// Expand the (already pooled) tree's nodes top-down: the root covers the
 /// whole array; each expanded node's range is grouped by the next remaining
-/// dimension; groups below `min_sup` become truncated leaves.
+/// dimension; groups below `min_sup` become truncated leaves. Node
+/// closedness summaries are built group-wise ([`ClosedInfo::for_group`]:
+/// one column scan per dimension with early exit) — the pool run for every
+/// node is in hand, so there is no reason to pay the per-tuple
+/// `merge_tuple` chain.
 fn build_nodes<const CLOSED: bool, M: MeasureSpec>(
     table: &Table,
     tree: &mut Tree<M::Acc>,
@@ -150,9 +151,9 @@ fn build_nodes<const CLOSED: bool, M: MeasureSpec>(
     tree.nodes[0].pool_end = n;
     if CLOSED {
         tree.nodes[0].info =
-            ClosedInfo::of_group(table, &tree.pool).expect("non-empty tree has tuples");
+            ClosedInfo::for_group(table, &tree.pool).expect("non-empty tree has tuples");
     }
-    tree.nodes[0].acc = fold_acc(table, spec, &tree.pool);
+    tree.nodes[0].acc = spec.fold(table, &tree.pool);
     expand::<CLOSED, M>(table, tree, 0, 0, min_sup, spec);
 }
 
@@ -170,23 +171,24 @@ fn expand<const CLOSED: bool, M: MeasureSpec>(
         return;
     }
     let d = tree.rem_dims[depth];
+    let col = table.col(d);
     let (start, end) = (
         tree.nodes[node as usize].pool_start as usize,
         tree.nodes[node as usize].pool_end as usize,
     );
     // Contiguous runs by value of `d` (the pool is sorted by rem_dims, so
-    // runs are maximal).
+    // runs are maximal); run detection gathers from the one pinned column.
     let mut run_start = start;
     let mut last_son = NONE;
     while run_start < end {
-        let v = table.value(tree.pool[run_start], d);
+        let v = col[tree.pool[run_start] as usize];
         let mut run_end = run_start + 1;
-        while run_end < end && table.value(tree.pool[run_end], d) == v {
+        while run_end < end && col[tree.pool[run_end] as usize] == v {
             run_end += 1;
         }
         let count = (run_end - run_start) as u64;
         let info = if CLOSED && count >= min_sup {
-            ClosedInfo::of_group(table, &tree.pool[run_start..run_end]).expect("non-empty run")
+            ClosedInfo::for_group(table, &tree.pool[run_start..run_end]).expect("non-empty run")
         } else {
             // Truncated leaves never emit or spawn; their info is unused.
             ClosedInfo {
@@ -196,7 +198,7 @@ fn expand<const CLOSED: bool, M: MeasureSpec>(
         };
         // Truncated leaves never emit, so their accumulator stays a unit.
         let acc = if count >= min_sup {
-            fold_acc(table, spec, &tree.pool[run_start..run_end])
+            spec.fold(table, &tree.pool[run_start..run_end])
         } else {
             spec.unit(table, tree.pool[run_start])
         };
@@ -225,6 +227,8 @@ struct Ctx<'a, M: MeasureSpec, S> {
     bound: usize,
     spec: &'a M,
     sink: &'a mut S,
+    /// Reusable counting-sort scratch for child-pool radix passes.
+    sorter: Partitioner,
 }
 
 impl<'a, M, S> Ctx<'a, M, S>
@@ -292,10 +296,13 @@ where
     }
 
     /// Multiway traversal: derive the child tree of `node` (at `depth`,
-    /// collapsing `rem_dims[depth]`) by merging its sons' sorted runs into
-    /// the child's array and grouping top-down.
+    /// collapsing `rem_dims[depth]`) by concatenating its sons' pool runs
+    /// and re-sorting by the child's remaining dimensions — one stable LSD
+    /// counting pass per dimension over its column, replacing the
+    /// comparator-based multiway run merge (whose every comparison gathered
+    /// from several columns) at `O(dims · (|pool| + card))`.
     fn build_child<const CLOSED: bool>(
-        &self,
+        &mut self,
         tree: &Tree<M::Acc>,
         node: &Node<M::Acc>,
         depth: usize,
@@ -310,64 +317,27 @@ where
             cell.to_vec(),
             node.acc.clone(),
         );
-        // Gather the collapsed branches' runs. Each son's pool range is
-        // sorted by (collapse, child_rem...) within itself, hence sorted by
-        // child_rem alone (the collapsed value is constant per son).
-        let mut runs: Vec<Vec<TupleId>> = Vec::new();
-        let mut son = node.first_son;
-        while son != NONE {
-            let sn = &tree.nodes[son as usize];
-            runs.push(tree.pool[sn.pool_start as usize..sn.pool_end as usize].to_vec());
-            son = sn.next_sib;
+        // The node's whole pool range (its sons' runs back to back) is the
+        // child's tuple set; the radix passes below restore child_rem
+        // order. (Pool order within equal child_rem keys is branch order —
+        // deterministic; node aggregates are order-insensitive except for
+        // floating-point accumulator rounding.)
+        let mut pool = tree.pool[node.pool_start as usize..node.pool_end as usize].to_vec();
+        for &d in child_rem.iter().rev() {
+            self.sorter
+                .sort_pass(self.table.col(d), self.table.card(d), &mut pool);
         }
-        child.pool = merge_runs(self.table, &child_rem, runs);
+        child.pool = pool;
         debug_assert_eq!(child.pool.len() as u64, node.count);
         build_nodes::<CLOSED, M>(self.table, &mut child, self.min_sup, self.spec);
         child
     }
 }
 
-/// Bottom-up multiway merge of pre-sorted runs (the paper's "multiway merge
-/// sort": linear passes over already partially ordered pools, `O(n log k)`).
-fn merge_runs(table: &Table, dims: &[usize], mut runs: Vec<Vec<TupleId>>) -> Vec<TupleId> {
-    if runs.is_empty() {
-        return Vec::new();
-    }
-    while runs.len() > 1 {
-        let mut next: Vec<Vec<TupleId>> = Vec::with_capacity(runs.len().div_ceil(2));
-        let mut it = runs.into_iter();
-        while let Some(a) = it.next() {
-            match it.next() {
-                Some(b) => next.push(merge_two(table, dims, a, b)),
-                None => next.push(a),
-            }
-        }
-        runs = next;
-    }
-    runs.pop().expect("at least one run")
-}
-
-fn merge_two(table: &Table, dims: &[usize], a: Vec<TupleId>, b: Vec<TupleId>) -> Vec<TupleId> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        let ord = cmp_on_dims(table, a[i], b[j], dims).then(a[i].cmp(&b[j]));
-        if ord != std::cmp::Ordering::Greater {
-            out.push(a[i]);
-            i += 1;
-        } else {
-            out.push(b[j]);
-            j += 1;
-        }
-    }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tree::cmp_on_dims;
     use ccube_core::naive::{naive_closed_counts, naive_iceberg_counts};
     use ccube_core::sink::collect_counts;
     use ccube_core::{Cell, TableBuilder};
@@ -532,15 +502,20 @@ mod tests {
     }
 
     #[test]
-    fn merge_runs_produces_sorted_pool() {
+    fn radix_passes_produce_sorted_pool() {
+        // The LSD counting passes must equal a lexicographic comparator
+        // sort with ascending-tid tie-break (the pool order `expand` and
+        // `build_child` rely on).
         let t = SyntheticSpec::uniform(60, 3, 4, 0.0, 3).generate();
         let dims = vec![1usize, 2];
-        let mut all: Vec<TupleId> = t.all_tids();
-        all.sort_unstable_by(|&a, &b| cmp_on_dims(&t, a, b, &dims).then(a.cmp(&b)));
-        // Split into arbitrary sorted runs and re-merge.
-        let runs: Vec<Vec<TupleId>> = all.chunks(7).map(|c| c.to_vec()).collect();
-        let merged = merge_runs(&t, &dims, runs);
-        assert_eq!(merged, all);
+        let mut want: Vec<TupleId> = t.all_tids();
+        want.sort_unstable_by(|&a, &b| cmp_on_dims(&t, a, b, &dims).then(a.cmp(&b)));
+        let mut got: Vec<TupleId> = t.all_tids();
+        let mut sorter = Partitioner::new();
+        for &d in dims.iter().rev() {
+            sorter.sort_pass(t.col(d), t.card(d), &mut got);
+        }
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Columnar-substrate equivalence: the dimension-major `Table` layout, the
+//! group-wise `ClosedInfo::for_group` constructor, and the sparse-reset
+//! partitioner must be invisible in the results — every algorithm, every
+//! thread count, every workload shape.
+
+use c_cubing::prelude::*;
+use ccube_core::closedness::ClosedInfo;
+use ccube_core::partition::Partitioner;
+use ccube_core::sink::collect_counts;
+use ccube_core::TupleId;
+use proptest::prelude::*;
+
+/// Small random table plus a random subset of its tuple IDs (unsorted, no
+/// duplicates — the shape cubers hand to `for_group`).
+fn arb_table_and_tids() -> impl Strategy<Value = (Table, Vec<TupleId>)> {
+    (1usize..=5, 2u32..=5).prop_flat_map(|(dims, card)| {
+        proptest::collection::vec(proptest::collection::vec(0..card, dims), 1..60).prop_flat_map(
+            move |rows| {
+                let n = rows.len();
+                proptest::collection::vec(any::<u32>(), 1..=n).prop_map(move |picks| {
+                    let mut b = TableBuilder::new(dims).cards(vec![card; dims]);
+                    for r in &rows {
+                        b.push_row(r);
+                    }
+                    let table = b.build().expect("valid random table");
+                    // Distinct tids from the random picks (first-wins order).
+                    let mut seen = vec![false; n];
+                    let mut tids = Vec::new();
+                    for p in picks {
+                        let t = (p as usize) % n;
+                        if !seen[t] {
+                            seen[t] = true;
+                            tids.push(t as TupleId);
+                        }
+                    }
+                    (table, tids)
+                })
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `ClosedInfo::for_group` (column-at-a-time, 8-wide fold, early exit)
+    /// equals the fold of `for_tuple`/`merge_tuple` over arbitrary tables
+    /// and tid subsets — the contract every cuber now relies on.
+    #[test]
+    fn for_group_equals_merge_tuple_fold(case in arb_table_and_tids()) {
+        let (table, tids) = case;
+        let (&first, rest) = tids.split_first().expect("non-empty");
+        let mut want = ClosedInfo::for_tuple(&table, first);
+        for &t in rest {
+            want.merge_tuple(&table, t);
+        }
+        prop_assert_eq!(ClosedInfo::for_group(&table, &tids), Some(want));
+    }
+
+    /// The sparse-reset partitioner is call-for-call identical to the dense
+    /// default (groups and permutation), across repeated reuse of one
+    /// instance — the invariant its deferred counter clearing relies on.
+    #[test]
+    fn sparse_partitioner_equals_dense(case in arb_table_and_tids()) {
+        let (table, tids) = case;
+        let mut dense = Partitioner::new();
+        let mut sparse = Partitioner::with_sparse_reset();
+        for d in 0..table.dims() {
+            let mut a = tids.clone();
+            let mut b = tids.clone();
+            let (mut ga, mut gb) = (Vec::new(), Vec::new());
+            dense.partition(&table, d, &mut a, &mut ga);
+            sparse.partition(&table, d, &mut b, &mut gb);
+            prop_assert_eq!(&ga, &gb, "groups diverged on dim {}", d);
+            prop_assert_eq!(&a, &b, "permutation diverged on dim {}", d);
+        }
+    }
+}
+
+/// All 8 algorithms against the naive oracle and each other on one table:
+/// the closed quartet agrees cell-for-cell, the iceberg quartet agrees
+/// cell-for-cell, sequential and parallel runs are byte-identical.
+fn assert_all_algorithms_agree(table: &Table, min_sups: &[u64], label: &str) {
+    for &m in min_sups {
+        let want_iceberg = ccube_core::naive::naive_iceberg_counts(table, m);
+        let want_closed = ccube_core::naive::naive_closed_counts(table, m);
+        for algo in Algorithm::ALL {
+            let want = if algo.is_closed() {
+                &want_closed
+            } else {
+                &want_iceberg
+            };
+            let got = collect_counts(|s| algo.run(table, m, s));
+            assert_eq!(&got, want, "{algo} != naive on {label} at min_sup={m}");
+            for threads in [1usize, 2, 8] {
+                let got = collect_counts(|s| algo.run_parallel(table, m, threads, s));
+                assert_eq!(
+                    &got, want,
+                    "{algo} parallel({threads}) != naive on {label} at min_sup={m}"
+                );
+            }
+        }
+    }
+}
+
+/// The three checked-in BENCH_parallel.json workload shapes (uniform,
+/// Zipf 1.5, Zipf 2.0 — T scaled down, D=8, C=100 scaled to keep the naive
+/// oracle tractable), all 8 algorithms, threads {1, 2, 8}.
+#[test]
+fn all_algorithms_on_the_three_benchmark_shapes() {
+    for (skew, seed) in [(1.0, 4), (1.5, 4), (2.0, 4)] {
+        let t = SyntheticSpec::uniform(400, 5, 12, skew, seed).generate();
+        assert_all_algorithms_agree(&t, &[1, 8], &format!("zipf {skew}"));
+    }
+}
+
+/// Carried-dimension views (the engine's closed-shard shape) work columnar:
+/// group-wise closedness over a view must see carried dimensions.
+#[test]
+fn for_group_spans_carried_view_dimensions() {
+    let t = TableBuilder::new(3)
+        .row(&[1, 0, 5])
+        .row(&[1, 1, 5])
+        .row(&[1, 0, 2])
+        .build()
+        .unwrap();
+    // View over all tuples, dims reordered (1, 2 group-by; 0 carried).
+    let v = t.view(&[0, 1, 2], &[1, 2, 0], 2);
+    let info = ClosedInfo::for_group(&v, &[0, 1, 2]).unwrap();
+    // Carried dim (view dim 2 = base dim 0) is uniform; group-by dims not.
+    assert!(info.mask.contains(2));
+    assert!(!info.mask.contains(0));
+    assert!(!info.mask.contains(1));
+    assert_eq!(info.rep, 0);
+}
