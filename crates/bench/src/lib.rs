@@ -21,6 +21,7 @@ pub mod report;
 pub use figures::{all_experiments, ExpOptions};
 pub use report::Figure;
 
+use c_cubing::Algorithm;
 use ccube_core::sink::{CellSink, CountingSink, SizeSink};
 use ccube_core::Table;
 use ccube_engine::{EngineConfig, EngineStats};
@@ -48,40 +49,34 @@ pub enum Algo {
 }
 
 impl Algo {
+    /// The facade [`Algorithm`] this series maps to — the bench harness owns
+    /// no dispatch tables of its own; every run below delegates here.
+    pub fn algorithm(self) -> Algorithm {
+        match self {
+            Algo::QcDfs => Algorithm::QcDfs,
+            Algo::Mm => Algorithm::Mm,
+            Algo::CcMm => Algorithm::CCubingMm,
+            Algo::Star => Algorithm::Star,
+            Algo::CcStar => Algorithm::CCubingStar,
+            Algo::StarArray => Algorithm::StarArray,
+            Algo::CcStarArray => Algorithm::CCubingStarArray,
+            Algo::Buc => Algorithm::Buc,
+        }
+    }
+
     /// Legend name, matching the paper's figures.
     pub fn name(self) -> &'static str {
-        match self {
-            Algo::QcDfs => "QC-DFS",
-            Algo::Mm => "MM",
-            Algo::CcMm => "CC(MM)",
-            Algo::Star => "Star",
-            Algo::CcStar => "CC(Star)",
-            Algo::StarArray => "StarArray",
-            Algo::CcStarArray => "CC(StarArray)",
-            Algo::Buc => "BUC",
-        }
+        self.algorithm().name()
     }
 
     /// Does this algorithm emit only closed cells?
     pub fn is_closed(self) -> bool {
-        matches!(
-            self,
-            Algo::QcDfs | Algo::CcMm | Algo::CcStar | Algo::CcStarArray
-        )
+        self.algorithm().is_closed()
     }
 
     /// Run on `table` at `min_sup`, emitting into any sink.
     pub fn run_into<S: CellSink<()>>(self, table: &Table, min_sup: u64, sink: &mut S) {
-        match self {
-            Algo::QcDfs => ccube_baselines::qc_dfs(table, min_sup, sink),
-            Algo::Mm => ccube_mm::mm_cube(table, min_sup, sink),
-            Algo::CcMm => ccube_mm::c_cubing_mm(table, min_sup, sink),
-            Algo::Star => ccube_star::star_cube(table, min_sup, sink),
-            Algo::CcStar => ccube_star::c_cubing_star(table, min_sup, sink),
-            Algo::StarArray => ccube_star::star_array_cube(table, min_sup, sink),
-            Algo::CcStarArray => ccube_star::c_cubing_star_array(table, min_sup, sink),
-            Algo::Buc => ccube_baselines::buc(table, min_sup, sink),
-        }
+        self.algorithm().run(table, min_sup, sink)
     }
 
     /// Run on `table` at `min_sup` with output disabled.
@@ -90,9 +85,7 @@ impl Algo {
     }
 
     /// Run only the cells binding the first `bound` (constant) group-by
-    /// dimensions — the parallel engine's shard entry point. Iceberg hosts
-    /// use their dedicated `*_bound` entry; closed algorithms have no
-    /// redundancy to skip and run unchanged.
+    /// dimensions — the parallel engine's shard entry point.
     pub fn run_bound_into<S: CellSink<()>>(
         self,
         table: &Table,
@@ -100,15 +93,7 @@ impl Algo {
         min_sup: u64,
         sink: &mut S,
     ) {
-        match self {
-            Algo::Buc => ccube_baselines::buc_bound(table, bound, min_sup, sink),
-            Algo::Mm => ccube_mm::mm_cube_bound(table, bound, min_sup, sink),
-            Algo::Star => ccube_star::star_cube_bound(table, bound, min_sup, sink),
-            Algo::StarArray => ccube_star::star_array_cube_bound(table, bound, min_sup, sink),
-            Algo::QcDfs | Algo::CcMm | Algo::CcStar | Algo::CcStarArray => {
-                self.run_into(table, min_sup, sink)
-            }
-        }
+        self.algorithm().run_bound(table, bound, min_sup, sink)
     }
 
     /// Run partition-parallel on `threads` worker threads through
@@ -120,7 +105,7 @@ impl Algo {
         threads: usize,
         sink: &mut S,
     ) {
-        self.run_with_config(table, min_sup, &EngineConfig::with_threads(threads), sink)
+        self.algorithm().run_parallel(table, min_sup, threads, sink)
     }
 
     /// [`Algo::run_parallel`] with full engine configuration.
@@ -131,7 +116,8 @@ impl Algo {
         config: &EngineConfig,
         sink: &mut S,
     ) {
-        self.run_with_config_stats(table, min_sup, config, sink);
+        self.algorithm()
+            .run_with_config(table, min_sup, config, sink)
     }
 
     /// [`Algo::run_with_config`] returning the engine's scheduling and
@@ -143,14 +129,8 @@ impl Algo {
         config: &EngineConfig,
         sink: &mut S,
     ) -> EngineStats {
-        ccube_engine::run_partitioned_stats(
-            table,
-            min_sup,
-            config,
-            self.is_closed(),
-            |shard, bound, m, out| self.run_bound_into(shard, bound, m, out),
-            sink,
-        )
+        self.algorithm()
+            .run_with_config_stats(table, min_sup, config, sink)
     }
 }
 
@@ -251,16 +231,7 @@ pub fn measure_engine_unbound(
 /// Output size in MB of an algorithm's result (for the cube-size figures).
 pub fn measure_size(algo: Algo, table: &Table, min_sup: u64) -> (f64, u64) {
     let mut sink = SizeSink::default();
-    match algo {
-        Algo::QcDfs => ccube_baselines::qc_dfs(table, min_sup, &mut sink),
-        Algo::Mm => ccube_mm::mm_cube(table, min_sup, &mut sink),
-        Algo::CcMm => ccube_mm::c_cubing_mm(table, min_sup, &mut sink),
-        Algo::Star => ccube_star::star_cube(table, min_sup, &mut sink),
-        Algo::CcStar => ccube_star::c_cubing_star(table, min_sup, &mut sink),
-        Algo::StarArray => ccube_star::star_array_cube(table, min_sup, &mut sink),
-        Algo::CcStarArray => ccube_star::c_cubing_star_array(table, min_sup, &mut sink),
-        Algo::Buc => ccube_baselines::buc(table, min_sup, &mut sink),
-    }
+    algo.run_into(table, min_sup, &mut sink);
     (sink.megabytes(), sink.cells)
 }
 

@@ -330,6 +330,35 @@ impl Table {
         self.shard_by_dim(0)
     }
 
+    /// Tuple IDs (ascending) whose value on dimension `d` lies in `values` —
+    /// the columnar selection scan behind slice/dice queries. One sequential
+    /// pass over the dimension's column; for wide value sets the membership
+    /// test goes through a cardinality-sized bitmap instead of a linear probe.
+    pub fn select_tids(&self, d: usize, values: &[u32]) -> Vec<TupleId> {
+        let mut tids: Vec<TupleId> = self.all_tids();
+        self.filter_tids(d, values, &mut tids);
+        tids
+    }
+
+    /// Retain in `tids` only the tuples whose value on dimension `d` lies in
+    /// `values` (relative order is preserved, so an ascending input stays
+    /// ascending). Composing calls ANDs selections across dimensions, the
+    /// dice-then-dice contract of the query layer.
+    pub fn filter_tids(&self, d: usize, values: &[u32], tids: &mut Vec<TupleId>) {
+        let col = self.col(d);
+        if values.len() <= 8 {
+            tids.retain(|&t| values.contains(&col[t as usize]));
+        } else {
+            let mut member = vec![false; self.cards[d] as usize];
+            for &v in values {
+                if let Some(slot) = member.get_mut(v as usize) {
+                    *slot = true;
+                }
+            }
+            tids.retain(|&t| member[col[t as usize] as usize]);
+        }
+    }
+
     /// Materialize the sub-table holding rows `tids` with dimensions
     /// reordered to `dim_order`, of which only the first `cube_dims` are
     /// group-by dimensions (the rest are carried; see [`Table::cube_dims`]).
@@ -843,6 +872,30 @@ mod tests {
         assert_eq!(v.dim_name(2), t.dim_name(0));
         // eq_mask spans carried dims too: view rows agree on dim 2 (= a).
         assert_eq!(v.eq_mask(0, 1), DimMask::single(2));
+    }
+
+    #[test]
+    fn select_and_filter_tids() {
+        let t = TableBuilder::new(2)
+            .cards(vec![3, 2])
+            .row(&[2, 0])
+            .row(&[0, 1])
+            .row(&[1, 0])
+            .row(&[0, 0])
+            .row(&[2, 1])
+            .build()
+            .unwrap();
+        assert_eq!(t.select_tids(0, &[0]), vec![1, 3]);
+        assert_eq!(t.select_tids(0, &[0, 2]), vec![0, 1, 3, 4]);
+        assert_eq!(t.select_tids(0, &[]), Vec::<TupleId>::new());
+        // Composition ANDs across dimensions and preserves ascending order.
+        let mut tids = t.select_tids(0, &[0, 2]);
+        t.filter_tids(1, &[1], &mut tids);
+        assert_eq!(tids, vec![1, 4]);
+        // Wide value set exercises the bitmap path; out-of-range values are
+        // ignored rather than panicking.
+        let wide: Vec<u32> = (0..64).collect();
+        assert_eq!(t.select_tids(0, &wide).len(), 5);
     }
 
     #[test]

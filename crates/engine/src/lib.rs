@@ -385,6 +385,80 @@ impl<'s, A: Clone> CellSink<A> for ShardedSink<'s, A> {
     }
 }
 
+/// A [`CellSink`] that buffers cells into fixed-size [`CellBatch`]es and
+/// ships each full batch over a **bounded** channel — the adapter behind the
+/// facade's pull-based `CellStream`. The producing side (an algorithm run,
+/// possibly the whole parallel engine) back-pressures on a slow consumer
+/// exactly like the engine's internal worker→merger channel does; a consumer
+/// that hangs up early (dropping the receiver) flips the sink into a
+/// discarding mode so the producer finishes without panicking instead of
+/// blocking forever.
+///
+/// Call [`ChannelSink::finish`] after the run to flush the final partial
+/// batch.
+pub struct ChannelSink<A = ()> {
+    tx: mpsc::SyncSender<CellBatch<A>>,
+    batch: CellBatch<A>,
+    dims: usize,
+    batch_cells: usize,
+    /// Receiver hung up: drop everything further (the consumer stopped
+    /// pulling; the producer still has to unwind its own call stack).
+    dead: bool,
+}
+
+/// Default cells per [`ChannelSink`] batch.
+pub const DEFAULT_STREAM_BATCH: usize = 1024;
+
+impl<A> ChannelSink<A> {
+    /// Sink for `dims`-dimensional cells feeding `tx`, flushing every
+    /// `batch_cells` cells (`0` = [`DEFAULT_STREAM_BATCH`]).
+    pub fn new(tx: mpsc::SyncSender<CellBatch<A>>, dims: usize, batch_cells: usize) -> Self {
+        let batch_cells = if batch_cells == 0 {
+            DEFAULT_STREAM_BATCH
+        } else {
+            batch_cells
+        };
+        let mut batch = CellBatch::new(dims);
+        batch.reserve(batch_cells);
+        ChannelSink {
+            tx,
+            batch,
+            dims,
+            batch_cells,
+            dead: false,
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let full = std::mem::replace(&mut self.batch, CellBatch::new(self.dims));
+        self.batch.reserve(self.batch_cells);
+        if !self.dead && self.tx.send(full).is_err() {
+            self.dead = true; // hung-up consumer: discard from here on
+        }
+    }
+
+    /// Flush the final partial batch and close the channel (the consumer's
+    /// iterator then terminates after draining).
+    pub fn finish(mut self) {
+        self.flush();
+    }
+}
+
+impl<A: Clone> CellSink<A> for ChannelSink<A> {
+    fn emit(&mut self, cell: &[u32], count: u64, acc: &A) {
+        if self.dead {
+            return;
+        }
+        self.batch.push(cell, count, acc.clone());
+        if self.batch.len() >= self.batch_cells {
+            self.flush();
+        }
+    }
+}
+
 /// One schedulable unit: a shard of the cube's output cells, identified by
 /// its path in the split tree.
 struct Task {
@@ -1553,6 +1627,52 @@ mod tests {
             )
         });
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn channel_sink_streams_all_cells_in_order() {
+        let t = SyntheticSpec::uniform(300, 4, 5, 1.0, 4).generate();
+        let want = {
+            let mut cells: Vec<(Vec<u32>, u64)> = Vec::new();
+            let mut sink = ccube_core::sink::FnSink(|c: &[u32], n: u64, _: &()| {
+                cells.push((c.to_vec(), n));
+            });
+            ccube_star::c_cubing_star(&t, 2, &mut sink);
+            cells
+        };
+        // Tiny batches + a bounded channel, consumer on this thread.
+        let (tx, rx) = mpsc::sync_channel(2);
+        let dims = t.dims();
+        let handle = std::thread::spawn(move || {
+            let mut sink = ChannelSink::<()>::new(tx, dims, 7);
+            ccube_star::c_cubing_star(&t, 2, &mut sink);
+            sink.finish();
+        });
+        let mut got: Vec<(Vec<u32>, u64)> = Vec::new();
+        for batch in rx {
+            for (cell, n, _) in batch.iter() {
+                got.push((cell.to_vec(), n));
+            }
+        }
+        handle.join().expect("producer panicked");
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn channel_sink_survives_hung_up_consumer() {
+        let t = SyntheticSpec::uniform(300, 4, 5, 1.0, 4).generate();
+        let (tx, rx) = mpsc::sync_channel(1);
+        let dims = t.dims();
+        let handle = std::thread::spawn(move || {
+            let mut sink = ChannelSink::<()>::new(tx, dims, 4);
+            ccube_star::star_cube(&t, 1, &mut sink);
+            sink.finish();
+        });
+        // Take one batch, then hang up; the producer must run to completion
+        // (discarding) instead of blocking on the full channel.
+        let _first = rx.recv().expect("at least one batch");
+        drop(rx);
+        handle.join().expect("producer panicked after hang-up");
     }
 
     #[test]

@@ -88,8 +88,69 @@ where
     run::<true, M, S>(table, 0, min_sup, spec, sink)
 }
 
+/// The lexicographic `(group-by dims, tid)` tuple-ID order the StarArray
+/// construction starts from: ascending tuple IDs, then one stable LSD
+/// counting pass per group-by dimension, last dimension first. The order
+/// depends only on the table — **not** on `min_sup` — so per-table callers
+/// (the facade's `CubeSession`) compute it once and replay it into
+/// [`star_array_cube_pooled_with`] / [`c_cubing_star_array_pooled_with`]
+/// across queries, skipping the `O(dims × (rows + card))` radix passes.
+pub fn lex_sorted_pool(table: &Table) -> Vec<TupleId> {
+    let mut pool: Vec<TupleId> = table.all_tids();
+    let mut sorter = Partitioner::new();
+    for d in (0..table.cube_dims()).rev() {
+        sorter.sort_pass(table.col(d), table.card(d), &mut pool);
+    }
+    pool
+}
+
+/// [`star_array_cube_with`] starting from a pre-sorted `pool` (the output of
+/// [`lex_sorted_pool`] for this exact table). Produces identical output to
+/// the unpooled entry; the pool is only a skipped sort.
+pub fn star_array_cube_pooled_with<M, S>(
+    table: &Table,
+    pool: &[TupleId],
+    min_sup: u64,
+    spec: &M,
+    sink: &mut S,
+) where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
+    run_pooled::<false, M, S>(table, Some(pool), 0, min_sup, spec, sink)
+}
+
+/// [`c_cubing_star_array_with`] starting from a pre-sorted `pool` (see
+/// [`lex_sorted_pool`]).
+pub fn c_cubing_star_array_pooled_with<M, S>(
+    table: &Table,
+    pool: &[TupleId],
+    min_sup: u64,
+    spec: &M,
+    sink: &mut S,
+) where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
+    run_pooled::<true, M, S>(table, Some(pool), 0, min_sup, spec, sink)
+}
+
 fn run<const CLOSED: bool, M, S>(table: &Table, bound: usize, min_sup: u64, spec: &M, sink: &mut S)
 where
+    M: MeasureSpec,
+    S: CellSink<M::Acc>,
+{
+    run_pooled::<CLOSED, M, S>(table, None, bound, min_sup, spec, sink)
+}
+
+fn run_pooled<const CLOSED: bool, M, S>(
+    table: &Table,
+    sorted_pool: Option<&[TupleId]>,
+    bound: usize,
+    min_sup: u64,
+    spec: &M,
+    sink: &mut S,
+) where
     M: MeasureSpec,
     S: CellSink<M::Acc>,
 {
@@ -104,14 +165,16 @@ where
     // them without further changes.
     let cube = table.cube_dims();
     let rem: Vec<usize> = (0..cube).collect();
-    // Lexicographic (rem_dims, tid) order by LSD radix: the pool starts
-    // tid-ascending, then one stable counting pass per dimension, last
-    // dimension first — each pass a sequential gather from one column.
-    let mut pool: Vec<TupleId> = table.all_tids();
-    let mut sorter = Partitioner::new();
-    for &d in rem.iter().rev() {
-        sorter.sort_pass(table.col(d), table.card(d), &mut pool);
-    }
+    // Lexicographic (rem_dims, tid) order by LSD radix (see
+    // [`lex_sorted_pool`]), or a caller-cached copy of exactly that order.
+    let pool: Vec<TupleId> = match sorted_pool {
+        Some(p) => {
+            debug_assert_eq!(p.len(), table.rows(), "pool does not cover the table");
+            p.to_vec()
+        }
+        None => lex_sorted_pool(table),
+    };
+    let sorter = Partitioner::new();
     let mut tree = Tree::new(
         table.dims(),
         rem,
@@ -468,6 +531,42 @@ mod tests {
             assert!((agg.sum - agg2.sum).abs() < 1e-9, "sum mismatch at {cell}");
             assert_eq!(agg.min, agg2.min);
             assert_eq!(agg.max, agg2.max);
+        }
+    }
+
+    #[test]
+    fn pooled_entries_match_unpooled() {
+        use ccube_core::measure::CountOnly;
+        use ccube_core::sink::FnSink;
+        let t = SyntheticSpec::uniform(300, 4, 6, 1.0, 17).generate();
+        let pool = lex_sorted_pool(&t);
+        for min_sup in [1u64, 2, 4] {
+            // Emission-sequence equality, not just cell-set equality: the
+            // pool is the same order the unpooled entry computes.
+            let trace = |pooled: bool, closed: bool| {
+                let mut cells: Vec<(Vec<u32>, u64)> = Vec::new();
+                let mut sink = FnSink(|cell: &[u32], n: u64, _: &()| {
+                    cells.push((cell.to_vec(), n));
+                });
+                match (pooled, closed) {
+                    (false, false) => star_array_cube(&t, min_sup, &mut sink),
+                    (false, true) => c_cubing_star_array(&t, min_sup, &mut sink),
+                    (true, false) => {
+                        star_array_cube_pooled_with(&t, &pool, min_sup, &CountOnly, &mut sink)
+                    }
+                    (true, true) => {
+                        c_cubing_star_array_pooled_with(&t, &pool, min_sup, &CountOnly, &mut sink)
+                    }
+                }
+                cells
+            };
+            for closed in [false, true] {
+                assert_eq!(
+                    trace(true, closed),
+                    trace(false, closed),
+                    "min_sup={min_sup} closed={closed}"
+                );
+            }
         }
     }
 

@@ -1,5 +1,8 @@
 //! Fig 15 in miniature: measure the CC(MM) / CC(Star) frontier over the
-//! (dependence, min_sup) grid and compare it with the static advisor.
+//! (dependence, min_sup) grid and compare it with the planner's choice —
+//! driven through a [`CubeSession`] per table, so the advisor input is the
+//! session's *measured* [`TableStats`] (real cardinalities, skew and
+//! estimated dependence), not a hand-filled [`Workload`].
 //!
 //! ```sh
 //! cargo run --release --example algorithm_advisor
@@ -14,8 +17,8 @@ fn main() {
     let min_sups = [1u64, 4, 16, 64];
     let dependences = [0.0, 1.0, 2.0, 3.0];
 
-    println!("measured winner (CC(MM) vs CC(Star)) and advisor prediction");
-    println!("grid: T={tuples}, D=8, C=20, S=0\n");
+    println!("measured winner (CC(MM) vs CC(Star)) and planner prediction");
+    println!("grid: T={tuples}, D=8, C=20, S=0  (planner input: measured TableStats)\n");
     print!("{:>6} |", "R\\M");
     for m in min_sups {
         print!(" {m:>20} |");
@@ -36,11 +39,11 @@ fn main() {
                 rules: Some(rules),
             }
             .generate();
+            let mut session = CubeSession::new(table);
 
-            let time = |algo: Algorithm| {
-                let mut sink = CountingSink::default();
+            let mut time = |algo: Algorithm| {
                 let start = Instant::now();
-                algo.run(&table, m, &mut sink);
+                session.query().min_sup(m).algorithm(algo).stats();
                 start.elapsed().as_secs_f64()
             };
             let mm = time(Algorithm::CCubingMm);
@@ -51,12 +54,9 @@ fn main() {
                 Algorithm::CCubingStar
             };
 
-            let predicted = recommend(&Workload {
-                tuples: tuples as u64,
-                min_sup: m,
-                cardinality: 20,
-                dependence: r,
-            });
+            // The planner's pick from the *measured* statistics (the same
+            // call `session.query().min_sup(m).plan()` resolves through).
+            let predicted = session.recommend(m);
             total += 1;
             if winner == predicted {
                 agree += 1;
@@ -69,5 +69,18 @@ fn main() {
     println!(
         "\nmeasured/predicted agreement: {agree}/{total} \
          (expected shape: CC(Star) holds the low-min_sup, high-R corner)"
+    );
+
+    // The hand-filled Workload path still exists for what-if advisories
+    // with no table at hand:
+    let what_if = Workload {
+        tuples: 400_000,
+        min_sup: 2,
+        cardinality: 2000,
+        dependence: 0.0,
+    };
+    println!(
+        "what-if (no table): T=400K, M=2, C=2000, R=0 -> {}",
+        recommend(&what_if.stats(), what_if.min_sup)
     );
 }

@@ -1,8 +1,10 @@
-//! Quickstart: the paper's Example 1 end to end.
+//! Quickstart: the paper's Example 1 end to end, through the session API.
 //!
-//! Builds Table 1 (four dimensions A–D, three tuples), computes the closed
-//! iceberg cube at `min_sup = 2` with each of the three C-Cubing algorithms
-//! and the QC-DFS baseline, and prints the cells.
+//! Builds Table 1 (four dimensions A–D, three tuples), opens a
+//! [`CubeSession`] over it, and computes the closed iceberg cube at
+//! `min_sup = 2` — first with the planner picking the algorithm, then
+//! explicitly with each of the three C-Cubing algorithms and the QC-DFS
+//! baseline, and finally as a pull-based stream.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -26,6 +28,18 @@ fn main() {
         table.dims()
     );
 
+    // One session per fact table: stats + partition are measured once here,
+    // and every query below reuses them.
+    let mut session = CubeSession::new(table);
+
+    // The planner-backed default: a closed iceberg cube, algorithm chosen
+    // from the measured table statistics.
+    let plan = session.query().min_sup(2).plan();
+    println!(
+        "planner picks {} for this table at min_sup = 2\n",
+        plan.algorithm
+    );
+
     for algo in [
         Algorithm::CCubingMm,
         Algorithm::CCubingStar,
@@ -33,7 +47,7 @@ fn main() {
         Algorithm::QcDfs,
     ] {
         let mut sink = CollectSink::default();
-        algo.run(&table, 2, &mut sink);
+        session.query().min_sup(2).algorithm(algo).run(&mut sink);
         let mut cells: Vec<(Cell, u64)> = sink.counts().into_iter().collect();
         cells.sort();
         println!("{algo} -> closed iceberg cells (count >= 2):");
@@ -43,10 +57,18 @@ fn main() {
         println!();
     }
 
+    // The same result as a pull-based stream — no CellSink required.
+    println!("streamed:");
+    for (cell, count, ()) in session.query().min_sup(2).stream() {
+        println!("  {cell} : {count}");
+    }
+    println!();
+
     // The closedness measure by hand: check cell (a1, *, c1, *) the way the
     // algorithms do — one mask intersection, no data re-scan.
-    let mut info = ClosedInfo::for_tuple(&table, 0);
-    info.merge_tuple(&table, 1); // tuples {t1, t2} form the group of (a1,*,c1,*)
+    let table = session.table();
+    let mut info = ClosedInfo::for_tuple(table, 0);
+    info.merge_tuple(table, 1); // tuples {t1, t2} form the group of (a1,*,c1,*)
     let cell = Cell::from_values(&[0, STAR, 0, STAR]);
     println!(
         "closedness of {cell}: closed mask {:?} ∩ all mask {:?} = {:?} -> {}",

@@ -1,17 +1,18 @@
-//! Closed cubing over a synthetic retail fact table, with complex measures.
+//! Closed cubing over a synthetic retail fact table, with complex measures,
+//! subcube slicing and streaming — the session API end to end.
 //!
 //! The motivating OLAP scenario: a `(store, product, segment, week, promo)`
-//! fact table with a `revenue` measure. We compute the *closed* iceberg cube
-//! — the lossless compression of the full iceberg cube — carrying
-//! `sum/min/max/avg(revenue)` along per Lemma 1 / Section 6.1 (closedness is
-//! checked on `count`; covered cells would have identical measures anyway).
+//! fact table with a `revenue` measure. One [`CubeSession`] answers a series
+//! of questions over it: the *closed* iceberg cube with
+//! `sum/min/max/avg(revenue)` riding along (Lemma 1 / Section 6.1), the
+//! compression ratio against the plain iceberg cube, a promo *slice*, and a
+//! streamed top-revenue report.
 //!
 //! ```sh
 //! cargo run --release --example sales_analysis
 //! ```
 
 use c_cubing::prelude::*;
-use ccube_mm::{c_cubing_mm_with, mm_cube_with, MmConfig};
 
 fn main() {
     // ~50K sales facts: store (50, mildly skewed), product (200, Zipf —
@@ -37,32 +38,46 @@ fn main() {
         table.dims()
     );
 
-    // Closed iceberg cube with revenue statistics riding along.
-    let spec_measure = ColumnStats { column: 0 };
-    let mut closed = CollectSink::default();
-    c_cubing_mm_with(
-        &table,
-        min_sup,
-        MmConfig::default(),
-        &spec_measure,
-        &mut closed,
+    // One session answers every question below; stats, the first-dimension
+    // partition and (on the first StarArray query) the tuple pool are
+    // measured once and reused.
+    let mut session = CubeSession::new(table);
+    println!(
+        "measured stats: typical cardinality {}, mean skew {:.2}, dependence {:.2}; \
+         planner picks {}\n",
+        session.stats().typical_cardinality(),
+        session.stats().mean_skew(),
+        session.stats().dependence,
+        session.recommend(min_sup)
     );
 
-    // The plain iceberg cube, for the compression comparison.
-    let mut iceberg = CollectSink::default();
-    mm_cube_with(
-        &table,
-        min_sup,
-        MmConfig::default(),
-        &spec_measure,
-        &mut iceberg,
-    );
+    // Closed iceberg cube with revenue statistics riding along.
+    let revenue = ColumnStats { column: 0 };
+    let mut closed = CollectSink::default();
+    session
+        .query()
+        .min_sup(min_sup)
+        .measure(revenue)
+        .run(&mut closed);
+
+    // The plain iceberg cube, for the compression comparison: same builder,
+    // `closed(false)` — the planner swaps in the family's iceberg host.
+    let iceberg = session.query().min_sup(min_sup).closed(false).stats();
 
     println!(
         "iceberg cells: {}   closed cells: {}   compression: {:.1}%",
-        iceberg.len(),
+        iceberg.cells,
         closed.len(),
-        100.0 * closed.len() as f64 / (iceberg.len() as f64).max(1.0)
+        100.0 * closed.len() as f64 / (iceberg.cells as f64).max(1.0)
+    );
+
+    // Subcube question: what does the cube of promo-2 sales look like?
+    // `slice` selects the tuples; closedness is relative to the slice, so
+    // every closed cell binds promo = 2.
+    let promo_slice = session.query().min_sup(min_sup).slice(4, 2).stats();
+    println!(
+        "promo=2 slice: {} closed cells (Σ cell counts {})\n",
+        promo_slice.cells, promo_slice.count_sum
     );
 
     // Top revenue group-bys among closed cells with at least 2 bound dims.
@@ -73,7 +88,7 @@ fn main() {
         .map(|(c, (n, agg))| (c, *n, agg.sum))
         .collect();
     top.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
-    println!("\nTop 5 closed group-bys (>= 2 bound dims) by total revenue:");
+    println!("Top 5 closed group-bys (>= 2 bound dims) by total revenue:");
     for (cell, count, revenue) in top.iter().take(5) {
         let desc: Vec<String> = (0..cell.dims())
             .filter(|&d| !cell.is_star(d))
@@ -88,10 +103,21 @@ fn main() {
         );
     }
 
+    // Streaming consumption: serving code pulls cells without implementing
+    // a CellSink; the bounded channel back-pressures the cubing run.
+    let streamed = session
+        .query()
+        .min_sup(min_sup)
+        .measure(revenue)
+        .stream()
+        .take(3)
+        .count();
+    println!("\nstreamed the first {streamed} cells, then hung up (remainder discarded)");
+
     // Lossless recovery demo: any iceberg cell's count is answerable from
     // the closed cube alone.
     let cube = ClosedCube::new(
-        table.dims(),
+        session.table().dims(),
         min_sup,
         closed
             .cells
@@ -99,15 +125,19 @@ fn main() {
             .map(|(c, (n, _))| (c.clone(), *n))
             .collect(),
     );
-    let probe = iceberg
+    let probe = closed
         .cells
         .keys()
         .next()
-        .expect("iceberg cube is non-empty");
+        .expect("closed cube is non-empty");
     println!(
-        "\nrecovery check: iceberg cell {probe} count {} -> recovered {:?} from {} closed cells",
-        iceberg.cells[probe].0,
+        "recovery check: cell {probe} count {} -> recovered {:?} from {} closed cells",
+        closed.cells[probe].0,
         cube.query(probe),
         cube.len()
+    );
+    println!(
+        "session cache after all queries: {:?}",
+        session.cache_stats()
     );
 }

@@ -41,14 +41,15 @@ fn main() {
         );
     }
 
-    // 2. What does the advisor say?
-    let workload = Workload {
-        tuples: table.rows() as u64,
-        min_sup,
-        cardinality: *table.cards().iter().max().unwrap(),
-        dependence: 1.5, // station->position, time->lunar, (time,lat)->solar
-    };
-    println!("\nadvisor recommends: {}", recommend(&workload));
+    // 2. What does the advisor say, given statistics measured from the
+    // actual surrogate data?
+    let stats = TableStats::measure(&table);
+    println!(
+        "\nmeasured dependence {:.2}, typical cardinality {} -> advisor recommends: {}",
+        stats.dependence,
+        stats.typical_cardinality(),
+        recommend(&stats, min_sup)
+    );
 
     // 3. Dimension ordering (Fig 18 in miniature) for the tree-based cuber.
     println!("\nC-Cubing(StarArray) under dimension orderings (min_sup = {min_sup}):");

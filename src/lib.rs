@@ -17,6 +17,11 @@
 //!
 //! ## Quickstart
 //!
+//! The intended entry point is a [`CubeSession`]: it owns the fact table,
+//! caches per-table artifacts (column statistics, the first-dimension
+//! partition, the StarArray tuple pool) across queries, and hands out
+//! composable [`CubeQuery`] builders with a planner in front:
+//!
 //! ```
 //! use c_cubing::prelude::*;
 //!
@@ -28,14 +33,20 @@
 //!     .build()
 //!     .unwrap();
 //!
+//! let mut session = CubeSession::new(table);
 //! let mut sink = CollectSink::default();
-//! Algorithm::CCubingStar.run(&table, 2, &mut sink);
+//! session.query().min_sup(2).run(&mut sink);
 //!
 //! // Exactly the two closed iceberg cells from Example 1:
 //! assert_eq!(sink.len(), 2);
 //! assert_eq!(sink.counts()[&Cell::from_values(&[0, 0, 0, STAR])], 2);
 //! assert_eq!(sink.counts()[&Cell::from_values(&[0, STAR, STAR, STAR])], 3);
 //! ```
+//!
+//! The [`Algorithm`] methods below ([`Algorithm::run`] and friends) remain
+//! as the **low-level path** — one explicit (algorithm, table, threshold)
+//! call with no planner, no caching and no subcube machinery. They and the
+//! session layer funnel into the same internal execution path.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -50,6 +61,10 @@ pub use ccube_star as star;
 
 pub use ccube_engine::{EngineConfig, EngineStats};
 
+mod session;
+
+pub use session::{CacheStats, CellStream, CubeQuery, CubeSession, QueryPlan, QueryStats};
+
 use ccube_core::measure::{CountOnly, MeasureSpec};
 use ccube_core::sink::CellSink;
 use ccube_core::Table;
@@ -57,7 +72,10 @@ use ccube_engine::ShardedSink;
 
 /// Everything needed for typical use.
 pub mod prelude {
-    pub use crate::{recommend, Algorithm, EngineConfig, EngineStats, Workload};
+    pub use crate::{
+        recommend, Algorithm, CacheStats, CellStream, CubeQuery, CubeSession, EngineConfig,
+        EngineStats, QueryPlan, QueryStats, TableStats, Workload,
+    };
     pub use ccube_core::measure::{AllColumns, ColumnStats, CountOnly, MeasureSpec};
     pub use ccube_core::order::DimOrdering;
     pub use ccube_core::sink::{
@@ -120,6 +138,100 @@ impl Algorithm {
         )
     }
 
+    /// The variant of this algorithm's family with the requested closedness:
+    /// each iceberg host maps to its aggregation-based-checking counterpart
+    /// (MM ↔ CC(MM), Star ↔ CC(Star), StarArray ↔ CC(StarArray)) and the
+    /// recursion-baseline pair maps BUC ↔ QC-DFS. This is how the query
+    /// planner keeps `closed(bool)` orthogonal to `algorithm(a)`.
+    pub fn with_closed(self, closed: bool) -> Algorithm {
+        match (self, closed) {
+            (Algorithm::Buc | Algorithm::QcDfs, true) => Algorithm::QcDfs,
+            (Algorithm::Buc | Algorithm::QcDfs, false) => Algorithm::Buc,
+            (Algorithm::Mm | Algorithm::CCubingMm, true) => Algorithm::CCubingMm,
+            (Algorithm::Mm | Algorithm::CCubingMm, false) => Algorithm::Mm,
+            (Algorithm::Star | Algorithm::CCubingStar, true) => Algorithm::CCubingStar,
+            (Algorithm::Star | Algorithm::CCubingStar, false) => Algorithm::Star,
+            (Algorithm::StarArray | Algorithm::CCubingStarArray, true) => {
+                Algorithm::CCubingStarArray
+            }
+            (Algorithm::StarArray | Algorithm::CCubingStarArray, false) => Algorithm::StarArray,
+        }
+    }
+
+    /// The single dispatch table of the facade: run this algorithm over
+    /// `table` with its first `bound` group-by dimensions pre-bound
+    /// (`bound = 0` is the plain unbound run — the `*_bound` entry points
+    /// are exactly the unbound entries there). Every public `run*` method
+    /// and the session/query layer funnels through here; no other match on
+    /// `self` performs algorithm dispatch.
+    fn dispatch_bound<M, S>(self, table: &Table, bound: usize, min_sup: u64, spec: &M, sink: &mut S)
+    where
+        M: MeasureSpec,
+        S: CellSink<M::Acc>,
+    {
+        match self {
+            Algorithm::Buc => ccube_baselines::buc_bound_with(table, bound, min_sup, spec, sink),
+            Algorithm::QcDfs => ccube_baselines::qc_dfs_with(table, min_sup, spec, sink),
+            Algorithm::Mm => ccube_mm::mm_cube_bound_with(
+                table,
+                bound,
+                min_sup,
+                ccube_mm::MmConfig::default(),
+                spec,
+                sink,
+            ),
+            Algorithm::CCubingMm => ccube_mm::c_cubing_mm_with(
+                table,
+                min_sup,
+                ccube_mm::MmConfig::default(),
+                spec,
+                sink,
+            ),
+            Algorithm::Star => ccube_star::star_cube_bound_with(table, bound, min_sup, spec, sink),
+            Algorithm::CCubingStar => ccube_star::c_cubing_star_with(table, min_sup, spec, sink),
+            Algorithm::StarArray => {
+                ccube_star::star_array_cube_bound_with(table, bound, min_sup, spec, sink)
+            }
+            Algorithm::CCubingStarArray => {
+                ccube_star::c_cubing_star_array_with(table, min_sup, spec, sink)
+            }
+        }
+    }
+
+    /// Internal uniform execution path (`CubeRequest`): one entry the
+    /// `run*` shims and the [`CubeQuery`] terminals all reduce to. `None`
+    /// engine config means a plain sequential run (empty [`EngineStats`]);
+    /// `Some` routes through the partition-parallel engine.
+    pub(crate) fn execute_request<M, S>(
+        self,
+        req: &CubeRequest<'_>,
+        spec: &M,
+        sink: &mut S,
+    ) -> EngineStats
+    where
+        M: MeasureSpec + Sync,
+        M::Acc: Send,
+        S: CellSink<M::Acc>,
+    {
+        match &req.engine {
+            None => {
+                self.dispatch_bound(req.table, 0, req.min_sup, spec, sink);
+                EngineStats::default()
+            }
+            Some(config) => ccube_engine::run_partitioned_with_stats(
+                req.table,
+                req.min_sup,
+                config,
+                self.is_closed(),
+                spec,
+                |shard: &Table, bound: usize, m: u64, out: &mut ShardedSink<'_, M::Acc>| {
+                    self.dispatch_bound(shard, bound, m, spec, out)
+                },
+                sink,
+            ),
+        }
+    }
+
     /// Short display name matching the paper's figure legends.
     pub fn name(self) -> &'static str {
         match self {
@@ -147,26 +259,7 @@ impl Algorithm {
         M: MeasureSpec,
         S: CellSink<M::Acc>,
     {
-        match self {
-            Algorithm::Buc => ccube_baselines::buc_with(table, min_sup, spec, sink),
-            Algorithm::QcDfs => ccube_baselines::qc_dfs_with(table, min_sup, spec, sink),
-            Algorithm::Mm => {
-                ccube_mm::mm_cube_with(table, min_sup, ccube_mm::MmConfig::default(), spec, sink)
-            }
-            Algorithm::CCubingMm => ccube_mm::c_cubing_mm_with(
-                table,
-                min_sup,
-                ccube_mm::MmConfig::default(),
-                spec,
-                sink,
-            ),
-            Algorithm::Star => ccube_star::star_cube_with(table, min_sup, spec, sink),
-            Algorithm::CCubingStar => ccube_star::c_cubing_star_with(table, min_sup, spec, sink),
-            Algorithm::StarArray => ccube_star::star_array_cube_with(table, min_sup, spec, sink),
-            Algorithm::CCubingStarArray => {
-                ccube_star::c_cubing_star_array_with(table, min_sup, spec, sink)
-            }
-        }
+        self.dispatch_bound(table, 0, min_sup, spec, sink)
     }
 
     /// Compute only the cells binding the table's first `bound` group-by
@@ -198,26 +291,7 @@ impl Algorithm {
         M: MeasureSpec,
         S: CellSink<M::Acc>,
     {
-        match self {
-            Algorithm::Buc => ccube_baselines::buc_bound_with(table, bound, min_sup, spec, sink),
-            Algorithm::Mm => ccube_mm::mm_cube_bound_with(
-                table,
-                bound,
-                min_sup,
-                ccube_mm::MmConfig::default(),
-                spec,
-                sink,
-            ),
-            Algorithm::Star => ccube_star::star_cube_bound_with(table, bound, min_sup, spec, sink),
-            Algorithm::StarArray => {
-                ccube_star::star_array_cube_bound_with(table, bound, min_sup, spec, sink)
-            }
-            // Closed algorithms: zero redundancy already (see above).
-            Algorithm::QcDfs
-            | Algorithm::CCubingMm
-            | Algorithm::CCubingStar
-            | Algorithm::CCubingStarArray => self.run_with(table, min_sup, spec, sink),
-        }
+        self.dispatch_bound(table, bound, min_sup, spec, sink)
     }
 
     /// Compute the same (closed) iceberg cube partition-parallel on
@@ -298,12 +372,13 @@ impl Algorithm {
         config: &EngineConfig,
         sink: &mut S,
     ) -> EngineStats {
-        ccube_engine::run_partitioned_stats(
-            table,
-            min_sup,
-            config,
-            self.is_closed(),
-            |shard, bound, m, out| self.run_bound(shard, bound, m, out),
+        self.execute_request(
+            &CubeRequest {
+                table,
+                min_sup,
+                engine: Some(*config),
+            },
+            &CountOnly,
             sink,
         )
     }
@@ -321,18 +396,27 @@ impl Algorithm {
         M::Acc: Send,
         S: CellSink<M::Acc>,
     {
-        ccube_engine::run_partitioned_with(
-            table,
-            min_sup,
-            config,
-            self.is_closed(),
-            spec,
-            |shard: &Table, bound: usize, m: u64, out: &mut ShardedSink<'_, M::Acc>| {
-                self.run_bound_with(shard, bound, m, spec, out)
+        self.execute_request(
+            &CubeRequest {
+                table,
+                min_sup,
+                engine: Some(*config),
             },
+            spec,
             sink,
-        )
+        );
     }
+}
+
+/// The internal uniform execution request: every public `run*` shim and the
+/// [`CubeQuery`] terminals reduce to one of these plus
+/// [`Algorithm::execute_request`]. (The table here is the *resolved* target
+/// — for subcube queries, the already-selected/projected subtable.)
+pub(crate) struct CubeRequest<'a> {
+    pub(crate) table: &'a Table,
+    pub(crate) min_sup: u64,
+    /// `None` = plain sequential run; `Some` = partition-parallel engine.
+    pub(crate) engine: Option<EngineConfig>,
 }
 
 impl std::fmt::Display for Algorithm {
@@ -361,7 +445,111 @@ impl std::str::FromStr for Algorithm {
     }
 }
 
-/// A coarse description of a closed-cubing workload, used by [`recommend`].
+/// Measured per-table statistics feeding the [`recommend`] planner (and the
+/// [`CubeSession`] cache): observed cardinalities and skew per dimension
+/// plus an estimated data dependence, all derived from the actual data
+/// rather than hand-filled. [`Workload`] remains as the coarse hand-filled
+/// convenience constructor ([`Workload::stats`]).
+#[derive(Clone, Debug)]
+pub struct TableStats {
+    /// Number of tuples measured.
+    pub tuples: u64,
+    /// Observed distinct-value count per dimension (≤ the declared
+    /// cardinality when values are sparse).
+    pub cardinalities: Vec<u32>,
+    /// Per-dimension skew estimate: `ln(max_freq / mean_freq) / ln(distinct)`
+    /// — 0 for uniform dimensions, rising toward the Zipf exponent for
+    /// power-law ones.
+    pub skews: Vec<f64>,
+    /// Estimated data dependence `R` (0 = independent): mean over adjacent
+    /// dimension pairs of `-ln(observed distinct pairs / expected distinct
+    /// pairs under independence)`, clamped to `[0, 4]`. Dependence shrinks
+    /// the set of value combinations that actually occur, which is exactly
+    /// what keeps closed pruning profitable (Figs 12–15).
+    pub dependence: f64,
+}
+
+impl TableStats {
+    /// Measure `table`: one frequency pass per dimension plus one hashed
+    /// pair-counting pass per adjacent dimension pair (sampled at most
+    /// [`TableStats::SAMPLE_ROWS`] rows). `O(rows × dims)` overall — this is
+    /// the per-table setup a [`CubeSession`] pays once instead of per query.
+    pub fn measure(table: &Table) -> TableStats {
+        let n = table.rows();
+        let dims = table.dims();
+        let mut cardinalities = Vec::with_capacity(dims);
+        let mut skews = Vec::with_capacity(dims);
+        for d in 0..dims {
+            let freq = table.freq(d);
+            let distinct = freq.iter().filter(|&&f| f > 0).count().max(1) as u32;
+            let max_f = freq.iter().copied().max().unwrap_or(0).max(1) as f64;
+            let mean_f = (n as f64 / distinct as f64).max(1.0);
+            let skew = if distinct > 1 {
+                (max_f / mean_f).ln() / (distinct as f64).ln()
+            } else {
+                0.0
+            };
+            cardinalities.push(distinct);
+            skews.push(skew.max(0.0));
+        }
+        let dependence = Self::estimate_dependence(table, &cardinalities);
+        TableStats {
+            tuples: n as u64,
+            cardinalities,
+            skews,
+            dependence,
+        }
+    }
+
+    /// Row cap for the dependence-estimation pair scans.
+    pub const SAMPLE_ROWS: usize = 65_536;
+
+    fn estimate_dependence(table: &Table, cards: &[u32]) -> f64 {
+        let n = table.rows();
+        if n < 2 || table.dims() < 2 {
+            return 0.0;
+        }
+        let sample = n.min(Self::SAMPLE_ROWS);
+        let pairs = (table.dims() - 1).min(4);
+        let mut total = 0.0;
+        for d in 0..pairs {
+            let (a, b) = (table.col(d), table.col(d + 1));
+            let mut seen = ccube_core::fxhash::FxHashSet::default();
+            for t in 0..sample {
+                seen.insert(((a[t] as u64) << 32) | b[t] as u64);
+            }
+            // Expected distinct pairs under independence, capped by both the
+            // domain size and the sample size (the occupancy approximation
+            // `m(1 - e^{-n/m})` of the coupon-collector curve).
+            let m = (cards[d] as f64) * (cards[d + 1] as f64);
+            let expected = (m * (1.0 - (-(sample as f64) / m).exp())).max(1.0);
+            let ratio = (seen.len() as f64 / expected).clamp(1e-6, 1.0);
+            total += -ratio.ln();
+        }
+        (total / pairs as f64).clamp(0.0, 4.0)
+    }
+
+    /// Representative dimension cardinality (median of the observed ones) —
+    /// the Fig 5 / Fig 10 crossover input of [`recommend`].
+    pub fn typical_cardinality(&self) -> u32 {
+        let mut sorted = self.cardinalities.clone();
+        sorted.sort_unstable();
+        sorted.get(sorted.len() / 2).copied().unwrap_or(1)
+    }
+
+    /// Mean per-dimension skew estimate.
+    pub fn mean_skew(&self) -> f64 {
+        if self.skews.is_empty() {
+            0.0
+        } else {
+            self.skews.iter().sum::<f64>() / self.skews.len() as f64
+        }
+    }
+}
+
+/// A coarse hand-filled description of a closed-cubing workload — the
+/// convenience constructor for [`TableStats`] when no table is at hand to
+/// [`TableStats::measure`] (capacity planning, what-if advisories).
 #[derive(Clone, Copy, Debug)]
 pub struct Workload {
     /// Number of tuples.
@@ -375,8 +563,22 @@ pub struct Workload {
     pub dependence: f64,
 }
 
-/// Pick a closed cubing algorithm for a workload, following the decision
-/// surface of Section 5 (Figs 8–15):
+impl Workload {
+    /// Synthesize the [`TableStats`] this workload describes (pass the
+    /// result plus [`Workload::min_sup`] to [`recommend`]).
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            tuples: self.tuples,
+            cardinalities: vec![self.cardinality],
+            skews: vec![0.0],
+            dependence: self.dependence,
+        }
+    }
+}
+
+/// Pick a closed cubing algorithm for measured table statistics and an
+/// iceberg threshold, following the decision surface of Section 5
+/// (Figs 8–15):
 ///
 /// * the Star family wins while `min_sup` is low — closed pruning still has
 ///   material to prune; the switching point grows with the data dependence
@@ -387,16 +589,18 @@ pub struct Workload {
 ///   (multiway aggregation), high cardinality favours `C-Cubing(StarArray)`
 ///   (multiway traversal) — the Fig 5 / Fig 10 crossover.
 ///
-/// The thresholds are heuristics fitted to our Fig 15 reproduction; see
-/// EXPERIMENTS.md.
-pub fn recommend(w: &Workload) -> Algorithm {
+/// `stats` is normally [`TableStats::measure`]d from the real table (a
+/// [`CubeSession`] caches it and auto-plans with it); [`Workload::stats`]
+/// synthesizes one from a hand-filled description. The thresholds are
+/// heuristics fitted to our Fig 15 reproduction; see EXPERIMENTS.md.
+pub fn recommend(stats: &TableStats, min_sup: u64) -> Algorithm {
     // Switching point: around min_sup ≈ 16 at R = 0 on 400K rows in the
     // paper's Fig 15, scaling with dependence and (weakly) with data size.
-    let size_factor = ((w.tuples.max(1) as f64) / 400_000.0).max(0.1);
-    let switch = 16.0 * (1.0 + w.dependence * w.dependence) * size_factor.sqrt();
-    if (w.min_sup as f64) > switch {
+    let size_factor = ((stats.tuples.max(1) as f64) / 400_000.0).max(0.1);
+    let switch = 16.0 * (1.0 + stats.dependence * stats.dependence) * size_factor.sqrt();
+    if (min_sup as f64) > switch {
         Algorithm::CCubingMm
-    } else if w.cardinality > 300 {
+    } else if stats.typical_cardinality() > 300 {
         Algorithm::CCubingStarArray
     } else {
         Algorithm::CCubingStar
@@ -452,7 +656,7 @@ mod tests {
             cardinality: 20,
             dependence: 0.0,
         };
-        assert_eq!(recommend(&w), Algorithm::CCubingStar);
+        assert_eq!(recommend(&w.stats(), w.min_sup), Algorithm::CCubingStar);
         // Low min_sup, high cardinality -> CC(StarArray).
         let w = Workload {
             tuples: 400_000,
@@ -460,7 +664,10 @@ mod tests {
             cardinality: 2000,
             dependence: 0.0,
         };
-        assert_eq!(recommend(&w), Algorithm::CCubingStarArray);
+        assert_eq!(
+            recommend(&w.stats(), w.min_sup),
+            Algorithm::CCubingStarArray
+        );
         // High min_sup, independent data -> CC(MM).
         let w = Workload {
             tuples: 400_000,
@@ -468,7 +675,7 @@ mod tests {
             cardinality: 20,
             dependence: 0.0,
         };
-        assert_eq!(recommend(&w), Algorithm::CCubingMm);
+        assert_eq!(recommend(&w.stats(), w.min_sup), Algorithm::CCubingMm);
         // Same min_sup but highly dependent data keeps Star ahead.
         let w = Workload {
             tuples: 400_000,
@@ -476,6 +683,51 @@ mod tests {
             cardinality: 20,
             dependence: 3.0,
         };
-        assert_eq!(recommend(&w), Algorithm::CCubingStar);
+        assert_eq!(recommend(&w.stats(), w.min_sup), Algorithm::CCubingStar);
+    }
+
+    #[test]
+    fn with_closed_maps_within_families() {
+        for algo in Algorithm::ALL {
+            assert!(algo.with_closed(true).is_closed(), "{algo}");
+            assert!(!algo.with_closed(false).is_closed(), "{algo}");
+            // Idempotent within the family.
+            assert_eq!(algo.with_closed(algo.is_closed()), algo, "{algo}");
+        }
+        assert_eq!(Algorithm::Buc.with_closed(true), Algorithm::QcDfs);
+        assert_eq!(Algorithm::CCubingStar.with_closed(false), Algorithm::Star);
+    }
+
+    #[test]
+    fn measured_stats_follow_the_data() {
+        use ccube_data::{RuleSet, SyntheticSpec};
+        // Uniform independent data: near-zero skew and dependence.
+        let flat = SyntheticSpec::uniform(4000, 4, 20, 0.0, 5).generate();
+        let s = TableStats::measure(&flat);
+        assert_eq!(s.tuples, 4000);
+        assert!(s.cardinalities.iter().all(|&c| c <= 20));
+        assert!(s.mean_skew() < 0.25, "uniform skew {}", s.mean_skew());
+        assert!(s.dependence < 0.5, "independent dep {}", s.dependence);
+        // Skewed data: higher measured skew.
+        let skewed = SyntheticSpec::uniform(4000, 4, 20, 2.0, 5).generate();
+        let sk = TableStats::measure(&skewed);
+        assert!(sk.mean_skew() > s.mean_skew());
+        // Rule-dependent data: higher measured dependence.
+        let cards = vec![20u32; 4];
+        let dep = SyntheticSpec {
+            tuples: 4000,
+            cards: cards.clone(),
+            skews: vec![0.0; 4],
+            seed: 5,
+            rules: Some(RuleSet::with_dependence(&cards, 3.0, 9)),
+        }
+        .generate();
+        let sd = TableStats::measure(&dep);
+        assert!(
+            sd.dependence > s.dependence,
+            "dependent {} vs independent {}",
+            sd.dependence,
+            s.dependence
+        );
     }
 }

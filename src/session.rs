@@ -1,0 +1,836 @@
+//! The planner-backed query API: [`CubeSession`] / [`CubeQuery`] /
+//! [`CellStream`].
+//!
+//! A **session** owns one fact table plus the per-table artifacts every
+//! query used to recompute from scratch:
+//!
+//! * measured [`TableStats`] (observed cardinalities, skew, dependence) —
+//!   the planner input of [`recommend`], built once at session creation;
+//! * the first-dimension counting-sort partition — the sharding axis of the
+//!   parallel engine and the fast path for `slice(0, v)` selections;
+//! * lazily, on the first StarArray-family query, the lexicographically
+//!   radix-sorted tuple pool ([`ccube_star::lex_sorted_pool`]) the StarArray
+//!   construction starts from (it depends only on the table, not on
+//!   `min_sup`).
+//!
+//! A **query** composes, in any order:
+//!
+//! * `dims(mask)` — project onto a subset of the group-by dimensions;
+//! * `slice(d, v)` / `dice(d, values)` — select tuples by dimension value
+//!   (AND across calls, OR within one `dice` value list);
+//! * `min_sup(k)` — the iceberg threshold (default 1);
+//! * `closed(bool)` — closed cube vs plain iceberg cube, **orthogonal** to
+//!   the algorithm choice (the planner maps an explicit algorithm to its
+//!   family counterpart via [`Algorithm::with_closed`]; default closed);
+//! * `measure(spec)` — complex measures riding along per Section 6.1;
+//! * `algorithm(a)` — explicit algorithm, otherwise the planner picks via
+//!   [`recommend`] over the session's cached stats;
+//! * `threads(n)` / `engine(config)` — route through the partition-parallel
+//!   engine instead of a plain sequential run.
+//!
+//! and terminates in [`CubeQuery::run`] (push into any
+//! [`CellSink`](ccube_core::sink::CellSink)), [`CubeQuery::stats`] (counters
+//! only), or [`CubeQuery::stream`] (a pull-based [`CellStream`] iterator
+//! backed by a bounded channel, for serving code that cannot implement a
+//! sink).
+//!
+//! ## Subcube semantics
+//!
+//! Selections build a columnar *subtable* (one gather per kept column —
+//! [`ccube_core::Table::view`]), and **closedness is computed relative to
+//! that queried subtable**: after `slice(d, v)` the dimension `d` is uniform
+//! over the subtable, so every closed cell binds `d = v` — exactly the
+//! result of filtering the table by hand and cubing the rest. Projection
+//! (`dims`) drops the other dimensions entirely; result cells are over the
+//! kept dimensions in ascending original order.
+//!
+//! Cache reuse is **invisible**: repeated identical queries on one session
+//! produce byte-identical output sequences (the cached artifacts are
+//! by-construction equal to what a cold run computes).
+
+use crate::{recommend, Algorithm, CubeRequest, EngineConfig, EngineStats, TableStats};
+use ccube_core::cell::Cell;
+use ccube_core::measure::{CountOnly, MeasureSpec};
+use ccube_core::partition::Group;
+use ccube_core::sink::{CellBatch, CellSink, CountingSink};
+use ccube_core::{DimMask, Table, TupleId};
+use ccube_engine::ChannelSink;
+use std::sync::{mpsc, Arc};
+
+/// How many times each cached artifact has been (re)built — all `1` after
+/// any number of warm queries; the observable proof that cache reuse works.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// [`TableStats`] measurements performed (1 after session creation).
+    pub stat_builds: u32,
+    /// First-dimension counting-sort partitions performed.
+    pub partition_builds: u32,
+    /// StarArray lex-sorted pool constructions performed.
+    pub pool_builds: u32,
+}
+
+/// A long-lived, per-table query context: owns the fact table and the cached
+/// artifacts described above (see the crate-level quickstart), and hands out
+/// [`CubeQuery`] builders via [`CubeSession::query`].
+///
+/// ```
+/// use c_cubing::prelude::*;
+///
+/// let table = TableBuilder::new(3)
+///     .row(&[0, 0, 0])
+///     .row(&[0, 0, 1])
+///     .row(&[1, 1, 0])
+///     .build()
+///     .unwrap();
+/// let mut session = CubeSession::new(table);
+/// let mut sink = CollectSink::default();
+/// session.query().min_sup(2).slice(0, 0).run(&mut sink);
+/// // Every closed cell of the sliced subtable binds dimension 0 = 0.
+/// assert!(sink.cells.keys().all(|c| c.value(0) == 0));
+/// ```
+pub struct CubeSession {
+    table: Arc<Table>,
+    stats: TableStats,
+    /// First-dimension partition: value-sorted tuple IDs plus one group per
+    /// distinct value of dimension 0 (built eagerly — it is both the
+    /// engine's sharding axis and the `slice(0, v)` fast path).
+    first_dim: (Vec<TupleId>, Vec<Group>),
+    /// StarArray lex-sorted pool, built on the first StarArray-family query
+    /// against the base table (min_sup-independent, so shared by all).
+    star_pool: Option<Arc<Vec<TupleId>>>,
+    cache: CacheStats,
+}
+
+impl CubeSession {
+    /// Open a session over `table`, measuring its [`TableStats`] and its
+    /// first-dimension partition once (`O(rows × dims)` — the setup cost
+    /// every subsequent query on this session skips).
+    ///
+    /// # Panics
+    /// Panics on a carried-dimension view (`cube_dims() < dims()`): those
+    /// are engine-internal shard tables whose trailing dimensions must not
+    /// be enumerated, and the subcube machinery (like the parallel engine)
+    /// only shards ordinary tables.
+    pub fn new(table: Table) -> CubeSession {
+        assert_eq!(
+            table.cube_dims(),
+            table.dims(),
+            "CubeSession takes ordinary tables, not carried-dimension views"
+        );
+        let stats = TableStats::measure(&table);
+        let first_dim = table.shard_by_first_dim();
+        CubeSession {
+            table: Arc::new(table),
+            stats,
+            first_dim,
+            star_pool: None,
+            cache: CacheStats {
+                stat_builds: 1,
+                partition_builds: 1,
+                pool_builds: 0,
+            },
+        }
+    }
+
+    /// The session's fact table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The cached measured statistics of the table.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// Cache build counters (see [`CacheStats`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+    }
+
+    /// What [`recommend`] picks for this table at `min_sup`, using the
+    /// cached stats.
+    pub fn recommend(&self, min_sup: u64) -> Algorithm {
+        recommend(&self.stats, min_sup)
+    }
+
+    /// Start composing a query against this session's table.
+    pub fn query(&mut self) -> CubeQuery<'_, CountOnly> {
+        CubeQuery {
+            session: self,
+            spec: CountOnly,
+            dims: None,
+            selections: Vec::new(),
+            min_sup: 1,
+            closed: None,
+            algorithm: None,
+            engine: None,
+            threads: None,
+        }
+    }
+
+    fn star_pool(&mut self) -> Arc<Vec<TupleId>> {
+        if self.star_pool.is_none() {
+            self.star_pool = Some(Arc::new(ccube_star::lex_sorted_pool(&self.table)));
+            self.cache.pool_builds += 1;
+        }
+        self.star_pool.as_ref().expect("just built").clone()
+    }
+
+    /// Ascending tuple IDs of the slice `dim0 = value`, from the cached
+    /// partition (no column scan).
+    fn slice0_tids(&self, value: u32) -> Vec<TupleId> {
+        let (tids, groups) = &self.first_dim;
+        match groups.binary_search_by_key(&value, |g| g.value) {
+            Ok(i) => tids[groups[i].range()].to_vec(),
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for CubeSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CubeSession")
+            .field("rows", &self.table.rows())
+            .field("dims", &self.table.dims())
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+/// The resolved execution plan of a [`CubeQuery`] (see [`CubeQuery::plan`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// Algorithm the query will run (explicit or planner-chosen).
+    pub algorithm: Algorithm,
+    /// Whether only closed cells will be emitted.
+    pub closed: bool,
+    /// Whether the run goes through the partition-parallel engine.
+    pub parallel: bool,
+}
+
+/// Counters returned by the [`CubeQuery::stats`] terminal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Result cells the query produced.
+    pub cells: u64,
+    /// Sum of the result cells' counts (a cheap cross-algorithm checksum).
+    pub count_sum: u64,
+    /// Engine scheduling/memory counters (all-zero for sequential runs).
+    pub engine: EngineStats,
+}
+
+/// A composable cube query against a [`CubeSession`] — see the
+/// builder vocabulary and subcube semantics described at the top of this
+/// file.
+#[must_use = "a CubeQuery does nothing until run(), stats() or stream()"]
+pub struct CubeQuery<'s, M: MeasureSpec = CountOnly> {
+    session: &'s mut CubeSession,
+    spec: M,
+    dims: Option<DimMask>,
+    /// `(dimension, allowed values)` conjuncts, in call order.
+    selections: Vec<(usize, Vec<u32>)>,
+    min_sup: u64,
+    closed: Option<bool>,
+    algorithm: Option<Algorithm>,
+    engine: Option<EngineConfig>,
+    threads: Option<usize>,
+}
+
+impl<'s, M: MeasureSpec> CubeQuery<'s, M> {
+    /// Project the cube onto the dimensions in `mask` (bits above the
+    /// table's dimensionality are ignored). Result cells are over the kept
+    /// dimensions in ascending original order; closedness is computed
+    /// relative to the projected subtable.
+    pub fn dims(mut self, mask: DimMask) -> Self {
+        self.dims = Some(mask & DimMask::all(self.session.table.dims()));
+        self
+    }
+
+    /// Keep only tuples with `value` on dimension `dim` (AND with previous
+    /// selections). `slice(0, v)` on an otherwise-unfiltered query reads the
+    /// session's cached first-dimension partition instead of scanning.
+    pub fn slice(self, dim: usize, value: u32) -> Self {
+        self.dice(dim, &[value])
+    }
+
+    /// Keep only tuples whose value on `dim` is one of `values` (OR within
+    /// the list, AND with previous selections).
+    pub fn dice(mut self, dim: usize, values: &[u32]) -> Self {
+        assert!(
+            dim < self.session.table.dims(),
+            "dice dimension out of range"
+        );
+        self.selections.push((dim, values.to_vec()));
+        self
+    }
+
+    /// Iceberg threshold: keep cells aggregating at least `k` tuples
+    /// (default 1 — the full (closed) cube).
+    pub fn min_sup(mut self, k: u64) -> Self {
+        assert!(k >= 1, "min_sup must be at least 1");
+        self.min_sup = k;
+        self
+    }
+
+    /// Emit only closed cells (`true`, the default) or the plain iceberg
+    /// cube (`false`). Orthogonal to [`CubeQuery::algorithm`]: an explicit
+    /// algorithm is mapped to its family's variant with this closedness
+    /// ([`Algorithm::with_closed`]).
+    pub fn closed(mut self, closed: bool) -> Self {
+        self.closed = Some(closed);
+        self
+    }
+
+    /// Pin the algorithm instead of letting the planner pick from the
+    /// session's cached [`TableStats`].
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.algorithm = Some(a);
+        self
+    }
+
+    /// Run partition-parallel on `n` worker threads (`0` = one per CPU).
+    /// `threads(1)` still routes through the engine, which takes its
+    /// sequential fast path.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Run through the partition-parallel engine with an explicit
+    /// configuration (a later [`CubeQuery::threads`] call overrides only the
+    /// thread count).
+    pub fn engine(mut self, config: EngineConfig) -> Self {
+        self.engine = Some(config);
+        self
+    }
+
+    /// Carry the complex measures of `spec` (Section 6.1) on every result
+    /// cell; the sink/stream item type follows `spec`'s accumulator.
+    pub fn measure<M2: MeasureSpec>(self, spec: M2) -> CubeQuery<'s, M2> {
+        CubeQuery {
+            session: self.session,
+            spec,
+            dims: self.dims,
+            selections: self.selections,
+            min_sup: self.min_sup,
+            closed: self.closed,
+            algorithm: self.algorithm,
+            engine: self.engine,
+            threads: self.threads,
+        }
+    }
+
+    /// The execution plan this query resolves to, without running it.
+    pub fn plan(&self) -> QueryPlan {
+        let (algorithm, closed) = self.planned_algorithm();
+        QueryPlan {
+            algorithm,
+            closed,
+            parallel: self.engine.is_some() || self.threads.is_some(),
+        }
+    }
+
+    fn planned_algorithm(&self) -> (Algorithm, bool) {
+        match (self.algorithm, self.closed) {
+            (Some(a), None) => (a, a.is_closed()),
+            (Some(a), Some(c)) => (a.with_closed(c), c),
+            (None, c) => {
+                let closed = c.unwrap_or(true);
+                let rec = recommend(&self.session.stats, self.min_sup);
+                (rec.with_closed(closed), closed)
+            }
+        }
+    }
+
+    fn engine_config(&self) -> Option<EngineConfig> {
+        match (self.engine, self.threads) {
+            (Some(cfg), Some(n)) => Some(EngineConfig { threads: n, ..cfg }),
+            (Some(cfg), None) => Some(cfg),
+            (None, Some(n)) => Some(EngineConfig::with_threads(n)),
+            (None, None) => None,
+        }
+    }
+
+    /// Resolve the query into its target (sub)table, algorithm and engine
+    /// routing, consuming the builder. The subtable is `None` when the query
+    /// targets the session's base table unmodified (no selection, full
+    /// projection) — the cache-eligible case.
+    fn resolve(self) -> (Resolved, M, &'s mut CubeSession) {
+        let table_dims = self.session.table.dims();
+        let full_mask = DimMask::all(table_dims);
+        let mask = self.dims.unwrap_or(full_mask);
+        assert!(!mask.is_empty(), "query projects away every dimension");
+        let (algorithm, _) = self.planned_algorithm();
+        let engine = self.engine_config();
+
+        let base = mask == full_mask && self.selections.is_empty();
+        let table = if base {
+            self.session.table.clone()
+        } else {
+            // Selection: compose the conjuncts into one ascending tid list.
+            // An initial `slice(0, v)` comes straight from the session's
+            // cached first-dimension partition.
+            let mut tids: Option<Vec<TupleId>> = None;
+            for (dim, values) in &self.selections {
+                match tids.as_mut() {
+                    None => {
+                        tids = Some(if *dim == 0 && values.len() == 1 {
+                            self.session.slice0_tids(values[0])
+                        } else {
+                            self.session.table.select_tids(*dim, values)
+                        });
+                    }
+                    Some(tids) => self.session.table.filter_tids(*dim, values, tids),
+                }
+            }
+            let tids = tids.unwrap_or_else(|| self.session.table.all_tids());
+            // Projection: per-column gather of the kept dimensions, all of
+            // them group-by (closedness relative to the subtable).
+            let dim_order: Vec<usize> = mask.iter().collect();
+            Arc::new(self.session.table.view(&tids, &dim_order, dim_order.len()))
+        };
+        (
+            Resolved {
+                table,
+                base,
+                algorithm,
+                min_sup: self.min_sup,
+                engine,
+            },
+            self.spec,
+            self.session,
+        )
+    }
+}
+
+/// A fully resolved query, ready to execute (possibly on another thread).
+struct Resolved {
+    table: Arc<Table>,
+    /// Target is the session's base table (cached artifacts apply).
+    base: bool,
+    algorithm: Algorithm,
+    min_sup: u64,
+    engine: Option<EngineConfig>,
+}
+
+impl Resolved {
+    /// Execute into `sink`, drawing the StarArray pool from `pool` when the
+    /// sequential StarArray fast path applies.
+    fn execute<M, S>(&self, pool: Option<&[TupleId]>, spec: &M, sink: &mut S) -> EngineStats
+    where
+        M: MeasureSpec + Sync,
+        M::Acc: Send,
+        S: CellSink<M::Acc>,
+    {
+        if let Some(pool) = pool {
+            debug_assert!(self.engine.is_none());
+            match self.algorithm {
+                Algorithm::StarArray => ccube_star::star_array_cube_pooled_with(
+                    &self.table,
+                    pool,
+                    self.min_sup,
+                    spec,
+                    sink,
+                ),
+                Algorithm::CCubingStarArray => ccube_star::c_cubing_star_array_pooled_with(
+                    &self.table,
+                    pool,
+                    self.min_sup,
+                    spec,
+                    sink,
+                ),
+                _ => unreachable!("pool is only drawn for StarArray-family plans"),
+            }
+            return EngineStats::default();
+        }
+        self.algorithm.execute_request(
+            &CubeRequest {
+                table: &self.table,
+                min_sup: self.min_sup,
+                engine: self.engine,
+            },
+            spec,
+            sink,
+        )
+    }
+
+    /// Whether the sequential StarArray pooled entry applies (base table,
+    /// no engine, StarArray family).
+    fn wants_pool(&self) -> bool {
+        self.base
+            && self.engine.is_none()
+            && matches!(
+                self.algorithm,
+                Algorithm::StarArray | Algorithm::CCubingStarArray
+            )
+    }
+}
+
+impl<'s, M> CubeQuery<'s, M>
+where
+    M: MeasureSpec + Sync,
+    M::Acc: Send,
+{
+    /// Execute the query, pushing every result cell into `sink`. Returns the
+    /// engine counters (all-zero for sequential runs).
+    pub fn run<S: CellSink<M::Acc>>(self, sink: &mut S) -> EngineStats {
+        let (resolved, spec, session) = self.resolve();
+        let pool = resolved.wants_pool().then(|| session.star_pool());
+        resolved.execute(pool.as_deref().map(Vec::as_slice), &spec, sink)
+    }
+
+    /// Execute the query with output discarded, returning cell/count/engine
+    /// counters — the "how big is this cube" probe.
+    pub fn stats(self) -> QueryStats {
+        let mut sink = CountingSink::default();
+        let engine = self.run(&mut sink);
+        QueryStats {
+            cells: sink.cells,
+            count_sum: sink.count_sum,
+            engine,
+        }
+    }
+}
+
+impl<'s, M> CubeQuery<'s, M>
+where
+    M: MeasureSpec + Send + Sync + 'static,
+    M::Acc: Send + 'static,
+{
+    /// Execute the query on a background thread and return a pull-based
+    /// iterator over the result cells — the consumption path for serving
+    /// code that cannot implement [`CellSink`](ccube_core::sink::CellSink).
+    /// Backed by the engine's bounded-channel adapter
+    /// ([`ccube_engine::ChannelSink`]), so a slow consumer back-pressures
+    /// the computation instead of buffering the whole cube. Dropping the
+    /// stream early returns immediately and discards further output; the
+    /// producing run itself is not abortable mid-cube, so it completes in
+    /// the background (in discard mode) before its thread exits.
+    pub fn stream(self) -> CellStream<M::Acc> {
+        let (resolved, spec, session) = self.resolve();
+        let pool = resolved.wants_pool().then(|| session.star_pool());
+        let (tx, rx) = mpsc::sync_channel::<CellBatch<M::Acc>>(4);
+        let dims = resolved.table.dims();
+        let handle = std::thread::Builder::new()
+            .name("ccube-query-stream".into())
+            .spawn(move || {
+                let mut sink = ChannelSink::new(tx, dims, 0);
+                resolved.execute(pool.as_deref().map(Vec::as_slice), &spec, &mut sink);
+                sink.finish();
+            })
+            .expect("spawn stream worker");
+        CellStream {
+            rx: Some(rx),
+            handle: Some(handle),
+            pending: Vec::new().into_iter(),
+        }
+    }
+}
+
+/// Pull-based result iterator returned by [`CubeQuery::stream`]: yields
+/// `(cell, count, accumulator)` triples in the producing run's emission
+/// order. Dropping it early returns immediately — the producer is detached
+/// and finishes its (non-abortable) run in discard mode in the background.
+/// A panic on the producing thread resurfaces on the consuming thread at
+/// the next [`Iterator::next`] call; after an early drop it is reported by
+/// the default panic hook instead.
+pub struct CellStream<A = ()> {
+    rx: Option<mpsc::Receiver<CellBatch<A>>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    pending: std::vec::IntoIter<(Cell, u64, A)>,
+}
+
+impl<A: Clone> Iterator for CellStream<A> {
+    type Item = (Cell, u64, A);
+
+    fn next(&mut self) -> Option<(Cell, u64, A)> {
+        loop {
+            if let Some(item) = self.pending.next() {
+                return Some(item);
+            }
+            match self.rx.as_ref()?.recv() {
+                Ok(batch) => {
+                    self.pending = batch
+                        .iter()
+                        .map(|(cell, count, acc)| (Cell::from_values(cell), count, acc.clone()))
+                        .collect::<Vec<_>>()
+                        .into_iter();
+                }
+                Err(_) => {
+                    // Producer done (or died): join it so a panic propagates
+                    // instead of vanishing.
+                    self.rx = None;
+                    if let Some(handle) = self.handle.take() {
+                        if let Err(panic) = handle.join() {
+                            std::panic::resume_unwind(panic);
+                        }
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl<A> Drop for CellStream<A> {
+    fn drop(&mut self) {
+        // Hang up so the producer flips into discard mode, then detach it:
+        // cube runs are not abortable mid-flight, and blocking a serving
+        // thread's drop for the rest of the cube would turn every early
+        // hang-up into a full-cube stall. The detached thread holds only
+        // its own Arc'd inputs and exits as soon as the run completes.
+        self.rx = None;
+        drop(self.handle.take());
+    }
+}
+
+impl<A> std::fmt::Debug for CellStream<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellStream")
+            .field("live", &self.rx.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccube_core::sink::{collect_counts, CollectSink};
+    use ccube_core::TableBuilder;
+    use ccube_data::SyntheticSpec;
+
+    fn session() -> CubeSession {
+        CubeSession::new(SyntheticSpec::uniform(400, 4, 6, 1.0, 11).generate())
+    }
+
+    #[test]
+    fn default_query_is_the_planned_closed_cube() {
+        let mut s = session();
+        let plan = s.query().min_sup(2).plan();
+        assert!(plan.closed);
+        assert!(plan.algorithm.is_closed());
+        let want = collect_counts(|sink| plan.algorithm.run(s.table(), 2, sink));
+        let got = collect_counts(|sink| {
+            s.query().min_sup(2).run(sink);
+        });
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn closed_flag_is_orthogonal_to_algorithm() {
+        let mut s = session();
+        // Iceberg request on an explicitly closed algorithm family.
+        let got = collect_counts(|sink| {
+            s.query()
+                .min_sup(2)
+                .algorithm(Algorithm::CCubingStar)
+                .closed(false)
+                .run(sink);
+        });
+        let want = collect_counts(|sink| Algorithm::Star.run(s.table(), 2, sink));
+        assert_eq!(got, want);
+        assert_eq!(
+            s.query()
+                .algorithm(Algorithm::Buc)
+                .closed(true)
+                .plan()
+                .algorithm,
+            Algorithm::QcDfs
+        );
+    }
+
+    #[test]
+    fn slice_equals_hand_filtered_cube() {
+        let mut s = session();
+        let table = s.table().clone();
+        for algo in [Algorithm::Buc, Algorithm::CCubingStarArray] {
+            let got = collect_counts(|sink| {
+                s.query().min_sup(2).algorithm(algo).slice(1, 3).run(sink);
+            });
+            // Reference: filter by hand, cube the subtable.
+            let tids = table.select_tids(1, &[3]);
+            let filtered = table.view(&tids, &[0, 1, 2, 3], 4);
+            let want = collect_counts(|sink| algo.run(&filtered, 2, sink));
+            assert_eq!(got, want, "{algo}");
+        }
+    }
+
+    #[test]
+    fn dice_composes_conjunctively() {
+        let mut s = session();
+        let table = s.table().clone();
+        let got = collect_counts(|sink| {
+            s.query()
+                .algorithm(Algorithm::CCubingMm)
+                .dice(0, &[0, 1])
+                .dice(2, &[1, 2, 3])
+                .run(sink);
+        });
+        let mut tids = table.select_tids(0, &[0, 1]);
+        table.filter_tids(2, &[1, 2, 3], &mut tids);
+        let filtered = table.view(&tids, &[0, 1, 2, 3], 4);
+        let want = collect_counts(|sink| Algorithm::CCubingMm.run(&filtered, 1, sink));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn projection_cubes_the_kept_dimensions() {
+        let mut s = session();
+        let table = s.table().clone();
+        let mask: DimMask = [1usize, 3].into_iter().collect();
+        let got = collect_counts(|sink| {
+            s.query()
+                .algorithm(Algorithm::CCubingStar)
+                .min_sup(2)
+                .dims(mask)
+                .run(sink);
+        });
+        let projected = table.view(&table.all_tids(), &[1, 3], 2);
+        let want = collect_counts(|sink| Algorithm::CCubingStar.run(&projected, 2, sink));
+        assert_eq!(got, want);
+        assert!(got.keys().all(|c| c.dims() == 2));
+    }
+
+    #[test]
+    fn threads_route_through_the_engine() {
+        let mut s = session();
+        let want = collect_counts(|sink| {
+            s.query()
+                .min_sup(2)
+                .algorithm(Algorithm::CCubingStar)
+                .run(sink);
+        });
+        for threads in [1usize, 2, 8] {
+            let got = collect_counts(|sink| {
+                s.query()
+                    .min_sup(2)
+                    .algorithm(Algorithm::CCubingStar)
+                    .threads(threads)
+                    .run(sink);
+            });
+            assert_eq!(got, want, "threads={threads}");
+        }
+        // slice + engine compose.
+        let sliced_want = collect_counts(|sink| {
+            s.query()
+                .slice(0, 1)
+                .algorithm(Algorithm::CCubingStar)
+                .run(sink);
+        });
+        let sliced_got = collect_counts(|sink| {
+            s.query()
+                .slice(0, 1)
+                .algorithm(Algorithm::CCubingStar)
+                .threads(4)
+                .run(sink);
+        });
+        assert_eq!(sliced_got, sliced_want);
+    }
+
+    #[test]
+    fn star_pool_cache_is_invisible_and_built_once() {
+        let mut s = session();
+        assert_eq!(s.cache_stats().pool_builds, 0);
+        let want = collect_counts(|sink| Algorithm::CCubingStarArray.run(s.table(), 2, sink));
+        for round in 0..3 {
+            let got = collect_counts(|sink| {
+                s.query()
+                    .min_sup(2)
+                    .algorithm(Algorithm::CCubingStarArray)
+                    .run(sink);
+            });
+            assert_eq!(got, want, "round {round}");
+        }
+        let cache = s.cache_stats();
+        assert_eq!(cache.pool_builds, 1, "pool rebuilt on a warm query");
+        assert_eq!(cache.stat_builds, 1);
+        assert_eq!(cache.partition_builds, 1);
+    }
+
+    #[test]
+    fn measures_ride_through_the_query() {
+        use ccube_core::measure::ColumnStats;
+        let t = SyntheticSpec::uniform(300, 3, 5, 1.0, 6).generate_with_measure("m");
+        let spec = ColumnStats { column: 0 };
+        let mut want = CollectSink::default();
+        Algorithm::CCubingMm.run_with(&t, 2, &spec, &mut want);
+        let mut s = CubeSession::new(t);
+        let mut got = CollectSink::default();
+        s.query()
+            .min_sup(2)
+            .algorithm(Algorithm::CCubingMm)
+            .measure(spec)
+            .run(&mut got);
+        assert_eq!(got.cells.len(), want.cells.len());
+        for (cell, (n, agg)) in &want.cells {
+            let (n2, agg2) = &got.cells[cell];
+            assert_eq!(n, n2);
+            assert!((agg.sum - agg2.sum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stream_yields_the_full_result() {
+        let mut s = session();
+        let want = collect_counts(|sink| {
+            s.query()
+                .min_sup(2)
+                .algorithm(Algorithm::CCubingStar)
+                .run(sink);
+        });
+        let got: ccube_core::fxhash::FxHashMap<Cell, u64> = s
+            .query()
+            .min_sup(2)
+            .algorithm(Algorithm::CCubingStar)
+            .stream()
+            .map(|(cell, count, ())| (cell, count))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stream_drops_cleanly_mid_iteration() {
+        let mut s = CubeSession::new(SyntheticSpec::uniform(500, 5, 6, 0.5, 3).generate());
+        let mut stream = s.query().algorithm(Algorithm::Buc).stream();
+        let first = stream.next();
+        assert!(first.is_some());
+        drop(stream); // must not hang or panic
+    }
+
+    #[test]
+    #[should_panic(expected = "ordinary tables")]
+    fn session_rejects_carried_dimension_views() {
+        // A carried-dimension view's trailing dims must not be enumerated;
+        // the subcube machinery would silently promote them to group-by
+        // dims, so the session refuses the table outright.
+        let t = SyntheticSpec::uniform(50, 3, 4, 0.0, 1).generate();
+        let view = t.view(&t.all_tids(), &[0, 1, 2], 2);
+        let _ = CubeSession::new(view);
+    }
+
+    #[test]
+    fn empty_selection_yields_empty_result() {
+        let mut s = session();
+        let mut sink = CollectSink::<()>::default();
+        s.query().slice(0, 999).run(&mut sink);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn slice0_uses_the_cached_partition() {
+        // Equivalence of the partition fast path and the generic scan.
+        let t = TableBuilder::new(2)
+            .cards(vec![4, 3])
+            .row(&[2, 0])
+            .row(&[0, 1])
+            .row(&[3, 2])
+            .row(&[0, 0])
+            .row(&[2, 1])
+            .build()
+            .unwrap();
+        let s = CubeSession::new(t.clone());
+        for v in 0..4 {
+            assert_eq!(s.slice0_tids(v), t.select_tids(0, &[v]), "value {v}");
+        }
+    }
+}
