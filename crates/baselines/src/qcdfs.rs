@@ -107,22 +107,21 @@ where
             // BUC-derived machinery: O(cardinality + |partition|), no early
             // exit — see the module docs). The columnar layout at least
             // makes the per-tuple reads gathers from one contiguous slice.
-            let col = self.table.col(d);
-            let v = col[first as usize];
-            let uniform = {
+            let v = self.table.value(first, d);
+            let uniform = ccube_core::with_lanes!(self.table.col(d), |col| {
                 let card = self.table.card(d) as usize;
                 let counts = &mut self.counts[..card];
                 counts.fill(0);
                 let mut distinct = 0u32;
                 for &t in tids.iter() {
-                    let val = col[t as usize] as usize;
+                    let val = u32::from(col[t as usize]) as usize;
                     if counts[val] == 0 {
                         distinct += 1;
                     }
                     counts[val] += 1;
                 }
                 distinct == 1
-            };
+            });
             if uniform {
                 if d >= cube || d < dim {
                     // Carried dimension, or reached from a lexicographically

@@ -79,20 +79,24 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
     ]
 }
 
-/// Columnar-substrate micro-benchmarks: counting-sort partitioning (dense
-/// vs sparse-reset), shard-view gathering, and group-wise vs tuple-at-a-time
-/// closedness construction — the building-block costs behind the
-/// figure-level numbers. Writes the medians to `BENCH_substrate.json`
-/// (median of 15 samples each, so the numbers survive noisy-neighbour CI
-/// boxes).
+/// Columnar-substrate micro-benchmarks, each measured **before/after** the
+/// kernel layer: *before* is the pre-kernel substrate — every column widened
+/// to `u32` (no packed rows) and the retained scalar kernels — while *after*
+/// is the natural narrow table (u8 columns + packed rows at cardinality 100)
+/// running the word-parallel paths. Covers counting-sort partitioning
+/// (full-table dense, plus dense-vs-sparse reset on narrow slices over a
+/// wide domain), shard-view gathering, group-wise closedness over deep
+/// slices, and the tuple-at-a-time merge chain. Writes the medians to
+/// `BENCH_substrate.json` (median of 31 samples each, so the numbers survive
+/// noisy-neighbour CI boxes).
 fn substrate_micro(opt: &ExpOptions) -> Figure {
     use ccube_core::closedness::ClosedInfo;
     use ccube_core::partition::Partitioner;
-    use ccube_core::table::ViewArena;
+    use ccube_core::table::{TupleId, ViewArena};
     use std::time::Instant;
 
     fn median_secs(mut run: impl FnMut()) -> f64 {
-        let mut samples: Vec<f64> = (0..15)
+        let mut samples: Vec<f64> = (0..31)
             .map(|_| {
                 let start = Instant::now();
                 run();
@@ -105,6 +109,8 @@ fn substrate_micro(opt: &ExpOptions) -> Figure {
 
     let tuples = opt.tuples(1_000_000);
     let table = SyntheticSpec::uniform(tuples, 8, 100, 1.5, opt.seed).generate();
+    // The pre-kernel substrate: same rows, all-u32 columns, no packed rows.
+    let wide = table.widened();
     let (tids, groups) = table.shard_by_first_dim();
     let hot = groups
         .iter()
@@ -113,64 +119,220 @@ fn substrate_micro(opt: &ExpOptions) -> Figure {
     let shard = &tids[hot.range()];
     let dim_order: Vec<usize> = (0..8).collect();
 
-    // Full-table counting-sort partition of dimension 1.
+    // Full-table counting-sort pass over dimension 1 (cardinality 100,
+    // stored as u8): histogram + offsets + scatter into a destination
+    // buffer, identical work on both sides. Before: the pre-kernel scalar
+    // pass over the widened u32 column — a single histogram row, so every
+    // scatter store depends on the previous counter load for the same
+    // value. After: the u8-specialized lane-interleaved kernel pass.
+    let card = table.card(1) as usize;
+    let wide_col = wide.col(1).to_u32_vec();
+    let base = table.all_tids();
+    let mut counts = vec![0u32; card];
+    let mut scatter = vec![0 as TupleId; tuples];
+    let pass_before = median_secs(|| {
+        counts.fill(0);
+        for &tid in &base {
+            counts[wide_col[tid as usize] as usize] += 1;
+        }
+        let mut offset = 0u32;
+        for c in counts.iter_mut() {
+            let n = *c;
+            *c = offset;
+            offset += n;
+        }
+        for &tid in &base {
+            let slot = &mut counts[wide_col[tid as usize] as usize];
+            scatter[*slot as usize] = tid;
+            *slot += 1;
+        }
+        std::hint::black_box(scatter[0]);
+    });
+    let narrow_col1 = match table.col(1) {
+        ccube_core::ColRef::U8(c) => c,
+        _ => unreachable!("cardinality 100 is stored as u8"),
+    };
+    let mut rows = Vec::new();
+    let pass_after = median_secs(|| {
+        ccube_core::kernels::sort_pass_u8_into(narrow_col1, &base, &mut rows, &mut scatter);
+        std::hint::black_box(scatter[0]);
+    });
+    // End-to-end Partitioner::partition (adds group emission and the
+    // in-place copy-back on both sides). Before: a faithful inline port of
+    // the pre-kernel partition. After: the shipped dispatching partitioner.
+    // Each sample restores the identity tid order so every iteration sorts
+    // the same input.
+    let mut t_buf = base.clone();
+    let mut groups_buf: Vec<ccube_core::partition::Group> = Vec::new();
+    let partition_before = median_secs(|| {
+        t_buf.copy_from_slice(&base);
+        counts.fill(0);
+        for &tid in &t_buf {
+            counts[wide_col[tid as usize] as usize] += 1;
+        }
+        groups_buf.clear();
+        let mut offset = 0u32;
+        for (v, c) in counts.iter_mut().enumerate() {
+            let n = *c;
+            if n > 0 {
+                groups_buf.push(ccube_core::partition::Group {
+                    value: v as u32,
+                    start: offset,
+                    end: offset + n,
+                });
+            }
+            *c = offset;
+            offset += n;
+        }
+        for &tid in &t_buf {
+            let slot = &mut counts[wide_col[tid as usize] as usize];
+            scatter[*slot as usize] = tid;
+            *slot += 1;
+        }
+        t_buf.copy_from_slice(&scatter);
+        std::hint::black_box(groups_buf.len());
+    });
     let mut partitioner = Partitioner::new();
-    let partition = median_secs(|| {
-        let mut t = table.all_tids();
-        let mut g = Vec::new();
-        partitioner.partition(&table, 1, &mut t, &mut g);
-        std::hint::black_box(g.len());
+    let partition_after = median_secs(|| {
+        t_buf.copy_from_slice(&base);
+        groups_buf.clear();
+        partitioner.partition(&table, 1, &mut t_buf, &mut groups_buf);
+        std::hint::black_box(groups_buf.len());
     });
     // Narrow slices over a wide domain (the sparse-reset payoff case):
-    // dense vs sparse counter reset at cardinality 10000.
-    let wide = SyntheticSpec::uniform(tuples.min(50_000), 2, 10_000, 0.5, opt.seed).generate();
-    let wide_tids = wide.all_tids();
-    let narrow = |p: &mut Partitioner| {
+    // dense vs sparse counter reset at cardinality 10000. The 64-tuple
+    // slices sit below the lane gate on both sides, so before/after isolates
+    // the storage width (u32 vs u16); the dense-vs-sparse contrast is the
+    // deferred counter reset.
+    let wide_domain =
+        SyntheticSpec::uniform(tuples.min(50_000), 2, 10_000, 0.5, opt.seed).generate();
+    let wide_domain_w = wide_domain.widened();
+    let wide_tids = wide_domain.all_tids();
+    let narrow = |p: &mut Partitioner, t: &Table| {
         let mut total = 0usize;
         let mut g = Vec::new();
         for chunk in wide_tids.chunks(64).take(64) {
             let mut slice = chunk.to_vec();
             g.clear();
-            p.partition(&wide, 1, &mut slice, &mut g);
+            p.partition(t, 1, &mut slice, &mut g);
             total += g.len();
         }
         std::hint::black_box(total);
     };
     let mut dense = Partitioner::new();
-    let narrow_dense = median_secs(|| narrow(&mut dense));
+    let narrow_dense_before = median_secs(|| narrow(&mut dense, &wide_domain_w));
+    let narrow_dense = median_secs(|| narrow(&mut dense, &wide_domain));
     let mut sparse = Partitioner::with_sparse_reset();
-    let narrow_sparse = median_secs(|| narrow(&mut sparse));
-    // Shard-view materialization (per-column gather).
+    let narrow_sparse_before = median_secs(|| narrow(&mut sparse, &wide_domain_w));
+    let narrow_sparse = median_secs(|| narrow(&mut sparse, &wide_domain));
+    // Shard-view materialization (per-column gather). Before: u32 gathers.
+    // After: u8 gathers plus the packed-row rebuild the closedness kernels
+    // feed on.
     let mut arena = ViewArena::new();
+    let gather_before = median_secs(|| {
+        let view = wide.view_in(&mut arena, shard, &dim_order, 8);
+        let rows = view.rows();
+        arena.reclaim(view);
+        std::hint::black_box(rows);
+    });
     let gather = median_secs(|| {
         let view = table.view_in(&mut arena, shard, &dim_order, 8);
         let rows = view.rows();
         arena.reclaim(view);
         std::hint::black_box(rows);
     });
-    // Group-wise closedness vs the tuple-at-a-time merge chain.
+    // Group-wise closedness over deep slices: partition by dims 0, 1 and 2
+    // (the shape a cuber's recursion hands to the closedness check — every
+    // bound dimension uniform within the group), keep the groups of >= 8
+    // tuples, and fold each. Before: the scalar per-dimension scan over the
+    // widened table (one full pass per uniform dimension, plus the separate
+    // representative min pass). After: one packed-row XOR/OR fold covering
+    // all 8 dimensions with the min fused in.
+    let deep_groups: Vec<Vec<TupleId>> = {
+        let mut t = table.all_tids();
+        let mut g = Vec::new();
+        partitioner.partition(&table, 0, &mut t, &mut g);
+        let mut level: Vec<Vec<TupleId>> = g.iter().map(|s| t[s.range()].to_vec()).collect();
+        for d in 1..3 {
+            let mut next = Vec::new();
+            for sub in &mut level {
+                let mut sg = Vec::new();
+                partitioner.partition(&table, d, sub, &mut sg);
+                next.extend(sg.iter().map(|s| sub[s.range()].to_vec()));
+            }
+            level = next;
+        }
+        level.retain(|g| g.len() >= 8);
+        level
+    };
+    let deep_tuples: usize = deep_groups.iter().map(Vec::len).sum();
+    let for_group_before = median_secs(|| {
+        let mut acc = 0u64;
+        for g in &deep_groups {
+            let info = ClosedInfo::for_group_scalar(&wide, g).expect("non-empty group");
+            acc += u64::from(info.rep) + info.mask.len() as u64;
+        }
+        std::hint::black_box(acc);
+    });
     let for_group = median_secs(|| {
-        std::hint::black_box(ClosedInfo::for_group(&table, shard));
+        let mut acc = 0u64;
+        for g in &deep_groups {
+            let info = ClosedInfo::for_group(&table, g).expect("non-empty group");
+            acc += u64::from(info.rep) + info.mask.len() as u64;
+        }
+        std::hint::black_box(acc);
+    });
+    // Tuple-at-a-time merge chain over the hottest shard. Before: per-dim
+    // probe merges on the widened table. After: one SWAR byte-lane compare
+    // per merge against the packed rows.
+    let merge_chain_before = median_secs(|| {
+        std::hint::black_box(ClosedInfo::of_group(&wide, shard));
     });
     let merge_chain = median_secs(|| {
         std::hint::black_box(ClosedInfo::of_group(&table, shard));
     });
 
+    let speedup = |before: f64, after: f64| {
+        if after > 0.0 {
+            before / after
+        } else {
+            f64::INFINITY
+        }
+    };
+    let pass_x = speedup(pass_before, pass_after);
+    let partition_x = speedup(partition_before, partition_after);
+    let for_group_x = speedup(for_group_before, for_group);
     let json = format!(
         "{{\n  \"tuples\": {tuples}, \"dims\": 8, \"cardinality\": 100, \"skew\": 1.5, \
-         \"seed\": {},\n  \"shard_tuples\": {},\n  \"partition_seconds\": {partition:.9},\n  \
+         \"seed\": {},\n  \"shard_tuples\": {}, \"deep_groups\": {}, \"deep_tuples\": {},\n  \
+         \"partition_before_seconds\": {pass_before:.9},\n  \
+         \"partition_seconds\": {pass_after:.9},\n  \
+         \"partition_speedup\": {pass_x:.3},\n  \
+         \"partition_full_before_seconds\": {partition_before:.9},\n  \
+         \"partition_full_seconds\": {partition_after:.9},\n  \
+         \"partition_full_speedup\": {partition_x:.3},\n  \
+         \"partition_narrow_dense_before_seconds\": {narrow_dense_before:.9},\n  \
          \"partition_narrow_dense_seconds\": {narrow_dense:.9},\n  \
+         \"partition_narrow_sparse_before_seconds\": {narrow_sparse_before:.9},\n  \
          \"partition_narrow_sparse_seconds\": {narrow_sparse:.9},\n  \
-         \"view_gather_seconds\": {gather:.9},\n  \"for_group_seconds\": {for_group:.9},\n  \
+         \"view_gather_before_seconds\": {gather_before:.9},\n  \
+         \"view_gather_seconds\": {gather:.9},\n  \
+         \"for_group_before_seconds\": {for_group_before:.9},\n  \
+         \"for_group_seconds\": {for_group:.9},\n  \
+         \"for_group_speedup\": {for_group_x:.3},\n  \
+         \"merge_tuple_chain_before_seconds\": {merge_chain_before:.9},\n  \
          \"merge_tuple_chain_seconds\": {merge_chain:.9}\n}}\n",
         opt.seed,
         shard.len(),
+        deep_groups.len(),
+        deep_tuples,
     );
     let json_note = match std::fs::write("BENCH_substrate.json", &json) {
         Ok(()) => "Micro-numbers written to BENCH_substrate.json.".to_string(),
         Err(e) => format!("(could not write BENCH_substrate.json: {e})"),
     };
 
+    let pair = |before: f64, after: f64| vec![secs(before), secs(after)];
     Figure {
         id: "substrate",
         title: format!(
@@ -178,34 +340,43 @@ fn substrate_micro(opt: &ExpOptions) -> Figure {
             opt.scale
         ),
         x_label: "Primitive".into(),
-        series: vec!["median".into()],
+        series: vec!["before (u32 + scalar)".into(), "after (narrow + kernels)".into()],
         rows: vec![
-            ("partition (full table)".into(), vec![secs(partition)]),
+            (
+                "counting-sort pass dim 1 (full table, u8)".into(),
+                pair(pass_before, pass_after),
+            ),
+            (
+                "Partitioner::partition dim 1 (groups + copy-back)".into(),
+                pair(partition_before, partition_after),
+            ),
             (
                 "partition 64×64-tuple slices, dense reset".into(),
-                vec![secs(narrow_dense)],
+                pair(narrow_dense_before, narrow_dense),
             ),
             (
                 "partition 64×64-tuple slices, sparse reset".into(),
-                vec![secs(narrow_sparse)],
+                pair(narrow_sparse_before, narrow_sparse),
             ),
             (
                 "view gather (hottest shard, 8 dims)".into(),
-                vec![secs(gather)],
+                pair(gather_before, gather),
             ),
             (
-                "ClosedInfo::for_group (hottest shard)".into(),
-                vec![secs(for_group)],
+                format!("ClosedInfo::for_group ({} deep-slice groups)", deep_groups.len()),
+                pair(for_group_before, for_group),
             ),
             (
                 "ClosedInfo merge_tuple chain (hottest shard)".into(),
-                vec![secs(merge_chain)],
+                pair(merge_chain_before, merge_chain),
             ),
         ],
         notes: format!(
-            "Group-wise for_group vs tuple-at-a-time chain is the Closed-Mask construction \
-             speedup; sparse vs dense narrow-slice partitioning is the deferred counter reset. \
-             {json_note}"
+            "Before = widened all-u32 table + scalar kernels (the pre-kernel substrate); \
+             after = natural narrow columns (u8 at C=100) + word-parallel kernels. \
+             Counting-sort pass speedup {pass_x:.2}x (end-to-end partition {partition_x:.2}x), \
+             deep-slice for_group speedup {for_group_x:.2}x. Sparse vs dense narrow-slice partitioning is the deferred \
+             counter reset. {json_note}"
         ),
     }
 }

@@ -30,18 +30,31 @@
 //! StarArray pool run, an engine shard — the summary does not need the
 //! tuple-at-a-time [`ClosedInfo::merge_tuple`] chain (which re-reads *every*
 //! dimension per tuple via `eq_mask`, even dimensions whose uniformity bit
-//! died long ago). [`ClosedInfo::for_group`] instead scans **one dimension's
-//! column at a time** over the columnar [`Table`], folding eight tuples per
-//! step with XOR/OR (`x |= col[t] ^ v0`: zero iff all equal) so the uniform
-//! prefix auto-vectorizes, and exits a dimension on the first mismatching
-//! chunk. The result is identical to the fold of
+//! died long ago). [`ClosedInfo::for_group`] instead dispatches to the
+//! explicit word-parallel kernels of [`crate::kernels`]:
+//!
+//! * On **row-packed** tables ([`Table::packed_rows`]: all dims `u8`, ≤ 8 of
+//!   them) the whole mask comes from one fold over the packed `u64` rows —
+//!   `acc |= packed[t] ^ packed[first]`, uniform dimensions are the zero
+//!   byte lanes of `acc` ([`crate::kernels::diff_or_packed`] /
+//!   [`crate::kernels::eq_u8_lanes`]), with early exit once every lane is
+//!   dead. All dimensions for one load and two ALU ops per tuple.
+//! * Otherwise each dimension's column is folded separately at its natural
+//!   width ([`crate::kernels::all_equal`]: a gather of `LANES` values packed
+//!   into one `u64` word and compared against a splat of the first value),
+//!   exiting the dimension on the first mismatching word.
+//!
+//! The result is identical to the fold of
 //! [`ClosedInfo::for_tuple`]/[`ClosedInfo::merge_tuple`] (the mask is set
 //! uniformity and the representative is the minimum tuple ID, both
-//! order-insensitive) — a property pinned by a proptest in
+//! order-insensitive) — a property pinned against the retained scalar path
+//! ([`ClosedInfo::for_group_scalar`]) by proptests in
 //! `tests/columnar_substrate.rs`.
 
+use crate::kernels;
 use crate::mask::DimMask;
 use crate::table::{Table, TupleId};
+use crate::with_lanes;
 
 /// Aggregated closedness summary of a set of tuples: `(Closed Mask,
 /// Representative Tuple ID)`.
@@ -99,15 +112,12 @@ impl ClosedInfo {
     /// result) — a merge whose surviving mask is empty touches no table data
     /// at all. This is what keeps pairwise merging cheap on the columnar
     /// layout, where a full-width `eq_mask` would gather from every column.
+    /// On row-packed tables the whole survival check is one XOR plus a SWAR
+    /// zero-byte test ([`Table::eq_mask_on`]).
     #[inline]
     pub fn merge(&mut self, table: &Table, other: &ClosedInfo) {
-        let mut need = self.mask & other.mask;
-        for d in need.iter() {
-            if table.value(self.rep, d) != table.value(other.rep, d) {
-                need.remove(d);
-            }
-        }
-        self.mask = need;
+        let need = self.mask & other.mask;
+        self.mask = table.eq_mask_on(self.rep, other.rep, need);
         self.rep = self.rep.min(other.rep);
     }
 
@@ -116,13 +126,7 @@ impl ClosedInfo {
     /// are probed).
     #[inline]
     pub fn merge_tuple(&mut self, table: &Table, t: TupleId) {
-        let mut need = self.mask;
-        for d in need.iter() {
-            if table.value(self.rep, d) != table.value(t, d) {
-                need.remove(d);
-            }
-        }
-        self.mask = need;
+        self.mask = table.eq_mask_on(self.rep, t, self.mask);
         self.rep = self.rep.min(t);
     }
 
@@ -153,49 +157,76 @@ impl ClosedInfo {
         Some(info)
     }
 
-    /// Group-wise summary of an arbitrary tuple group: one pass per
-    /// dimension over the table's column, with per-dimension early exit on
-    /// the first mismatch and an 8-wide XOR/OR fold over the uniform prefix
-    /// (see the module docs). Equal to [`ClosedInfo::of_group`] on every
-    /// input; `None` for an empty group.
+    /// Group-wise summary of an arbitrary tuple group via the word-parallel
+    /// kernels (see the module docs): one packed-row fold covering all
+    /// dimensions at once when the table qualifies, otherwise one
+    /// natural-width pass per dimension with early exit on the first
+    /// mismatching word. Equal to [`ClosedInfo::of_group`] on every input;
+    /// `None` for an empty group.
+    ///
+    /// ```
+    /// use ccube_core::{ClosedInfo, DimMask, TableBuilder};
+    /// // Twelve tuples sharing dims 0 and 2, differing on dim 1.
+    /// let mut b = TableBuilder::new(3);
+    /// for i in 0..12u32 {
+    ///     b.push_row(&[7, i % 3, 4]);
+    /// }
+    /// let t = b.build().unwrap();
+    /// let tids: Vec<u32> = (0..12).collect();
+    /// let info = ClosedInfo::for_group(&t, &tids).unwrap();
+    /// assert_eq!(info.mask, [0usize, 2].into_iter().collect::<DimMask>());
+    /// assert_eq!(info.rep, 0);
+    /// // All Mask {1}: the starred dimension is non-uniform ⇒ closed.
+    /// assert!(info.is_closed(DimMask::single(1)));
+    /// ```
     pub fn for_group(table: &Table, tids: &[TupleId]) -> Option<ClosedInfo> {
         let (&first, rest) = tids.split_first()?;
         if rest.is_empty() {
             return Some(ClosedInfo::for_tuple(table, first));
         }
+        if let Some(packed) = table.packed_rows() {
+            // One load + XOR/OR per tuple covers every dimension; uniform
+            // dims are the zero byte lanes of the accumulated difference,
+            // and the representative's min-fold rides in the same loop.
+            let (acc, rest_min) = kernels::diff_or_packed_min(packed, packed[first as usize], rest);
+            let mask = DimMask(kernels::eq_u8_lanes(acc, 0) & DimMask::all(table.dims()).0);
+            let rep = first.min(rest_min);
+            return Some(ClosedInfo { mask, rep });
+        }
         if rest.len() < 8 {
-            // Below one fold chunk the per-column setup dominates; the
+            // Below one fold word the per-column setup dominates; the
             // tuple-at-a-time chain (which probes only still-alive
             // dimensions) is cheaper.
             return ClosedInfo::of_group(table, tids);
         }
         let mut mask = DimMask::EMPTY;
         for d in 0..table.dims() {
-            let col = table.col(d);
-            let v0 = col[first as usize];
-            let mut x = 0u32;
-            let mut chunks = rest.chunks_exact(8);
-            for c in &mut chunks {
-                // Zero iff all eight tuples hold `v0`; the OR-of-XOR fold is
-                // branch-free within the chunk and auto-vectorizes.
-                x |= (col[c[0] as usize] ^ v0)
-                    | (col[c[1] as usize] ^ v0)
-                    | (col[c[2] as usize] ^ v0)
-                    | (col[c[3] as usize] ^ v0)
-                    | (col[c[4] as usize] ^ v0)
-                    | (col[c[5] as usize] ^ v0)
-                    | (col[c[6] as usize] ^ v0)
-                    | (col[c[7] as usize] ^ v0);
-                if x != 0 {
-                    break; // Uniformity bit is dead; next dimension.
-                }
+            let uniform = with_lanes!(table.col(d), |col| {
+                kernels::all_equal(col, col[first as usize], rest)
+            });
+            if uniform {
+                mask.insert(d);
             }
-            if x == 0 {
-                for &t in chunks.remainder() {
-                    x |= col[t as usize] ^ v0;
-                }
-            }
-            if x == 0 {
+        }
+        let mut rep = first;
+        for &t in rest {
+            rep = rep.min(t);
+        }
+        Some(ClosedInfo { mask, rep })
+    }
+
+    /// Scalar reference implementation of [`ClosedInfo::for_group`]: the
+    /// same per-dimension column scans with no word packing. Retained as the
+    /// property-tested equivalence oracle for the kernels and as the
+    /// "before" side of the `exp -- substrate` measurements.
+    pub fn for_group_scalar(table: &Table, tids: &[TupleId]) -> Option<ClosedInfo> {
+        let (&first, rest) = tids.split_first()?;
+        let mut mask = DimMask::EMPTY;
+        for d in 0..table.dims() {
+            let uniform = with_lanes!(table.col(d), |col| {
+                kernels::all_equal_scalar(col, col[first as usize], rest)
+            });
+            if uniform {
                 mask.insert(d);
             }
         }
@@ -365,12 +396,32 @@ mod tests {
                 ClosedInfo::of_group(&t, tids),
                 "prefix of {hi}"
             );
+            assert_eq!(
+                ClosedInfo::for_group_scalar(&t, tids),
+                ClosedInfo::of_group(&t, tids),
+                "scalar prefix of {hi}"
+            );
         }
         let scrambled = vec![22, 3, 3, 17, 0, 9, 14, 5, 21, 2];
         assert_eq!(
             ClosedInfo::for_group(&t, &scrambled),
             ClosedInfo::of_group(&t, &scrambled)
         );
+        assert_eq!(
+            ClosedInfo::for_group_scalar(&t, &scrambled),
+            ClosedInfo::of_group(&t, &scrambled)
+        );
+        // The widened table exercises the per-dimension lane path (no
+        // packed-row companion) and must agree with the packed path.
+        let w = t.widened();
+        assert!(w.packed_rows().is_none());
+        for hi in 1..=23usize {
+            assert_eq!(
+                ClosedInfo::for_group(&w, &all[..hi]),
+                ClosedInfo::for_group(&t, &all[..hi]),
+                "widened prefix of {hi}"
+            );
+        }
         // Mismatch only in a chunk remainder (first 16 uniform, 17th not).
         let mut b = TableBuilder::new(1).cards(vec![2]);
         for i in 0..17u32 {

@@ -7,7 +7,12 @@
 //! The crate provides:
 //!
 //! * [`table::Table`] — an encoded relational table (the base cuboid). Every
-//!   dimension value is a dense `u32` code in `0..cardinality`.
+//!   dimension value is a dense code in `0..cardinality`, stored columnar at
+//!   its natural width (u8/u16/u32, chosen from cardinality at build time).
+//! * [`kernels`] — the explicit word-parallel kernel layer under the table:
+//!   narrow [`kernels::Column`] storage, the [`kernels::Lane`] width trait,
+//!   and the SWAR folds (uniformity, packed-row closedness, 4-lane counting
+//!   sort) that the hot loops dispatch to per width.
 //! * [`cell::Cell`] — a group-by cell: one value or `*` per dimension
 //!   (Definition 1 of the paper).
 //! * [`mask::DimMask`] — a `D`-bit dimension set used for All Masks, Closed
@@ -33,6 +38,7 @@
 pub mod cell;
 pub mod closedness;
 pub mod fxhash;
+pub mod kernels;
 pub mod mask;
 pub mod measure;
 pub mod naive;
@@ -43,6 +49,7 @@ pub mod table;
 
 pub use cell::{Cell, STAR};
 pub use closedness::ClosedInfo;
+pub use kernels::{ColRef, Column, Width};
 pub use mask::DimMask;
 pub use measure::{CountOnly, MeasureSpec};
 pub use sink::{CellBatch, CellSink, CollectSink, CountingSink, NullSink, SizeSink};

@@ -33,6 +33,21 @@ pub trait MeasureSpec {
     /// accumulator reads table columns can override with a direct column
     /// gather — the override must produce the same result as the default.
     ///
+    /// ```
+    /// use ccube_core::measure::{ColumnStats, MeasureSpec};
+    /// use ccube_core::TableBuilder;
+    ///
+    /// let table = TableBuilder::new(1)
+    ///     .row(&[0])
+    ///     .row(&[0])
+    ///     .row(&[1])
+    ///     .measure("price", vec![10.0, 30.0, 20.0])
+    ///     .build()
+    ///     .unwrap();
+    /// let stats = ColumnStats { column: 0 }.fold(&table, &[0, 1, 2]);
+    /// assert_eq!((stats.sum, stats.min, stats.max), (60.0, 10.0, 30.0));
+    /// ```
+    ///
     /// # Panics
     /// Panics on an empty group.
     fn fold(&self, table: &Table, tids: &[TupleId]) -> Self::Acc {

@@ -1,4 +1,5 @@
-//! Encoded relational tables (the base cuboid) — **columnar layout**.
+//! Encoded relational tables (the base cuboid) — **columnar, narrow-width
+//! layout**.
 //!
 //! Cube algorithms in this workspace operate over tables whose dimension
 //! values are dense `u32` codes: dimension `d` with cardinality `c` holds
@@ -9,22 +10,32 @@
 //!
 //! ## Data layout
 //!
-//! Values are stored **dimension-major**: one contiguous `u32` column per
-//! dimension ([`Table::col`]), all columns packed back to back in a single
-//! allocation. Every hot scan in the workspace — counting-sort partitioning,
-//! per-dimension frequency/uniformity checks, group-wise
-//! [`crate::closedness::ClosedInfo`] construction, and shard-view
-//! materialization — reads *one dimension across many tuples*, so the
-//! columnar layout turns what used to be a `dims`-stride walk into a
-//! sequential (or at worst gather-from-one-column) access pattern, and view
-//! materialization becomes one `memcpy`-like gather loop per column.
+//! Values are stored **dimension-major**: one contiguous column per
+//! dimension ([`Table::col`]), each at its **natural width**
+//! ([`crate::kernels::Column`]) — `u8` for cardinality ≤ 256, `u16` ≤
+//! 65 536, `u32` beyond — chosen once at [`TableBuilder::build`] from the
+//! declared (or inferred) cardinality. Every hot scan in the workspace —
+//! counting-sort partitioning, per-dimension frequency/uniformity checks,
+//! group-wise [`crate::closedness::ClosedInfo`] construction, and
+//! shard-view materialization — reads *one dimension across many tuples*,
+//! so the columnar layout makes the access sequential (or a gather from one
+//! column) and the narrow width divides the bytes it touches by up to 4.
+//!
+//! When every dimension fits `u8` and there are at most 8 of them, the
+//! table additionally keeps a **packed row companion**
+//! ([`Table::packed_rows`]): one `u64` per tuple with dimension `d` in byte
+//! lane `d`. Pairwise closedness merges and whole-group closed-mask folds
+//! then handle *all* dimensions with one load and a couple of SWAR
+//! instructions per tuple (see [`crate::kernels`]).
+//!
 //! Row-major access is preserved as thin shims ([`Table::value`],
 //! [`Table::row`], [`Table::iter_rows`]) for builders, IO and tests; the
 //! shims are not for inner loops.
 
+use crate::kernels::{self, ColRef, Column, Width};
 use crate::mask::DimMask;
 use crate::partition::{Group, Partitioner};
-use crate::{CubeError, Result, MAX_DIMS};
+use crate::{with_lanes, CubeError, Result, MAX_DIMS};
 
 /// Identifier of a tuple (row) in a [`Table`].
 ///
@@ -32,9 +43,9 @@ use crate::{CubeError, Result, MAX_DIMS};
 /// over these IDs, so they must be totally ordered; row index order is used.
 pub type TupleId = u32;
 
-/// An encoded relational table: `rows × dims` dense `u32` values stored
-/// **dimension-major** (one contiguous column per dimension), plus optional
-/// `f64` measure columns.
+/// An encoded relational table: `rows × dims` dense values stored
+/// **dimension-major** (one contiguous [`Column`] per dimension, each at its
+/// natural width), plus optional `f64` measure columns.
 ///
 /// The first [`Table::cube_dims`] dimensions are the *group-by* dimensions a
 /// cube algorithm enumerates; any trailing dimensions are **carried**: they
@@ -52,10 +63,39 @@ pub struct Table {
     rows: usize,
     cards: Vec<u32>,
     names: Vec<String>,
-    /// Column-major values: dimension `d` occupies
-    /// `data[d * rows .. (d + 1) * rows]`.
-    data: Vec<u32>,
+    /// One column per dimension, at its natural width.
+    cols: Vec<Column>,
+    /// Row-packed companion (`Some` iff all dims are `u8` and `dims <= 8`):
+    /// `packed[t]` holds tuple `t`'s whole row, dimension `d` in byte lane
+    /// `d`. Deterministically derived from `cols`, so the `PartialEq`
+    /// derive stays sound.
+    packed: Option<Vec<u64>>,
     measures: Vec<(String, Vec<f64>)>,
+}
+
+fn pack_all(cols: &[Column]) -> Option<Vec<u64>> {
+    if !kernels::packable(cols) {
+        return None;
+    }
+    let rows = cols.first().map_or(0, Column::len);
+    let mut packed = vec![0u64; rows];
+    or_into_packed(cols, &mut packed);
+    Some(packed)
+}
+
+/// OR each `u8` column into its byte lane of `packed` (which must be
+/// zeroed, one word per row) — one sequential pass per column.
+fn or_into_packed(cols: &[Column], packed: &mut [u64]) {
+    for (d, c) in cols.iter().enumerate() {
+        match c {
+            Column::U8(c) => {
+                for (w, &v) in packed.iter_mut().zip(c.iter()) {
+                    *w |= u64::from(v) << (8 * d);
+                }
+            }
+            _ => unreachable!("packing a non-u8 column"),
+        }
+    }
 }
 
 impl Table {
@@ -98,23 +138,40 @@ impl Table {
         &self.cards
     }
 
+    /// Storage width of dimension `d`'s column.
+    #[inline]
+    pub fn width(&self, d: usize) -> Width {
+        self.cols[d].width()
+    }
+
     /// Name of dimension `d`.
     #[inline]
     pub fn dim_name(&self, d: usize) -> &str {
         &self.names[d]
     }
 
-    /// The contiguous value column of dimension `d` (`col(d)[t]` = value of
-    /// tuple `t` on `d`) — the substrate every hot scan iterates.
+    /// The contiguous value column of dimension `d` as a width-tagged
+    /// borrowed slice — the substrate every hot scan iterates. Match it (or
+    /// use [`with_lanes!`](crate::with_lanes)) to monomorphize a loop per
+    /// width; use [`ColRef::get`] only on cold paths.
     #[inline]
-    pub fn col(&self, d: usize) -> &[u32] {
-        &self.data[d * self.rows..(d + 1) * self.rows]
+    pub fn col(&self, d: usize) -> ColRef<'_> {
+        self.cols[d].as_ref()
     }
 
-    /// Value of tuple `t` on dimension `d`.
+    /// The row-packed companion, if this table qualifies (all dimensions
+    /// `u8`, at most 8 of them): one `u64` per tuple, dimension `d` in byte
+    /// lane `d`. See [`crate::kernels::eq_u8_lanes`] /
+    /// [`crate::kernels::diff_or_packed`] for the kernels that consume it.
+    #[inline]
+    pub fn packed_rows(&self) -> Option<&[u64]> {
+        self.packed.as_deref()
+    }
+
+    /// Value of tuple `t` on dimension `d` (widened to `u32`).
     #[inline]
     pub fn value(&self, t: TupleId, d: usize) -> u32 {
-        self.data[d * self.rows + t as usize]
+        self.cols[d].get(t as usize)
     }
 
     /// The full row of tuple `t`, gathered from the columns. A shim for
@@ -161,40 +218,60 @@ impl Table {
     /// values.
     ///
     /// This is the `Eq(|{V(T(S_i), d)}|, 1)` factor of Lemma 3 vectorized over
-    /// all dimensions: the Closed Mask merge of two parts is
-    /// `mask_a & mask_b & eq_mask(rep_a, rep_b)`. Reads two entries per
-    /// column; whole-group uniformity checks should use
-    /// [`crate::closedness::ClosedInfo::for_group`], which scans each column
-    /// once with early exit, instead of chaining pairwise `eq_mask` merges.
+    /// all dimensions. On row-packed tables ([`Table::packed_rows`]) it is
+    /// one XOR plus a SWAR zero-byte test; otherwise one probe per column.
+    /// Whole-group uniformity checks should use
+    /// [`crate::closedness::ClosedInfo::for_group`], which folds each
+    /// dimension once with early exit, instead of chaining pairwise
+    /// `eq_mask` merges.
     #[inline]
     pub fn eq_mask(&self, a: TupleId, b: TupleId) -> DimMask {
-        let (a, b) = (a as usize, b as usize);
-        let mut m = 0u64;
-        // Branch-free accumulation keeps this hot loop tight: it runs on
-        // every pairwise closedness merge in every algorithm.
-        for (d, col) in self.data.chunks_exact(self.rows.max(1)).enumerate() {
-            m |= ((col[a] == col[b]) as u64) << d;
+        self.eq_mask_on(a, b, DimMask::all(self.dims))
+    }
+
+    /// [`Table::eq_mask`] restricted to the dimensions in `need` — the merge
+    /// survival check of [`crate::closedness::ClosedInfo::merge`]. Returns
+    /// `need & eq_mask(a, b)` without probing any dimension outside `need`
+    /// on the probe path (an empty `need` touches no table data at all).
+    #[inline]
+    pub fn eq_mask_on(&self, a: TupleId, b: TupleId, need: DimMask) -> DimMask {
+        if need.is_empty() {
+            return DimMask::EMPTY;
         }
-        DimMask(m)
+        if let Some(packed) = &self.packed {
+            // One XOR + SWAR for the whole row; unused high lanes compare
+            // equal (both zero) and are stripped by `need`.
+            return DimMask(kernels::eq_u8_lanes(packed[a as usize], packed[b as usize]) & need.0);
+        }
+        let mut m = need;
+        for d in need.iter() {
+            if self.cols[d].get(a as usize) != self.cols[d].get(b as usize) {
+                m.remove(d);
+            }
+        }
+        m
     }
 
     /// Per-value frequency histogram of dimension `d` (one sequential pass
     /// over the column).
     pub fn freq(&self, d: usize) -> Vec<u32> {
         let mut f = vec![0u32; self.cards[d] as usize];
-        for &v in self.col(d) {
-            f[v as usize] += 1;
-        }
+        with_lanes!(self.col(d), |col| {
+            for &v in col {
+                f[u32::from(v) as usize] += 1;
+            }
+        });
         f
     }
 
     /// Per-value frequency histogram of dimension `d` restricted to `tids`.
     pub fn freq_of(&self, d: usize, tids: &[TupleId]) -> Vec<u32> {
         let mut f = vec![0u32; self.cards[d] as usize];
-        let col = self.col(d);
-        for &t in tids {
-            f[col[t as usize] as usize] += 1;
-        }
+        with_lanes!(self.col(d), |col| {
+            for &t in tids {
+                f[u32::from(col[t as usize]) as usize] += 1;
+            }
+        });
         f
     }
 
@@ -213,10 +290,34 @@ impl Table {
         e
     }
 
+    /// A copy of this table with **every** column widened to `u32` and the
+    /// packed-row companion dropped — the pre-narrowing substrate, kept for
+    /// the `exp -- substrate` before/after measurements and as the wide
+    /// reference side of the width-equivalence property tests. Views of a
+    /// widened table stay wide, so a whole cubing run can be replayed on
+    /// the old layout.
+    pub fn widened(&self) -> Table {
+        Table {
+            dims: self.dims,
+            cube_dims: self.cube_dims,
+            rows: self.rows,
+            cards: self.cards.clone(),
+            names: self.names.clone(),
+            cols: self
+                .cols
+                .iter()
+                .map(|c| Column::U32(c.as_ref().to_u32_vec()))
+                .collect(),
+            packed: None,
+            measures: self.measures.clone(),
+        }
+    }
+
     /// Build a new table with dimensions permuted: new dimension `i` is old
     /// dimension `perm[i]`. Measure columns are untouched. Returns an error if
     /// `perm` is not a permutation of `0..dims`. Columnar storage makes this a
-    /// straight per-column copy.
+    /// straight per-column copy (the packed companion is re-derived — lanes
+    /// follow dimension order).
     pub fn permute_dims(&self, perm: &[usize]) -> Result<Table> {
         if perm.len() != self.dims {
             return Err(CubeError::BadRowWidth {
@@ -231,17 +332,15 @@ impl Table {
             }
             seen[p] = true;
         }
-        let mut data = Vec::with_capacity(self.data.len());
-        for &p in perm {
-            data.extend_from_slice(self.col(p));
-        }
+        let cols: Vec<Column> = perm.iter().map(|&p| self.cols[p].clone()).collect();
         Ok(Table {
             dims: self.dims,
             cube_dims: self.dims,
             rows: self.rows,
             cards: perm.iter().map(|&p| self.cards[p]).collect(),
             names: perm.iter().map(|&p| self.names[p].clone()).collect(),
-            data,
+            packed: pack_all(&cols),
+            cols,
             measures: self.measures.clone(),
         })
     }
@@ -250,13 +349,15 @@ impl Table {
     /// which select 5–8 leading dimensions). A columnar prefix copy.
     pub fn truncate_dims(&self, k: usize) -> Table {
         assert!(k <= self.dims && k > 0);
+        let cols = self.cols[..k].to_vec();
         Table {
             dims: k,
             cube_dims: k,
             rows: self.rows,
             cards: self.cards[..k].to_vec(),
             names: self.names[..k].to_vec(),
-            data: self.data[..k * self.rows].to_vec(),
+            packed: pack_all(&cols),
+            cols,
             measures: self.measures.clone(),
         }
     }
@@ -264,17 +365,23 @@ impl Table {
     /// Keep only the first `n` rows.
     pub fn truncate_rows(&self, n: usize) -> Table {
         let n = n.min(self.rows);
-        let mut data = Vec::with_capacity(n * self.dims);
-        for d in 0..self.dims {
-            data.extend_from_slice(&self.col(d)[..n]);
-        }
+        let cols: Vec<Column> = self
+            .cols
+            .iter()
+            .map(|c| {
+                let mut c = c.clone();
+                c.truncate(n);
+                c
+            })
+            .collect();
         Table {
             dims: self.dims,
             cube_dims: self.cube_dims,
             rows: n,
             cards: self.cards.clone(),
             names: self.names.clone(),
-            data,
+            packed: pack_all(&cols),
+            cols,
             measures: self
                 .measures
                 .iter()
@@ -284,9 +391,11 @@ impl Table {
     }
 
     /// Re-encode so every dimension's cardinality equals the number of values
-    /// that actually occur (dense re-coding). Useful after truncation.
+    /// that actually occur (dense re-coding). Useful after truncation; a
+    /// dimension whose occupied domain shrinks below a width boundary also
+    /// narrows its storage.
     pub fn compact(&self) -> Table {
-        let mut data = Vec::with_capacity(self.data.len());
+        let mut cols = Vec::with_capacity(self.dims);
         let mut cards = Vec::with_capacity(self.dims);
         for d in 0..self.dims {
             let freq = self.freq(d);
@@ -298,8 +407,15 @@ impl Table {
                     next += 1;
                 }
             }
-            data.extend(self.col(d).iter().map(|&v| map[v as usize]));
-            cards.push(next.max(1));
+            let card = next.max(1);
+            let mut col = Column::with_capacity(Width::for_card(card), self.rows);
+            with_lanes!(self.col(d), |src| {
+                for &v in src {
+                    col.push(map[u32::from(v) as usize]);
+                }
+            });
+            cols.push(col);
+            cards.push(card);
         }
         Table {
             dims: self.dims,
@@ -307,7 +423,8 @@ impl Table {
             rows: self.rows,
             cards,
             names: self.names.clone(),
-            data,
+            packed: pack_all(&cols),
+            cols,
             measures: self.measures.clone(),
         }
     }
@@ -345,18 +462,19 @@ impl Table {
     /// ascending). Composing calls ANDs selections across dimensions, the
     /// dice-then-dice contract of the query layer.
     pub fn filter_tids(&self, d: usize, values: &[u32], tids: &mut Vec<TupleId>) {
-        let col = self.col(d);
-        if values.len() <= 8 {
-            tids.retain(|&t| values.contains(&col[t as usize]));
-        } else {
-            let mut member = vec![false; self.cards[d] as usize];
-            for &v in values {
-                if let Some(slot) = member.get_mut(v as usize) {
-                    *slot = true;
+        with_lanes!(self.col(d), |col| {
+            if values.len() <= 8 {
+                tids.retain(|&t| values.contains(&u32::from(col[t as usize])));
+            } else {
+                let mut member = vec![false; self.cards[d] as usize];
+                for &v in values {
+                    if let Some(slot) = member.get_mut(v as usize) {
+                        *slot = true;
+                    }
                 }
+                tids.retain(|&t| member[u32::from(col[t as usize]) as usize]);
             }
-            tids.retain(|&t| member[col[t as usize] as usize]);
-        }
+        });
     }
 
     /// Materialize the sub-table holding rows `tids` with dimensions
@@ -369,12 +487,14 @@ impl Table {
         self.view_in(&mut ViewArena::new(), tids, dim_order, cube_dims)
     }
 
-    /// [`Table::view`] drawing the large row/measure buffers from `arena`
+    /// [`Table::view`] drawing the large column/measure buffers from `arena`
     /// instead of the allocator. Return the view to the arena with
     /// [`ViewArena::reclaim`] once the cubing run over it is done; a worker
     /// thread then materializes every shard view it processes into the same
-    /// recycled capacity. With the columnar layout each view dimension is one
-    /// straight gather loop over the source column — no row scatter.
+    /// recycled capacity. Each view dimension is one width-preserving gather
+    /// loop over the source column — no row scatter — and when the reordered
+    /// dimensions still qualify, the packed-row companion is rebuilt with
+    /// one extra OR-in pass per column (its `u64` buffer is pooled too).
     pub fn view_in(
         &self,
         arena: &mut ViewArena,
@@ -384,20 +504,31 @@ impl Table {
     ) -> Table {
         debug_assert!(cube_dims >= 1 && cube_dims <= dim_order.len());
         debug_assert!(dim_order.iter().all(|&d| d < self.dims));
-        let vdims = dim_order.len();
-        let mut data = arena.take_u32();
-        data.reserve(tids.len() * vdims);
-        for &d in dim_order {
-            let col = self.col(d);
-            data.extend(tids.iter().map(|&t| col[t as usize]));
-        }
+        let cols: Vec<Column> = dim_order
+            .iter()
+            .map(|&d| {
+                let mut out = arena.take_col(self.cols[d].width());
+                out.reserve(tids.len());
+                out.gather_from(self.col(d), tids);
+                out
+            })
+            .collect();
+        let packed = if kernels::packable(&cols) {
+            let mut packed = arena.take_u64();
+            packed.resize(tids.len(), 0);
+            or_into_packed(&cols, &mut packed);
+            Some(packed)
+        } else {
+            None
+        };
         Table {
-            dims: vdims,
+            dims: dim_order.len(),
             cube_dims,
             rows: tids.len(),
             cards: dim_order.iter().map(|&d| self.cards[d]).collect(),
             names: dim_order.iter().map(|&d| self.names[d].clone()).collect(),
-            data,
+            cols,
+            packed,
             measures: self
                 .measures
                 .iter()
@@ -417,9 +548,12 @@ impl Table {
 /// and the per-task output batches are the dominant allocations on the
 /// parallel engine's hot path, and an arena turns them into amortized-free
 /// buffer reuse (per-worker for views; shared behind the engine's batch
-/// recycler for output batches, which drain on the merging thread).
+/// recycler for output batches, which drain on the merging thread). Pools
+/// are kept per width so narrow view columns recycle into narrow buffers.
 #[derive(Debug, Default)]
 pub struct ViewArena {
+    u8_bufs: Vec<Vec<u8>>,
+    u16_bufs: Vec<Vec<u16>>,
     u32_bufs: Vec<Vec<u32>>,
     u64_bufs: Vec<Vec<u64>>,
     f64_bufs: Vec<Vec<f64>>,
@@ -429,6 +563,31 @@ impl ViewArena {
     /// Fresh, empty arena.
     pub fn new() -> ViewArena {
         ViewArena::default()
+    }
+
+    fn take_col(&mut self, w: Width) -> Column {
+        match w {
+            Width::U8 => Column::U8(self.u8_bufs.pop().unwrap_or_default()),
+            Width::U16 => Column::U16(self.u16_bufs.pop().unwrap_or_default()),
+            Width::U32 => Column::U32(self.u32_bufs.pop().unwrap_or_default()),
+        }
+    }
+
+    fn put_col(&mut self, col: Column) {
+        match col {
+            Column::U8(mut b) => {
+                b.clear();
+                self.u8_bufs.push(b);
+            }
+            Column::U16(mut b) => {
+                b.clear();
+                self.u16_bufs.push(b);
+            }
+            Column::U32(mut b) => {
+                b.clear();
+                self.u32_bufs.push(b);
+            }
+        }
     }
 
     pub(crate) fn take_u32(&mut self) -> Vec<u32> {
@@ -455,11 +614,16 @@ impl ViewArena {
 
     /// Take a view's large buffers back into the arena. The view must have
     /// been produced by [`Table::view_in`] on this or a compatible arena
-    /// (any `Table` works; its buffers are simply absorbed).
+    /// (any `Table` works; its buffers are simply absorbed into the pools
+    /// matching their widths).
     pub fn reclaim(&mut self, view: Table) {
-        let mut data = view.data;
-        data.clear();
-        self.u32_bufs.push(data);
+        for col in view.cols {
+            self.put_col(col);
+        }
+        if let Some(mut packed) = view.packed {
+            packed.clear();
+            self.u64_bufs.push(packed);
+        }
         for (_, mut col) in view.measures {
             col.clear();
             self.f64_bufs.push(col);
@@ -470,10 +634,12 @@ impl ViewArena {
 /// Incremental builder for [`Table`].
 ///
 /// Rows are accumulated row-major (the natural ingestion order) and
-/// transposed into the columnar layout once, at [`TableBuilder::build`].
-/// All validation — dimension count, row widths, declared cardinalities,
-/// measure lengths — reports through [`CubeError`] in release builds too;
-/// nothing is debug-assert-only.
+/// transposed into the columnar layout once, at [`TableBuilder::build`] —
+/// which is also where each dimension's storage width is chosen from its
+/// declared (or inferred) cardinality, so algorithms never see widths
+/// change underneath them. All validation — dimension count, row widths,
+/// declared cardinalities, measure lengths — reports through [`CubeError`]
+/// in release builds too; nothing is debug-assert-only.
 ///
 /// ```
 /// use ccube_core::TableBuilder;
@@ -515,7 +681,8 @@ impl TableBuilder {
     }
 
     /// Declare dimension cardinalities. If omitted, cardinalities are inferred
-    /// as `max value + 1` per dimension at build time.
+    /// as `max value + 1` per dimension at build time. The declared (or
+    /// inferred) cardinality also fixes each column's storage width.
     pub fn cards(mut self, cards: Vec<u32>) -> TableBuilder {
         self.cards = Some(cards);
         self
@@ -554,8 +721,10 @@ impl TableBuilder {
         self
     }
 
-    /// Validate and produce the [`Table`] (transposing the accumulated rows
-    /// into the columnar layout).
+    /// Validate and produce the [`Table`]: transpose the accumulated rows
+    /// into the columnar layout, each dimension at the narrowest width its
+    /// cardinality permits ([`Width::for_card`]), and build the packed-row
+    /// companion when every dimension fits a byte lane.
     pub fn build(self) -> Result<Table> {
         let dims = self.dims;
         if dims == 0 || dims > MAX_DIMS {
@@ -626,11 +795,15 @@ impl TableBuilder {
                 });
             }
         }
-        // Transpose row-major ingestion into the columnar layout.
-        let mut data = vec![0u32; rows * dims];
-        for (t, r) in self.data.chunks_exact(dims).enumerate() {
-            for (d, &v) in r.iter().enumerate() {
-                data[d * rows + t] = v;
+        // Transpose row-major ingestion into narrow columns. Validation
+        // above guarantees every value fits its dimension's width.
+        let mut cols: Vec<Column> = cards
+            .iter()
+            .map(|&c| Column::with_capacity(Width::for_card(c), rows))
+            .collect();
+        for r in self.data.chunks_exact(dims) {
+            for (col, &v) in cols.iter_mut().zip(r.iter()) {
+                col.push(v);
             }
         }
         Ok(Table {
@@ -639,7 +812,8 @@ impl TableBuilder {
             rows,
             cards,
             names,
-            data,
+            packed: pack_all(&cols),
+            cols,
             measures: self.measures,
         })
     }
@@ -665,6 +839,55 @@ mod tests {
         assert_eq!(t.cards(), &[1, 2, 2, 3]);
         assert_eq!(t.rows(), 3);
         assert_eq!(t.dims(), 4);
+    }
+
+    #[test]
+    fn builder_picks_natural_widths() {
+        let t = TableBuilder::new(3)
+            .cards(vec![256, 257, 70_000])
+            .row(&[255, 256, 65_536])
+            .build()
+            .unwrap();
+        assert_eq!(t.width(0), Width::U8);
+        assert_eq!(t.width(1), Width::U16);
+        assert_eq!(t.width(2), Width::U32);
+        assert_eq!(t.row(0), &[255, 256, 65_536]);
+        // Mixed widths -> no packed companion.
+        assert!(t.packed_rows().is_none());
+    }
+
+    #[test]
+    fn packed_rows_mirror_columns() {
+        let t = example_table();
+        let packed = t.packed_rows().expect("4 u8 dims pack");
+        assert_eq!(packed.len(), 3);
+        for (t_id, row) in t.iter_rows() {
+            let mut want = 0u64;
+            for (d, &v) in row.iter().enumerate() {
+                want |= u64::from(v) << (8 * d);
+            }
+            assert_eq!(packed[t_id as usize], want);
+        }
+        // Nine u8 dims cannot pack.
+        let mut b = TableBuilder::new(9);
+        b.push_row(&[0; 9]);
+        assert!(b.build().unwrap().packed_rows().is_none());
+    }
+
+    #[test]
+    fn widened_matches_narrow() {
+        let t = example_table();
+        let w = t.widened();
+        assert!(w.packed_rows().is_none());
+        assert_eq!(w.cards(), t.cards());
+        for d in 0..t.dims() {
+            assert_eq!(w.width(d), Width::U32);
+            assert_eq!(w.col(d).to_u32_vec(), t.col(d).to_u32_vec());
+        }
+        for (tid, row) in t.iter_rows() {
+            assert_eq!(w.row(tid), row);
+        }
+        assert_eq!(w.eq_mask(0, 1), t.eq_mask(0, 1));
     }
 
     #[test]
@@ -725,12 +948,12 @@ mod tests {
     #[test]
     fn columns_are_contiguous_per_dimension() {
         let t = example_table();
-        assert_eq!(t.col(0), &[0, 0, 0]);
-        assert_eq!(t.col(1), &[0, 0, 1]);
-        assert_eq!(t.col(3), &[0, 2, 1]);
+        assert_eq!(t.col(0).to_u32_vec(), &[0, 0, 0]);
+        assert_eq!(t.col(1).to_u32_vec(), &[0, 0, 1]);
+        assert_eq!(t.col(3).to_u32_vec(), &[0, 2, 1]);
         for d in 0..t.dims() {
             for tid in 0..t.rows() as TupleId {
-                assert_eq!(t.col(d)[tid as usize], t.value(tid, d));
+                assert_eq!(t.col(d).get(tid as usize), t.value(tid, d));
             }
         }
     }
@@ -744,6 +967,16 @@ mod tests {
         assert_eq!(t.eq_mask(0, 2), DimMask::single(0));
         // reflexive
         assert_eq!(t.eq_mask(1, 1), DimMask::all(4));
+        // The packed fast path and the probe path agree.
+        let w = t.widened();
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(t.eq_mask(a, b), w.eq_mask(a, b));
+                let need = DimMask::single(3) | DimMask::single(1);
+                assert_eq!(t.eq_mask_on(a, b, need), w.eq_mask_on(a, b, need));
+                assert_eq!(t.eq_mask_on(a, b, DimMask::EMPTY), DimMask::EMPTY);
+            }
+        }
     }
 
     #[test]
@@ -794,9 +1027,11 @@ mod tests {
         let k = t.truncate_dims(2);
         assert_eq!(k.dims(), 2);
         assert_eq!(k.row(2), &[0, 1]);
+        assert!(k.packed_rows().is_some());
         let r = t.truncate_rows(1);
         assert_eq!(r.rows(), 1);
         assert_eq!(r.row(0), t.row(0));
+        assert_eq!(r.packed_rows().unwrap().len(), 1);
     }
 
     #[test]
@@ -811,6 +1046,26 @@ mod tests {
         assert_eq!(c.cards(), &[2, 1]);
         assert_eq!(c.row(0), &[1, 0]);
         assert_eq!(c.row(1), &[0, 0]);
+    }
+
+    #[test]
+    fn compact_narrows_widths() {
+        // Declared card 1000 -> u16 storage; only 3 occupied values, so the
+        // compacted column narrows to u8.
+        let t = TableBuilder::new(1)
+            .cards(vec![1000])
+            .row(&[999])
+            .row(&[500])
+            .row(&[999])
+            .row(&[0])
+            .build()
+            .unwrap();
+        assert_eq!(t.width(0), Width::U16);
+        let c = t.compact();
+        assert_eq!(c.width(0), Width::U8);
+        assert_eq!(c.cards(), &[3]);
+        assert_eq!(c.col(0).to_u32_vec(), &[2, 1, 2, 0]);
+        assert!(c.packed_rows().is_some());
     }
 
     #[test]
@@ -872,6 +1127,27 @@ mod tests {
         assert_eq!(v.dim_name(2), t.dim_name(0));
         // eq_mask spans carried dims too: view rows agree on dim 2 (= a).
         assert_eq!(v.eq_mask(0, 1), DimMask::single(2));
+        // Views keep source widths and rebuild the packed companion.
+        assert_eq!(v.width(0), Width::U8);
+        let packed = v.packed_rows().expect("u8 view packs");
+        assert_eq!(packed.len(), 2);
+        assert_eq!(packed[1], 1 | (1 << 8) | (1 << 24));
+    }
+
+    #[test]
+    fn view_arena_recycles_narrow_buffers() {
+        let t = example_table();
+        let mut arena = ViewArena::new();
+        let v1 = t.view_in(&mut arena, &[0, 1, 2], &[1, 0], 1);
+        assert_eq!(v1.width(0), Width::U8);
+        arena.reclaim(v1);
+        assert_eq!(arena.u8_bufs.len(), 2);
+        assert_eq!(arena.u64_bufs.len(), 1);
+        let v2 = t.view_in(&mut arena, &[2], &[0, 1], 1);
+        // The pooled u8 buffers were reused.
+        assert_eq!(arena.u8_bufs.len(), 0);
+        assert_eq!(v2.row(0), &[0, 1]);
+        assert_eq!(v2.packed_rows(), Some(&[0x0100u64][..]));
     }
 
     #[test]

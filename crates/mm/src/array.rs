@@ -46,10 +46,11 @@ impl RowMirror {
         let rows = table.rows();
         let mut data = vec![0u32; rows * dims];
         for d in 0..dims {
-            let col = table.col(d);
-            for (t, &v) in col.iter().enumerate() {
-                data[t * dims + d] = v;
-            }
+            ccube_core::with_lanes!(table.col(d), |col| {
+                for (t, &v) in col.iter().enumerate() {
+                    data[t * dims + d] = u32::from(v);
+                }
+            });
         }
         RowMirror { dims, data }
     }

@@ -93,16 +93,17 @@ pub fn classify(
     // array for that dimension stays hot).
     for &d in unfixed {
         scratch.touched[d].clear();
-        let col = table.col(d);
         let counts = &mut scratch.counts[d];
         let touched = &mut scratch.touched[d];
-        for &t in tids {
-            let v = col[t as usize] as usize;
-            if counts[v] == 0 {
-                touched.push(v as u32);
+        ccube_core::with_lanes!(table.col(d), |col| {
+            for &t in tids {
+                let v = u32::from(col[t as usize]) as usize;
+                if counts[v] == 0 {
+                    touched.push(v as u32);
+                }
+                counts[v] += 1;
             }
-            counts[v] += 1;
-        }
+        });
     }
 
     // Dense candidates across all dimensions, admitted greedily by

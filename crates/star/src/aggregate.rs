@@ -136,8 +136,8 @@ fn build_base<const CLOSED: bool, M: MeasureSpec>(
                 .collect();
             table
                 .col(d)
-                .iter()
-                .map(|&v| if starred[v as usize] { sentinel } else { v })
+                .iter_u32()
+                .map(|v| if starred[v as usize] { sentinel } else { v })
                 .collect()
         })
         .collect();

@@ -234,19 +234,19 @@ fn expand<const CLOSED: bool, M: MeasureSpec>(
         return;
     }
     let d = tree.rem_dims[depth];
-    let col = table.col(d);
     let (start, end) = (
         tree.nodes[node as usize].pool_start as usize,
         tree.nodes[node as usize].pool_end as usize,
     );
     // Contiguous runs by value of `d` (the pool is sorted by rem_dims, so
-    // runs are maximal); run detection gathers from the one pinned column.
+    // runs are maximal); run detection gathers from the one pinned column,
+    // monomorphized per storage width.
     let mut run_start = start;
     let mut last_son = NONE;
-    while run_start < end {
-        let v = col[tree.pool[run_start] as usize];
+    ccube_core::with_lanes!(table.col(d), |col| while run_start < end {
+        let v = u32::from(col[tree.pool[run_start] as usize]);
         let mut run_end = run_start + 1;
-        while run_end < end && col[tree.pool[run_end] as usize] == v {
+        while run_end < end && u32::from(col[tree.pool[run_end] as usize]) == v {
             run_end += 1;
         }
         let count = (run_end - run_start) as u64;
@@ -280,7 +280,7 @@ fn expand<const CLOSED: bool, M: MeasureSpec>(
             expand::<CLOSED, M>(table, tree, id, depth + 1, min_sup, spec);
         }
         run_start = run_end;
-    }
+    });
 }
 
 struct Ctx<'a, M: MeasureSpec, S> {

@@ -516,7 +516,7 @@ impl TableStats {
             let (a, b) = (table.col(d), table.col(d + 1));
             let mut seen = ccube_core::fxhash::FxHashSet::default();
             for t in 0..sample {
-                seen.insert(((a[t] as u64) << 32) | b[t] as u64);
+                seen.insert((u64::from(a.get(t)) << 32) | u64::from(b.get(t)));
             }
             // Expected distinct pairs under independence, capped by both the
             // domain size and the sample size (the occupancy approximation

@@ -1,13 +1,15 @@
-//! Columnar-substrate equivalence: the dimension-major `Table` layout, the
-//! group-wise `ClosedInfo::for_group` constructor, and the sparse-reset
-//! partitioner must be invisible in the results — every algorithm, every
-//! thread count, every workload shape.
+//! Columnar-substrate equivalence: the dimension-major `Table` layout with
+//! its narrow (u8/u16/u32) columns and packed-row companion, the
+//! kernel-backed `ClosedInfo::for_group` constructor, and the partitioner's
+//! lane-interleaved counting-sort passes must all be invisible in the
+//! results — every algorithm, every thread count, every workload shape,
+//! every storage width.
 
 use c_cubing::prelude::*;
 use ccube_core::closedness::ClosedInfo;
 use ccube_core::partition::Partitioner;
 use ccube_core::sink::collect_counts;
-use ccube_core::TupleId;
+use ccube_core::{DimMask, TupleId, Width};
 use proptest::prelude::*;
 
 /// Small random table plus a random subset of its tuple IDs (unsorted, no
@@ -55,6 +57,79 @@ proptest! {
             want.merge_tuple(&table, t);
         }
         prop_assert_eq!(ClosedInfo::for_group(&table, &tids), Some(want));
+    }
+
+    /// The packed/word-parallel `for_group` equals the retained scalar
+    /// fallback on arbitrary tables and tid subsets — including duplicated
+    /// tids, which some callers pass.
+    #[test]
+    fn for_group_kernels_equal_scalar(case in arb_table_and_tids()) {
+        let (table, mut tids) = case;
+        // Duplicate a prefix to exercise repeated-tid inputs.
+        let dup: Vec<TupleId> = tids.iter().take(3).copied().collect();
+        tids.extend(dup);
+        prop_assert_eq!(
+            ClosedInfo::for_group(&table, &tids),
+            ClosedInfo::for_group_scalar(&table, &tids)
+        );
+        // The widened (all-u32, no packed rows) table agrees too.
+        prop_assert_eq!(
+            ClosedInfo::for_group(&table.widened(), &tids),
+            ClosedInfo::for_group(&table, &tids)
+        );
+    }
+
+    /// Narrowed columns round-trip: `build()`'s width choice is invisible
+    /// through every accessor — `value`, `row`, `col`, `freq`, `eq_mask` —
+    /// against the widened all-`u32` reference. Cardinalities straddle the
+    /// u8/u16 boundary (256/257) so both narrow widths are exercised.
+    #[test]
+    fn narrow_columns_round_trip(
+        rows in proptest::collection::vec(
+            (0u32..256, 0u32..257, 0u32..5), 1..40),
+    ) {
+        let mut b = TableBuilder::new(3).cards(vec![256, 257, 5]);
+        for &(a, bb, c) in &rows {
+            b.push_row(&[a, bb, c]);
+        }
+        let t = b.build().expect("valid table");
+        prop_assert_eq!(t.width(0), Width::U8);
+        prop_assert_eq!(t.width(1), Width::U16);
+        prop_assert_eq!(t.width(2), Width::U8);
+        let w = t.widened();
+        for d in 0..t.dims() {
+            prop_assert_eq!(w.width(d), Width::U32);
+            prop_assert_eq!(t.col(d).to_u32_vec(), w.col(d).to_u32_vec());
+            prop_assert_eq!(t.freq(d), w.freq(d));
+        }
+        for tid in 0..rows.len() as TupleId {
+            prop_assert_eq!(t.row(tid), w.row(tid));
+            for d in 0..t.dims() {
+                prop_assert_eq!(t.value(tid, d), w.value(tid, d));
+            }
+        }
+    }
+
+    /// Mask survival (`eq_mask` / `eq_mask_on`) agrees between the packed
+    /// SWAR path and the per-column probe path, for every tuple pair and a
+    /// sweep of `need` masks.
+    #[test]
+    fn mask_survival_packed_equals_probe(case in arb_table_and_tids()) {
+        let (table, tids) = case;
+        let w = table.widened();
+        for &a in tids.iter().take(6) {
+            for &b in tids.iter().take(6) {
+                prop_assert_eq!(table.eq_mask(a, b), w.eq_mask(a, b));
+                for need in [
+                    DimMask::EMPTY,
+                    DimMask::single(0),
+                    DimMask::all(table.dims()),
+                    DimMask::all(table.dims()) ^ DimMask::single(table.dims() - 1),
+                ] {
+                    prop_assert_eq!(table.eq_mask_on(a, b, need), w.eq_mask_on(a, b, need));
+                }
+            }
+        }
     }
 
     /// The sparse-reset partitioner is call-for-call identical to the dense
@@ -111,6 +186,79 @@ fn all_algorithms_on_the_three_benchmark_shapes() {
     for (skew, seed) in [(1.0, 4), (1.5, 4), (2.0, 4)] {
         let t = SyntheticSpec::uniform(400, 5, 12, skew, seed).generate();
         assert_all_algorithms_agree(&t, &[1, 8], &format!("zipf {skew}"));
+    }
+}
+
+/// All 8 algorithms are width-oblivious: a narrow table (u8/u16 columns,
+/// packed rows where eligible) and its widened all-`u32` twin produce
+/// byte-identical cubes at every thread count — the dispatch layer cannot
+/// leak into results.
+#[test]
+fn all_algorithms_agree_across_widths() {
+    // Card 12 -> u8 columns + packed rows; card 300 -> u16 columns.
+    for (card, label) in [(12u32, "u8/packed"), (300, "u16")] {
+        let narrow = SyntheticSpec::uniform(400, 4, card, 1.5, 9).generate();
+        let wide = narrow.widened();
+        assert!(wide.packed_rows().is_none());
+        for m in [1u64, 8] {
+            for algo in Algorithm::ALL {
+                let want = collect_counts(|s| algo.run(&wide, m, s));
+                let got = collect_counts(|s| algo.run(&narrow, m, s));
+                assert_eq!(got, want, "{algo} width-sensitive on {label}");
+                for threads in [1usize, 2, 8] {
+                    let got = collect_counts(|s| algo.run_parallel(&narrow, m, threads, s));
+                    assert_eq!(
+                        got, want,
+                        "{algo} parallel({threads}) width-sensitive on {label}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The lane-interleaved counting-sort passes equal a stable reference sort
+/// on the adversarial shapes: cardinality exactly at the u8/u16 boundary
+/// (256/257), a single-value dimension (one group, scatter skipped), and an
+/// empty slice.
+#[test]
+fn sort_pass_adversarial_shapes() {
+    let n: u32 = 3000; // above the lane gate, not divisible by 4
+    let mut b = TableBuilder::new(3).cards(vec![256, 257, 1]);
+    for i in 0..n {
+        b.push_row(&[(i * 7) % 256, (i * i + 3) % 257, 0]);
+    }
+    let t = b.build().unwrap();
+    assert_eq!(t.width(0), Width::U8);
+    assert_eq!(t.width(1), Width::U16);
+    for sparse in [false, true] {
+        let mut p = if sparse {
+            Partitioner::with_sparse_reset()
+        } else {
+            Partitioner::new()
+        };
+        for d in 0..3 {
+            let mut tids: Vec<TupleId> = (0..n).rev().collect();
+            p.sort_pass(t.col(d), t.card(d), &mut tids);
+            let mut want: Vec<TupleId> = (0..n).rev().collect();
+            want.sort_by_key(|&tid| (t.value(tid, d), std::cmp::Reverse(tid)));
+            assert_eq!(tids, want, "dim {d} sparse={sparse}");
+            // Partition over the sorted slice: same groups, order untouched.
+            let mut groups = Vec::new();
+            let before = tids.clone();
+            p.partition(&t, d, &mut tids, &mut groups);
+            assert_eq!(tids, before, "partition after sort must be stable");
+            assert_eq!(groups.iter().map(|g| g.len()).sum::<u32>(), n);
+            if d == 2 {
+                assert_eq!(groups.len(), 1, "single-value dim is one group");
+            }
+        }
+        // Empty slice: no groups, no panic, invariants intact.
+        let mut empty: Vec<TupleId> = Vec::new();
+        let mut groups = Vec::new();
+        p.partition(&t, 0, &mut empty, &mut groups);
+        assert!(groups.is_empty());
+        p.sort_pass(t.col(1), t.card(1), &mut empty);
     }
 }
 
