@@ -95,6 +95,12 @@ where
     S: CellSink<M::Acc>,
 {
     fn recurse(&mut self, tids: &mut [TupleId], dim: usize) {
+        // Cooperative cancellation: unwind the recursion as soon as the
+        // ambient token trips. Partial emissions are fine — the query layer
+        // discards output when a run ends in an error.
+        if ccube_core::lifecycle::should_stop_strided() {
+            return;
+        }
         // Emit the current cell (its count passed the iceberg check at the
         // caller).
         let acc = self.aggregate(tids);

@@ -85,6 +85,11 @@ where
     /// `tids` is the current partition, `dim` the expansion frontier, and
     /// `self.cell` the current (pre-closure) cell.
     fn recurse(&mut self, tids: &mut [TupleId], dim: usize) {
+        // Cooperative cancellation: unwind as soon as the ambient token
+        // trips (partial emissions are discarded by the query layer).
+        if ccube_core::lifecycle::should_stop_strided() {
+            return;
+        }
         let dims = self.table.dims();
         let cube = self.table.cube_dims();
 

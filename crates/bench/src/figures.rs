@@ -74,6 +74,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("parallel", parallel_speedup),
         ("substrate", substrate_micro),
         ("session", session_experiment),
+        ("lifecycle", lifecycle_experiment),
         ("ablate-mm", ablate_mm_budget),
         ("ablate-order", ablate_base_order),
     ]
@@ -423,7 +424,8 @@ fn session_experiment(opt: &ExpOptions) -> Figure {
         // part of the setup cost (pair() below excludes it the same way).
         let mut fresh = Some(table.clone());
         timed(&mut || {
-            let s = CubeSession::new(fresh.take().expect("one setup per sample"));
+            let s = CubeSession::new(fresh.take().expect("one setup per sample"))
+                .expect("ordinary table");
             s.stats().tuples
         })
     });
@@ -449,7 +451,8 @@ fn session_experiment(opt: &ExpOptions) -> Figure {
             let mut fresh = Some(table.clone());
             let mut session = None;
             let cold = timed(&mut || {
-                let mut s = CubeSession::new(fresh.take().expect("one cold run per sample"));
+                let mut s = CubeSession::new(fresh.take().expect("one cold run per sample"))
+                    .expect("ordinary table");
                 let cells = build(&mut s);
                 session = Some(s);
                 cells
@@ -461,12 +464,13 @@ fn session_experiment(opt: &ExpOptions) -> Figure {
         })
         .1
     };
-    let planner = pair(&mut |s| s.query().min_sup(min_sup).stats().cells);
+    let planner = pair(&mut |s| s.query().min_sup(min_sup).stats().unwrap().cells);
     let star_pool = pair(&mut |s| {
         s.query()
             .min_sup(min_sup)
             .algorithm(Algorithm::CCubingStarArray)
             .stats()
+            .unwrap()
             .cells
     });
     let sliced = pair(&mut |s| {
@@ -474,6 +478,7 @@ fn session_experiment(opt: &ExpOptions) -> Figure {
             .min_sup(min_sup)
             .slice(0, slice_value)
             .stats()
+            .unwrap()
             .cells
     });
     // Setup-dominated shape: a high-threshold slice keeps the cube tiny, so
@@ -484,6 +489,7 @@ fn session_experiment(opt: &ExpOptions) -> Figure {
             .min_sup(cheap_min_sup)
             .slice(0, slice_value)
             .stats()
+            .unwrap()
             .cells
     });
 
@@ -1375,6 +1381,214 @@ fn parallel_speedup(opt: &ExpOptions) -> Figure {
              peak_buffered_bytes in the JSON tracks the streaming merge's completion \
              frontier (vs total_output_bytes the old merge buffered). {overhead_note} \
              {json_note}"
+        ),
+    }
+}
+
+/// Query-lifecycle robustness numbers on the 20k-tuple Zipf-1.5 acceptance
+/// workload (paper size 200k, default scale 0.1):
+///
+/// * **cancel latency** — p50/p99 of (a) `QueryHandle::cancel` →
+///   `CellStream::finish` returning and (b) `drop(CellStream)` → producer
+///   joined, each sampled mid-run against an engine-routed streaming query
+///   (the bounded channel guarantees the run is still in flight when the
+///   cancel lands);
+/// * **token-check overhead** — per-algorithm sequential runtime with a
+///   live ambient [`CancelToken`](ccube_core::lifecycle::CancelToken)
+///   installed vs the bare run (no token: every `should_stop()` poll is one
+///   thread-local read), summarized as a geomean ratio. The lifecycle
+///   acceptance bar is ≤ 2% on this workload.
+///
+/// Writes `BENCH_lifecycle.json`. With `CCUBE_ASSERT_LIFECYCLE=1` in the
+/// environment the experiment fails hard when cancel p99 ≥ 50 ms or the
+/// overhead geomean exceeds 1.02.
+fn lifecycle_experiment(opt: &ExpOptions) -> Figure {
+    use c_cubing::prelude::*;
+    use ccube_core::lifecycle;
+    use ccube_core::sink::CountingSink;
+    use std::time::Instant;
+
+    let tuples = opt.tuples(200_000);
+    let min_sup = 8;
+    let table = SyntheticSpec::uniform(tuples, 8, 100, 1.5, opt.seed).generate();
+
+    // ---- Cancel latency distributions (explicit cancel + drop), sampled
+    // against a run that is provably still in flight: the stream's bounded
+    // channel back-pressures the producer, so after one yielded cell the
+    // cube is far from done.
+    const SAMPLES: usize = 40;
+    let mut cancel_secs = Vec::with_capacity(SAMPLES);
+    let mut drop_secs = Vec::with_capacity(SAMPLES);
+    for i in 0..SAMPLES {
+        let mut session = CubeSession::new(table.clone()).expect("ordinary table");
+        let mut stream = session
+            .query()
+            .min_sup(min_sup)
+            .threads(2)
+            .stream()
+            .expect("well-formed query");
+        assert!(stream.next().is_some(), "cube yields cells");
+        if i % 2 == 0 {
+            let handle = stream.handle();
+            let start = Instant::now();
+            handle.cancel();
+            let outcome = stream.finish();
+            cancel_secs.push(start.elapsed().as_secs_f64());
+            assert_eq!(outcome.unwrap_err(), CubeError::Cancelled);
+        } else {
+            let start = Instant::now();
+            drop(stream);
+            drop_secs.push(start.elapsed().as_secs_f64());
+        }
+    }
+    fn percentile(samples: &mut [f64], p: f64) -> f64 {
+        samples.sort_by(f64::total_cmp);
+        let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
+        samples[idx]
+    }
+    let cancel_p50 = percentile(&mut cancel_secs, 0.50);
+    let cancel_p99 = percentile(&mut cancel_secs, 0.99);
+    let drop_p50 = percentile(&mut drop_secs, 0.50);
+    let drop_p99 = percentile(&mut drop_secs, 0.99);
+
+    // ---- Token-check overhead: sequential per-algorithm runs, bare vs
+    // with a live ambient token (every cooperative checkpoint then pays the
+    // real poll: thread-local read + atomic load + deadline compare).
+    let mut per_algo = Vec::new();
+    let mut ratio_product = 1.0f64;
+    for algo in Algorithm::ALL {
+        // Paired samples: each round times bare-then-tokened back to back
+        // and contributes one ratio, so slow machine drift (thermal, noisy
+        // neighbours) hits both sides of every pair equally. One warmup
+        // pair, seven measured pairs, median ratio.
+        let token = CancelToken::new();
+        let mut bare = f64::INFINITY;
+        let mut tokened = f64::INFINITY;
+        let mut ratios = Vec::new();
+        for round in 0..8 {
+            let sample = {
+                let mut sink = CountingSink::default();
+                let start = Instant::now();
+                algo.run(&table, min_sup, &mut sink);
+                start.elapsed().as_secs_f64()
+            };
+            let sample_tokened = {
+                let _ambient = lifecycle::install(&token);
+                let mut sink = CountingSink::default();
+                let start = Instant::now();
+                algo.run(&table, min_sup, &mut sink);
+                start.elapsed().as_secs_f64()
+            };
+            if round > 0 {
+                bare = bare.min(sample);
+                tokened = tokened.min(sample_tokened);
+                ratios.push(sample_tokened / sample);
+            }
+        }
+        ratios.sort_by(f64::total_cmp);
+        let ratio = ratios[ratios.len() / 2];
+        ratio_product *= ratio;
+        per_algo.push((algo, bare, tokened, ratio));
+    }
+    let geomean = ratio_product.powf(1.0 / per_algo.len() as f64);
+
+    // ---- Machine-readable report.
+    let algo_json: Vec<String> = per_algo
+        .iter()
+        .map(|(algo, bare, tokened, ratio)| {
+            format!(
+                "    {{\"algorithm\": \"{algo}\", \"bare_seconds\": {bare:.6}, \
+                 \"tokened_seconds\": {tokened:.6}, \"ratio\": {ratio:.4}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"tuples\": {tuples}, \"dims\": 8, \"cardinality\": 100, \"skew\": 1.5, \
+         \"min_sup\": {min_sup}, \"seed\": {},\n  \
+         \"cancel_latency_seconds\": {{\"p50\": {cancel_p50:.6}, \"p99\": {cancel_p99:.6}}},\n  \
+         \"drop_latency_seconds\": {{\"p50\": {drop_p50:.6}, \"p99\": {drop_p99:.6}}},\n  \
+         \"token_check_overhead\": {{\"geomean_ratio\": {geomean:.4}, \"per_algorithm\": [\n{}\n  ]}}\n}}\n",
+        opt.seed,
+        algo_json.join(",\n"),
+    );
+    let json_note = match std::fs::write("BENCH_lifecycle.json", &json) {
+        Ok(()) => "Numbers written to BENCH_lifecycle.json.".to_string(),
+        Err(e) => format!("(could not write BENCH_lifecycle.json: {e})"),
+    };
+
+    // Optional hard gate for CI.
+    let mut violations = Vec::new();
+    if cancel_p99 >= 0.050 {
+        violations.push(format!("cancel p99 {:.1}ms ≥ 50ms", cancel_p99 * 1e3));
+    }
+    // The acceptance bar is on the geomean: per-algorithm ratios swing a
+    // few percent either way with machine noise, the geomean does not.
+    if geomean > 1.02 {
+        violations.push(format!(
+            "token overhead geomean {:+.1}% > 2%",
+            (geomean - 1.0) * 100.0
+        ));
+    }
+    if std::env::var_os("CCUBE_ASSERT_LIFECYCLE").is_some() && !violations.is_empty() {
+        panic!("lifecycle acceptance violated: {}", violations.join("; "));
+    }
+    let gate_note = if violations.is_empty() {
+        "Within acceptance (cancel p99 < 50ms, token overhead ≤ 2%).".to_string()
+    } else {
+        format!("ACCEPTANCE VIOLATIONS: {}.", violations.join("; "))
+    };
+
+    let mut rows = vec![
+        (
+            "cancel → finish returns".into(),
+            vec![secs(cancel_p50), secs(cancel_p99), "-".into()],
+        ),
+        (
+            "drop → producer joined".into(),
+            vec![secs(drop_p50), secs(drop_p99), "-".into()],
+        ),
+    ];
+    for (algo, bare, tokened, ratio) in &per_algo {
+        rows.push((
+            format!("{algo} seq (bare / tokened)"),
+            vec![
+                secs(*bare),
+                secs(*tokened),
+                format!("{:+.1}%", (ratio - 1.0) * 100.0),
+            ],
+        ));
+    }
+    rows.push((
+        "token overhead geomean".into(),
+        vec![
+            "-".into(),
+            "-".into(),
+            format!("{:+.1}%", (geomean - 1.0) * 100.0),
+        ],
+    ));
+
+    Figure {
+        id: "lifecycle",
+        title: format!(
+            "Query lifecycle: cancel latency + token-check overhead \
+             (T={tuples}, D=8, C=100, S=1.5, M={min_sup}, scale {})",
+            opt.scale
+        ),
+        x_label: "Metric".into(),
+        series: vec![
+            "p50 / bare".into(),
+            "p99 / tokened".into(),
+            "overhead".into(),
+        ],
+        rows,
+        notes: format!(
+            "Cancel latency is measured mid-run (the bounded stream channel \
+             guarantees the producer is still computing when the cancel \
+             lands); the drop row times `drop(CellStream)`, which joins the \
+             producer. Token-check overhead compares sequential runs with a \
+             live ambient CancelToken installed against bare runs — the \
+             cooperative polls sit at partition chunk strides and recursion \
+             heads, so the bar is ≤ 2% geomean. {gate_note} {json_note}"
         ),
     }
 }

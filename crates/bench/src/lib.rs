@@ -23,7 +23,7 @@ pub use report::Figure;
 
 use c_cubing::Algorithm;
 use ccube_core::sink::{CellSink, CountingSink, SizeSink};
-use ccube_core::Table;
+use ccube_core::{CubeError, Table};
 use ccube_engine::{EngineConfig, EngineStats};
 use std::time::Instant;
 
@@ -104,7 +104,7 @@ impl Algo {
         min_sup: u64,
         threads: usize,
         sink: &mut S,
-    ) {
+    ) -> Result<(), CubeError> {
         self.algorithm().run_parallel(table, min_sup, threads, sink)
     }
 
@@ -115,7 +115,7 @@ impl Algo {
         min_sup: u64,
         config: &EngineConfig,
         sink: &mut S,
-    ) {
+    ) -> Result<(), CubeError> {
         self.algorithm()
             .run_with_config(table, min_sup, config, sink)
     }
@@ -128,7 +128,7 @@ impl Algo {
         min_sup: u64,
         config: &EngineConfig,
         sink: &mut S,
-    ) -> EngineStats {
+    ) -> Result<EngineStats, CubeError> {
         self.algorithm()
             .run_with_config_stats(table, min_sup, config, sink)
     }
@@ -157,7 +157,8 @@ pub fn measure_threads(algo: Algo, table: &Table, min_sup: u64, threads: usize) 
     if threads == 1 {
         algo.run(table, min_sup, &mut sink);
     } else {
-        algo.run_parallel(table, min_sup, threads, &mut sink);
+        algo.run_parallel(table, min_sup, threads, &mut sink)
+            .expect("benchmark run failed");
     }
     Measurement {
         seconds: start.elapsed().as_secs_f64(),
@@ -189,7 +190,9 @@ pub fn measure_engine_stats(
 ) -> (Measurement, EngineStats) {
     let mut sink = CountingSink::default();
     let start = Instant::now();
-    let stats = algo.run_with_config_stats(table, min_sup, config, &mut sink);
+    let stats = algo
+        .run_with_config_stats(table, min_sup, config, &mut sink)
+        .expect("benchmark run failed");
     (
         Measurement {
             seconds: start.elapsed().as_secs_f64(),
@@ -221,7 +224,8 @@ pub fn measure_engine_unbound(
         algo.is_closed(),
         |shard, _bound, m, out| algo.run_into(shard, m, out),
         &mut sink,
-    );
+    )
+    .expect("benchmark run failed");
     Measurement {
         seconds: start.elapsed().as_secs_f64(),
         cells: sink.cells,

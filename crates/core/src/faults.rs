@@ -1,0 +1,149 @@
+//! Named fault-injection sites for the chaos test harness.
+//!
+//! The engine and session sprinkle [`inject`] calls at every coordination
+//! point — channel sends/receives, task spawns, steals, splits, arena
+//! recycles. In a normal build these compile to empty inline functions
+//! (zero overhead, verified by the `lifecycle` experiment). When the
+//! workspace is built with `RUSTFLAGS="--cfg ccube_chaos"`, a test can arm
+//! a [`FaultPlan`] and the matching site will fire a [`FaultAction`] —
+//! panic, cancel, budget-trip, or deadline-trip — exactly once, at the
+//! `after`-th visit.
+//!
+//! The chaos matrix (`tests/lifecycle.rs`) drives this across every site ×
+//! action × algorithm × thread count and asserts the run terminates with a
+//! clean typed error: no deadlock, no leaked threads, no lost arena
+//! buffers.
+
+/// Every named injection site. Kept in one place so the chaos matrix can
+/// enumerate them; engine/session code passes these exact strings to
+/// [`inject`].
+pub const SITES: &[&str] = &[
+    "engine.seed",
+    "engine.task.start",
+    "engine.task.split",
+    "engine.task.steal",
+    "engine.completion.send",
+    "engine.completion.recv",
+    "engine.arena.recycle",
+    "sink.channel.send",
+    "stream.recv",
+];
+
+/// What an armed fault does when its site fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic at the site (exercises panic containment / `WorkerPanicked`).
+    Panic,
+    /// Trip the ambient [`crate::lifecycle::CancelToken`] with `Cancelled`.
+    Cancel,
+    /// Trip the ambient token with `BudgetExceeded` (as the merger would).
+    Budget,
+    /// Trip the ambient token with `DeadlineExceeded`.
+    Deadline,
+}
+
+/// One armed fault: fire `action` at the `after`-th visit to `site`.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Site name from [`SITES`].
+    pub site: &'static str,
+    /// What to do when the site fires.
+    pub action: FaultAction,
+    /// Zero-based visit count at which to fire (0 = first visit).
+    pub after: u64,
+}
+
+/// Arm `plan` globally (or disarm with `None`). Chaos tests serialize on a
+/// lock of their own; this only resets the visit counters.
+///
+/// No-op unless built with `--cfg ccube_chaos`.
+pub fn set_plan(plan: Option<FaultPlan>) {
+    #[cfg(ccube_chaos)]
+    chaos::set_plan(plan);
+    #[cfg(not(ccube_chaos))]
+    let _ = plan;
+}
+
+/// Did the armed plan actually fire since the last [`set_plan`]?
+///
+/// Always `false` unless built with `--cfg ccube_chaos`.
+pub fn fired() -> bool {
+    #[cfg(ccube_chaos)]
+    {
+        chaos::fired()
+    }
+    #[cfg(not(ccube_chaos))]
+    {
+        false
+    }
+}
+
+/// A named fault-injection site. Empty and inlined away unless built with
+/// `--cfg ccube_chaos`.
+#[inline(always)]
+pub fn inject(site: &'static str) {
+    #[cfg(ccube_chaos)]
+    chaos::inject(site);
+    #[cfg(not(ccube_chaos))]
+    let _ = site;
+}
+
+#[cfg(ccube_chaos)]
+mod chaos {
+    use super::{FaultAction, FaultPlan};
+    use crate::{lifecycle, CubeError};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+    static VISITS: AtomicU64 = AtomicU64::new(0);
+    static FIRED: AtomicBool = AtomicBool::new(false);
+
+    pub(super) fn set_plan(plan: Option<FaultPlan>) {
+        let mut slot = PLAN.lock().unwrap();
+        VISITS.store(0, Ordering::SeqCst);
+        FIRED.store(false, Ordering::SeqCst);
+        *slot = plan;
+    }
+
+    pub(super) fn fired() -> bool {
+        FIRED.load(Ordering::SeqCst)
+    }
+
+    pub(super) fn inject(site: &'static str) {
+        let action = {
+            let slot = PLAN.lock().unwrap();
+            match slot.as_ref() {
+                Some(plan) if plan.site == site => {
+                    if VISITS.fetch_add(1, Ordering::SeqCst) == plan.after
+                        && !FIRED.swap(true, Ordering::SeqCst)
+                    {
+                        Some(plan.action)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        };
+        match action {
+            None => {}
+            Some(FaultAction::Panic) => panic!("chaos: injected panic at {site}"),
+            Some(FaultAction::Cancel) => {
+                if let Some(token) = lifecycle::current() {
+                    token.cancel();
+                }
+            }
+            Some(FaultAction::Budget) => {
+                if let Some(token) = lifecycle::current() {
+                    token.trip(CubeError::BudgetExceeded { peak: 0, budget: 0 });
+                }
+            }
+            Some(FaultAction::Deadline) => {
+                if let Some(token) = lifecycle::current() {
+                    token.trip(CubeError::DeadlineExceeded);
+                }
+            }
+        }
+    }
+}

@@ -37,8 +37,10 @@
 
 pub mod cell;
 pub mod closedness;
+pub mod faults;
 pub mod fxhash;
 pub mod kernels;
+pub mod lifecycle;
 pub mod mask;
 pub mod measure;
 pub mod naive;
@@ -50,6 +52,7 @@ pub mod table;
 pub use cell::{Cell, STAR};
 pub use closedness::ClosedInfo;
 pub use kernels::{ColRef, Column, Width};
+pub use lifecycle::CancelToken;
 pub use mask::DimMask;
 pub use measure::{CountOnly, MeasureSpec};
 pub use sink::{CellBatch, CellSink, CollectSink, CountingSink, NullSink, SizeSink};
@@ -65,7 +68,8 @@ pub const MAX_DIMS: usize = 64;
 /// Convenient `Result` alias for fallible core operations.
 pub type Result<T> = std::result::Result<T, CubeError>;
 
-/// Errors raised by table construction and validation.
+/// Errors raised by table construction, query validation, and the query
+/// lifecycle (cancellation, deadlines, budgets, contained panics).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CubeError {
     /// A table was declared with zero or more than [`MAX_DIMS`] dimensions.
@@ -97,6 +101,39 @@ pub enum CubeError {
     },
     /// Parsing a serialized table failed.
     Parse(String),
+    /// The run was cancelled via [`lifecycle::CancelToken::cancel`] or by
+    /// dropping the stream that was consuming it.
+    Cancelled,
+    /// The run exceeded the deadline armed with `CubeQuery::deadline`.
+    DeadlineExceeded,
+    /// Buffered output exceeded the query's memory budget; the run was
+    /// aborted rather than allowed to grow without bound.
+    BudgetExceeded {
+        /// Buffered bytes observed when the budget tripped.
+        peak: usize,
+        /// The configured budget in bytes.
+        budget: usize,
+    },
+    /// A worker or sink panicked; the panic was contained at the engine
+    /// boundary instead of unwinding across the public API.
+    WorkerPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A carried-dimension view (an engine-internal shard artifact) was
+    /// passed where an ordinary table is required.
+    CarriedDimensionView,
+    /// A query referenced a dimension index outside the table's schema.
+    DimensionOutOfRange {
+        /// The offending dimension index.
+        dim: usize,
+        /// Number of dimensions in the table.
+        dims: usize,
+    },
+    /// A query projected away every dimension (`dims(∅)`).
+    EmptyProjection,
+    /// `min_sup` must be at least 1 (iceberg thresholds count tuples).
+    ZeroMinSup,
 }
 
 impl std::fmt::Display for CubeError {
@@ -121,6 +158,33 @@ impl std::fmt::Display for CubeError {
                 )
             }
             CubeError::Parse(msg) => write!(f, "parse error: {msg}"),
+            CubeError::Cancelled => write!(f, "query cancelled"),
+            CubeError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            CubeError::BudgetExceeded { peak, budget } => {
+                write!(
+                    f,
+                    "memory budget exceeded: {peak} bytes buffered, budget {budget}"
+                )
+            }
+            CubeError::WorkerPanicked { message } => {
+                write!(f, "worker panicked: {message}")
+            }
+            CubeError::CarriedDimensionView => {
+                write!(
+                    f,
+                    "expected an ordinary table, got a carried-dimension view"
+                )
+            }
+            CubeError::DimensionOutOfRange { dim, dims } => {
+                write!(
+                    f,
+                    "dimension {dim} out of range for a {dims}-dimension table"
+                )
+            }
+            CubeError::EmptyProjection => {
+                write!(f, "query projects away every dimension")
+            }
+            CubeError::ZeroMinSup => write!(f, "min_sup must be at least 1"),
         }
     }
 }

@@ -34,8 +34,16 @@
 //! whole `O(cardinality)` array.
 
 use crate::kernels::{self, ColRef, Lane, LANE_SORT_MIN, SORT_LANES};
+use crate::lifecycle;
 use crate::table::{Table, TupleId};
 use crate::with_lanes;
+
+/// Slices at least this long poll the ambient [`lifecycle::CancelToken`]
+/// once per counting-sort pass (the pass is the chunk stride). Shorter
+/// slices skip the poll — they are covered by their callers'
+/// recursion-head checks, and a per-call poll on thousands of tiny
+/// partitions would be measurable.
+const CANCEL_CHECK_MIN: usize = LANE_SORT_MIN;
 
 /// Reusable scratch state for counting-sort partitioning.
 #[derive(Default, Debug)]
@@ -130,6 +138,12 @@ impl Partitioner {
     /// lane-interleaved kernels (see the module docs).
     pub fn sort_pass<'a>(&mut self, col: impl Into<ColRef<'a>>, card: u32, tids: &mut [TupleId]) {
         let col = col.into();
+        // Cancellation checkpoint: a tripped token turns a large pass into
+        // a no-op (tids left as-is — still a valid permutation); the caller
+        // polls the token itself and unwinds before using the order.
+        if tids.len() >= CANCEL_CHECK_MIN && lifecycle::should_stop() {
+            return;
+        }
         if let ColRef::U8(col) = col {
             if tids.len() >= LANE_SORT_MIN && tids.len() >= card as usize {
                 // u8-specialized pass: fixed 256-entry counter rows, so the
@@ -204,6 +218,12 @@ impl Partitioner {
         groups: &mut Vec<Group>,
     ) {
         let col = col.into();
+        // Cancellation checkpoint: a tripped token makes a large partition
+        // emit no groups (tids untouched), so the caller's group loop is
+        // empty and the recursion unwinds without further work.
+        if tids.len() >= CANCEL_CHECK_MIN && lifecycle::should_stop() {
+            return;
+        }
         if let ColRef::U8(col) = col {
             if tids.len() >= LANE_SORT_MIN && tids.len() >= card as usize {
                 self.partition_lanes_u8(col, card as usize, tids, groups);

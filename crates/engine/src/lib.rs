@@ -118,14 +118,16 @@
 
 use ccube_core::cell::STAR;
 use ccube_core::closedness::ClosedInfo;
+use ccube_core::lifecycle::{self, CancelToken};
 use ccube_core::measure::{CountOnly, MeasureSpec};
 use ccube_core::order::DimOrdering;
 use ccube_core::partition::{Group, Partitioner};
 use ccube_core::sink::{CellBatch, CellSink};
 use ccube_core::table::{Table, TupleId, ViewArena};
-use ccube_core::DimMask;
+use ccube_core::{faults, CubeError, DimMask};
 use crossbeam_deque::{Injector, Steal, Stealer, Worker};
 use std::collections::BTreeMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 
@@ -433,6 +435,7 @@ impl<A> ChannelSink<A> {
         if self.batch.is_empty() {
             return;
         }
+        faults::inject("sink.channel.send");
         let full = std::mem::replace(&mut self.batch, CellBatch::new(self.dims));
         self.batch.reserve(self.batch_cells);
         if !self.dead && self.tx.send(full).is_err() {
@@ -548,6 +551,7 @@ impl BatchRecycler {
     }
 
     fn put<A>(&self, batch: CellBatch<A>) {
+        faults::inject("engine.arena.recycle");
         let mut arena = self.pool.lock().expect("batch recycler poisoned");
         batch.recycle_into(&mut arena);
     }
@@ -574,6 +578,11 @@ struct Merger<'a, A, S: ?Sized> {
     apex_info: Option<ClosedInfo>,
     buffered_bytes: u64,
     stats: EngineStats,
+    /// The run's lifecycle token (enforces the memory budget: the merger is
+    /// where buffered bytes are measured, so it is where the budget trips).
+    token: Option<CancelToken>,
+    /// Budget in bytes, read off the token once at construction.
+    budget: Option<u64>,
 }
 
 impl<'a, A: Clone, S: CellSink<A> + ?Sized> Merger<'a, A, S> {
@@ -582,7 +591,12 @@ impl<'a, A: Clone, S: CellSink<A> + ?Sized> Merger<'a, A, S> {
         table: &'a Table,
         recycler: &'a BatchRecycler,
         in_flight: &'a AtomicU64,
+        token: Option<CancelToken>,
     ) -> Merger<'a, A, S> {
+        let budget = token
+            .as_ref()
+            .and_then(|t| t.budget())
+            .map(|bytes| bytes as u64);
         Merger {
             sink,
             table,
@@ -592,6 +606,8 @@ impl<'a, A: Clone, S: CellSink<A> + ?Sized> Merger<'a, A, S> {
             apex_info: None,
             buffered_bytes: 0,
             stats: EngineStats::default(),
+            token,
+            budget,
         }
     }
 
@@ -626,10 +642,22 @@ impl<'a, A: Clone, S: CellSink<A> + ?Sized> Merger<'a, A, S> {
         *slot = Some((done.batch, done.shard_info));
         // Peak accounting spans the frontier *and* the bytes still queued in
         // the worker channel (sampled here, once per received completion).
-        self.stats.peak_buffered_bytes = self
-            .stats
-            .peak_buffered_bytes
-            .max(self.buffered_bytes + self.in_flight.load(Ordering::Relaxed));
+        let sample = self.buffered_bytes + self.in_flight.load(Ordering::Relaxed);
+        self.stats.peak_buffered_bytes = self.stats.peak_buffered_bytes.max(sample);
+        // Budget enforcement: the first sample past the budget cancels the
+        // run (first trip wins, so an earlier cancel/deadline is preserved).
+        // The merge loop observes the trip and stops draining; peak stays at
+        // "budget + the batch that tipped it" rather than growing unbounded.
+        if let Some(budget) = self.budget {
+            if sample > budget {
+                if let Some(token) = &self.token {
+                    token.trip(CubeError::BudgetExceeded {
+                        peak: sample as usize,
+                        budget: budget as usize,
+                    });
+                }
+            }
+        }
         // Drain the completed prefix of the frontier.
         while self
             .frontier
@@ -674,6 +702,12 @@ impl<'a, A: Clone, S: CellSink<A> + ?Sized> Merger<'a, A, S> {
 /// that. An algorithm that ignores `bound` and emits every cell of the view
 /// stays correct (the sink drops foreign cells) but wastes the redundancy
 /// the bound entry points eliminate.
+///
+/// Fallible: misuse (`min_sup == 0`, a carried-dimension view) is reported
+/// as a typed [`CubeError`], and so is every lifecycle outcome — an ambient
+/// [`CancelToken`] trip (cancel/deadline/budget) or a contained worker/sink
+/// panic. Output already emitted into `sink` before an error surfaced is
+/// partial and should be discarded by the caller.
 pub fn run_partitioned<F, S>(
     table: &Table,
     min_sup: u64,
@@ -681,7 +715,8 @@ pub fn run_partitioned<F, S>(
     closed: bool,
     algo: F,
     sink: &mut S,
-) where
+) -> Result<(), CubeError>
+where
     F: Fn(&Table, usize, u64, &mut ShardedSink<'_>) + Sync,
     S: CellSink<()> + ?Sized,
 {
@@ -697,7 +732,7 @@ pub fn run_partitioned_stats<F, S>(
     closed: bool,
     algo: F,
     sink: &mut S,
-) -> EngineStats
+) -> Result<EngineStats, CubeError>
 where
     F: Fn(&Table, usize, u64, &mut ShardedSink<'_>) + Sync,
     S: CellSink<()> + ?Sized,
@@ -707,7 +742,8 @@ where
 
 /// Run `algo` partition-parallel over `table`, carrying the complex-measure
 /// accumulators of `spec`, and emit the exact sequential result set into
-/// `sink`. See [`run_partitioned`] for the contract on `algo` and `closed`.
+/// `sink`. See [`run_partitioned`] for the contract on `algo`, `closed`,
+/// and the error semantics.
 pub fn run_partitioned_with<M, F, S>(
     table: &Table,
     min_sup: u64,
@@ -716,13 +752,33 @@ pub fn run_partitioned_with<M, F, S>(
     spec: &M,
     algo: F,
     sink: &mut S,
-) where
+) -> Result<(), CubeError>
+where
     M: MeasureSpec + Sync,
     M::Acc: Send,
     F: Fn(&Table, usize, u64, &mut ShardedSink<'_, M::Acc>) + Sync,
     S: CellSink<M::Acc> + ?Sized,
 {
-    run_partitioned_with_stats(table, min_sup, config, closed, spec, algo, sink);
+    run_partitioned_with_stats(table, min_sup, config, closed, spec, algo, sink).map(|_| ())
+}
+
+/// Turn a caught panic payload into the run's error, tripping `token` so
+/// every other observer of the run (stream consumers, query handles) sees
+/// the same outcome.
+fn panic_to_error(
+    token: &Option<CancelToken>,
+    payload: Box<dyn std::any::Any + Send>,
+) -> CubeError {
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string());
+    let err = CubeError::WorkerPanicked { message };
+    if let Some(token) = token {
+        token.trip(err.clone());
+    }
+    err
 }
 
 /// [`run_partitioned_with`] returning the run's [`EngineStats`].
@@ -734,22 +790,29 @@ pub fn run_partitioned_with_stats<M, F, S>(
     spec: &M,
     algo: F,
     sink: &mut S,
-) -> EngineStats
+) -> Result<EngineStats, CubeError>
 where
     M: MeasureSpec + Sync,
     M::Acc: Send,
     F: Fn(&Table, usize, u64, &mut ShardedSink<'_, M::Acc>) + Sync,
     S: CellSink<M::Acc> + ?Sized,
 {
-    assert!(min_sup >= 1, "min_sup must be at least 1");
-    assert_eq!(
-        table.cube_dims(),
-        table.dims(),
-        "run_partitioned shards ordinary tables, not carried-dimension views"
-    );
+    if min_sup < 1 {
+        return Err(CubeError::ZeroMinSup);
+    }
+    if table.cube_dims() != table.dims() {
+        return Err(CubeError::CarriedDimensionView);
+    }
+    // The run's lifecycle token is whatever the caller installed ambiently
+    // (the session's query terminals do; direct engine callers may not —
+    // then nothing can trip it and only panics or misuse can fail the run).
+    let token = lifecycle::current();
+    if let Some(t) = &token {
+        t.check()?;
+    }
     let n = table.rows() as u64;
     if n < min_sup {
-        return EngineStats::default();
+        return Ok(EngineStats::default());
     }
     let dims = table.dims();
 
@@ -759,85 +822,115 @@ where
     // algorithm emits the apex itself), streaming every cell straight into
     // the caller's sink — zero buffering. This is what keeps the 1-thread
     // engine within noise of `Algorithm::run` instead of paying per-level
-    // re-sharding for parallelism it cannot bank.
+    // re-sharding for parallelism it cannot bank. Panics are contained here
+    // just as on the pool path, so the failure surface is uniform.
     if config.sequential_threshold > 0
         && (config.effective_threads() <= 1 || n * (dims as u64) < config.sequential_threshold)
     {
-        let mut forward = |cell: &[u32], count: u64, acc: &M::Acc| sink.emit(cell, count, acc);
-        let mut out = ShardedSink::direct(&mut forward, dims);
-        algo(table, 0, min_sup, &mut out);
-        let (_, bytes) = out.direct_totals();
-        return EngineStats {
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut forward = |cell: &[u32], count: u64, acc: &M::Acc| sink.emit(cell, count, acc);
+            let mut out = ShardedSink::direct(&mut forward, dims);
+            algo(table, 0, min_sup, &mut out);
+            out.direct_totals()
+        }));
+        let (_, bytes) = match outcome {
+            Ok(totals) => totals,
+            Err(payload) => return Err(panic_to_error(&token, payload)),
+        };
+        if let Some(t) = &token {
+            t.check()?;
+        }
+        return Ok(EngineStats {
             fast_path: true,
             tasks: 1,
             peak_buffered_bytes: 0,
             total_output_bytes: bytes,
             ..EngineStats::default()
-        };
+        });
     }
 
-    let perm = config.ordering.permutation(table);
+    // ---- Sharded run. Everything from seeding to the merge drain runs
+    // under one catch_unwind: a panicking worker re-raises through
+    // `thread::scope`, a panicking final sink unwinds the merge loop — both
+    // land here and surface as `WorkerPanicked` instead of crossing the
+    // public API.
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let perm = config.ordering.permutation(table);
 
-    // Seed tasks: one per (level, value) shard of the full table. One
-    // partitioner + tid buffer is reused across levels.
-    let mut seeds: Vec<Task> = Vec::new();
-    let mut partitioner = Partitioner::with_sparse_reset();
-    let mut tids: Vec<TupleId> = Vec::new();
-    let mut groups: Vec<Group> = Vec::new();
-    for (k, &dim) in perm.iter().enumerate() {
-        tids.clear();
-        tids.extend(0..table.rows() as TupleId);
-        groups.clear();
-        partitioner.partition(table, dim, &mut tids, &mut groups);
-        for (gi, g) in groups.iter().enumerate() {
-            let cube = u64::from(g.len()) >= min_sup;
-            let want_info = closed && k == 0;
-            if cube || want_info {
-                seeds.push(Task {
-                    path: vec![k as u32, gi as u32],
-                    tids: tids[g.range()].to_vec(),
-                    group_dims: perm[k..].to_vec(),
-                    carried: if closed {
-                        perm[..k].to_vec()
-                    } else {
-                        Vec::new()
-                    },
-                    bound: 1,
-                    rest_depth: 0,
-                    cube,
-                    want_info,
-                });
+        // Seed tasks: one per (level, value) shard of the full table. One
+        // partitioner + tid buffer is reused across levels.
+        let mut seeds: Vec<Task> = Vec::new();
+        let mut partitioner = Partitioner::with_sparse_reset();
+        let mut tids: Vec<TupleId> = Vec::new();
+        let mut groups: Vec<Group> = Vec::new();
+        for (k, &dim) in perm.iter().enumerate() {
+            faults::inject("engine.seed");
+            tids.clear();
+            tids.extend(0..table.rows() as TupleId);
+            groups.clear();
+            partitioner.partition(table, dim, &mut tids, &mut groups);
+            for (gi, g) in groups.iter().enumerate() {
+                let cube = u64::from(g.len()) >= min_sup;
+                let want_info = closed && k == 0;
+                if cube || want_info {
+                    seeds.push(Task {
+                        path: vec![k as u32, gi as u32],
+                        tids: tids[g.range()].to_vec(),
+                        group_dims: perm[k..].to_vec(),
+                        carried: if closed {
+                            perm[..k].to_vec()
+                        } else {
+                            Vec::new()
+                        },
+                        bound: 1,
+                        rest_depth: 0,
+                        cube,
+                        want_info,
+                    });
+                }
             }
         }
-    }
 
-    let recycler = BatchRecycler::new();
-    let ctx = Ctx {
-        table,
-        min_sup,
-        config,
-        closed,
-        recycler: &recycler,
-        algo: &algo,
+        let recycler = BatchRecycler::new();
+        let ctx = Ctx {
+            table,
+            min_sup,
+            config,
+            closed,
+            recycler: &recycler,
+            algo: &algo,
+            token: token.clone(),
+        };
+        let in_flight = AtomicU64::new(0);
+        let mut merger: Merger<'_, M::Acc, S> =
+            Merger::new(sink, table, &recycler, &in_flight, token.clone());
+        for seed in &seeds {
+            merger.register(seed.path.clone());
+        }
+        let threads = config.effective_threads().min(seeds.len().max(1));
+        if threads <= 1 {
+            ctx.run_sequential(seeds, &mut merger);
+        } else {
+            ctx.run_pool(seeds, threads, &mut merger);
+        }
+        (merger.stats, merger.apex_info, merger.is_done())
+    }));
+    let (mut stats, apex_info, merged_all) = match outcome {
+        Ok(state) => state,
+        Err(payload) => return Err(panic_to_error(&token, payload)),
     };
-    let in_flight = AtomicU64::new(0);
-    let mut merger: Merger<'_, M::Acc, S> = Merger::new(sink, table, &recycler, &in_flight);
-    for seed in &seeds {
-        merger.register(seed.path.clone());
+    // A tripped token (cancel, deadline, budget — the merger itself trips on
+    // budget overrun) is the run's outcome; partial output is the caller's
+    // to discard. An aborted merge legitimately leaves work buffered, so the
+    // is_done sanity check applies only to successful runs.
+    if let Some(t) = &token {
+        t.check()?;
     }
-    let threads = config.effective_threads().min(seeds.len().max(1));
-    if threads <= 1 {
-        ctx.run_sequential(seeds, &mut merger);
-    } else {
-        ctx.run_pool(seeds, threads, &mut merger);
-    }
-    debug_assert!(merger.is_done(), "streaming merge left work buffered");
+    debug_assert!(merged_all, "streaming merge left work buffered");
 
     // ---- Apex reconciliation. Its count is the full row count; for closed
     // runs the merged per-shard Closed Mask decides closedness (Definition 9
     // with the all-dimensions All Mask).
-    let apex_info = merger.apex_info;
-    let mut stats = merger.stats;
     let emit_apex = if closed {
         apex_info
             .expect("closed runs always collect level-0 shard summaries")
@@ -856,7 +949,7 @@ where
         sink.emit(&apex, n, &acc);
         stats.total_output_bytes += dims as u64 * 4 + 8 + std::mem::size_of::<M::Acc>() as u64;
     }
-    stats
+    Ok(stats)
 }
 
 /// Everything a worker needs to process tasks. The measure spec itself
@@ -868,6 +961,10 @@ struct Ctx<'a, F> {
     closed: bool,
     recycler: &'a BatchRecycler,
     algo: &'a F,
+    /// The run's lifecycle token, captured once at engine entry. Workers
+    /// re-install it ambiently in their own threads so cuber checkpoints
+    /// observe it; scheduler loops poll it directly between tasks.
+    token: Option<CancelToken>,
 }
 
 /// Per-worker reusable scratch.
@@ -891,6 +988,12 @@ impl Default for Scratch {
 }
 
 impl<'a, F> Ctx<'a, F> {
+    /// Whether the run's token has tripped (cancel, deadline, budget, or a
+    /// contained panic elsewhere). Scheduler loops poll this between tasks.
+    fn stopped(&self) -> bool {
+        self.token.as_ref().is_some_and(|t| t.is_tripped())
+    }
+
     /// Process one task: either run the cuber over its view, or split it
     /// into `children` (left for the caller to schedule). Returns the
     /// task's [`Completion`] for the streaming merger.
@@ -905,6 +1008,7 @@ impl<'a, F> Ctx<'a, F> {
         A: Send,
     {
         debug_assert!(children.is_empty());
+        faults::inject("engine.task.start");
         let dims = self.table.dims();
         let shard_info = task
             .want_info
@@ -950,6 +1054,7 @@ impl<'a, F> Ctx<'a, F> {
                 split_at += 1;
             }
             if split_at < task.group_dims.len() {
+                faults::inject("engine.task.split");
                 task.group_dims.swap(task.bound, split_at);
                 let split_dim = task.group_dims[task.bound];
                 let parent_path = task.path.clone();
@@ -1048,6 +1153,9 @@ impl<'a, F> Ctx<'a, F> {
         let mut stack = seeds;
         let mut children = Vec::new();
         while let Some(task) = stack.pop() {
+            if self.stopped() {
+                break;
+            }
             let completion = self.process(task, &mut scratch, &mut children);
             // Children are generated in ascending path order; push reversed
             // so the lexicographically first child is processed next.
@@ -1099,8 +1207,13 @@ impl<'a, F> Ctx<'a, F> {
                 let steals = &steals;
                 let aborted = &aborted;
                 let tx = tx.clone();
+                let ambient_token = self.token.clone();
                 scope.spawn(move || {
                     let _panic_guard = AbortOnPanic(aborted);
+                    // Re-install the run's token in this worker's TLS so the
+                    // cuber checkpoints (which read the ambient token) see
+                    // cancellation from any thread.
+                    let _ambient = ambient_token.as_ref().map(lifecycle::install);
                     let mut scratch = Scratch::default();
                     let mut children: Vec<Task> = Vec::new();
                     // Consecutive empty scans; drives the idle backoff so a
@@ -1119,6 +1232,7 @@ impl<'a, F> Ctx<'a, F> {
                                         .filter(|&(si, _)| si != wi)
                                         .find_map(|(_, s)| match s.steal() {
                                             Steal::Success(t) => {
+                                                faults::inject("engine.task.steal");
                                                 steals.fetch_add(1, Ordering::Relaxed);
                                                 Some(t)
                                             }
@@ -1127,6 +1241,12 @@ impl<'a, F> Ctx<'a, F> {
                                 });
                         match task {
                             Some(task) => {
+                                if self.stopped() || aborted.load(Ordering::SeqCst) {
+                                    // Abandon the task: the run is failing,
+                                    // nobody will read its output, and the
+                                    // merger wakes on disconnect.
+                                    break 'work;
+                                }
                                 idle_scans = 0;
                                 let completion = self.process(task, &mut scratch, &mut children);
                                 if !children.is_empty() {
@@ -1140,6 +1260,7 @@ impl<'a, F> Ctx<'a, F> {
                                 }
                                 in_flight
                                     .fetch_add(completion.batch.byte_size(), Ordering::Relaxed);
+                                faults::inject("engine.completion.send");
                                 // Blocks on a full channel (merge
                                 // backpressure) and errs once the receiver
                                 // is gone — the merging side owns `rx`
@@ -1154,6 +1275,7 @@ impl<'a, F> Ctx<'a, F> {
                             None => {
                                 if pending.load(Ordering::SeqCst) == 0
                                     || aborted.load(Ordering::SeqCst)
+                                    || self.stopped()
                                 {
                                     break;
                                 }
@@ -1175,28 +1297,31 @@ impl<'a, F> Ctx<'a, F> {
             drop(tx);
             // ---- Streaming merge on the calling thread: every completion
             // is folded into the frontier as it lands; batches drain to the
-            // sink the moment their lexicographic predecessors are done. The
-            // timeout exists only to notice a panicked worker (whose task
-            // would otherwise leave the frontier waiting forever). `rx` is
-            // moved into this closure so that leaving the loop — normally
-            // or by unwinding from a sink panic — drops it and unblocks any
-            // worker parked in `tx.send`.
+            // sink the moment their lexicographic predecessors are done.
+            // `recv` blocks with no timeout: every abnormal exit (worker
+            // panic, cancellation, budget trip) ends with all workers
+            // dropping their `tx` clones, so `Disconnected` is the wakeup —
+            // no polling. `rx` is moved into this closure so that leaving
+            // the loop — normally or by unwinding from a sink panic — drops
+            // it and unblocks any worker parked in `tx.send`.
             let rx = rx;
             let _panic_guard = AbortOnPanic(&aborted);
             while !merger.is_done() {
-                match rx.recv_timeout(std::time::Duration::from_millis(20)) {
+                faults::inject("engine.completion.recv");
+                match rx.recv() {
                     Ok(completion) => {
                         in_flight.fetch_sub(completion.batch.byte_size(), Ordering::Relaxed);
                         merger.complete(completion);
-                    }
-                    Err(mpsc::RecvTimeoutError::Timeout) => {
-                        if aborted.load(Ordering::SeqCst) {
+                        // `complete` may have tripped the budget; exiting
+                        // drops `rx`, which stops the producers.
+                        if self.stopped() {
                             break;
                         }
                     }
-                    // All workers gone with work outstanding: a worker
-                    // panicked; scope exit re-raises it.
-                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    // All workers gone with the frontier incomplete: a
+                    // worker panicked (scope exit re-raises it) or the run
+                    // was cancelled (the caller reports the token's cause).
+                    Err(mpsc::RecvError) => break,
                 }
             }
         });
@@ -1240,6 +1365,7 @@ mod tests {
                 |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
                 sink,
             )
+            .unwrap()
         })
     }
 
@@ -1287,6 +1413,7 @@ mod tests {
                         |view, bound, m, out| ccube_baselines::buc_bound(view, bound, m, out),
                         sink,
                     )
+                    .unwrap()
                 });
                 assert_eq!(got, want, "threads={threads} min_sup={min_sup}");
             }
@@ -1315,6 +1442,7 @@ mod tests {
                     |view, _bound, m, out| ccube_baselines::buc(view, m, out),
                     sink,
                 )
+                .unwrap()
             });
             assert_eq!(got, want, "threads={threads}");
         }
@@ -1342,6 +1470,7 @@ mod tests {
                             |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
                             sink,
                         )
+                        .unwrap()
                     });
                     assert_eq!(got, want, "threshold={threshold} threads={threads}");
                 }
@@ -1388,7 +1517,8 @@ mod tests {
                     true,
                     |view, _bound, m, out| ccube_mm::c_cubing_mm(view, m, out),
                     &mut sink,
-                );
+                )
+                .unwrap();
             }
             cells
         };
@@ -1424,7 +1554,8 @@ mod tests {
                     ccube_mm::c_cubing_mm_with(view, m, ccube_mm::MmConfig::default(), &spec, out)
                 },
                 &mut got,
-            );
+            )
+            .unwrap();
             assert_eq!(got.cells.len(), want.cells.len(), "threads={threads}");
             for (cell, (n, agg)) in &want.cells {
                 let (n2, agg2) = &got.cells[cell];
@@ -1448,7 +1579,8 @@ mod tests {
             false,
             |view, bound, m, out| ccube_star::star_cube_bound(view, bound, m, out),
             &mut sink,
-        );
+        )
+        .unwrap();
         assert!(sink.is_empty());
     }
 
@@ -1468,7 +1600,8 @@ mod tests {
                 true,
                 |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
                 &mut sink,
-            );
+            )
+            .unwrap();
             assert!(stats.fast_path, "threads={threads}");
             assert_eq!(stats.tasks, 1);
             assert_eq!(stats.splits, 0);
@@ -1485,7 +1618,8 @@ mod tests {
             true,
             |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
             &mut sink,
-        );
+        )
+        .unwrap();
         assert!(!stats.fast_path);
         assert!(stats.tasks > 1);
         assert_eq!(sink.counts(), want);
@@ -1513,7 +1647,8 @@ mod tests {
                 true,
                 |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
                 &mut sink,
-            );
+            )
+            .unwrap();
             assert!(stats.splits > 0, "threads={threads}: split was not forced");
             assert!(
                 stats.peak_buffered_bytes <= stats.total_output_bytes,
@@ -1552,7 +1687,8 @@ mod tests {
             true,
             |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
             &mut sink,
-        );
+        )
+        .unwrap();
         assert_eq!(stats.splits, 0);
         assert_eq!(sink.counts(), want);
         // A deeper cap splits, and the cell set still does not move.
@@ -1568,17 +1704,18 @@ mod tests {
             true,
             |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
             &mut sink,
-        );
+        )
+        .unwrap();
         assert!(stats.splits > 0);
         assert_eq!(sink.counts(), want);
     }
 
     #[test]
-    #[should_panic(expected = "sink exploded")]
-    fn sink_panic_propagates_instead_of_deadlocking() {
+    fn sink_panic_surfaces_as_error_instead_of_deadlocking() {
         // A panicking final sink unwinds the merging thread; the abort flag
         // must release the workers (bounded-channel senders) so the scope
-        // can join and re-raise — a hang here fails the suite by timeout.
+        // can join — a hang here fails the suite by timeout. The panic is
+        // contained into a typed error instead of crossing the API.
         let t = SyntheticSpec::uniform(400, 4, 6, 1.5, 9).generate();
         let mut sink = ccube_core::sink::FnSink(|_: &[u32], _: u64, _: &()| {
             panic!("sink exploded");
@@ -1589,14 +1726,91 @@ mod tests {
             sequential_threshold: 0,
             ..EngineConfig::default()
         };
-        run_partitioned(
+        let err = run_partitioned(
             &t,
             2,
             &config,
             true,
             |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
             &mut sink,
-        );
+        )
+        .unwrap_err();
+        match err {
+            CubeError::WorkerPanicked { message } => {
+                assert!(message.contains("sink exploded"), "message = {message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn misuse_is_reported_as_typed_errors() {
+        let t = SyntheticSpec::uniform(50, 3, 4, 1.0, 1).generate();
+        let mut sink = CollectSink::<()>::default();
+        let err = run_partitioned(
+            &t,
+            0,
+            &EngineConfig::default(),
+            false,
+            |view, bound, m, out| ccube_baselines::buc_bound(view, bound, m, out),
+            &mut sink,
+        )
+        .unwrap_err();
+        assert_eq!(err, CubeError::ZeroMinSup);
+    }
+
+    #[test]
+    fn pre_cancelled_token_fails_fast() {
+        let t = SyntheticSpec::uniform(200, 4, 5, 1.0, 2).generate();
+        let token = CancelToken::new();
+        token.cancel();
+        let _ambient = lifecycle::install(&token);
+        let mut sink = CollectSink::<()>::default();
+        let err = run_partitioned(
+            &t,
+            2,
+            &EngineConfig::with_threads(4).always_sharded(),
+            true,
+            |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
+            &mut sink,
+        )
+        .unwrap_err();
+        assert_eq!(err, CubeError::Cancelled);
+    }
+
+    #[test]
+    fn budget_trip_surfaces_with_peak() {
+        // A 1-byte budget trips on the first completed batch, across thread
+        // counts, without deadlocking the merge or the workers.
+        let t = SyntheticSpec::uniform(600, 4, 6, 1.0, 7).generate();
+        for threads in [1usize, 4] {
+            let token = CancelToken::new();
+            token.set_budget(1);
+            let _ambient = lifecycle::install(&token);
+            let config = EngineConfig {
+                threads,
+                split_threshold: 64,
+                sequential_threshold: 0,
+                ..EngineConfig::default()
+            };
+            let mut sink = CountingSink::default();
+            let err = run_partitioned(
+                &t,
+                1,
+                &config,
+                true,
+                |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
+                &mut sink,
+            )
+            .unwrap_err();
+            match err {
+                CubeError::BudgetExceeded { peak, budget } => {
+                    assert_eq!(budget, 1, "threads={threads}");
+                    assert!(peak > 1, "threads={threads}");
+                }
+                other => panic!("expected BudgetExceeded, got {other:?} (threads={threads})"),
+            }
+        }
     }
 
     #[test]
@@ -1625,6 +1839,7 @@ mod tests {
                 |view, _bound, m, out| ccube_star::c_cubing_star(view, m, out),
                 sink,
             )
+            .unwrap()
         });
         assert_eq!(got, want);
     }
@@ -1702,6 +1917,7 @@ mod tests {
                     |view, _bound, m, out| ccube_star::c_cubing_star_array(view, m, out),
                     sink,
                 )
+                .unwrap()
             });
             assert_eq!(got, want, "{ordering:?}");
         }

@@ -167,6 +167,12 @@ where
     ) {
         debug_assert!(tids.len() as u64 >= self.min_sup);
 
+        // Cooperative cancellation: unwind as soon as the ambient token
+        // trips (partial emissions are discarded by the query layer).
+        if ccube_core::lifecycle::should_stop_strided() {
+            return;
+        }
+
         // Section 5.4 optimization, C-Cubing(MM) only: a subspace of exactly
         // min_sup tuples contains exactly one closed iceberg cell (the
         // closure of the fixed cell) — emit it directly instead of

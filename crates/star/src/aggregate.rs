@@ -182,6 +182,11 @@ fn build_sons<const CLOSED: bool, M: MeasureSpec>(
     if depth >= tree.depth() {
         return;
     }
+    // Cooperative cancellation: abandon tree construction once the ambient
+    // token trips (the partially built tree is discarded with the run).
+    if ccube_core::lifecycle::should_stop_strided() {
+        return;
+    }
     let rc = &reduced[depth];
     // Base-tree levels are dims `0..cube` in order, so the star sentinel of
     // this level's reduced column is `card(depth)`.
@@ -284,6 +289,11 @@ where
         builders: &mut Vec<Builder<M::Acc>>,
         cell: &mut Vec<u32>,
     ) {
+        // Cooperative cancellation: unwind as soon as the ambient token
+        // trips (partial emissions are discarded by the query layer).
+        if ccube_core::lifecycle::should_stop_strided() {
+            return;
+        }
         let m = tree.depth();
         let node = &tree.nodes[id as usize];
         let mut suppressed =

@@ -233,6 +233,11 @@ fn expand<const CLOSED: bool, M: MeasureSpec>(
     if depth >= tree.depth() {
         return;
     }
+    // Cooperative cancellation: abandon tree construction once the ambient
+    // token trips (the partially built tree is discarded with the run).
+    if ccube_core::lifecycle::should_stop_strided() {
+        return;
+    }
     let d = tree.rem_dims[depth];
     let (start, end) = (
         tree.nodes[node as usize].pool_start as usize,
@@ -311,6 +316,11 @@ where
         depth: usize,
         cell: &mut Vec<u32>,
     ) {
+        // Cooperative cancellation: unwind as soon as the ambient token
+        // trips (partial emissions are discarded by the query layer).
+        if ccube_core::lifecycle::should_stop_strided() {
+            return;
+        }
         let m = tree.depth();
         let node = tree.nodes[id as usize].clone();
         // Truncated leaves (count < min_sup) never reach here: the DFS only

@@ -39,11 +39,11 @@ fn main() {
                 rules: Some(rules),
             }
             .generate();
-            let mut session = CubeSession::new(table);
+            let mut session = CubeSession::new(table).expect("ordinary table");
 
             let mut time = |algo: Algorithm| {
                 let start = Instant::now();
-                session.query().min_sup(m).algorithm(algo).stats();
+                session.query().min_sup(m).algorithm(algo).stats().unwrap();
                 start.elapsed().as_secs_f64()
             };
             let mm = time(Algorithm::CCubingMm);

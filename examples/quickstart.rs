@@ -30,7 +30,7 @@ fn main() {
 
     // One session per fact table: stats + partition are measured once here,
     // and every query below reuses them.
-    let mut session = CubeSession::new(table);
+    let mut session = CubeSession::new(table).expect("ordinary table");
 
     // The planner-backed default: a closed iceberg cube, algorithm chosen
     // from the measured table statistics.
@@ -47,7 +47,12 @@ fn main() {
         Algorithm::QcDfs,
     ] {
         let mut sink = CollectSink::default();
-        session.query().min_sup(2).algorithm(algo).run(&mut sink);
+        session
+            .query()
+            .min_sup(2)
+            .algorithm(algo)
+            .run(&mut sink)
+            .unwrap();
         let mut cells: Vec<(Cell, u64)> = sink.counts().into_iter().collect();
         cells.sort();
         println!("{algo} -> closed iceberg cells (count >= 2):");
@@ -59,7 +64,7 @@ fn main() {
 
     // The same result as a pull-based stream — no CellSink required.
     println!("streamed:");
-    for (cell, count, ()) in session.query().min_sup(2).stream() {
+    for (cell, count, ()) in session.query().min_sup(2).stream().unwrap() {
         println!("  {cell} : {count}");
     }
     println!();

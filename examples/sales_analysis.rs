@@ -41,7 +41,7 @@ fn main() {
     // One session answers every question below; stats, the first-dimension
     // partition and (on the first StarArray query) the tuple pool are
     // measured once and reused.
-    let mut session = CubeSession::new(table);
+    let mut session = CubeSession::new(table).expect("ordinary table");
     println!(
         "measured stats: typical cardinality {}, mean skew {:.2}, dependence {:.2}; \
          planner picks {}\n",
@@ -58,11 +58,17 @@ fn main() {
         .query()
         .min_sup(min_sup)
         .measure(revenue)
-        .run(&mut closed);
+        .run(&mut closed)
+        .unwrap();
 
     // The plain iceberg cube, for the compression comparison: same builder,
     // `closed(false)` — the planner swaps in the family's iceberg host.
-    let iceberg = session.query().min_sup(min_sup).closed(false).stats();
+    let iceberg = session
+        .query()
+        .min_sup(min_sup)
+        .closed(false)
+        .stats()
+        .unwrap();
 
     println!(
         "iceberg cells: {}   closed cells: {}   compression: {:.1}%",
@@ -74,7 +80,12 @@ fn main() {
     // Subcube question: what does the cube of promo-2 sales look like?
     // `slice` selects the tuples; closedness is relative to the slice, so
     // every closed cell binds promo = 2.
-    let promo_slice = session.query().min_sup(min_sup).slice(4, 2).stats();
+    let promo_slice = session
+        .query()
+        .min_sup(min_sup)
+        .slice(4, 2)
+        .stats()
+        .unwrap();
     println!(
         "promo=2 slice: {} closed cells (Σ cell counts {})\n",
         promo_slice.cells, promo_slice.count_sum
@@ -110,6 +121,7 @@ fn main() {
         .min_sup(min_sup)
         .measure(revenue)
         .stream()
+        .unwrap()
         .take(3)
         .count();
     println!("\nstreamed the first {streamed} cells, then hung up (remainder discarded)");

@@ -33,9 +33,9 @@
 //!     .build()
 //!     .unwrap();
 //!
-//! let mut session = CubeSession::new(table);
+//! let mut session = CubeSession::new(table).unwrap();
 //! let mut sink = CollectSink::default();
-//! session.query().min_sup(2).run(&mut sink);
+//! session.query().min_sup(2).run(&mut sink).unwrap();
 //!
 //! // Exactly the two closed iceberg cells from Example 1:
 //! assert_eq!(sink.len(), 2);
@@ -63,24 +63,28 @@ pub use ccube_engine::{EngineConfig, EngineStats};
 
 mod session;
 
-pub use session::{CacheStats, CellStream, CubeQuery, CubeSession, QueryPlan, QueryStats};
+pub use session::{
+    CacheStats, CellStream, CubeQuery, CubeSession, QueryHandle, QueryPlan, QueryStats,
+};
 
 use ccube_core::measure::{CountOnly, MeasureSpec};
 use ccube_core::sink::CellSink;
-use ccube_core::Table;
+use ccube_core::{CubeError, Table};
 use ccube_engine::ShardedSink;
 
 /// Everything needed for typical use.
 pub mod prelude {
     pub use crate::{
         recommend, Algorithm, CacheStats, CellStream, CubeQuery, CubeSession, EngineConfig,
-        EngineStats, QueryPlan, QueryStats, TableStats, Workload,
+        EngineStats, QueryHandle, QueryPlan, QueryStats, TableStats, Workload,
     };
+    pub use ccube_core::lifecycle::CancelToken;
     pub use ccube_core::measure::{AllColumns, ColumnStats, CountOnly, MeasureSpec};
     pub use ccube_core::order::DimOrdering;
     pub use ccube_core::sink::{
         CellBatch, CellSink, CollectSink, CountingSink, FnSink, NullSink, SizeSink, WriterSink,
     };
+    pub use ccube_core::CubeError;
     pub use ccube_core::{Cell, ClosedInfo, DimMask, Table, TableBuilder, TupleId, STAR};
     pub use ccube_data::{RuleSet, SyntheticSpec, WeatherSpec};
     pub use ccube_rules::{mine_rules, ClosedCube};
@@ -201,13 +205,16 @@ impl Algorithm {
     /// Internal uniform execution path (`CubeRequest`): one entry the
     /// `run*` shims and the [`CubeQuery`] terminals all reduce to. `None`
     /// engine config means a plain sequential run (empty [`EngineStats`]);
-    /// `Some` routes through the partition-parallel engine.
+    /// `Some` routes through the partition-parallel engine. Both paths share
+    /// the engine's failure surface: misuse, ambient-token trips
+    /// (cancel/deadline/budget), and contained panics all surface as typed
+    /// [`CubeError`]s.
     pub(crate) fn execute_request<M, S>(
         self,
         req: &CubeRequest<'_>,
         spec: &M,
         sink: &mut S,
-    ) -> EngineStats
+    ) -> Result<EngineStats, CubeError>
     where
         M: MeasureSpec + Sync,
         M::Acc: Send,
@@ -215,8 +222,11 @@ impl Algorithm {
     {
         match &req.engine {
             None => {
-                self.dispatch_bound(req.table, 0, req.min_sup, spec, sink);
-                EngineStats::default()
+                if req.min_sup < 1 {
+                    return Err(CubeError::ZeroMinSup);
+                }
+                run_guarded(|| self.dispatch_bound(req.table, 0, req.min_sup, spec, sink))?;
+                Ok(EngineStats::default())
             }
             Some(config) => ccube_engine::run_partitioned_with_stats(
                 req.table,
@@ -298,7 +308,8 @@ impl Algorithm {
     /// `threads` worker threads (`0` = one per CPU), emitting the exact
     /// sequential result set into `sink` in a thread-count-independent
     /// order. See [`ccube_engine`] for the sharding and shard-boundary
-    /// closedness reconciliation.
+    /// closedness reconciliation, and for the error semantics (misuse,
+    /// ambient cancellation, contained panics).
     ///
     /// ```
     /// use c_cubing::prelude::*;
@@ -310,7 +321,7 @@ impl Algorithm {
     ///     .build()
     ///     .unwrap();
     /// let mut par = CollectSink::default();
-    /// Algorithm::CCubingStar.run_parallel(&table, 2, 4, &mut par);
+    /// Algorithm::CCubingStar.run_parallel(&table, 2, 4, &mut par).unwrap();
     /// let mut seq = CollectSink::default();
     /// Algorithm::CCubingStar.run(&table, 2, &mut seq);
     /// assert_eq!(par.counts(), seq.counts());
@@ -321,7 +332,7 @@ impl Algorithm {
         min_sup: u64,
         threads: usize,
         sink: &mut S,
-    ) {
+    ) -> Result<(), CubeError> {
         self.run_with_config(table, min_sup, &EngineConfig::with_threads(threads), sink)
     }
 
@@ -335,7 +346,8 @@ impl Algorithm {
         threads: usize,
         spec: &M,
         sink: &mut S,
-    ) where
+    ) -> Result<(), CubeError>
+    where
         M: MeasureSpec + Sync,
         M::Acc: Send,
         S: CellSink<M::Acc>,
@@ -357,7 +369,7 @@ impl Algorithm {
         min_sup: u64,
         config: &EngineConfig,
         sink: &mut S,
-    ) {
+    ) -> Result<(), CubeError> {
         self.run_with_config_with(table, min_sup, config, &CountOnly, sink)
     }
 
@@ -371,7 +383,7 @@ impl Algorithm {
         min_sup: u64,
         config: &EngineConfig,
         sink: &mut S,
-    ) -> EngineStats {
+    ) -> Result<EngineStats, CubeError> {
         self.execute_request(
             &CubeRequest {
                 table,
@@ -391,7 +403,8 @@ impl Algorithm {
         config: &EngineConfig,
         spec: &M,
         sink: &mut S,
-    ) where
+    ) -> Result<(), CubeError>
+    where
         M: MeasureSpec + Sync,
         M::Acc: Send,
         S: CellSink<M::Acc>,
@@ -404,8 +417,39 @@ impl Algorithm {
             },
             spec,
             sink,
-        );
+        )
+        .map(|_| ())
     }
+}
+
+/// Run a sequential cube computation with the engine's failure surface:
+/// checks the ambient token before and after, contains panics into
+/// [`CubeError::WorkerPanicked`] (tripping the token so every observer
+/// agrees on the outcome), and reports a token trip as the run's error.
+pub(crate) fn run_guarded<R>(f: impl FnOnce() -> R) -> Result<R, CubeError> {
+    let token = ccube_core::lifecycle::current();
+    if let Some(t) = &token {
+        t.check()?;
+    }
+    let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            let err = CubeError::WorkerPanicked { message };
+            if let Some(t) = &token {
+                t.trip(err.clone());
+            }
+            return Err(err);
+        }
+    };
+    if let Some(t) = &token {
+        t.check()?;
+    }
+    Ok(result)
 }
 
 /// The internal uniform execution request: every public `run*` shim and the

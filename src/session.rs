@@ -26,13 +26,31 @@
 //! * `algorithm(a)` — explicit algorithm, otherwise the planner picks via
 //!   [`recommend`] over the session's cached stats;
 //! * `threads(n)` / `engine(config)` — route through the partition-parallel
-//!   engine instead of a plain sequential run.
+//!   engine instead of a plain sequential run;
+//! * `deadline(d)` / `memory_budget(bytes)` — lifecycle limits enforced
+//!   cooperatively during the run (see below);
 //!
 //! and terminates in [`CubeQuery::run`] (push into any
 //! [`CellSink`](ccube_core::sink::CellSink)), [`CubeQuery::stats`] (counters
 //! only), or [`CubeQuery::stream`] (a pull-based [`CellStream`] iterator
 //! backed by a bounded channel, for serving code that cannot implement a
 //! sink).
+//!
+//! ## Query lifecycle
+//!
+//! Every terminal is fallible: it arms a per-query
+//! [`CancelToken`](ccube_core::lifecycle::CancelToken) (obtainable up front
+//! via [`CubeQuery::handle`]) and returns a typed
+//! [`CubeError`](ccube_core::CubeError) when the run is cancelled
+//! ([`QueryHandle::cancel`], or dropping a [`CellStream`] mid-iteration),
+//! exceeds its [`CubeQuery::deadline`], trips its
+//! [`CubeQuery::memory_budget`], or panics internally
+//! (`WorkerPanicked` — the panic never crosses the API). Builder misuse
+//! (out-of-range dimensions, `min_sup(0)`, an empty projection) is recorded
+//! in the builder and surfaces as a typed error at the terminal instead of
+//! panicking. Output already pushed into a sink when an error surfaces is
+//! partial and should be discarded. Cached session artifacts are untouched
+//! by a failed run — a follow-up query on the same session reuses them.
 //!
 //! ## Subcube semantics
 //!
@@ -48,14 +66,18 @@
 //! produce byte-identical output sequences (the cached artifacts are
 //! by-construction equal to what a cold run computes).
 
-use crate::{recommend, Algorithm, CubeRequest, EngineConfig, EngineStats, TableStats};
+use crate::{
+    recommend, run_guarded, Algorithm, CubeRequest, EngineConfig, EngineStats, TableStats,
+};
 use ccube_core::cell::Cell;
+use ccube_core::lifecycle::{self, CancelToken};
 use ccube_core::measure::{CountOnly, MeasureSpec};
 use ccube_core::partition::Group;
 use ccube_core::sink::{CellBatch, CellSink, CountingSink};
-use ccube_core::{DimMask, Table, TupleId};
+use ccube_core::{CubeError, DimMask, Table, TupleId};
 use ccube_engine::ChannelSink;
 use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// How many times each cached artifact has been (re)built — all `1` after
 /// any number of warm queries; the observable proof that cache reuse works.
@@ -82,9 +104,9 @@ pub struct CacheStats {
 ///     .row(&[1, 1, 0])
 ///     .build()
 ///     .unwrap();
-/// let mut session = CubeSession::new(table);
+/// let mut session = CubeSession::new(table).unwrap();
 /// let mut sink = CollectSink::default();
-/// session.query().min_sup(2).slice(0, 0).run(&mut sink);
+/// session.query().min_sup(2).slice(0, 0).run(&mut sink).unwrap();
 /// // Every closed cell of the sliced subtable binds dimension 0 = 0.
 /// assert!(sink.cells.keys().all(|c| c.value(0) == 0));
 /// ```
@@ -106,20 +128,18 @@ impl CubeSession {
     /// first-dimension partition once (`O(rows × dims)` — the setup cost
     /// every subsequent query on this session skips).
     ///
-    /// # Panics
-    /// Panics on a carried-dimension view (`cube_dims() < dims()`): those
-    /// are engine-internal shard tables whose trailing dimensions must not
-    /// be enumerated, and the subcube machinery (like the parallel engine)
-    /// only shards ordinary tables.
-    pub fn new(table: Table) -> CubeSession {
-        assert_eq!(
-            table.cube_dims(),
-            table.dims(),
-            "CubeSession takes ordinary tables, not carried-dimension views"
-        );
+    /// # Errors
+    /// [`CubeError::CarriedDimensionView`] on a carried-dimension view
+    /// (`cube_dims() < dims()`): those are engine-internal shard tables
+    /// whose trailing dimensions must not be enumerated, and the subcube
+    /// machinery (like the parallel engine) only shards ordinary tables.
+    pub fn new(table: Table) -> Result<CubeSession, CubeError> {
+        if table.cube_dims() != table.dims() {
+            return Err(CubeError::CarriedDimensionView);
+        }
         let stats = TableStats::measure(&table);
         let first_dim = table.shard_by_first_dim();
-        CubeSession {
+        Ok(CubeSession {
             table: Arc::new(table),
             stats,
             first_dim,
@@ -129,7 +149,7 @@ impl CubeSession {
                 partition_builds: 1,
                 pool_builds: 0,
             },
-        }
+        })
     }
 
     /// The session's fact table.
@@ -165,6 +185,10 @@ impl CubeSession {
             algorithm: None,
             engine: None,
             threads: None,
+            token: CancelToken::new(),
+            deadline: None,
+            budget: None,
+            misuse: None,
         }
     }
 
@@ -234,6 +258,15 @@ pub struct CubeQuery<'s, M: MeasureSpec = CountOnly> {
     algorithm: Option<Algorithm>,
     engine: Option<EngineConfig>,
     threads: Option<usize>,
+    /// The query's lifecycle token, created with the builder so
+    /// [`CubeQuery::handle`] can hand out cancel handles before the run
+    /// starts.
+    token: CancelToken,
+    deadline: Option<Duration>,
+    budget: Option<usize>,
+    /// First builder-misuse error, deferred to the terminal (builders stay
+    /// panic-free; the terminal reports it as a typed error).
+    misuse: Option<CubeError>,
 }
 
 impl<'s, M: MeasureSpec> CubeQuery<'s, M> {
@@ -242,8 +275,17 @@ impl<'s, M: MeasureSpec> CubeQuery<'s, M> {
     /// dimensions in ascending original order; closedness is computed
     /// relative to the projected subtable.
     pub fn dims(mut self, mask: DimMask) -> Self {
-        self.dims = Some(mask & DimMask::all(self.session.table.dims()));
+        let kept = mask & DimMask::all(self.session.table.dims());
+        if kept.is_empty() {
+            self.flag(CubeError::EmptyProjection);
+        }
+        self.dims = Some(kept);
         self
+    }
+
+    /// Record the first builder-misuse error for the terminal to report.
+    fn flag(&mut self, err: CubeError) {
+        self.misuse.get_or_insert(err);
     }
 
     /// Keep only tuples with `value` on dimension `dim` (AND with previous
@@ -256,18 +298,23 @@ impl<'s, M: MeasureSpec> CubeQuery<'s, M> {
     /// Keep only tuples whose value on `dim` is one of `values` (OR within
     /// the list, AND with previous selections).
     pub fn dice(mut self, dim: usize, values: &[u32]) -> Self {
-        assert!(
-            dim < self.session.table.dims(),
-            "dice dimension out of range"
-        );
+        let dims = self.session.table.dims();
+        if dim >= dims {
+            self.flag(CubeError::DimensionOutOfRange { dim, dims });
+            return self;
+        }
         self.selections.push((dim, values.to_vec()));
         self
     }
 
     /// Iceberg threshold: keep cells aggregating at least `k` tuples
-    /// (default 1 — the full (closed) cube).
+    /// (default 1 — the full (closed) cube). `min_sup(0)` is misuse and
+    /// surfaces as [`CubeError::ZeroMinSup`] at the terminal.
     pub fn min_sup(mut self, k: u64) -> Self {
-        assert!(k >= 1, "min_sup must be at least 1");
+        if k < 1 {
+            self.flag(CubeError::ZeroMinSup);
+            return self;
+        }
         self.min_sup = k;
         self
     }
@@ -304,6 +351,35 @@ impl<'s, M: MeasureSpec> CubeQuery<'s, M> {
         self
     }
 
+    /// Abort the run once it has been executing for `d`: the terminal
+    /// arms the query's token when the run starts, and the cooperative
+    /// checkpoints trip [`CubeError::DeadlineExceeded`] on the first poll
+    /// past the deadline — no watchdog thread.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Enforce a cap on the engine's buffered output (the bytes the
+    /// streaming merge holds: frontier + in-flight completions). The first
+    /// sample above `bytes` aborts the run with
+    /// [`CubeError::BudgetExceeded`] — peak usage stays within one
+    /// [`CellBatch`] of the cap, never an OOM. Sequential (non-engine) runs
+    /// buffer nothing and cannot trip it.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.budget = Some(bytes);
+        self
+    }
+
+    /// A cloneable handle onto this query's lifecycle token, for cancelling
+    /// the run from another thread (or from a signal handler) while a
+    /// terminal is executing.
+    pub fn handle(&self) -> QueryHandle {
+        QueryHandle {
+            token: self.token.clone(),
+        }
+    }
+
     /// Carry the complex measures of `spec` (Section 6.1) on every result
     /// cell; the sink/stream item type follows `spec`'s accumulator.
     pub fn measure<M2: MeasureSpec>(self, spec: M2) -> CubeQuery<'s, M2> {
@@ -317,6 +393,10 @@ impl<'s, M: MeasureSpec> CubeQuery<'s, M> {
             algorithm: self.algorithm,
             engine: self.engine,
             threads: self.threads,
+            token: self.token,
+            deadline: self.deadline,
+            budget: self.budget,
+            misuse: self.misuse,
         }
     }
 
@@ -351,15 +431,16 @@ impl<'s, M: MeasureSpec> CubeQuery<'s, M> {
         }
     }
 
-    /// Resolve the query into its target (sub)table, algorithm and engine
-    /// routing, consuming the builder. The subtable is `None` when the query
-    /// targets the session's base table unmodified (no selection, full
-    /// projection) — the cache-eligible case.
-    fn resolve(self) -> (Resolved, M, &'s mut CubeSession) {
+    /// Resolve the query into its target (sub)table, algorithm, engine
+    /// routing and lifecycle limits, consuming the builder. Deferred builder
+    /// misuse surfaces here, before any work is done.
+    fn resolve(self) -> Result<(Resolved, M, &'s mut CubeSession), CubeError> {
+        if let Some(err) = self.misuse {
+            return Err(err);
+        }
         let table_dims = self.session.table.dims();
         let full_mask = DimMask::all(table_dims);
         let mask = self.dims.unwrap_or(full_mask);
-        assert!(!mask.is_empty(), "query projects away every dimension");
         let (algorithm, _) = self.planned_algorithm();
         let engine = self.engine_config();
 
@@ -389,17 +470,40 @@ impl<'s, M: MeasureSpec> CubeQuery<'s, M> {
             let dim_order: Vec<usize> = mask.iter().collect();
             Arc::new(self.session.table.view(&tids, &dim_order, dim_order.len()))
         };
-        (
+        Ok((
             Resolved {
                 table,
                 base,
                 algorithm,
                 min_sup: self.min_sup,
                 engine,
+                token: self.token,
+                deadline: self.deadline,
+                budget: self.budget,
             },
             self.spec,
             self.session,
-        )
+        ))
+    }
+}
+
+/// A cloneable cancel handle onto one query's run (see
+/// [`CubeQuery::handle`]). Cancelling after the run finished is a no-op.
+#[derive(Clone, Debug)]
+pub struct QueryHandle {
+    token: CancelToken,
+}
+
+impl QueryHandle {
+    /// Trip the query's token: the run aborts at its next cooperative
+    /// checkpoint and the terminal returns [`CubeError::Cancelled`].
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Whether the token has tripped (for any cause, not just cancel).
+    pub fn is_tripped(&self) -> bool {
+        self.token.is_tripped()
     }
 }
 
@@ -411,20 +515,38 @@ struct Resolved {
     algorithm: Algorithm,
     min_sup: u64,
     engine: Option<EngineConfig>,
+    token: CancelToken,
+    deadline: Option<Duration>,
+    budget: Option<usize>,
 }
 
 impl Resolved {
     /// Execute into `sink`, drawing the StarArray pool from `pool` when the
-    /// sequential StarArray fast path applies.
-    fn execute<M, S>(&self, pool: Option<&[TupleId]>, spec: &M, sink: &mut S) -> EngineStats
+    /// sequential StarArray fast path applies. Arms the query's lifecycle
+    /// token (deadline clock starts here) and installs it ambiently for the
+    /// duration of the run, so the checkpoints in the cubers, the partition
+    /// kernels and the engine all observe it.
+    fn execute<M, S>(
+        &self,
+        pool: Option<&[TupleId]>,
+        spec: &M,
+        sink: &mut S,
+    ) -> Result<EngineStats, CubeError>
     where
         M: MeasureSpec + Sync,
         M::Acc: Send,
         S: CellSink<M::Acc>,
     {
+        if let Some(d) = self.deadline {
+            self.token.set_deadline(Instant::now() + d);
+        }
+        if let Some(b) = self.budget {
+            self.token.set_budget(b);
+        }
+        let _ambient = lifecycle::install(&self.token);
         if let Some(pool) = pool {
             debug_assert!(self.engine.is_none());
-            match self.algorithm {
+            run_guarded(|| match self.algorithm {
                 Algorithm::StarArray => ccube_star::star_array_cube_pooled_with(
                     &self.table,
                     pool,
@@ -440,8 +562,8 @@ impl Resolved {
                     sink,
                 ),
                 _ => unreachable!("pool is only drawn for StarArray-family plans"),
-            }
-            return EngineStats::default();
+            })?;
+            return Ok(EngineStats::default());
         }
         self.algorithm.execute_request(
             &CubeRequest {
@@ -472,23 +594,25 @@ where
     M::Acc: Send,
 {
     /// Execute the query, pushing every result cell into `sink`. Returns the
-    /// engine counters (all-zero for sequential runs).
-    pub fn run<S: CellSink<M::Acc>>(self, sink: &mut S) -> EngineStats {
-        let (resolved, spec, session) = self.resolve();
+    /// engine counters (all-zero for sequential runs), or the typed error
+    /// that ended the run (cancel/deadline/budget/panic/misuse) — output
+    /// already pushed before an error is partial; discard it.
+    pub fn run<S: CellSink<M::Acc>>(self, sink: &mut S) -> Result<EngineStats, CubeError> {
+        let (resolved, spec, session) = self.resolve()?;
         let pool = resolved.wants_pool().then(|| session.star_pool());
         resolved.execute(pool.as_deref().map(Vec::as_slice), &spec, sink)
     }
 
     /// Execute the query with output discarded, returning cell/count/engine
     /// counters — the "how big is this cube" probe.
-    pub fn stats(self) -> QueryStats {
+    pub fn stats(self) -> Result<QueryStats, CubeError> {
         let mut sink = CountingSink::default();
-        let engine = self.run(&mut sink);
-        QueryStats {
+        let engine = self.run(&mut sink)?;
+        Ok(QueryStats {
             cells: sink.cells,
             count_sum: sink.count_sum,
             engine,
-        }
+        })
     }
 }
 
@@ -502,42 +626,107 @@ where
     /// code that cannot implement [`CellSink`](ccube_core::sink::CellSink).
     /// Backed by the engine's bounded-channel adapter
     /// ([`ccube_engine::ChannelSink`]), so a slow consumer back-pressures
-    /// the computation instead of buffering the whole cube. Dropping the
-    /// stream early returns immediately and discards further output; the
-    /// producing run itself is not abortable mid-cube, so it completes in
-    /// the background (in discard mode) before its thread exits.
-    pub fn stream(self) -> CellStream<M::Acc> {
-        let (resolved, spec, session) = self.resolve();
+    /// the computation instead of buffering the whole cube.
+    ///
+    /// Dropping the stream mid-iteration **cancels the producing run**: the
+    /// drop trips the query token, unblocks the producer, and joins it —
+    /// the producer has exited by the time the drop returns (within one
+    /// checkpoint interval, not after the rest of the cube). Call
+    /// [`CellStream::finish`] after exhaustion for the run's outcome
+    /// ([`EngineStats`] or the typed error); builder misuse fails here,
+    /// before any thread is spawned.
+    pub fn stream(self) -> Result<CellStream<M::Acc>, CubeError> {
+        let (resolved, spec, session) = self.resolve()?;
         let pool = resolved.wants_pool().then(|| session.star_pool());
         let (tx, rx) = mpsc::sync_channel::<CellBatch<M::Acc>>(4);
         let dims = resolved.table.dims();
+        let token = resolved.token.clone();
         let handle = std::thread::Builder::new()
             .name("ccube-query-stream".into())
             .spawn(move || {
                 let mut sink = ChannelSink::new(tx, dims, 0);
-                resolved.execute(pool.as_deref().map(Vec::as_slice), &spec, &mut sink);
-                sink.finish();
+                let result = resolved.execute(pool.as_deref().map(Vec::as_slice), &spec, &mut sink);
+                if result.is_ok() {
+                    // Flush the tail batch only for completed runs; a failed
+                    // run's partial tail is dropped here instead of sent.
+                    sink.finish();
+                }
+                result
             })
             .expect("spawn stream worker");
-        CellStream {
+        Ok(CellStream {
             rx: Some(rx),
             handle: Some(handle),
             pending: Vec::new().into_iter(),
-        }
+            token,
+            outcome: None,
+        })
     }
 }
 
 /// Pull-based result iterator returned by [`CubeQuery::stream`]: yields
 /// `(cell, count, accumulator)` triples in the producing run's emission
-/// order. Dropping it early returns immediately — the producer is detached
-/// and finishes its (non-abortable) run in discard mode in the background.
-/// A panic on the producing thread resurfaces on the consuming thread at
-/// the next [`Iterator::next`] call; after an early drop it is reported by
-/// the default panic hook instead.
+/// order.
+///
+/// Lifecycle:
+/// * iterate to exhaustion, then call [`CellStream::finish`] for the run's
+///   outcome — `Ok(EngineStats)` for a completed run, the typed
+///   [`CubeError`] for one that was cancelled, timed out, tripped its
+///   budget, or panicked (the iterator simply ends early in those cases;
+///   already-yielded cells are a valid prefix of the output);
+/// * [`CellStream::cancel`] aborts the run explicitly and returns its
+///   (error) outcome;
+/// * dropping the stream cancels the run and joins the producer — the
+///   producing thread has exited by the time the drop returns.
 pub struct CellStream<A = ()> {
     rx: Option<mpsc::Receiver<CellBatch<A>>>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    handle: Option<std::thread::JoinHandle<Result<EngineStats, CubeError>>>,
     pending: std::vec::IntoIter<(Cell, u64, A)>,
+    token: CancelToken,
+    outcome: Option<Result<EngineStats, CubeError>>,
+}
+
+impl<A> CellStream<A> {
+    /// Join the producer and record its outcome (idempotent). A panic that
+    /// escaped even the run's containment resurfaces here.
+    fn join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            match handle.join() {
+                Ok(result) => self.outcome = Some(result),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    }
+
+    /// The run's outcome: engine counters for a completed run, the typed
+    /// error for an aborted one. Blocks until the producer exits — after
+    /// the iterator returned `None` that is immediate; calling it earlier
+    /// hangs up (remaining output is discarded) and waits for the run,
+    /// which keeps computing in discard mode. Use [`CellStream::cancel`] to
+    /// abort instead of waiting.
+    pub fn finish(mut self) -> Result<EngineStats, CubeError> {
+        self.rx = None;
+        self.join();
+        self.outcome
+            .take()
+            .expect("join() always records an outcome")
+    }
+
+    /// Cancel the producing run and return its outcome (normally
+    /// `Err(Cancelled)`; a run that already completed or failed reports
+    /// that outcome instead).
+    pub fn cancel(self) -> Result<EngineStats, CubeError> {
+        self.token.cancel();
+        self.finish()
+    }
+
+    /// A cancel handle onto the producing run's token (same as the one
+    /// [`CubeQuery::handle`] hands out).
+    pub fn handle(&self) -> QueryHandle {
+        QueryHandle {
+            token: self.token.clone(),
+        }
+    }
 }
 
 impl<A: Clone> Iterator for CellStream<A> {
@@ -548,6 +737,7 @@ impl<A: Clone> Iterator for CellStream<A> {
             if let Some(item) = self.pending.next() {
                 return Some(item);
             }
+            ccube_core::faults::inject("stream.recv");
             match self.rx.as_ref()?.recv() {
                 Ok(batch) => {
                     self.pending = batch
@@ -557,14 +747,11 @@ impl<A: Clone> Iterator for CellStream<A> {
                         .into_iter();
                 }
                 Err(_) => {
-                    // Producer done (or died): join it so a panic propagates
-                    // instead of vanishing.
+                    // Producer exited (completed or aborted): join it now so
+                    // `finish` is non-blocking and an uncontained panic
+                    // propagates instead of vanishing.
                     self.rx = None;
-                    if let Some(handle) = self.handle.take() {
-                        if let Err(panic) = handle.join() {
-                            std::panic::resume_unwind(panic);
-                        }
-                    }
+                    self.join();
                     return None;
                 }
             }
@@ -574,13 +761,18 @@ impl<A: Clone> Iterator for CellStream<A> {
 
 impl<A> Drop for CellStream<A> {
     fn drop(&mut self) {
-        // Hang up so the producer flips into discard mode, then detach it:
-        // cube runs are not abortable mid-flight, and blocking a serving
-        // thread's drop for the rest of the cube would turn every early
-        // hang-up into a full-cube stall. The detached thread holds only
-        // its own Arc'd inputs and exits as soon as the run completes.
+        // Cancel-on-drop: trip the token, hang up the channel (unparking a
+        // producer blocked in send), and join. The producer aborts at its
+        // next cooperative checkpoint, so the join is bounded by the
+        // checkpoint interval — not by the rest of the cube.
+        self.token.cancel();
         self.rx = None;
-        drop(self.handle.take());
+        if let Some(handle) = self.handle.take() {
+            // Swallow the outcome (including a contained error): nobody is
+            // left to observe it. An uncontained panic must not escalate a
+            // drop into an abort, so it is swallowed too.
+            let _ = handle.join();
+        }
     }
 }
 
@@ -588,6 +780,7 @@ impl<A> std::fmt::Debug for CellStream<A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CellStream")
             .field("live", &self.rx.is_some())
+            .field("generation", &self.token.generation())
             .finish()
     }
 }
@@ -600,7 +793,7 @@ mod tests {
     use ccube_data::SyntheticSpec;
 
     fn session() -> CubeSession {
-        CubeSession::new(SyntheticSpec::uniform(400, 4, 6, 1.0, 11).generate())
+        CubeSession::new(SyntheticSpec::uniform(400, 4, 6, 1.0, 11).generate()).unwrap()
     }
 
     #[test]
@@ -611,7 +804,7 @@ mod tests {
         assert!(plan.algorithm.is_closed());
         let want = collect_counts(|sink| plan.algorithm.run(s.table(), 2, sink));
         let got = collect_counts(|sink| {
-            s.query().min_sup(2).run(sink);
+            s.query().min_sup(2).run(sink).unwrap();
         });
         assert_eq!(got, want);
     }
@@ -625,7 +818,8 @@ mod tests {
                 .min_sup(2)
                 .algorithm(Algorithm::CCubingStar)
                 .closed(false)
-                .run(sink);
+                .run(sink)
+                .unwrap();
         });
         let want = collect_counts(|sink| Algorithm::Star.run(s.table(), 2, sink));
         assert_eq!(got, want);
@@ -645,7 +839,12 @@ mod tests {
         let table = s.table().clone();
         for algo in [Algorithm::Buc, Algorithm::CCubingStarArray] {
             let got = collect_counts(|sink| {
-                s.query().min_sup(2).algorithm(algo).slice(1, 3).run(sink);
+                s.query()
+                    .min_sup(2)
+                    .algorithm(algo)
+                    .slice(1, 3)
+                    .run(sink)
+                    .unwrap();
             });
             // Reference: filter by hand, cube the subtable.
             let tids = table.select_tids(1, &[3]);
@@ -664,7 +863,8 @@ mod tests {
                 .algorithm(Algorithm::CCubingMm)
                 .dice(0, &[0, 1])
                 .dice(2, &[1, 2, 3])
-                .run(sink);
+                .run(sink)
+                .unwrap();
         });
         let mut tids = table.select_tids(0, &[0, 1]);
         table.filter_tids(2, &[1, 2, 3], &mut tids);
@@ -683,7 +883,8 @@ mod tests {
                 .algorithm(Algorithm::CCubingStar)
                 .min_sup(2)
                 .dims(mask)
-                .run(sink);
+                .run(sink)
+                .unwrap();
         });
         let projected = table.view(&table.all_tids(), &[1, 3], 2);
         let want = collect_counts(|sink| Algorithm::CCubingStar.run(&projected, 2, sink));
@@ -698,7 +899,8 @@ mod tests {
             s.query()
                 .min_sup(2)
                 .algorithm(Algorithm::CCubingStar)
-                .run(sink);
+                .run(sink)
+                .unwrap();
         });
         for threads in [1usize, 2, 8] {
             let got = collect_counts(|sink| {
@@ -706,7 +908,8 @@ mod tests {
                     .min_sup(2)
                     .algorithm(Algorithm::CCubingStar)
                     .threads(threads)
-                    .run(sink);
+                    .run(sink)
+                    .unwrap();
             });
             assert_eq!(got, want, "threads={threads}");
         }
@@ -715,14 +918,16 @@ mod tests {
             s.query()
                 .slice(0, 1)
                 .algorithm(Algorithm::CCubingStar)
-                .run(sink);
+                .run(sink)
+                .unwrap();
         });
         let sliced_got = collect_counts(|sink| {
             s.query()
                 .slice(0, 1)
                 .algorithm(Algorithm::CCubingStar)
                 .threads(4)
-                .run(sink);
+                .run(sink)
+                .unwrap();
         });
         assert_eq!(sliced_got, sliced_want);
     }
@@ -737,7 +942,8 @@ mod tests {
                 s.query()
                     .min_sup(2)
                     .algorithm(Algorithm::CCubingStarArray)
-                    .run(sink);
+                    .run(sink)
+                    .unwrap();
             });
             assert_eq!(got, want, "round {round}");
         }
@@ -754,13 +960,14 @@ mod tests {
         let spec = ColumnStats { column: 0 };
         let mut want = CollectSink::default();
         Algorithm::CCubingMm.run_with(&t, 2, &spec, &mut want);
-        let mut s = CubeSession::new(t);
+        let mut s = CubeSession::new(t).unwrap();
         let mut got = CollectSink::default();
         s.query()
             .min_sup(2)
             .algorithm(Algorithm::CCubingMm)
             .measure(spec)
-            .run(&mut got);
+            .run(&mut got)
+            .unwrap();
         assert_eq!(got.cells.len(), want.cells.len());
         for (cell, (n, agg)) in &want.cells {
             let (n2, agg2) = &got.cells[cell];
@@ -776,13 +983,15 @@ mod tests {
             s.query()
                 .min_sup(2)
                 .algorithm(Algorithm::CCubingStar)
-                .run(sink);
+                .run(sink)
+                .unwrap();
         });
         let got: ccube_core::fxhash::FxHashMap<Cell, u64> = s
             .query()
             .min_sup(2)
             .algorithm(Algorithm::CCubingStar)
             .stream()
+            .unwrap()
             .map(|(cell, count, ())| (cell, count))
             .collect();
         assert_eq!(got, want);
@@ -790,29 +999,31 @@ mod tests {
 
     #[test]
     fn stream_drops_cleanly_mid_iteration() {
-        let mut s = CubeSession::new(SyntheticSpec::uniform(500, 5, 6, 0.5, 3).generate());
-        let mut stream = s.query().algorithm(Algorithm::Buc).stream();
+        let mut s = CubeSession::new(SyntheticSpec::uniform(500, 5, 6, 0.5, 3).generate()).unwrap();
+        let mut stream = s.query().algorithm(Algorithm::Buc).stream().unwrap();
         let first = stream.next();
         assert!(first.is_some());
         drop(stream); // must not hang or panic
     }
 
     #[test]
-    #[should_panic(expected = "ordinary tables")]
     fn session_rejects_carried_dimension_views() {
         // A carried-dimension view's trailing dims must not be enumerated;
         // the subcube machinery would silently promote them to group-by
         // dims, so the session refuses the table outright.
         let t = SyntheticSpec::uniform(50, 3, 4, 0.0, 1).generate();
         let view = t.view(&t.all_tids(), &[0, 1, 2], 2);
-        let _ = CubeSession::new(view);
+        assert!(matches!(
+            CubeSession::new(view),
+            Err(CubeError::CarriedDimensionView)
+        ));
     }
 
     #[test]
     fn empty_selection_yields_empty_result() {
         let mut s = session();
         let mut sink = CollectSink::<()>::default();
-        s.query().slice(0, 999).run(&mut sink);
+        s.query().slice(0, 999).run(&mut sink).unwrap();
         assert!(sink.is_empty());
     }
 
@@ -828,7 +1039,7 @@ mod tests {
             .row(&[2, 1])
             .build()
             .unwrap();
-        let s = CubeSession::new(t.clone());
+        let s = CubeSession::new(t.clone()).unwrap();
         for v in 0..4 {
             assert_eq!(s.slice0_tids(v), t.select_tids(0, &[v]), "value {v}");
         }

@@ -168,7 +168,7 @@ fn assert_all_algorithms_agree(table: &Table, min_sups: &[u64], label: &str) {
             let got = collect_counts(|s| algo.run(table, m, s));
             assert_eq!(&got, want, "{algo} != naive on {label} at min_sup={m}");
             for threads in [1usize, 2, 8] {
-                let got = collect_counts(|s| algo.run_parallel(table, m, threads, s));
+                let got = collect_counts(|s| algo.run_parallel(table, m, threads, s).unwrap());
                 assert_eq!(
                     &got, want,
                     "{algo} parallel({threads}) != naive on {label} at min_sup={m}"
@@ -206,7 +206,8 @@ fn all_algorithms_agree_across_widths() {
                 let got = collect_counts(|s| algo.run(&narrow, m, s));
                 assert_eq!(got, want, "{algo} width-sensitive on {label}");
                 for threads in [1usize, 2, 8] {
-                    let got = collect_counts(|s| algo.run_parallel(&narrow, m, threads, s));
+                    let got =
+                        collect_counts(|s| algo.run_parallel(&narrow, m, threads, s).unwrap());
                     assert_eq!(
                         got, want,
                         "{algo} parallel({threads}) width-sensitive on {label}"

@@ -18,7 +18,7 @@ fn assert_parallel_equivalence(table: &Table, min_sups: &[u64], label: &str) {
             for threads in THREADS {
                 // Default config (small tables may take the sequential fast
                 // path — that must be equivalent too) ...
-                let got = collect_counts(|s| algo.run_parallel(table, m, threads, s));
+                let got = collect_counts(|s| algo.run_parallel(table, m, threads, s).unwrap());
                 assert_eq!(
                     got, want,
                     "{algo} parallel({threads}) != sequential on {label} at min_sup={m}"
@@ -26,7 +26,7 @@ fn assert_parallel_equivalence(table: &Table, min_sups: &[u64], label: &str) {
                 // ... and with the fast path disabled, so the sharding and
                 // streaming-merge machinery is always exercised.
                 let cfg = EngineConfig::with_threads(threads).always_sharded();
-                let got = collect_counts(|s| algo.run_with_config(table, m, &cfg, s));
+                let got = collect_counts(|s| algo.run_with_config(table, m, &cfg, s).unwrap());
                 assert_eq!(
                     got, want,
                     "{algo} sharded({threads}) != sequential on {label} at min_sup={m}"
@@ -46,7 +46,7 @@ fn c_cubing_variants_on_zipf_skew() {
             for m in [1u64, 2, 8] {
                 let want = collect_counts(|s| algo.run(&t, m, s));
                 for threads in THREADS {
-                    let got = collect_counts(|s| algo.run_parallel(&t, m, threads, s));
+                    let got = collect_counts(|s| algo.run_parallel(&t, m, threads, s).unwrap());
                     assert_eq!(got, want, "{algo} S={skew} threads={threads} min_sup={m}");
                 }
             }
@@ -85,7 +85,7 @@ fn recursive_splitting_forced_matches_sequential() {
                         sequential_threshold: 0,
                         ..EngineConfig::default()
                     };
-                    let got = collect_counts(|s| algo.run_with_config(&t, m, &cfg, s));
+                    let got = collect_counts(|s| algo.run_with_config(&t, m, &cfg, s).unwrap());
                     assert_eq!(
                         got, want,
                         "{algo} forced-split S={skew} threads={threads} min_sup={m}"
@@ -112,7 +112,7 @@ fn forced_splitting_output_sequence_is_thread_count_invariant() {
                     sequential_threshold: 0,
                     ..EngineConfig::default()
                 };
-                algo.run_with_config(&t, 2, &cfg, &mut sink);
+                algo.run_with_config(&t, 2, &cfg, &mut sink).unwrap();
             }
             cells
         };
@@ -200,7 +200,7 @@ fn sharding_ordering_does_not_change_results() {
                 sequential_threshold: 0,
                 ..EngineConfig::default()
             };
-            let got = collect_counts(|s| algo.run_with_config(&t, 2, &cfg, s));
+            let got = collect_counts(|s| algo.run_with_config(&t, 2, &cfg, s).unwrap());
             assert_eq!(got, want, "{algo} {ordering:?}");
         }
     }
@@ -210,7 +210,7 @@ fn sharding_ordering_does_not_change_results() {
 fn zero_threads_means_auto() {
     let t = SyntheticSpec::uniform(200, 3, 5, 1.0, 31).generate();
     let want = collect_counts(|s| Algorithm::CCubingStar.run(&t, 2, s));
-    let got = collect_counts(|s| Algorithm::CCubingStar.run_parallel(&t, 2, 0, s));
+    let got = collect_counts(|s| Algorithm::CCubingStar.run_parallel(&t, 2, 0, s).unwrap());
     assert_eq!(got, want);
 }
 
@@ -298,7 +298,8 @@ fn trace_run(
         let mut sink = FnSink(|cell: &[u32], count: u64, _: &()| {
             cells.push((cell.to_vec(), count));
         });
-        algo.run_with_config(table, min_sup, cfg, &mut sink);
+        algo.run_with_config(table, min_sup, cfg, &mut sink)
+            .unwrap();
     }
     cells
 }
@@ -363,7 +364,7 @@ fn streaming_merge_peak_stays_below_full_output() {
             ..EngineConfig::default()
         };
         let mut sink = CountingSink::default();
-        let stats = algo.run_with_config_stats(&t, 4, &cfg, &mut sink);
+        let stats = algo.run_with_config_stats(&t, 4, &cfg, &mut sink).unwrap();
         assert!(stats.splits > 0, "{algo}: splitting was not forced");
         assert!(
             stats.peak_buffered_bytes < stats.total_output_bytes,
@@ -384,12 +385,16 @@ fn one_thread_engine_takes_the_fast_path() {
     let algo = Algorithm::CCubingMm;
     let want = collect_counts(|s| algo.run(&t, 4, s));
     let mut sink = CollectSink::default();
-    let stats = algo.run_with_config_stats(&t, 4, &EngineConfig::with_threads(1), &mut sink);
+    let stats = algo
+        .run_with_config_stats(&t, 4, &EngineConfig::with_threads(1), &mut sink)
+        .unwrap();
     assert!(stats.fast_path);
     assert_eq!(sink.counts(), want);
     // Multi-threaded on the same table: sharded, still equivalent.
     let mut sink = CollectSink::default();
-    let stats = algo.run_with_config_stats(&t, 4, &EngineConfig::with_threads(4), &mut sink);
+    let stats = algo
+        .run_with_config_stats(&t, 4, &EngineConfig::with_threads(4), &mut sink)
+        .unwrap();
     assert!(!stats.fast_path);
     assert_eq!(sink.counts(), want);
 }
@@ -414,7 +419,7 @@ fn speedup_smoke_20k() {
 
     let mut par_sink = CountingSink::default();
     let par_start = Instant::now();
-    algo.run_parallel(&t, 8, 4, &mut par_sink);
+    algo.run_parallel(&t, 8, 4, &mut par_sink).unwrap();
     let par_time = par_start.elapsed();
 
     assert_eq!(seq_sink.cells, par_sink.cells);

@@ -46,11 +46,11 @@ proptest! {
         let tids = table.select_tids(d, &[v]);
         let dim_order: Vec<usize> = (0..table.dims()).collect();
         let filtered = table.view(&tids, &dim_order, table.dims());
-        let mut session = CubeSession::new(table);
+        let mut session = CubeSession::new(table).unwrap();
         for algo in Algorithm::ALL {
             let want = collect_counts(|s| algo.run(&filtered, min_sup, s));
             let got = collect_counts(|s| {
-                session.query().min_sup(min_sup).algorithm(algo).slice(d, v).run(s);
+                session.query().min_sup(min_sup).algorithm(algo).slice(d, v).run(s).unwrap();
             });
             prop_assert_eq!(&got, &want, "{} slice d{}={}", algo, d, v);
         }
@@ -66,7 +66,7 @@ proptest! {
         let tids = table.select_tids(d, &values);
         let dim_order: Vec<usize> = keep.iter().collect();
         let sub = table.view(&tids, &dim_order, dim_order.len());
-        let mut session = CubeSession::new(table);
+        let mut session = CubeSession::new(table).unwrap();
         for algo in [Algorithm::Buc, Algorithm::CCubingMm, Algorithm::CCubingStarArray] {
             let want = collect_counts(|s| algo.run(&sub, min_sup, s));
             let got = collect_counts(|s| {
@@ -76,7 +76,8 @@ proptest! {
                     .algorithm(algo)
                     .dice(d, &values)
                     .dims(keep)
-                    .run(s);
+                    .run(s)
+                    .unwrap();
             });
             prop_assert_eq!(&got, &want, "{} dice d{}", algo, d);
         }
@@ -94,7 +95,7 @@ where
         let mut sink = FnSink(|cell: &[u32], count: u64, _: &M::Acc| {
             cells.push((cell.to_vec(), count));
         });
-        query.run(&mut sink);
+        query.run(&mut sink).unwrap();
     }
     cells
 }
@@ -102,7 +103,7 @@ where
 #[test]
 fn repeated_queries_are_byte_identical() {
     let table = SyntheticSpec::uniform(500, 4, 6, 1.5, 7).generate();
-    let mut session = CubeSession::new(table);
+    let mut session = CubeSession::new(table).unwrap();
     // Sequential, for every algorithm — including the StarArray family,
     // whose second run replays the cached pool.
     for algo in Algorithm::ALL {
@@ -135,7 +136,7 @@ fn repeated_queries_are_byte_identical() {
 #[test]
 fn stream_equals_collect_sink_across_threads() {
     let table = SyntheticSpec::uniform(600, 4, 6, 1.0, 13).generate();
-    let mut session = CubeSession::new(table);
+    let mut session = CubeSession::new(table).unwrap();
     for algo in [
         Algorithm::CCubingStar,
         Algorithm::Buc,
@@ -148,13 +149,15 @@ fn stream_equals_collect_sink_across_threads() {
                 .min_sup(2)
                 .algorithm(algo)
                 .threads(threads)
-                .run(&mut collected);
+                .run(&mut collected)
+                .unwrap();
             let streamed: FxHashMap<Cell, u64> = session
                 .query()
                 .min_sup(2)
                 .algorithm(algo)
                 .threads(threads)
                 .stream()
+                .unwrap()
                 .map(|(cell, count, ())| (cell, count))
                 .collect();
             assert_eq!(streamed, collected.counts(), "{algo} threads={threads}");
@@ -162,11 +165,12 @@ fn stream_equals_collect_sink_across_threads() {
     }
     // Sequential stream too (no engine in the loop).
     let mut collected = CollectSink::default();
-    session.query().min_sup(2).run(&mut collected);
+    session.query().min_sup(2).run(&mut collected).unwrap();
     let streamed: FxHashMap<Cell, u64> = session
         .query()
         .min_sup(2)
         .stream()
+        .unwrap()
         .map(|(cell, count, ())| (cell, count))
         .collect();
     assert_eq!(streamed, collected.counts());
@@ -178,14 +182,14 @@ fn low_level_path_agrees_with_query_path() {
     // unchanged and produce identical output": spot-check every run* shape
     // against the query layer.
     let table = SyntheticSpec::uniform(400, 4, 5, 0.5, 21).generate();
-    let mut session = CubeSession::new(table.clone());
+    let mut session = CubeSession::new(table.clone()).unwrap();
     for algo in Algorithm::ALL {
         let low = collect_counts(|s| algo.run(&table, 2, s));
         let query = collect_counts(|s| {
-            session.query().min_sup(2).algorithm(algo).run(s);
+            session.query().min_sup(2).algorithm(algo).run(s).unwrap();
         });
         assert_eq!(query, low, "{algo} run");
-        let par = collect_counts(|s| algo.run_parallel(&table, 2, 2, s));
+        let par = collect_counts(|s| algo.run_parallel(&table, 2, 2, s).unwrap());
         assert_eq!(par, low, "{algo} run_parallel");
         let cfg = collect_counts(|s| {
             algo.run_with_config(
@@ -194,6 +198,7 @@ fn low_level_path_agrees_with_query_path() {
                 &EngineConfig::with_threads(2).always_sharded(),
                 s,
             )
+            .unwrap()
         });
         assert_eq!(cfg, low, "{algo} run_with_config");
     }
@@ -202,9 +207,9 @@ fn low_level_path_agrees_with_query_path() {
 #[test]
 fn query_stats_terminal_counts_cells() {
     let table = SyntheticSpec::uniform(300, 3, 5, 0.0, 2).generate();
-    let mut session = CubeSession::new(table.clone());
+    let mut session = CubeSession::new(table.clone()).unwrap();
     let want = collect_counts(|s| session.recommend(2).run(&table, 2, s));
-    let stats = session.query().min_sup(2).stats();
+    let stats = session.query().min_sup(2).stats().unwrap();
     assert_eq!(stats.cells, want.len() as u64);
     assert_eq!(stats.count_sum, want.values().sum::<u64>());
 }
