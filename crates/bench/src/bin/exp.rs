@@ -108,7 +108,10 @@ fn print_help() {
          Default scale 0.1 (100K tuples where the paper used 1M); \
          --scale 1.0 reproduces paper-sized inputs.\n\
          --threads N times every figure through the parallel engine; the `parallel`\n\
-         experiment sweeps 1/2/4/8 threads and writes BENCH_parallel.json."
+         experiment sweeps 1/2/4/8 threads and writes BENCH_parallel.json.\n\
+         The `serve` experiment load-tests the TCP server at 1/8/64 concurrent\n\
+         clients and writes BENCH_serve.json (CCUBE_ASSERT_SERVE=1 arms its\n\
+         acceptance gates)."
     );
 }
 

@@ -75,6 +75,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("substrate", substrate_micro),
         ("session", session_experiment),
         ("lifecycle", lifecycle_experiment),
+        ("serve", serve_experiment),
         ("ablate-mm", ablate_mm_budget),
         ("ablate-order", ablate_base_order),
     ]
@@ -1593,6 +1594,205 @@ fn lifecycle_experiment(opt: &ExpOptions) -> Figure {
     }
 }
 
+/// Serving-layer load test: an in-process `ccube-serve` TCP server over a
+/// synthetic table, hammered at 1, 8 and 64 concurrent clients with a mix
+/// of query shapes (full cubes, projections, dices; sequential and
+/// engine-parallel). Per level it reports query latency p50/p99, sustained
+/// queries/second, and how many arrivals admission control shed.
+///
+/// Writes `BENCH_serve.json`. With `CCUBE_ASSERT_SERVE=1` in the
+/// environment the experiment fails hard when any query ends in something
+/// other than `Done`/`Overloaded` (every failure must be typed; shedding
+/// is the only legal degradation on a healthy server) or when shutdown
+/// does not drain cleanly.
+fn serve_experiment(opt: &ExpOptions) -> Figure {
+    use ccube_serve::{AdmissionConfig, Client, QueryOutcome, QueryRequest, Server, ServerConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
+
+    let tuples = opt.tuples(100_000);
+    let table = SyntheticSpec::uniform(tuples, 6, 40, 1.0, opt.seed).generate();
+    let config = ServerConfig {
+        admission: AdmissionConfig {
+            max_concurrent: 8,
+            max_queued: 64,
+            max_queue_wait: Duration::from_secs(5),
+            ..AdmissionConfig::default()
+        },
+        drain_deadline: Duration::from_secs(10),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(vec![("synth".to_string(), table)], config).expect("server starts");
+    let addr = server.addr();
+
+    /// One client's next request, cycling through representative shapes.
+    fn request_for(client: usize, round: usize) -> QueryRequest {
+        let mut req = QueryRequest::new("synth", [4u64, 8, 16][(client + round) % 3]);
+        match (client + round) % 4 {
+            1 => req.dims = Some(0b01_1111), // drop one dimension
+            2 => req.selections = vec![(0, vec![0, 1, 2, 3, 4])],
+            3 => req.threads = 2,
+            _ => {}
+        }
+        req
+    }
+
+    const QUERIES_PER_CLIENT: usize = 8;
+    let mut levels = Vec::new();
+    let mut violations: Vec<String> = Vec::new();
+    for &clients in &[1usize, 8, 64] {
+        let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+        let shed = AtomicU64::new(0);
+        let failed = AtomicU64::new(0);
+        let wall = Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let latencies = &latencies;
+                let shed = &shed;
+                let failed = &failed;
+                scope.spawn(move || {
+                    let Ok(mut client) = Client::connect_with(addr, Duration::from_secs(30)) else {
+                        failed.fetch_add(QUERIES_PER_CLIENT as u64, Ordering::Relaxed);
+                        return;
+                    };
+                    for round in 0..QUERIES_PER_CLIENT {
+                        let req = request_for(c, round);
+                        let start = Instant::now();
+                        match client.query(&req) {
+                            Ok(QueryOutcome::Done(_)) => {
+                                latencies
+                                    .lock()
+                                    .unwrap()
+                                    .push(start.elapsed().as_secs_f64());
+                            }
+                            Ok(QueryOutcome::Overloaded { .. }) => {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(QueryOutcome::ServerError { .. }) | Err(_) => {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let wall = wall.elapsed().as_secs_f64();
+        let mut lat = latencies.into_inner().unwrap();
+        let done = lat.len() as u64;
+        let shed = shed.load(Ordering::Relaxed);
+        let failed = failed.load(Ordering::Relaxed);
+        fn percentile(samples: &mut [f64], p: f64) -> f64 {
+            if samples.is_empty() {
+                return f64::NAN;
+            }
+            samples.sort_by(f64::total_cmp);
+            samples[((samples.len() as f64 - 1.0) * p).round() as usize]
+        }
+        let p50 = percentile(&mut lat, 0.50);
+        let p99 = percentile(&mut lat, 0.99);
+        let qps = done as f64 / wall;
+        if failed > 0 {
+            violations.push(format!(
+                "{clients} clients: {failed} untyped/failed queries"
+            ));
+        }
+        if done == 0 {
+            violations.push(format!("{clients} clients: no query completed"));
+        }
+        levels.push((clients, p50, p99, qps, done, shed, failed));
+    }
+
+    let metrics = server.metrics();
+    let report = server.shutdown();
+    if !report.drained {
+        violations.push(format!(
+            "shutdown cancelled {} in-flight queries instead of draining",
+            report.cancelled
+        ));
+    }
+
+    let level_json: Vec<String> = levels
+        .iter()
+        .map(|(clients, p50, p99, qps, done, shed, failed)| {
+            format!(
+                "    {{\"clients\": {clients}, \"p50_seconds\": {p50:.6}, \
+                 \"p99_seconds\": {p99:.6}, \"qps\": {qps:.1}, \"done\": {done}, \
+                 \"shed\": {shed}, \"failed\": {failed}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"tuples\": {tuples}, \"dims\": 6, \"cardinality\": 40, \"seed\": {}, \
+         \"queries_per_client\": {QUERIES_PER_CLIENT},\n  \
+         \"admission\": {{\"max_concurrent\": 8, \"max_queued\": 64}},\n  \
+         \"levels\": [\n{}\n  ],\n  \
+         \"gate\": {{\"admitted\": {}, \"shed_queue_full\": {}, \"shed_timeout\": {}, \
+         \"peak_reserved_bytes\": {}}},\n  \"drained\": {}\n}}\n",
+        opt.seed,
+        level_json.join(",\n"),
+        metrics.gate.admitted,
+        metrics.gate.shed_queue_full,
+        metrics.gate.shed_timeout,
+        metrics.gate.peak_reserved,
+        report.drained,
+    );
+    let json_note = match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => "Numbers written to BENCH_serve.json.".to_string(),
+        Err(e) => format!("(could not write BENCH_serve.json: {e})"),
+    };
+
+    if std::env::var_os("CCUBE_ASSERT_SERVE").is_some() && !violations.is_empty() {
+        panic!("serve acceptance violated: {}", violations.join("; "));
+    }
+    let gate_note = if violations.is_empty() {
+        "Within acceptance (every outcome typed, clean drain).".to_string()
+    } else {
+        format!("ACCEPTANCE VIOLATIONS: {}.", violations.join("; "))
+    };
+
+    let rows = levels
+        .iter()
+        .map(|(clients, p50, p99, qps, done, shed, _)| {
+            (
+                format!("{clients} clients"),
+                vec![
+                    secs(*p50),
+                    secs(*p99),
+                    format!("{qps:.1}"),
+                    format!("{done} / {shed}"),
+                ],
+            )
+        })
+        .collect();
+
+    Figure {
+        id: "serve",
+        title: format!(
+            "ccube-serve under load: latency and shedding at 1/8/64 clients \
+             (T={tuples}, D=6, C=40, scale {})",
+            opt.scale
+        ),
+        x_label: "Concurrency".into(),
+        series: vec![
+            "p50".into(),
+            "p99".into(),
+            "qps".into(),
+            "done / shed".into(),
+        ],
+        rows,
+        notes: format!(
+            "Thread-per-connection TCP server, admission gate at 8 concurrent \
+             queries with a 64-deep wait queue; every client cycles full-cube, \
+             projected, diced and engine-parallel shapes. Shedding (typed \
+             Overloaded frames with retry hints) is the expected degradation \
+             at 64 clients; anything untyped is an acceptance violation. \
+             {gate_note} {json_note}"
+        ),
+    }
+}
+
 /// Ablation: sensitivity of C-Cubing(MM) to the MultiWay array budget
 /// (DESIGN.md §7 calls this heuristic out; the paper fixes ~4 MB).
 fn ablate_mm_budget(opt: &ExpOptions) -> Figure {
@@ -1706,7 +1906,9 @@ mod tests {
         assert!(ids.contains(&"parallel"), "parallel missing");
         assert!(ids.contains(&"substrate"), "substrate missing");
         assert!(ids.contains(&"session"), "session missing");
-        assert_eq!(ids.len(), 23);
+        assert!(ids.contains(&"lifecycle"), "lifecycle missing");
+        assert!(ids.contains(&"serve"), "serve missing");
+        assert_eq!(ids.len(), 25);
     }
 
     #[test]

@@ -1,22 +1,36 @@
 //! Named fault-injection sites for the chaos test harness.
 //!
-//! The engine and session sprinkle [`inject`] calls at every coordination
-//! point — channel sends/receives, task spawns, steals, splits, arena
-//! recycles. In a normal build these compile to empty inline functions
-//! (zero overhead, verified by the `lifecycle` experiment). When the
-//! workspace is built with `RUSTFLAGS="--cfg ccube_chaos"`, a test can arm
-//! a [`FaultPlan`] and the matching site will fire a [`FaultAction`] —
-//! panic, cancel, budget-trip, or deadline-trip — exactly once, at the
-//! `after`-th visit.
+//! The engine, session, and server sprinkle [`inject`] / [`inject_io`]
+//! calls at every coordination point — channel sends/receives, task
+//! spawns, steals, splits, arena recycles, socket accepts, frame writes.
+//! In a normal build these compile to empty inline functions (zero
+//! overhead, verified by the `lifecycle` experiment). When the workspace
+//! is built with `RUSTFLAGS="--cfg ccube_chaos"`, a test arms a
+//! [`FaultPlan`] inside a [`FaultScope`] and the matching site fires a
+//! [`FaultAction`] — panic, cancel, budget-trip, deadline-trip, i/o
+//! error, or stall — exactly once, at the `after`-th visit.
 //!
-//! The chaos matrix (`tests/lifecycle.rs`) drives this across every site ×
-//! action × algorithm × thread count and asserts the run terminates with a
-//! clean typed error: no deadlock, no leaked threads, no lost arena
-//! buffers.
+//! Plans are **scoped, not process-global**: a scope is installed
+//! thread-locally with [`FaultScope::install`] and propagated to spawned
+//! worker threads by capturing [`current_scope`] on the spawning thread
+//! (the engine, the session's stream producer, and the server's
+//! accept/connection threads all do this). Concurrent tests each arm
+//! their own scope without interfering, so the chaos suites run with the
+//! default test parallelism.
+//!
+//! The chaos matrix (`tests/lifecycle.rs`) drives this across every site
+//! × action × algorithm × thread count and asserts the run terminates
+//! with a clean typed error: no deadlock, no leaked threads, no lost
+//! arena buffers. The serve chaos suite (`crates/serve/tests/chaos.rs`)
+//! does the same for the wire: injected accept failures, mid-stream
+//! write errors, and stalled readers must yield typed error frames or
+//! clean disconnects, never a hung connection.
+
+use std::time::Duration;
 
 /// Every named injection site. Kept in one place so the chaos matrix can
-/// enumerate them; engine/session code passes these exact strings to
-/// [`inject`].
+/// enumerate them; engine/session/server code passes these exact strings
+/// to [`inject`] / [`inject_io`].
 pub const SITES: &[&str] = &[
     "engine.seed",
     "engine.task.start",
@@ -27,7 +41,18 @@ pub const SITES: &[&str] = &[
     "engine.arena.recycle",
     "sink.channel.send",
     "stream.recv",
+    "serve.accept",
+    "serve.frame.write",
+    "serve.frame.read",
 ];
+
+/// The connection-layer subset of [`SITES`] (fired through [`inject_io`]).
+pub const IO_SITES: &[&str] = &["serve.accept", "serve.frame.write", "serve.frame.read"];
+
+/// How long [`FaultAction::Stall`] blocks an i/o site, simulating a slow
+/// peer. Long enough to trip any realistic socket write timeout armed by
+/// a chaos test, short enough to keep the suite fast.
+pub const STALL: Duration = Duration::from_millis(100);
 
 /// What an armed fault does when its site fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +65,21 @@ pub enum FaultAction {
     Budget,
     /// Trip the ambient token with `DeadlineExceeded`.
     Deadline,
+    /// Return `ConnectionReset` from an [`inject_io`] site (a failed
+    /// accept, a mid-stream write error). Ignored by plain [`inject`]
+    /// sites, which have no error channel.
+    IoError,
+    /// Sleep [`STALL`] at an [`inject_io`] site, simulating a stalled
+    /// slow reader on the other end of the socket. Ignored by plain
+    /// [`inject`] sites.
+    Stall,
+}
+
+impl FaultAction {
+    /// True for actions that only make sense at [`inject_io`] sites.
+    pub fn io_only(self) -> bool {
+        matches!(self, FaultAction::IoError | FaultAction::Stall)
+    }
 }
 
 /// One armed fault: fire `action` at the `after`-th visit to `site`.
@@ -53,79 +93,180 @@ pub struct FaultPlan {
     pub after: u64,
 }
 
-/// Arm `plan` globally (or disarm with `None`). Chaos tests serialize on a
-/// lock of their own; this only resets the visit counters.
+/// A handle to one armed fault plan plus its visit/fired counters.
 ///
-/// No-op unless built with `--cfg ccube_chaos`.
-pub fn set_plan(plan: Option<FaultPlan>) {
+/// Cloning shares the counters; a clone moved into a spawned thread and
+/// [`install`](FaultScope::install)ed there extends the scope across the
+/// thread boundary. Unless built with `--cfg ccube_chaos` this is a
+/// zero-sized no-op.
+#[derive(Clone)]
+pub struct FaultScope {
     #[cfg(ccube_chaos)]
-    chaos::set_plan(plan);
-    #[cfg(not(ccube_chaos))]
-    let _ = plan;
+    inner: std::sync::Arc<chaos::ScopeInner>,
 }
 
-/// Did the armed plan actually fire since the last [`set_plan`]?
-///
-/// Always `false` unless built with `--cfg ccube_chaos`.
-pub fn fired() -> bool {
-    #[cfg(ccube_chaos)]
-    {
-        chaos::fired()
+impl FaultScope {
+    /// Create a scope with `plan` armed. The scope is inert until
+    /// [`install`](FaultScope::install)ed on the thread(s) that should
+    /// observe it.
+    pub fn arm(plan: FaultPlan) -> FaultScope {
+        #[cfg(ccube_chaos)]
+        {
+            FaultScope {
+                inner: std::sync::Arc::new(chaos::ScopeInner::new(plan)),
+            }
+        }
+        #[cfg(not(ccube_chaos))]
+        {
+            let _ = plan;
+            FaultScope {}
+        }
     }
-    #[cfg(not(ccube_chaos))]
-    {
-        false
+
+    /// Install this scope on the current thread; injection sites observe
+    /// it until the returned guard drops (restoring the previous scope,
+    /// so installs nest).
+    pub fn install(&self) -> ScopeGuard {
+        #[cfg(ccube_chaos)]
+        {
+            ScopeGuard {
+                prev: chaos::swap_current(Some(self.clone())),
+            }
+        }
+        #[cfg(not(ccube_chaos))]
+        {
+            ScopeGuard {}
+        }
+    }
+
+    /// Did the armed plan actually fire (on any thread sharing this
+    /// scope)? Always `false` unless built with `--cfg ccube_chaos`.
+    pub fn fired(&self) -> bool {
+        #[cfg(ccube_chaos)]
+        {
+            self.inner.fired.load(std::sync::atomic::Ordering::SeqCst)
+        }
+        #[cfg(not(ccube_chaos))]
+        {
+            false
+        }
     }
 }
 
-/// A named fault-injection site. Empty and inlined away unless built with
+impl std::fmt::Debug for FaultScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultScope").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard returned by [`FaultScope::install`]; restores the
+/// previously installed scope (if any) on drop.
+pub struct ScopeGuard {
+    #[cfg(ccube_chaos)]
+    prev: Option<FaultScope>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        #[cfg(ccube_chaos)]
+        chaos::swap_current(self.prev.take());
+    }
+}
+
+/// The scope installed on the current thread, for propagation into a
+/// thread about to be spawned. Always `None` unless built with
 /// `--cfg ccube_chaos`.
+pub fn current_scope() -> Option<FaultScope> {
+    #[cfg(ccube_chaos)]
+    {
+        chaos::current()
+    }
+    #[cfg(not(ccube_chaos))]
+    {
+        None
+    }
+}
+
+/// A named fault-injection site. Empty and inlined away unless built
+/// with `--cfg ccube_chaos`. I/o-only actions ([`FaultAction::io_only`])
+/// never fire here.
 #[inline(always)]
 pub fn inject(site: &'static str) {
     #[cfg(ccube_chaos)]
-    chaos::inject(site);
+    chaos::inject(site, false).expect("non-io inject site returned an error");
     #[cfg(not(ccube_chaos))]
     let _ = site;
 }
 
+/// A named fault-injection site on an i/o path. In addition to the
+/// [`inject`] actions, [`FaultAction::IoError`] makes it return
+/// `ConnectionReset` and [`FaultAction::Stall`] blocks for [`STALL`].
+/// Always `Ok(())` (and inlined away) unless built with
+/// `--cfg ccube_chaos`.
+#[inline(always)]
+pub fn inject_io(site: &'static str) -> std::io::Result<()> {
+    #[cfg(ccube_chaos)]
+    {
+        chaos::inject(site, true)
+    }
+    #[cfg(not(ccube_chaos))]
+    {
+        let _ = site;
+        Ok(())
+    }
+}
+
 #[cfg(ccube_chaos)]
 mod chaos {
-    use super::{FaultAction, FaultPlan};
+    use super::{FaultAction, FaultPlan, FaultScope};
     use crate::{lifecycle, CubeError};
+    use std::cell::RefCell;
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-    use std::sync::Mutex;
 
-    static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
-    static VISITS: AtomicU64 = AtomicU64::new(0);
-    static FIRED: AtomicBool = AtomicBool::new(false);
-
-    pub(super) fn set_plan(plan: Option<FaultPlan>) {
-        let mut slot = PLAN.lock().unwrap();
-        VISITS.store(0, Ordering::SeqCst);
-        FIRED.store(false, Ordering::SeqCst);
-        *slot = plan;
+    pub(super) struct ScopeInner {
+        plan: FaultPlan,
+        visits: AtomicU64,
+        pub(super) fired: AtomicBool,
     }
 
-    pub(super) fn fired() -> bool {
-        FIRED.load(Ordering::SeqCst)
-    }
-
-    pub(super) fn inject(site: &'static str) {
-        let action = {
-            let slot = PLAN.lock().unwrap();
-            match slot.as_ref() {
-                Some(plan) if plan.site == site => {
-                    if VISITS.fetch_add(1, Ordering::SeqCst) == plan.after
-                        && !FIRED.swap(true, Ordering::SeqCst)
-                    {
-                        Some(plan.action)
-                    } else {
-                        None
-                    }
-                }
-                _ => None,
+    impl ScopeInner {
+        pub(super) fn new(plan: FaultPlan) -> ScopeInner {
+            ScopeInner {
+                plan,
+                visits: AtomicU64::new(0),
+                fired: AtomicBool::new(false),
             }
-        };
+        }
+    }
+
+    thread_local! {
+        static CURRENT: RefCell<Option<FaultScope>> = const { RefCell::new(None) };
+    }
+
+    pub(super) fn swap_current(scope: Option<FaultScope>) -> Option<FaultScope> {
+        CURRENT.with(|slot| std::mem::replace(&mut *slot.borrow_mut(), scope))
+    }
+
+    pub(super) fn current() -> Option<FaultScope> {
+        CURRENT.with(|slot| slot.borrow().clone())
+    }
+
+    pub(super) fn inject(site: &'static str, io: bool) -> std::io::Result<()> {
+        let action = CURRENT.with(|slot| {
+            let slot = slot.borrow();
+            let scope = slot.as_ref()?;
+            let inner = &scope.inner;
+            if inner.plan.site != site || (inner.plan.action.io_only() && !io) {
+                return None;
+            }
+            if inner.visits.fetch_add(1, Ordering::SeqCst) == inner.plan.after
+                && !inner.fired.swap(true, Ordering::SeqCst)
+            {
+                Some(inner.plan.action)
+            } else {
+                None
+            }
+        });
         match action {
             None => {}
             Some(FaultAction::Panic) => panic!("chaos: injected panic at {site}"),
@@ -144,6 +285,14 @@ mod chaos {
                     token.trip(CubeError::DeadlineExceeded);
                 }
             }
+            Some(FaultAction::IoError) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    format!("chaos: injected io error at {site}"),
+                ));
+            }
+            Some(FaultAction::Stall) => std::thread::sleep(super::STALL),
         }
+        Ok(())
     }
 }

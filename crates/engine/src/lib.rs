@@ -797,6 +797,62 @@ where
     F: Fn(&Table, usize, u64, &mut ShardedSink<'_, M::Acc>) + Sync,
     S: CellSink<M::Acc> + ?Sized,
 {
+    run_partitioned_warm_with_stats(table, min_sup, config, closed, spec, algo, sink, None)
+}
+
+/// Pre-derived sharding artifacts a session caches across queries so warm
+/// runs skip per-query setup: the dimension permutation (deriving the
+/// entropy order costs a full O(rows × dims) scan) and the level-0
+/// partition keyed on `perm[0]` (another O(rows) counting-sort pass).
+///
+/// The engine trusts but verifies: a warm start whose shapes don't match
+/// the table (wrong row count, wrong dimension count) is ignored and the
+/// run falls back to deriving both cold, so a stale cache can cost time
+/// but never correctness.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmStart<'a> {
+    /// Sharding permutation realizing the caller's chosen [`DimOrdering`]
+    /// (overrides `config.ordering`).
+    pub perm: &'a [usize],
+    /// Tuple ids of the whole table, value-sorted along `perm[0]`.
+    pub tids: &'a [TupleId],
+    /// Group boundaries of `tids` (one per distinct `perm[0]` value).
+    pub groups: &'a [Group],
+}
+
+impl WarmStart<'_> {
+    /// Does this warm start actually describe `table`?
+    fn matches(&self, table: &Table) -> bool {
+        self.perm.len() == table.dims()
+            && self.tids.len() == table.rows()
+            && self
+                .groups
+                .last()
+                .is_none_or(|g| g.range().end <= self.tids.len())
+    }
+}
+
+/// [`run_partitioned_with_stats`] with optional pre-derived sharding
+/// artifacts (see [`WarmStart`]). The cube computed is identical either
+/// way; a valid warm start only removes the per-query permutation scan
+/// and the level-0 partition pass.
+#[allow(clippy::too_many_arguments)]
+pub fn run_partitioned_warm_with_stats<M, F, S>(
+    table: &Table,
+    min_sup: u64,
+    config: &EngineConfig,
+    closed: bool,
+    spec: &M,
+    algo: F,
+    sink: &mut S,
+    warm: Option<&WarmStart<'_>>,
+) -> Result<EngineStats, CubeError>
+where
+    M: MeasureSpec + Sync,
+    M::Acc: Send,
+    F: Fn(&Table, usize, u64, &mut ShardedSink<'_, M::Acc>) + Sync,
+    S: CellSink<M::Acc> + ?Sized,
+{
     if min_sup < 1 {
         return Err(CubeError::ZeroMinSup);
     }
@@ -854,28 +910,39 @@ where
     // `thread::scope`, a panicking final sink unwinds the merge loop — both
     // land here and surface as `WorkerPanicked` instead of crossing the
     // public API.
+    let warm = warm.filter(|w| w.matches(table));
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        let perm = config.ordering.permutation(table);
+        let perm = match warm {
+            Some(w) => w.perm.to_vec(),
+            None => config.ordering.permutation(table),
+        };
 
         // Seed tasks: one per (level, value) shard of the full table. One
-        // partitioner + tid buffer is reused across levels.
+        // partitioner + tid buffer is reused across levels; level 0 reuses
+        // the caller's cached partition when a warm start supplied one.
         let mut seeds: Vec<Task> = Vec::new();
         let mut partitioner = Partitioner::with_sparse_reset();
         let mut tids: Vec<TupleId> = Vec::new();
         let mut groups: Vec<Group> = Vec::new();
         for (k, &dim) in perm.iter().enumerate() {
             faults::inject("engine.seed");
-            tids.clear();
-            tids.extend(0..table.rows() as TupleId);
-            groups.clear();
-            partitioner.partition(table, dim, &mut tids, &mut groups);
-            for (gi, g) in groups.iter().enumerate() {
+            let (level_tids, level_groups): (&[TupleId], &[Group]) = match warm {
+                Some(w) if k == 0 => (w.tids, w.groups),
+                _ => {
+                    tids.clear();
+                    tids.extend(0..table.rows() as TupleId);
+                    groups.clear();
+                    partitioner.partition(table, dim, &mut tids, &mut groups);
+                    (&tids, &groups)
+                }
+            };
+            for (gi, g) in level_groups.iter().enumerate() {
                 let cube = u64::from(g.len()) >= min_sup;
                 let want_info = closed && k == 0;
                 if cube || want_info {
                     seeds.push(Task {
                         path: vec![k as u32, gi as u32],
-                        tids: tids[g.range()].to_vec(),
+                        tids: level_tids[g.range()].to_vec(),
                         group_dims: perm[k..].to_vec(),
                         carried: if closed {
                             perm[..k].to_vec()
@@ -1208,12 +1275,19 @@ impl<'a, F> Ctx<'a, F> {
                 let aborted = &aborted;
                 let tx = tx.clone();
                 let ambient_token = self.token.clone();
+                let fault_scope = faults::current_scope();
                 scope.spawn(move || {
                     let _panic_guard = AbortOnPanic(aborted);
                     // Re-install the run's token in this worker's TLS so the
                     // cuber checkpoints (which read the ambient token) see
-                    // cancellation from any thread.
+                    // cancellation from any thread. Same for the chaos fault
+                    // scope: plans are thread-scoped, so injection sites in
+                    // this worker only observe the test's plan if it is
+                    // carried across the spawn.
                     let _ambient = ambient_token.as_ref().map(lifecycle::install);
+                    let _chaos = fault_scope
+                        .as_ref()
+                        .map(ccube_core::faults::FaultScope::install);
                     let mut scratch = Scratch::default();
                     let mut children: Vec<Task> = Vec::new();
                     // Consecutive empty scans; drives the idle backoff so a

@@ -1,0 +1,97 @@
+//! `ccube-serve` — stand up a cube server over synthetic tables.
+//!
+//! ```text
+//! ccube-serve [--addr HOST:PORT] [--rows N] [--dims D] [--card C] [--skew S]
+//!             [--max-concurrent N] [--max-queued N] [--memory-budget-mb MB]
+//!             [--threads N] [--duration-secs S]
+//! ```
+//!
+//! Serves one synthetic table named `synth` (deterministic seed, so every
+//! run serves the same data). With `--duration-secs` the server drains and
+//! exits after that long; without it, it runs until the process is killed.
+
+use ccube_data::SyntheticSpec;
+use ccube_serve::{AdmissionConfig, Server, ServerConfig};
+use std::time::Duration;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("ccube-serve: {msg}");
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(v) = value else {
+        fail(&format!("{flag} needs a value"));
+    };
+    match v.parse() {
+        Ok(x) => x,
+        Err(_) => fail(&format!("invalid value {v:?} for {flag}")),
+    }
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut rows = 50_000usize;
+    let mut dims = 6usize;
+    let mut card = 40u32;
+    let mut skew = 1.0f64;
+    let mut admission = AdmissionConfig::default();
+    let mut default_threads = 0usize;
+    let mut duration: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse("--addr", args.next()),
+            "--rows" => rows = parse("--rows", args.next()),
+            "--dims" => dims = parse("--dims", args.next()),
+            "--card" => card = parse("--card", args.next()),
+            "--skew" => skew = parse("--skew", args.next()),
+            "--max-concurrent" => admission.max_concurrent = parse("--max-concurrent", args.next()),
+            "--max-queued" => admission.max_queued = parse("--max-queued", args.next()),
+            "--memory-budget-mb" => {
+                let mb: u64 = parse("--memory-budget-mb", args.next());
+                admission.memory_budget = mb * 1024 * 1024;
+            }
+            "--threads" => default_threads = parse("--threads", args.next()),
+            "--duration-secs" => duration = Some(parse("--duration-secs", args.next())),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: ccube-serve [--addr HOST:PORT] [--rows N] [--dims D] [--card C] \
+                     [--skew S] [--max-concurrent N] [--max-queued N] [--memory-budget-mb MB] \
+                     [--threads N] [--duration-secs S]"
+                );
+                return;
+            }
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let table = SyntheticSpec::uniform(rows, dims, card, skew, 42).generate();
+    let config = ServerConfig {
+        addr,
+        admission,
+        default_threads,
+        ..ServerConfig::default()
+    };
+    let server = match Server::start(vec![("synth".to_string(), table)], config) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("failed to start: {e}")),
+    };
+    println!(
+        "ccube-serve listening on {} (table `synth`: {rows} rows × {dims} dims, card {card})",
+        server.addr()
+    );
+
+    match duration {
+        Some(secs) => {
+            std::thread::sleep(Duration::from_secs(secs));
+            let report = server.shutdown();
+            let m = format!("drained={} cancelled={}", report.drained, report.cancelled);
+            println!("ccube-serve: shut down ({m})");
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+}

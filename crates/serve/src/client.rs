@@ -1,0 +1,182 @@
+//! A small blocking client for the `ccube-serve` wire protocol — used by
+//! the integration tests, the chaos suite and the bench load generator.
+//! Every read and write carries a timeout, so a wedged server turns into a
+//! visible error instead of a hung test.
+
+use crate::proto::{
+    self, CellBlock, DoneStats, FrameRead, ProtoError, QueryRequest, Request, Response, TableInfo,
+    WireStatus,
+};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Everything that can end a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// The server's bytes did not decode.
+    Proto(ProtoError),
+    /// The server closed the connection mid-exchange.
+    Disconnected,
+    /// The server answered with a frame this call did not expect.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Unexpected(what) => write!(f, "unexpected frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> ClientError {
+        ClientError::Proto(e)
+    }
+}
+
+/// How a query ended, as seen by the client. Every terminal frame maps
+/// here — a healthy server never leaves a query without one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// The full result streamed; `stats` carries the server's counters.
+    Done(DoneStats),
+    /// The server reported a typed failure.
+    ServerError {
+        /// Wire status classifying the failure.
+        status: WireStatus,
+        /// Server-side detail string.
+        detail: String,
+    },
+    /// Admission control shed the query before it ran.
+    Overloaded {
+        /// Suggested back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+/// A blocking connection to a cube server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect with a 5 s connect timeout and 30 s read/write timeouts
+    /// (generous enough for chaos stalls, finite enough to fail a wedged
+    /// exchange visibly).
+    pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
+        Client::connect_with(addr, Duration::from_secs(30))
+    }
+
+    /// Connect with explicit read/write timeouts.
+    pub fn connect_with(addr: SocketAddr, io_timeout: Duration) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
+        Ok(Client { stream })
+    }
+
+    /// The underlying stream (tests use it to misbehave on purpose).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        proto::write_frame(&mut self.stream, &proto::encode_request(req))?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Send raw payload bytes as one frame (malformed-input tests).
+    pub fn send_raw(&mut self, payload: &[u8]) -> Result<(), ClientError> {
+        proto::write_frame(&mut self.stream, payload)?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        match proto::read_frame(&mut self.stream)? {
+            FrameRead::Frame(payload) => Ok(proto::decode_response(&payload)?),
+            FrameRead::Eof => Err(ClientError::Disconnected),
+            FrameRead::Malformed(e) => Err(ClientError::Proto(e)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Ping)?;
+        match self.recv()? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted Pong")),
+        }
+    }
+
+    /// List the served tables.
+    pub fn tables(&mut self) -> Result<Vec<TableInfo>, ClientError> {
+        self.send(&Request::Tables)?;
+        match self.recv()? {
+            Response::TableList(tables) => Ok(tables),
+            _ => Err(ClientError::Unexpected("wanted TableList")),
+        }
+    }
+
+    /// Run a query, feeding every result block to `on_batch`, and return
+    /// the terminal outcome.
+    pub fn query_with(
+        &mut self,
+        req: &QueryRequest,
+        mut on_batch: impl FnMut(&CellBlock),
+    ) -> Result<QueryOutcome, ClientError> {
+        self.send(&Request::Query(req.clone()))?;
+        loop {
+            match self.recv()? {
+                Response::Batch(block) => on_batch(&block),
+                Response::Done(stats) => return Ok(QueryOutcome::Done(stats)),
+                Response::Error { status, detail } => {
+                    return Ok(QueryOutcome::ServerError { status, detail })
+                }
+                Response::Overloaded { retry_after_ms } => {
+                    return Ok(QueryOutcome::Overloaded { retry_after_ms })
+                }
+                Response::Pong | Response::TableList(_) => {
+                    return Err(ClientError::Unexpected("wanted query frames"))
+                }
+            }
+        }
+    }
+
+    /// Run a query, discarding cells; returns the outcome (load-generator
+    /// path).
+    pub fn query(&mut self, req: &QueryRequest) -> Result<QueryOutcome, ClientError> {
+        self.query_with(req, |_| {})
+    }
+
+    /// Run a query and collect every `(cell values, count)` pair
+    /// (correctness-test path).
+    #[allow(clippy::type_complexity)]
+    pub fn query_collect(
+        &mut self,
+        req: &QueryRequest,
+    ) -> Result<(Vec<(Vec<u32>, u64)>, QueryOutcome), ClientError> {
+        let mut cells = Vec::new();
+        let outcome = self.query_with(req, |block| {
+            for (cell, count) in block.iter() {
+                cells.push((cell.to_vec(), count));
+            }
+        })?;
+        Ok((cells, outcome))
+    }
+}

@@ -1,0 +1,31 @@
+//! `ccube-serve`: a concurrent closed-cube server over the
+//! [`CubeSession`](c_cubing::CubeSession) facade.
+//!
+//! The crate layers three things on top of the in-process query API:
+//!
+//! * [`proto`] — a length-prefixed binary wire protocol (frames, typed
+//!   statuses, bounds-checked decoding);
+//! * [`admission`] — a bounded concurrency gate with a deadline-aware wait
+//!   queue, a global memory accountant fed by per-shape
+//!   [`peak_buffered_bytes`](ccube_engine::EngineStats::peak_buffered_bytes)
+//!   history, and typed shed decisions;
+//! * [`server`] / [`client`] — the thread-per-connection TCP server
+//!   (overload shedding, per-connection fault isolation, graceful drain)
+//!   and a small blocking client used by tests and the bench load
+//!   generator.
+//!
+//! See the "Serving layer" section of `docs/ARCHITECTURE.md` for the
+//! admission → queue → shed decision tree and the frame format.
+
+pub mod admission;
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use admission::{AdmissionConfig, Gate, GateMetrics, Permit, ShapeHistory, Shed};
+pub use client::{Client, ClientError, QueryOutcome};
+pub use proto::{
+    wire_status, CellBlock, DoneStats, ProtoError, QueryRequest, Request, Response, TableInfo,
+    WireStatus, MAX_PAYLOAD,
+};
+pub use server::{ServeError, Server, ServerConfig, ServerMetrics, ShutdownReport};

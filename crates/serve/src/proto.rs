@@ -1,0 +1,638 @@
+//! Length-prefixed binary wire protocol for `ccube-serve`.
+//!
+//! A frame is `[u32 LE payload length][payload]`; the payload's first byte
+//! is the opcode, the rest the body. Everything is little-endian and
+//! bounds-checked: a malformed payload decodes to a typed [`ProtoError`]
+//! (never a panic, never an unbounded allocation), and payloads above
+//! [`MAX_PAYLOAD`] are rejected before any buffer is sized from them.
+//!
+//! ## Frames
+//!
+//! Client → server: [`Request::Query`] (opcode `0x01`), [`Request::Ping`]
+//! (`0x02`), [`Request::Tables`] (`0x03`).
+//!
+//! Server → client: [`Response::Batch`] (`0x81`, a block of result cells),
+//! [`Response::Done`] (`0x82`, end-of-stream with run counters),
+//! [`Response::Error`] (`0x83`, a typed [`WireStatus`] + detail),
+//! [`Response::Overloaded`] (`0x84`, shed with a retry hint),
+//! [`Response::Pong`] (`0x85`), [`Response::TableList`] (`0x86`).
+//!
+//! A query's reply is zero or more `Batch` frames terminated by exactly one
+//! of `Done` / `Error` / `Overloaded`. Cells use [`STAR`] (`u32::MAX`) for
+//! `*` exactly as the in-process API does.
+
+use c_cubing::Algorithm;
+use ccube_core::STAR;
+use std::io::{Read, Write};
+
+/// Hard cap on a frame's payload size (header excluded). Large results are
+/// streamed as many `Batch` frames, so nothing legitimate comes close; a
+/// length field above this is a protocol error, not an allocation request.
+pub const MAX_PAYLOAD: usize = 8 * 1024 * 1024;
+
+/// Typed decode/framing errors. Every way a malformed byte sequence can
+/// fail lands on one of these variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The frame (or a field inside it) ended before its declared length.
+    Truncated,
+    /// The frame header declared a payload larger than [`MAX_PAYLOAD`].
+    Oversized {
+        /// Declared payload length.
+        len: u64,
+    },
+    /// Zero-length payload (every frame needs at least an opcode).
+    EmptyFrame,
+    /// The opcode byte is not one this side understands.
+    UnknownOpcode(u8),
+    /// Bytes left over after the body was fully decoded.
+    Trailing {
+        /// Number of undecoded bytes.
+        extra: usize,
+    },
+    /// A field value is structurally invalid (named for diagnostics).
+    BadValue(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "frame truncated"),
+            ProtoError::Oversized { len } => {
+                write!(f, "payload of {len} bytes exceeds the {MAX_PAYLOAD} cap")
+            }
+            ProtoError::EmptyFrame => write!(f, "empty frame"),
+            ProtoError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            ProtoError::Trailing { extra } => write!(f, "{extra} trailing bytes after body"),
+            ProtoError::BadValue(what) => write!(f, "invalid value for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Wire status codes carried by [`Response::Error`] — the taxonomy every
+/// [`CubeError`](ccube_core::CubeError) (and every server-side condition)
+/// maps onto. Stable `u16` values; unknown codes decode to [`WireStatus::Internal`]
+/// so old clients degrade instead of erroring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum WireStatus {
+    /// The query was cancelled (client disconnect or server drain).
+    Cancelled = 1,
+    /// The query exceeded its deadline.
+    DeadlineExceeded = 2,
+    /// The query tripped its per-query memory budget.
+    BudgetExceeded = 3,
+    /// A worker panicked; the panic was contained server-side.
+    WorkerPanicked = 4,
+    /// The request is malformed at the cube level (bad dimension, zero
+    /// min_sup, empty projection, ...).
+    BadRequest = 5,
+    /// The named table is not served.
+    UnknownTable = 6,
+    /// The server is draining and accepts no new queries.
+    ShuttingDown = 7,
+    /// The peer violated the wire protocol.
+    Protocol = 8,
+    /// Unexpected server-side failure (catch-all containment).
+    Internal = 9,
+}
+
+impl WireStatus {
+    fn from_u16(v: u16) -> WireStatus {
+        match v {
+            1 => WireStatus::Cancelled,
+            2 => WireStatus::DeadlineExceeded,
+            3 => WireStatus::BudgetExceeded,
+            4 => WireStatus::WorkerPanicked,
+            5 => WireStatus::BadRequest,
+            6 => WireStatus::UnknownTable,
+            7 => WireStatus::ShuttingDown,
+            8 => WireStatus::Protocol,
+            _ => WireStatus::Internal,
+        }
+    }
+}
+
+/// Map a cube-level error onto its wire status (the error-frame taxonomy
+/// documented in ARCHITECTURE.md).
+pub fn wire_status(err: &ccube_core::CubeError) -> WireStatus {
+    use ccube_core::CubeError as E;
+    match err {
+        E::Cancelled => WireStatus::Cancelled,
+        E::DeadlineExceeded => WireStatus::DeadlineExceeded,
+        E::BudgetExceeded { .. } => WireStatus::BudgetExceeded,
+        E::WorkerPanicked { .. } => WireStatus::WorkerPanicked,
+        E::BadDimensionCount(_)
+        | E::BadRowWidth { .. }
+        | E::ValueOutOfRange { .. }
+        | E::BadMeasureColumn { .. }
+        | E::Parse(_)
+        | E::CarriedDimensionView
+        | E::DimensionOutOfRange { .. }
+        | E::EmptyProjection
+        | E::ZeroMinSup => WireStatus::BadRequest,
+    }
+}
+
+/// One cube query, as sent over the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryRequest {
+    /// Name of the served table to query.
+    pub table: String,
+    /// Iceberg threshold (≥ 1).
+    pub min_sup: u64,
+    /// Explicit algorithm, or `None` for the server-side planner.
+    pub algorithm: Option<Algorithm>,
+    /// Closed cube (`Some(true)`), plain iceberg (`Some(false)`), or the
+    /// algorithm/planner default (`None`).
+    pub closed: Option<bool>,
+    /// Projection mask over the table's dimensions (`None` = all).
+    pub dims: Option<u64>,
+    /// Dice selections: `(dimension, allowed values)` conjuncts.
+    pub selections: Vec<(u32, Vec<u32>)>,
+    /// Engine worker threads (`0` = server default).
+    pub threads: u32,
+    /// Query deadline in milliseconds (`0` = none).
+    pub deadline_ms: u64,
+}
+
+impl QueryRequest {
+    /// A full-cube request against `table` at `min_sup`, planner-chosen
+    /// algorithm, server-default threads, no limits.
+    pub fn new(table: impl Into<String>, min_sup: u64) -> QueryRequest {
+        QueryRequest {
+            table: table.into(),
+            min_sup,
+            algorithm: None,
+            closed: None,
+            dims: None,
+            selections: Vec::new(),
+            threads: 0,
+            deadline_ms: 0,
+        }
+    }
+}
+
+/// A block of result cells (one `Batch` frame). `dims`-wide cells stored
+/// flattened, [`STAR`] marking `*`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CellBlock {
+    /// Cell width.
+    pub dims: u16,
+    /// Flattened cell values (`len = dims × counts.len()`).
+    pub values: Vec<u32>,
+    /// Per-cell aggregate counts.
+    pub counts: Vec<u64>,
+}
+
+impl CellBlock {
+    /// Number of cells in the block.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when the block holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterate `(cell, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u32], u64)> + '_ {
+        self.values
+            .chunks_exact(self.dims.max(1) as usize)
+            .zip(self.counts.iter().copied())
+    }
+
+    /// Append one cell (debug-asserts the width).
+    pub fn push(&mut self, cell: &[u32], count: u64) {
+        debug_assert_eq!(cell.len(), self.dims as usize);
+        self.values.extend_from_slice(cell);
+        self.counts.push(count);
+    }
+}
+
+/// End-of-stream counters carried by a `Done` frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DoneStats {
+    /// Result cells streamed (across all `Batch` frames).
+    pub cells: u64,
+    /// Wall-clock service time in microseconds (admission to `Done`).
+    pub elapsed_micros: u64,
+    /// Engine peak buffered bytes (0 for sequential fast-path runs).
+    pub peak_buffered_bytes: u64,
+    /// Engine task count (1 on the sequential fast path).
+    pub tasks: u64,
+    /// Whether the run took the engine's sequential fast path.
+    pub fast_path: bool,
+}
+
+/// Per-table metadata carried by a `TableList` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableInfo {
+    /// Served table name.
+    pub name: String,
+    /// Row count.
+    pub rows: u64,
+    /// Dimension count.
+    pub dims: u32,
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run a cube query; answered by `Batch*` + (`Done`|`Error`|`Overloaded`).
+    Query(QueryRequest),
+    /// Liveness probe; answered by `Pong`.
+    Ping,
+    /// List served tables; answered by `TableList`.
+    Tables,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A block of result cells.
+    Batch(CellBlock),
+    /// Successful end of a query's result stream.
+    Done(DoneStats),
+    /// The query (or the connection's last frame) failed; typed status.
+    Error {
+        /// The wire status classifying the failure.
+        status: WireStatus,
+        /// Human-readable detail (display of the underlying error).
+        detail: String,
+    },
+    /// The query was shed by admission control before starting.
+    Overloaded {
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Liveness answer.
+    Pong,
+    /// The served tables.
+    TableList(Vec<TableInfo>),
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+const OP_QUERY: u8 = 0x01;
+const OP_PING: u8 = 0x02;
+const OP_TABLES: u8 = 0x03;
+const OP_BATCH: u8 = 0x81;
+const OP_DONE: u8 = 0x82;
+const OP_ERROR: u8 = 0x83;
+const OP_OVERLOADED: u8 = 0x84;
+const OP_PONG: u8 = 0x85;
+const OP_TABLE_LIST: u8 = 0x86;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    put_u16(out, len as u16);
+    out.extend_from_slice(&bytes[..len]);
+}
+
+/// Encode a request into a frame payload (opcode + body).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Ping => out.push(OP_PING),
+        Request::Tables => out.push(OP_TABLES),
+        Request::Query(q) => {
+            out.push(OP_QUERY);
+            put_str(&mut out, &q.table);
+            put_u64(&mut out, q.min_sup);
+            out.push(match q.algorithm {
+                None => 0xFF,
+                Some(a) => Algorithm::ALL.iter().position(|&x| x == a).unwrap_or(0) as u8,
+            });
+            out.push(match q.closed {
+                None => 0,
+                Some(false) => 1,
+                Some(true) => 2,
+            });
+            match q.dims {
+                None => out.push(0),
+                Some(mask) => {
+                    out.push(1);
+                    put_u64(&mut out, mask);
+                }
+            }
+            put_u32(&mut out, q.threads);
+            put_u64(&mut out, q.deadline_ms);
+            put_u16(&mut out, q.selections.len().min(u16::MAX as usize) as u16);
+            for (dim, values) in q.selections.iter().take(u16::MAX as usize) {
+                put_u32(&mut out, *dim);
+                put_u32(&mut out, values.len().min(u32::MAX as usize) as u32);
+                for v in values {
+                    put_u32(&mut out, *v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Encode a response into a frame payload (opcode + body).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Pong => out.push(OP_PONG),
+        Response::Batch(block) => {
+            out.push(OP_BATCH);
+            put_u16(&mut out, block.dims);
+            put_u32(&mut out, block.counts.len() as u32);
+            for v in &block.values {
+                put_u32(&mut out, *v);
+            }
+            for c in &block.counts {
+                put_u64(&mut out, *c);
+            }
+        }
+        Response::Done(d) => {
+            out.push(OP_DONE);
+            put_u64(&mut out, d.cells);
+            put_u64(&mut out, d.elapsed_micros);
+            put_u64(&mut out, d.peak_buffered_bytes);
+            put_u64(&mut out, d.tasks);
+            out.push(u8::from(d.fast_path));
+        }
+        Response::Error { status, detail } => {
+            out.push(OP_ERROR);
+            put_u16(&mut out, *status as u16);
+            put_str(&mut out, detail);
+        }
+        Response::Overloaded { retry_after_ms } => {
+            out.push(OP_OVERLOADED);
+            put_u64(&mut out, *retry_after_ms);
+        }
+        Response::TableList(tables) => {
+            out.push(OP_TABLE_LIST);
+            put_u16(&mut out, tables.len().min(u16::MAX as usize) as u16);
+            for t in tables.iter().take(u16::MAX as usize) {
+                put_str(&mut out, &t.name);
+                put_u64(&mut out, t.rows);
+                put_u32(&mut out, t.dims);
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian reader over a frame payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.remaining() < n {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, ProtoError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadValue("utf-8 string"))
+    }
+
+    /// Guard a count field against allocation bombs: the declared element
+    /// count must fit in the bytes actually present.
+    fn check_count(&self, count: usize, elt_size: usize) -> Result<(), ProtoError> {
+        if count.saturating_mul(elt_size) > self.remaining() {
+            return Err(ProtoError::Truncated);
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Result<(), ProtoError> {
+        if self.remaining() != 0 {
+            return Err(ProtoError::Trailing {
+                extra: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Decode a request frame payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let req = match c.u8().map_err(|_| ProtoError::EmptyFrame)? {
+        OP_PING => Request::Ping,
+        OP_TABLES => Request::Tables,
+        OP_QUERY => {
+            let table = c.str()?;
+            let min_sup = c.u64()?;
+            let algorithm = match c.u8()? {
+                0xFF => None,
+                i if (i as usize) < Algorithm::ALL.len() => Some(Algorithm::ALL[i as usize]),
+                _ => return Err(ProtoError::BadValue("algorithm")),
+            };
+            let closed = match c.u8()? {
+                0 => None,
+                1 => Some(false),
+                2 => Some(true),
+                _ => return Err(ProtoError::BadValue("closed flag")),
+            };
+            let dims = match c.u8()? {
+                0 => None,
+                1 => Some(c.u64()?),
+                _ => return Err(ProtoError::BadValue("dims tag")),
+            };
+            let threads = c.u32()?;
+            let deadline_ms = c.u64()?;
+            let n_sel = c.u16()? as usize;
+            c.check_count(n_sel, 8)?;
+            let mut selections = Vec::with_capacity(n_sel);
+            for _ in 0..n_sel {
+                let dim = c.u32()?;
+                let n_val = c.u32()? as usize;
+                c.check_count(n_val, 4)?;
+                let mut values = Vec::with_capacity(n_val);
+                for _ in 0..n_val {
+                    values.push(c.u32()?);
+                }
+                selections.push((dim, values));
+            }
+            Request::Query(QueryRequest {
+                table,
+                min_sup,
+                algorithm,
+                closed,
+                dims,
+                selections,
+                threads,
+                deadline_ms,
+            })
+        }
+        op => return Err(ProtoError::UnknownOpcode(op)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Decode a response frame payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let resp = match c.u8().map_err(|_| ProtoError::EmptyFrame)? {
+        OP_PONG => Response::Pong,
+        OP_BATCH => {
+            let dims = c.u16()?;
+            let cells = c.u32()? as usize;
+            c.check_count(cells, (dims as usize) * 4 + 8)?;
+            let mut values = Vec::with_capacity(cells * dims as usize);
+            for _ in 0..cells * dims as usize {
+                values.push(c.u32()?);
+            }
+            let mut counts = Vec::with_capacity(cells);
+            for _ in 0..cells {
+                counts.push(c.u64()?);
+            }
+            Response::Batch(CellBlock {
+                dims,
+                values,
+                counts,
+            })
+        }
+        OP_DONE => Response::Done(DoneStats {
+            cells: c.u64()?,
+            elapsed_micros: c.u64()?,
+            peak_buffered_bytes: c.u64()?,
+            tasks: c.u64()?,
+            fast_path: c.u8()? != 0,
+        }),
+        OP_ERROR => Response::Error {
+            status: WireStatus::from_u16(c.u16()?),
+            detail: c.str()?,
+        },
+        OP_OVERLOADED => Response::Overloaded {
+            retry_after_ms: c.u64()?,
+        },
+        OP_TABLE_LIST => {
+            let n = c.u16()? as usize;
+            c.check_count(n, 2 + 8 + 4)?;
+            let mut tables = Vec::with_capacity(n);
+            for _ in 0..n {
+                tables.push(TableInfo {
+                    name: c.str()?,
+                    rows: c.u64()?,
+                    dims: c.u32()?,
+                });
+            }
+            Response::TableList(tables)
+        }
+        op => return Err(ProtoError::UnknownOpcode(op)),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Write one frame (header + payload). The caller owns timeouts via the
+/// stream's socket options.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(!payload.is_empty() && payload.len() <= MAX_PAYLOAD);
+    // One buffered write: header + payload in a single syscall keeps a
+    // mid-frame write error from leaving a torn header behind small frames.
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)
+}
+
+/// Outcome of [`read_frame`].
+pub enum FrameRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// Clean end-of-stream at a frame boundary.
+    Eof,
+    /// The frame header declared an invalid length ([`ProtoError::Oversized`]
+    /// / [`ProtoError::EmptyFrame`]); the connection should answer with a
+    /// protocol error and close — no further frame boundary is trustable.
+    Malformed(ProtoError),
+}
+
+/// Read one frame. Clean EOF before the first header byte is
+/// [`FrameRead::Eof`]; EOF mid-frame is an `UnexpectedEof` i/o error;
+/// invalid declared lengths surface as [`FrameRead::Malformed`] without
+/// allocating. Read timeouts (including a stalled peer mid-frame) surface
+/// as the stream's timeout error.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<FrameRead> {
+    let mut header = [0u8; 4];
+    // First header byte distinguishes clean EOF from a torn frame.
+    match r.read(&mut header[..1]) {
+        Ok(0) => return Ok(FrameRead::Eof),
+        Ok(_) => {}
+        Err(e) => return Err(e),
+    }
+    r.read_exact(&mut header[1..])?;
+    let len = u32::from_le_bytes(header) as usize;
+    if len == 0 {
+        return Ok(FrameRead::Malformed(ProtoError::EmptyFrame));
+    }
+    if len > MAX_PAYLOAD {
+        return Ok(FrameRead::Malformed(ProtoError::Oversized {
+            len: len as u64,
+        }));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(FrameRead::Frame(payload))
+}
+
+/// The cell emission order is the server's; expose STAR for clients
+/// reconstructing `Cell`s.
+pub const WIRE_STAR: u32 = STAR;

@@ -1,0 +1,744 @@
+//! The concurrent cube server: a thread-per-connection TCP front end over
+//! long-lived [`CubeSession`]s, with admission control, overload shedding,
+//! per-connection fault isolation, and graceful drain.
+//!
+//! Design invariants the tests (and the chaos suite) hold the server to:
+//!
+//! * **Shed, don't degrade.** A query either gets an admission [`Permit`](crate::admission::Permit)
+//!   (its memory estimate reserved, a running slot held) or a typed
+//!   `Overloaded` / `ShuttingDown` frame. Admitted queries are never
+//!   cancelled to make room for new ones.
+//! * **Faults are per-connection.** A panicking worker, a protocol
+//!   violation, a stalled peer or a mid-stream disconnect ends *that*
+//!   query/connection — with a typed error frame when the socket still
+//!   works — and never takes the process down or leaks the producer thread
+//!   (dropping the [`CellStream`](c_cubing::CellStream) cancels and joins it).
+//! * **Shutdown drains.** [`Server::shutdown`] stops accepting, sheds the
+//!   queue, lets in-flight queries finish inside the drain deadline, then
+//!   cancels stragglers cooperatively and joins every thread it spawned.
+
+use crate::admission::{AdmissionConfig, Gate, GateMetrics, ShapeHistory, Shed};
+use crate::proto::{
+    self, wire_status, CellBlock, DoneStats, ProtoError, QueryRequest, Request, Response,
+    TableInfo, WireStatus,
+};
+use c_cubing::{CubeSession, QueryHandle};
+use ccube_core::faults;
+use ccube_core::fxhash::{FxHashMap, FxHasher};
+use ccube_core::mask::DimMask;
+use ccube_core::{CubeError, Table};
+use std::hash::{Hash, Hasher};
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything that can keep a [`Server`] from starting.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (bind, local_addr, ...).
+    Io(std::io::Error),
+    /// A served table was rejected by [`CubeSession::new`].
+    Cube(CubeError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Cube(e) => write!(f, "table rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+/// Server knobs. The defaults suit tests and small deployments; the bench
+/// harness overrides admission to provoke shedding.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Admission-control knobs.
+    pub admission: AdmissionConfig,
+    /// Engine worker threads for queries that do not ask for a count
+    /// (`0` = let the session's planner pick the sequential path).
+    pub default_threads: usize,
+    /// Tick used while waiting for a request at a frame boundary; bounds
+    /// how fast an idle connection notices server shutdown.
+    pub idle_tick: Duration,
+    /// Read timeout *inside* a frame: a peer that stalls mid-frame longer
+    /// than this is treated as gone.
+    pub frame_read_timeout: Duration,
+    /// Write timeout per frame: a reader that stalls longer than this
+    /// (slow-consumer pathology) gets its query cancelled and the
+    /// connection closed.
+    pub write_timeout: Duration,
+    /// How long [`Server::shutdown`] waits for in-flight queries before
+    /// cancelling them.
+    pub drain_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            admission: AdmissionConfig::default(),
+            default_threads: 0,
+            idle_tick: Duration::from_millis(20),
+            frame_read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Point-in-time server counters (see [`Server::metrics`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerMetrics {
+    /// Admission-gate counters.
+    pub gate: GateMetrics,
+    /// Accept-loop errors survived (the loop never dies of one).
+    pub accept_errors: u64,
+    /// Connection-handler panics contained (connection closed, process
+    /// intact).
+    pub panics_contained: u64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Queries currently admitted and running.
+    pub active_queries: usize,
+}
+
+/// What [`Server::shutdown`] observed while draining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Whether every in-flight query finished inside the drain deadline.
+    pub drained: bool,
+    /// Queries cancelled after the drain deadline expired.
+    pub cancelled: usize,
+}
+
+struct ServedTable {
+    name: String,
+    session: Mutex<CubeSession>,
+    rows: u64,
+    dims: u32,
+}
+
+struct Shared {
+    config: ServerConfig,
+    tables: Vec<ServedTable>,
+    gate: Gate,
+    history: ShapeHistory,
+    /// Stop flag: accept loop exits, idle connections close at next tick.
+    stop: AtomicBool,
+    /// Admitted, still-running queries — the drain loop watches and (past
+    /// the deadline) cancels through these handles.
+    active: Mutex<FxHashMap<u64, QueryHandle>>,
+    query_seq: AtomicU64,
+    accept_errors: AtomicU64,
+    panics_contained: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl Shared {
+    fn find_table(&self, name: &str) -> Option<&ServedTable> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+}
+
+/// Removes an in-flight query from the active registry on drop, so a panic
+/// unwinding through the pump still deregisters it.
+struct ActiveQuery<'a> {
+    shared: &'a Shared,
+    id: u64,
+}
+
+impl<'a> ActiveQuery<'a> {
+    fn register(shared: &'a Shared, handle: QueryHandle) -> ActiveQuery<'a> {
+        let id = shared.query_seq.fetch_add(1, Ordering::Relaxed);
+        shared
+            .active
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(id, handle);
+        ActiveQuery { shared, id }
+    }
+}
+
+impl Drop for ActiveQuery<'_> {
+    fn drop(&mut self) {
+        self.shared
+            .active
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&self.id);
+    }
+}
+
+/// A running cube server. Dropping it performs a full [`Server::shutdown`]
+/// (ignoring the report), so tests cannot leak threads by accident.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Build sessions for `tables`, bind, and start accepting. Returns once
+    /// the listener is live (`addr()` is connectable).
+    pub fn start(tables: Vec<(String, Table)>, config: ServerConfig) -> Result<Server, ServeError> {
+        let mut served = Vec::with_capacity(tables.len());
+        for (name, table) in tables {
+            let rows = table.rows() as u64;
+            let dims = table.dims() as u32;
+            let session = CubeSession::new(table).map_err(ServeError::Cube)?;
+            served.push(ServedTable {
+                name,
+                session: Mutex::new(session),
+                rows,
+                dims,
+            });
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            gate: Gate::new(config.admission),
+            config,
+            tables: served,
+            history: ShapeHistory::new(),
+            stop: AtomicBool::new(false),
+            active: Mutex::new(FxHashMap::default()),
+            query_seq: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
+            panics_contained: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        // Chaos fault scopes are thread-local; carry the starter's scope
+        // into the accept thread (and from there into each connection).
+        let fault_scope = faults::current_scope();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("ccube-serve-accept".into())
+                .spawn(move || {
+                    let _chaos = fault_scope.as_ref().map(faults::FaultScope::install);
+                    accept_loop(&listener, &shared, &conns);
+                })
+                .map_err(ServeError::Io)?
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (use after binding to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot the server's counters.
+    pub fn metrics(&self) -> ServerMetrics {
+        ServerMetrics {
+            gate: self.shared.gate.metrics(),
+            accept_errors: self.shared.accept_errors.load(Ordering::Relaxed),
+            panics_contained: self.shared.panics_contained.load(Ordering::Relaxed),
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            active_queries: self
+                .shared
+                .active
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .len(),
+        }
+    }
+
+    /// Drain and stop: stop accepting, shed the wait queue, give in-flight
+    /// queries until the drain deadline, cancel the stragglers, then join
+    /// every server thread. Idempotent through [`Drop`].
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> ShutdownReport {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.gate.start_drain();
+        let deadline = Instant::now() + self.shared.config.drain_deadline;
+        let mut drained = true;
+        let mut cancelled = 0;
+        loop {
+            let active = self
+                .shared
+                .active
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .len();
+            if active == 0 {
+                break;
+            }
+            if Instant::now() >= deadline {
+                // Cooperative cancellation: trip each straggler's token and
+                // let its connection report `Cancelled`; the handler still
+                // deregisters, so the join below stays bounded.
+                let handles: Vec<QueryHandle> = self
+                    .shared
+                    .active
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .values()
+                    .cloned()
+                    .collect();
+                cancelled = handles.len();
+                drained = handles.is_empty();
+                for h in &handles {
+                    h.cancel();
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|p| p.into_inner()));
+        for c in conns {
+            let _ = c.join();
+        }
+        ShutdownReport { drained, cancelled }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accept loop
+// ---------------------------------------------------------------------------
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // An accept failure (injected or real: EMFILE, aborted handshake)
+        // is survived, counted, and retried — the loop never dies of one.
+        if faults::inject_io("serve.accept").is_err() {
+            shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(shared);
+                let fault_scope = faults::current_scope();
+                let handle = std::thread::Builder::new()
+                    .name("ccube-serve-conn".into())
+                    .spawn(move || {
+                        let _chaos = fault_scope.as_ref().map(faults::FaultScope::install);
+                        run_connection(stream, &conn_shared);
+                    });
+                match handle {
+                    Ok(h) => {
+                        let mut guard = conns.lock().unwrap_or_else(|p| p.into_inner());
+                        // Reap finished handlers so the vec tracks live
+                        // connections, not lifetime history.
+                        guard.retain(|c| !c.is_finished());
+                        guard.push(h);
+                    }
+                    Err(_) => {
+                        shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+/// Top-level connection wrapper: contains panics that escape the handler
+/// (including injected ones), converts them into a best-effort `Internal`
+/// error frame, and closes the connection. The process and every other
+/// connection stay up.
+fn run_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.config.idle_tick));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let outcome = catch_unwind(AssertUnwindSafe(|| serve_connection(&mut stream, shared)));
+    if outcome.is_err() {
+        shared.panics_contained.fetch_add(1, Ordering::Relaxed);
+        let _ = send(
+            &mut stream,
+            &Response::Error {
+                status: WireStatus::Internal,
+                detail: "internal error; connection closed".to_string(),
+            },
+        );
+    }
+}
+
+/// What a served request means for the connection.
+enum Flow {
+    /// Keep reading requests.
+    Continue,
+    /// Stop serving this connection (clean close or dead socket).
+    Close,
+}
+
+fn serve_connection(stream: &mut TcpStream, shared: &Shared) {
+    loop {
+        let payload = match read_request_frame(stream, shared) {
+            ReadOutcome::Frame(p) => p,
+            ReadOutcome::Close => return,
+            ReadOutcome::Malformed(e) => {
+                // Framing itself is broken: no later frame boundary can be
+                // trusted, so answer once and hang up.
+                let _ = send(
+                    stream,
+                    &Response::Error {
+                        status: WireStatus::Protocol,
+                        detail: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let flow = match proto::decode_request(&payload) {
+            Err(e) => {
+                // The frame was well-delimited but its body is invalid;
+                // framing is still sound, so answer and keep serving.
+                match send(
+                    stream,
+                    &Response::Error {
+                        status: WireStatus::Protocol,
+                        detail: e.to_string(),
+                    },
+                ) {
+                    Ok(()) => Flow::Continue,
+                    Err(_) => Flow::Close,
+                }
+            }
+            Ok(Request::Ping) => match send(stream, &Response::Pong) {
+                Ok(()) => Flow::Continue,
+                Err(_) => Flow::Close,
+            },
+            Ok(Request::Tables) => {
+                let tables = shared
+                    .tables
+                    .iter()
+                    .map(|t| TableInfo {
+                        name: t.name.clone(),
+                        rows: t.rows,
+                        dims: t.dims,
+                    })
+                    .collect();
+                match send(stream, &Response::TableList(tables)) {
+                    Ok(()) => Flow::Continue,
+                    Err(_) => Flow::Close,
+                }
+            }
+            Ok(Request::Query(q)) => serve_query(stream, shared, &q),
+        };
+        if matches!(flow, Flow::Close) {
+            return;
+        }
+    }
+}
+
+enum ReadOutcome {
+    Frame(Vec<u8>),
+    /// Clean EOF, server stop, or a dead/stalled socket.
+    Close,
+    /// The peer sent an invalid frame header.
+    Malformed(ProtoError),
+}
+
+fn timed_out(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Read one request frame. At the frame boundary the read ticks at
+/// `idle_tick` so an idle connection notices `stop`; once the first header
+/// byte arrives the peer must deliver the rest within `frame_read_timeout`
+/// or be treated as stalled (mid-frame torn writes also land here).
+fn read_request_frame(stream: &mut TcpStream, shared: &Shared) -> ReadOutcome {
+    if faults::inject_io("serve.frame.read").is_err() {
+        return ReadOutcome::Close;
+    }
+    let mut header = [0u8; 4];
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return ReadOutcome::Close;
+        }
+        match stream.read(&mut header[..1]) {
+            Ok(0) => return ReadOutcome::Close,
+            Ok(_) => break,
+            Err(e) if timed_out(&e) => continue,
+            Err(_) => return ReadOutcome::Close,
+        }
+    }
+    let deadline = Instant::now() + shared.config.frame_read_timeout;
+    if read_exact_until(stream, &mut header[1..], deadline).is_err() {
+        return ReadOutcome::Close;
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len == 0 {
+        return ReadOutcome::Malformed(ProtoError::EmptyFrame);
+    }
+    if len > proto::MAX_PAYLOAD {
+        return ReadOutcome::Malformed(ProtoError::Oversized { len: len as u64 });
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_until(stream, &mut payload, deadline) {
+        Ok(()) => ReadOutcome::Frame(payload),
+        Err(_) => ReadOutcome::Close,
+    }
+}
+
+/// `read_exact` against a tick-granularity read timeout: keeps reading
+/// through timeout ticks until `deadline`, so one slow-but-live peer is
+/// fine while a stalled one is cut off.
+fn read_exact_until(
+    stream: &mut TcpStream,
+    mut buf: &mut [u8],
+    deadline: Instant,
+) -> std::io::Result<()> {
+    while !buf.is_empty() {
+        match stream.read(buf) {
+            Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
+            Ok(n) => buf = &mut buf[n..],
+            Err(e) if timed_out(&e) => {
+                if Instant::now() >= deadline {
+                    return Err(ErrorKind::TimedOut.into());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn send(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    faults::inject_io("serve.frame.write")?;
+    proto::write_frame(stream, &proto::encode_response(resp))
+}
+
+/// Cells per `Batch` frame (64 cells × (dims×4 + 8) bytes stays well under
+/// a network round of small frames without approaching [`MAX_PAYLOAD`]).
+///
+/// [`MAX_PAYLOAD`]: proto::MAX_PAYLOAD
+const BATCH_CELLS: usize = 64;
+
+/// The query's shape for memory-history purposes: everything that affects
+/// how much the engine buffers, excluding the deadline (which affects how
+/// long it runs, not how wide).
+fn shape_hash(q: &QueryRequest) -> u64 {
+    let mut h = FxHasher::default();
+    q.table.hash(&mut h);
+    q.min_sup.hash(&mut h);
+    q.algorithm.hash(&mut h);
+    q.closed.hash(&mut h);
+    q.dims.hash(&mut h);
+    q.selections.hash(&mut h);
+    q.threads.hash(&mut h);
+    h.finish()
+}
+
+fn serve_query(stream: &mut TcpStream, shared: &Shared, q: &QueryRequest) -> Flow {
+    let started = Instant::now();
+    let Some(table) = shared.find_table(&q.table) else {
+        return answer(
+            stream,
+            &Response::Error {
+                status: WireStatus::UnknownTable,
+                detail: format!("table {:?} is not served", q.table),
+            },
+        );
+    };
+
+    // Admission: estimate from this shape's history, wait bounded by the
+    // queue allowance and the query's own deadline, shed typed.
+    let shape = shape_hash(q);
+    let estimate = shared
+        .history
+        .estimate(shape, shared.gate.config().default_estimate);
+    let deadline = (q.deadline_ms > 0).then(|| started + Duration::from_millis(q.deadline_ms));
+    let permit = match shared.gate.admit(estimate, deadline) {
+        Ok(p) => p,
+        Err(Shed::Draining) => {
+            return answer(
+                stream,
+                &Response::Error {
+                    status: WireStatus::ShuttingDown,
+                    detail: "server is draining".to_string(),
+                },
+            );
+        }
+        Err(Shed::QueueFull | Shed::Timeout) => {
+            return answer(
+                stream,
+                &Response::Overloaded {
+                    retry_after_ms: shared.gate.retry_after().as_millis() as u64,
+                },
+            );
+        }
+    };
+
+    // Time spent queued counts against the query's deadline.
+    let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+    if remaining.is_some_and(|r| r.is_zero()) {
+        return answer(
+            stream,
+            &Response::Error {
+                status: WireStatus::DeadlineExceeded,
+                detail: CubeError::DeadlineExceeded.to_string(),
+            },
+        );
+    }
+
+    // Build the query and spawn its producer under the session lock;
+    // `stream()` returns right after the spawn, so the lock is held only
+    // for planning + thread start, and concurrent queries on the same
+    // table pump their results in parallel.
+    let cells = {
+        let mut session = table.session.lock().unwrap_or_else(|p| p.into_inner());
+        let mut query = session.query().min_sup(q.min_sup);
+        if let Some(a) = q.algorithm {
+            query = query.algorithm(a);
+        }
+        if let Some(c) = q.closed {
+            query = query.closed(c);
+        }
+        if let Some(mask) = q.dims {
+            query = query.dims(DimMask(mask));
+        }
+        for (dim, values) in &q.selections {
+            query = query.dice(*dim as usize, values);
+        }
+        let threads = if q.threads > 0 {
+            q.threads as usize
+        } else {
+            shared.config.default_threads
+        };
+        if threads > 0 {
+            query = query.threads(threads);
+        }
+        query = query.memory_budget(permit.estimate as usize);
+        if let Some(r) = remaining {
+            query = query.deadline(r);
+        }
+        query.stream()
+    };
+    let mut cells = match cells {
+        Ok(c) => c,
+        Err(e) => {
+            // Builder misuse (bad dimension, zero min_sup, ...): typed
+            // error before any thread was spawned.
+            return answer(
+                stream,
+                &Response::Error {
+                    status: wire_status(&e),
+                    detail: e.to_string(),
+                },
+            );
+        }
+    };
+
+    let _active = ActiveQuery::register(shared, cells.handle());
+    let mut block = CellBlock::default();
+    let mut sent_cells = 0u64;
+    for (cell, count, ()) in &mut cells {
+        if block.is_empty() {
+            // Projected queries emit cells over the kept dimensions only,
+            // so the width comes from the cells, not the table.
+            block.dims = cell.values().len() as u16;
+        }
+        block.push(cell.values(), count);
+        if block.len() >= BATCH_CELLS {
+            sent_cells += block.len() as u64;
+            if send(stream, &Response::Batch(std::mem::take(&mut block))).is_err() {
+                // Dead or stalled reader: dropping `cells` cancels the
+                // producing run and joins its thread before we return.
+                drop(cells);
+                return Flow::Close;
+            }
+        }
+    }
+    let outcome = cells.finish();
+    match outcome {
+        Ok(stats) => {
+            if !block.is_empty() {
+                sent_cells += block.len() as u64;
+                if send(stream, &Response::Batch(block)).is_err() {
+                    return Flow::Close;
+                }
+            }
+            let elapsed = started.elapsed();
+            shared.history.record(shape, stats.peak_buffered_bytes);
+            shared.gate.record_service(elapsed);
+            answer(
+                stream,
+                &Response::Done(DoneStats {
+                    cells: sent_cells,
+                    elapsed_micros: elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+                    peak_buffered_bytes: stats.peak_buffered_bytes,
+                    tasks: stats.tasks,
+                    fast_path: stats.fast_path,
+                }),
+            )
+        }
+        Err(e) => {
+            // The run ended early (cancel/deadline/budget/worker panic):
+            // drop the partial tail batch and report the typed error.
+            shared.gate.record_service(started.elapsed());
+            answer(
+                stream,
+                &Response::Error {
+                    status: wire_status(&e),
+                    detail: e.to_string(),
+                },
+            )
+        }
+    }
+}
+
+/// Send a terminal response; a failed write closes the connection.
+fn answer(stream: &mut TcpStream, resp: &Response) -> Flow {
+    match send(stream, resp) {
+        Ok(()) => Flow::Continue,
+        Err(_) => Flow::Close,
+    }
+}

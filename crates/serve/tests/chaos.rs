@@ -1,0 +1,321 @@
+//! Chaos-under-load: injected faults at the wire sites and in the engine
+//! while dozens of concurrent clients hammer the server. The server may
+//! shed, fail queries, or drop individual connections — but only in typed
+//! ways: every query ends in `Done`/`Overloaded`/`Error` or a visible
+//! disconnect, no client ever hangs, and after shutdown no thread is
+//! leaked.
+//!
+//! Compiled only under `--cfg ccube_chaos` and armed only when the
+//! `CCUBE_CHAOS` environment variable is `1`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg ccube_chaos" CCUBE_CHAOS=1 \
+//!     cargo test -p ccube-serve --test chaos
+//! ```
+
+#![cfg(ccube_chaos)]
+
+use c_cubing::prelude::*;
+use ccube_core::faults::{FaultAction, FaultPlan, FaultScope};
+use ccube_serve::{
+    AdmissionConfig, Client, ClientError, QueryOutcome, QueryRequest, Server, ServerConfig,
+    WireStatus,
+};
+use std::io::ErrorKind;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+const CLIENTS: usize = 64;
+const QUERIES_PER_CLIENT: usize = 2;
+
+/// Thread-leak accounting is process-global, so the tests in this file
+/// must not overlap each other (they may still overlap other test
+/// binaries, which have their own processes).
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn armed() -> bool {
+    std::env::var("CCUBE_CHAOS").is_ok_and(|v| v == "1")
+}
+
+/// Live thread count of this process (Linux), for leak accounting.
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+/// Wait for the process thread count to settle back to (at most) the
+/// baseline. Detached OS teardown can lag the `join` by a moment, so poll
+/// briefly before declaring a leak.
+fn assert_no_leaked_threads(baseline: usize, context: &str) {
+    let mut count = 0;
+    for _ in 0..200 {
+        count = thread_count();
+        if count <= baseline {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("{context}: {count} threads alive, baseline {baseline} — leak");
+}
+
+fn chaos_table() -> Table {
+    SyntheticSpec::uniform(800, 4, 6, 1.0, 11).generate()
+}
+
+fn chaos_server() -> Server {
+    let config = ServerConfig {
+        admission: AdmissionConfig {
+            max_concurrent: 4,
+            max_queued: 8,
+            max_queue_wait: Duration::from_millis(250),
+            ..AdmissionConfig::default()
+        },
+        drain_deadline: Duration::from_secs(3),
+        ..ServerConfig::default()
+    };
+    Server::start(vec![("synth".to_string(), chaos_table())], config).expect("server starts")
+}
+
+#[derive(Default)]
+struct Tally {
+    done: AtomicU64,
+    overloaded: AtomicU64,
+    typed_errors: AtomicU64,
+    disconnects: AtomicU64,
+}
+
+/// Run `CLIENTS` concurrent clients against `server`, classifying every
+/// query outcome. Panics on the two forbidden outcomes: a wedged exchange
+/// (client i/o timeout) or an untyped frame.
+fn hammer(server: &Server, tally: &Tally) {
+    let addr = server.addr();
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let tally = &*tally;
+            scope.spawn(move || {
+                // A wedged server turns into a visible TimedOut here.
+                let mut client = match Client::connect_with(addr, Duration::from_secs(10)) {
+                    Ok(client) => client,
+                    Err(_) => {
+                        // Accept-fault window: connection refused/reset is a
+                        // visible, typed-at-the-socket outcome.
+                        tally.disconnects.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                for q in 0..QUERIES_PER_CLIENT {
+                    // Mix shapes: sequential and engine-parallel queries.
+                    let mut req = QueryRequest::new("synth", 1 + ((c + q) % 3) as u64);
+                    if c % 2 == 0 {
+                        req.threads = 2;
+                    }
+                    match client.query(&req) {
+                        Ok(QueryOutcome::Done(_)) => {
+                            tally.done.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(QueryOutcome::Overloaded { .. }) => {
+                            tally.overloaded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(QueryOutcome::ServerError { status, detail }) => {
+                            assert!(
+                                matches!(
+                                    status,
+                                    WireStatus::Cancelled
+                                        | WireStatus::DeadlineExceeded
+                                        | WireStatus::BudgetExceeded
+                                        | WireStatus::WorkerPanicked
+                                        | WireStatus::ShuttingDown
+                                        | WireStatus::Internal
+                                ),
+                                "untyped failure {status:?}: {detail}"
+                            );
+                            tally.typed_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ClientError::Io(e))
+                            if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock) =>
+                        {
+                            panic!("client {c} query {q} wedged: {e}");
+                        }
+                        Err(_) => {
+                            // Connection-layer fault killed this connection;
+                            // that's an allowed, visible outcome — stop using
+                            // the dead connection.
+                            tally.disconnects.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// The chaos matrix: one injected fault per scenario, firing while the
+/// 64-client load is in flight. Covers the wire sites (accept failure,
+/// mid-stream write error, stalled reads) and engine faults surfacing as
+/// typed frames (worker panic, budget, deadline).
+#[test]
+fn chaos_under_load_sheds_typed_and_leaks_nothing() {
+    if !armed() {
+        eprintln!("serve chaos suite skipped: set CCUBE_CHAOS=1 to run");
+        return;
+    }
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let scenarios: &[(&str, FaultAction, u64)] = &[
+        ("serve.accept", FaultAction::IoError, 0),
+        ("serve.frame.write", FaultAction::IoError, 5),
+        ("serve.frame.read", FaultAction::IoError, 5),
+        ("serve.frame.read", FaultAction::Stall, 3),
+        ("engine.task.start", FaultAction::Panic, 2),
+        ("engine.task.start", FaultAction::Budget, 2),
+        ("engine.seed", FaultAction::Deadline, 1),
+        ("sink.channel.send", FaultAction::Panic, 4),
+    ];
+    let baseline = thread_count();
+    for &(site, action, after) in scenarios {
+        let context = format!("{site}/{action:?}");
+        let scope = FaultScope::arm(FaultPlan {
+            site,
+            action,
+            after,
+        });
+        let tally = Tally::default();
+        {
+            // The server inherits the installed scope (start → accept →
+            // connection → engine workers), so the fault fires somewhere
+            // inside the serving stack while the load runs.
+            let _armed = scope.install();
+            let server = chaos_server();
+            hammer(&server, &tally);
+            // The real survival criterion: after the chaotic load (every
+            // client joined), a fresh connection is served normally.
+            let mut probe = Client::connect_with(server.addr(), Duration::from_secs(10))
+                .expect("probe connect");
+            let outcome = probe.query(&QueryRequest::new("synth", 3)).unwrap();
+            assert!(
+                matches!(outcome, QueryOutcome::Done(_)),
+                "{context}: post-chaos probe got {outcome:?}"
+            );
+            drop(probe);
+            let report = server.shutdown();
+            assert!(
+                report.drained || report.cancelled > 0,
+                "{context}: shutdown neither drained nor cancelled"
+            );
+        }
+        let done = tally.done.load(Ordering::Relaxed);
+        let disconnects = tally.disconnects.load(Ordering::Relaxed);
+        // Progress under chaos (shedding is expected at this load, a dead
+        // server is not), and the single injected fault can only have cost
+        // a few connections, never a broad outage.
+        assert!(done >= 1, "{context}: no query ever completed");
+        assert!(
+            disconnects <= 8,
+            "{context}: {disconnects} dropped connections from one fault"
+        );
+        assert_no_leaked_threads(baseline, &context);
+    }
+}
+
+/// Worker panics bubbling up as typed `WorkerPanicked` frames, not as dead
+/// connections: inject a panic into the engine under a single query and
+/// check the exact status. (The matrix above covers panics under load;
+/// this pins the wire taxonomy.)
+#[test]
+fn injected_worker_panic_is_a_typed_frame() {
+    if !armed() {
+        eprintln!("serve chaos suite skipped: set CCUBE_CHAOS=1 to run");
+        return;
+    }
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let baseline = thread_count();
+    // `sink.channel.send` sits on every streamed run's output path (fast
+    // path included), so the panic is guaranteed to fire mid-run.
+    let scope = FaultScope::arm(FaultPlan {
+        site: "sink.channel.send",
+        action: FaultAction::Panic,
+        after: 0,
+    });
+    {
+        let _armed = scope.install();
+        let server = chaos_server();
+        let mut client = Client::connect_with(server.addr(), Duration::from_secs(10)).unwrap();
+        let mut req = QueryRequest::new("synth", 1);
+        req.threads = 2;
+        let outcome = client.query(&req).expect("typed frame, not a dead socket");
+        match outcome {
+            QueryOutcome::ServerError {
+                status: WireStatus::WorkerPanicked,
+                ..
+            } => {}
+            other => panic!("wanted WorkerPanicked, got {other:?}"),
+        }
+        // The panic was contained: the same connection keeps serving.
+        let outcome = client.query(&QueryRequest::new("synth", 2)).unwrap();
+        assert!(matches!(outcome, QueryOutcome::Done(_)), "got {outcome:?}");
+        server.shutdown();
+    }
+    assert!(scope.fired(), "fault never fired");
+    assert_no_leaked_threads(baseline, "worker panic");
+}
+
+/// A stalled slow reader (never drains its socket) must not wedge the
+/// server: the write timeout cuts the connection off, the query is
+/// cancelled, and other clients stay unaffected.
+#[test]
+fn stalled_slow_reader_is_cut_off_and_query_cancelled() {
+    if !armed() {
+        eprintln!("serve chaos suite skipped: set CCUBE_CHAOS=1 to run");
+        return;
+    }
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let baseline = thread_count();
+    {
+        let config = ServerConfig {
+            write_timeout: Duration::from_millis(200),
+            drain_deadline: Duration::from_secs(3),
+            ..ServerConfig::default()
+        };
+        let server = Server::start(vec![("synth".to_string(), chaos_table())], config)
+            .expect("server starts");
+
+        // A "reader" that sends a big query and then never reads: the
+        // server's socket buffer fills, its writes time out, and the
+        // connection (plus its producing query) is torn down.
+        let mut stalled = Client::connect_with(server.addr(), Duration::from_secs(10)).unwrap();
+        let mut req = QueryRequest::new("synth", 1);
+        req.threads = 2;
+        stalled
+            .send_raw(&ccube_serve::proto::encode_request(
+                &ccube_serve::Request::Query(req),
+            ))
+            .unwrap();
+
+        // Meanwhile other clients are served normally.
+        let mut client = Client::connect_with(server.addr(), Duration::from_secs(10)).unwrap();
+        for _ in 0..3 {
+            let outcome = client.query(&QueryRequest::new("synth", 2)).unwrap();
+            assert!(matches!(outcome, QueryOutcome::Done(_)), "got {outcome:?}");
+        }
+
+        // The stalled connection's query must deregister (cancelled), not
+        // hold its admission slot forever.
+        let mut active = usize::MAX;
+        for _ in 0..300 {
+            active = server.metrics().active_queries;
+            if active == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(active, 0, "stalled reader's query never deregistered");
+        drop(stalled);
+        server.shutdown();
+    }
+    assert_no_leaked_threads(baseline, "stalled reader");
+}

@@ -1,0 +1,270 @@
+//! Wire-protocol hardening: encode/decode round-trips under randomized
+//! inputs, plus adversarial bytes — truncated, oversized, and corrupt
+//! frames must decode to typed [`ProtoError`]s, never panic, never hang,
+//! never allocate from an attacker-controlled length field.
+
+use c_cubing::Algorithm;
+use ccube_serve::proto::{
+    self, CellBlock, DoneStats, FrameRead, ProtoError, QueryRequest, Request, Response, TableInfo,
+    WireStatus,
+};
+use proptest::prelude::*;
+
+fn roundtrip_request(req: &Request) -> Request {
+    let payload = proto::encode_request(req);
+    proto::decode_request(&payload).expect("encoded request decodes")
+}
+
+fn roundtrip_response(resp: &Response) -> Response {
+    let payload = proto::encode_response(resp);
+    proto::decode_response(&payload).expect("encoded response decodes")
+}
+
+// ------------------------------------------------------------ round-trips
+
+proptest! {
+    #[test]
+    fn query_requests_roundtrip(
+        min_sup in 1u64..1_000_000,
+        algo_idx in 0usize..=Algorithm::ALL.len(),
+        closed_tag in 0u8..3,
+        mask in any::<u64>(),
+        has_mask in any::<bool>(),
+        threads in 0u32..64,
+        deadline_ms in 0u64..100_000,
+        selections in proptest::collection::vec(
+            (0u32..8, proptest::collection::vec(0u32..100, 0..5)),
+            0..4,
+        ),
+    ) {
+        let req = Request::Query(QueryRequest {
+            table: "weather".to_string(),
+            min_sup,
+            algorithm: Algorithm::ALL.get(algo_idx).copied(),
+            closed: match closed_tag { 0 => None, 1 => Some(false), _ => Some(true) },
+            dims: has_mask.then_some(mask),
+            selections: selections.clone(),
+            threads,
+            deadline_ms,
+        });
+        prop_assert_eq!(roundtrip_request(&req), req);
+    }
+
+    #[test]
+    fn batches_roundtrip(
+        dims in 1u16..8,
+        counts in proptest::collection::vec(1u64..1_000, 0..50),
+        seed in any::<u32>(),
+    ) {
+        let values: Vec<u32> = (0..counts.len() * dims as usize)
+            .map(|i| (seed.wrapping_add(i as u32)) % 50)
+            .collect();
+        let resp = Response::Batch(CellBlock { dims, values, counts });
+        prop_assert_eq!(roundtrip_response(&resp), resp);
+    }
+
+    #[test]
+    fn done_and_overloaded_roundtrip(
+        cells in any::<u64>(),
+        micros in any::<u64>(),
+        peak in any::<u64>(),
+        tasks in any::<u64>(),
+        fast in any::<bool>(),
+        retry in any::<u64>(),
+    ) {
+        let done = Response::Done(DoneStats {
+            cells,
+            elapsed_micros: micros,
+            peak_buffered_bytes: peak,
+            tasks,
+            fast_path: fast,
+        });
+        prop_assert_eq!(roundtrip_response(&done), done);
+        let over = Response::Overloaded { retry_after_ms: retry };
+        prop_assert_eq!(roundtrip_response(&over), over);
+    }
+
+    // The decoders must be total: arbitrary bytes either decode or return a
+    // typed error — no panics, no OOM (lengths are validated before any
+    // allocation is sized from them).
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoders(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = proto::decode_request(&payload);
+        let _ = proto::decode_response(&payload);
+    }
+
+    // Chopping a valid frame anywhere yields Truncated (or another typed
+    // error for prefixes that alias a smaller valid frame family) — never
+    // a panic.
+    #[test]
+    fn truncated_frames_are_typed_errors(cut in 0usize..64) {
+        let mut req = QueryRequest::new("a_table_name", 7);
+        req.selections = vec![(0, vec![1, 2, 3]), (2, vec![4])];
+        req.dims = Some(0b1011);
+        let full = proto::encode_request(&Request::Query(req));
+        let cut = cut.min(full.len().saturating_sub(1));
+        let err = proto::decode_request(&full[..cut]);
+        prop_assert!(err.is_err());
+    }
+}
+
+// ------------------------------------------------------- targeted attacks
+
+#[test]
+fn every_status_code_roundtrips() {
+    for status in [
+        WireStatus::Cancelled,
+        WireStatus::DeadlineExceeded,
+        WireStatus::BudgetExceeded,
+        WireStatus::WorkerPanicked,
+        WireStatus::BadRequest,
+        WireStatus::UnknownTable,
+        WireStatus::ShuttingDown,
+        WireStatus::Protocol,
+        WireStatus::Internal,
+    ] {
+        let resp = Response::Error {
+            status,
+            detail: "why".to_string(),
+        };
+        assert_eq!(roundtrip_response(&resp), resp);
+    }
+}
+
+#[test]
+fn control_frames_roundtrip() {
+    assert_eq!(roundtrip_request(&Request::Ping), Request::Ping);
+    assert_eq!(roundtrip_request(&Request::Tables), Request::Tables);
+    assert_eq!(roundtrip_response(&Response::Pong), Response::Pong);
+    let tables = Response::TableList(vec![TableInfo {
+        name: "synth".to_string(),
+        rows: 1_000_000,
+        dims: 12,
+    }]);
+    assert_eq!(roundtrip_response(&tables), tables);
+}
+
+#[test]
+fn empty_payload_is_a_typed_error() {
+    assert_eq!(proto::decode_request(&[]), Err(ProtoError::EmptyFrame));
+    assert_eq!(proto::decode_response(&[]), Err(ProtoError::EmptyFrame));
+}
+
+#[test]
+fn unknown_opcodes_are_typed_errors() {
+    assert_eq!(
+        proto::decode_request(&[0x7F]),
+        Err(ProtoError::UnknownOpcode(0x7F))
+    );
+    // Response opcodes are not request opcodes and vice versa.
+    assert_eq!(
+        proto::decode_request(&proto::encode_response(&Response::Pong)),
+        Err(ProtoError::UnknownOpcode(0x85))
+    );
+    assert_eq!(
+        proto::decode_response(&proto::encode_request(&Request::Ping)),
+        Err(ProtoError::UnknownOpcode(0x02))
+    );
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut payload = proto::encode_request(&Request::Ping);
+    payload.push(0);
+    assert_eq!(
+        proto::decode_request(&payload),
+        Err(ProtoError::Trailing { extra: 1 })
+    );
+}
+
+#[test]
+fn corrupt_enum_tags_are_typed_errors() {
+    let mut payload = proto::encode_request(&Request::Query(QueryRequest::new("t", 1)));
+    // Layout after the opcode: str(table) = 2 + 1 bytes, min_sup = 8, then
+    // the algorithm byte at offset 12.
+    payload[12] = 0x42;
+    assert_eq!(
+        proto::decode_request(&payload),
+        Err(ProtoError::BadValue("algorithm"))
+    );
+    let mut payload = proto::encode_request(&Request::Query(QueryRequest::new("t", 1)));
+    payload[13] = 9; // closed flag ∉ {0,1,2}
+    assert_eq!(
+        proto::decode_request(&payload),
+        Err(ProtoError::BadValue("closed flag"))
+    );
+}
+
+#[test]
+fn allocation_bomb_counts_are_rejected_before_allocating() {
+    // A Batch frame claiming u32::MAX cells with a 10-byte body: the
+    // declared count must be validated against the remaining bytes, not
+    // trusted as a Vec capacity.
+    let mut payload = vec![0x81];
+    payload.extend_from_slice(&4u16.to_le_bytes()); // dims
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // cells
+    payload.extend_from_slice(&[0u8; 10]);
+    assert_eq!(proto::decode_response(&payload), Err(ProtoError::Truncated));
+
+    // Same for a selection list in a query.
+    let mut payload = proto::encode_request(&Request::Query(QueryRequest::new("t", 1)));
+    let n = payload.len();
+    payload[n - 2..].copy_from_slice(&u16::MAX.to_le_bytes()); // selection count
+    assert_eq!(proto::decode_request(&payload), Err(ProtoError::Truncated));
+}
+
+#[test]
+fn oversized_and_empty_frame_headers_are_rejected_by_the_reader() {
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&((proto::MAX_PAYLOAD as u32) + 1).to_le_bytes());
+    wire.extend_from_slice(&[0u8; 16]);
+    match proto::read_frame(&mut wire.as_slice()).unwrap() {
+        FrameRead::Malformed(ProtoError::Oversized { len }) => {
+            assert_eq!(len, proto::MAX_PAYLOAD as u64 + 1);
+        }
+        other => panic!("wanted Oversized, got {:?}", discriminant_name(&other)),
+    }
+
+    let zero = 0u32.to_le_bytes();
+    match proto::read_frame(&mut zero.as_slice()).unwrap() {
+        FrameRead::Malformed(ProtoError::EmptyFrame) => {}
+        other => panic!("wanted EmptyFrame, got {:?}", discriminant_name(&other)),
+    }
+}
+
+#[test]
+fn frame_reader_distinguishes_clean_eof_from_torn_frames() {
+    // Clean EOF at a boundary.
+    match proto::read_frame(&mut [].as_slice()).unwrap() {
+        FrameRead::Eof => {}
+        other => panic!("wanted Eof, got {:?}", discriminant_name(&other)),
+    }
+    // EOF mid-header and mid-payload are i/o errors (torn frame).
+    let torn_header = [5u8, 0];
+    assert!(proto::read_frame(&mut torn_header.as_slice()).is_err());
+    let mut torn_payload = Vec::new();
+    torn_payload.extend_from_slice(&100u32.to_le_bytes());
+    torn_payload.extend_from_slice(&[1, 2, 3]);
+    assert!(proto::read_frame(&mut torn_payload.as_slice()).is_err());
+}
+
+#[test]
+fn frame_writer_then_reader_roundtrips() {
+    let payload = proto::encode_request(&Request::Query(QueryRequest::new("weather", 3)));
+    let mut wire = Vec::new();
+    proto::write_frame(&mut wire, &payload).unwrap();
+    match proto::read_frame(&mut wire.as_slice()).unwrap() {
+        FrameRead::Frame(read_back) => assert_eq!(read_back, payload),
+        other => panic!("wanted Frame, got {:?}", discriminant_name(&other)),
+    }
+}
+
+fn discriminant_name(r: &FrameRead) -> &'static str {
+    match r {
+        FrameRead::Frame(_) => "Frame",
+        FrameRead::Eof => "Eof",
+        FrameRead::Malformed(_) => "Malformed",
+    }
+}

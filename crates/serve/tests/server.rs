@@ -1,0 +1,423 @@
+//! End-to-end server behavior over real sockets: correctness against the
+//! in-process facade, admission control and shedding, deadlines, client
+//! misbehavior (disconnects, garbage, stalls), and graceful drain.
+//!
+//! Every client here runs with finite i/o timeouts, so a server that wedges
+//! fails the test visibly instead of hanging it.
+
+use c_cubing::prelude::*;
+use ccube_serve::{
+    AdmissionConfig, Client, ClientError, QueryOutcome, QueryRequest, Server, ServerConfig,
+    WireStatus,
+};
+use std::io::Write;
+use std::time::Duration;
+
+fn small_table() -> Table {
+    SyntheticSpec::uniform(600, 4, 6, 1.0, 7).generate()
+}
+
+fn start_server(admission: AdmissionConfig) -> Server {
+    let config = ServerConfig {
+        admission,
+        drain_deadline: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    Server::start(vec![("synth".to_string(), small_table())], config).expect("server starts")
+}
+
+fn start_default() -> Server {
+    start_server(AdmissionConfig::default())
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect_with(server.addr(), Duration::from_secs(10)).expect("connect")
+}
+
+// ----------------------------------------------------------- correctness
+
+#[test]
+fn served_results_match_the_in_process_session() {
+    let server = start_default();
+    let mut client = connect(&server);
+
+    let (cells, outcome) = client
+        .query_collect(&QueryRequest::new("synth", 3))
+        .expect("query runs");
+    let QueryOutcome::Done(stats) = outcome else {
+        panic!("wanted Done, got {outcome:?}");
+    };
+    assert_eq!(stats.cells as usize, cells.len());
+
+    let mut session = CubeSession::new(small_table()).unwrap();
+    let expected = session.query().min_sup(3).stats().unwrap();
+    assert_eq!(stats.cells, expected.cells);
+
+    // Counts agree cell-for-cell with a direct run.
+    let mut direct = std::collections::BTreeMap::new();
+    let mut sink = FnSink(|cell: &[u32], count: u64, _acc: &()| {
+        direct.insert(cell.to_vec(), count);
+    });
+    session.query().min_sup(3).run(&mut sink).unwrap();
+    let _ = sink;
+    assert_eq!(cells.len(), direct.len());
+    for (cell, count) in &cells {
+        assert_eq!(direct.get(cell), Some(count), "cell {cell:?}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn subcube_and_engine_queries_serve_correctly() {
+    let server = start_default();
+    let mut client = connect(&server);
+
+    let mut req = QueryRequest::new("synth", 2);
+    req.dims = Some(0b0111);
+    req.selections = vec![(0, vec![0, 1, 2])];
+    req.threads = 4;
+    req.closed = Some(true);
+    let (cells, outcome) = client.query_collect(&req).expect("query runs");
+    assert!(matches!(outcome, QueryOutcome::Done(_)), "got {outcome:?}");
+
+    let mut session = CubeSession::new(small_table()).unwrap();
+    let expected = session
+        .query()
+        .dims(DimMask(0b0111))
+        .dice(0, &[0, 1, 2])
+        .min_sup(2)
+        .closed(true)
+        .threads(4)
+        .stats()
+        .unwrap();
+    assert_eq!(cells.len() as u64, expected.cells);
+    server.shutdown();
+}
+
+#[test]
+fn ping_tables_and_multiple_queries_share_one_connection() {
+    let server = start_default();
+    let mut client = connect(&server);
+    client.ping().expect("ping");
+    let tables = client.tables().expect("tables");
+    assert_eq!(tables.len(), 1);
+    assert_eq!(tables[0].name, "synth");
+    assert_eq!(tables[0].rows, 600);
+    assert_eq!(tables[0].dims, 4);
+    for min_sup in [2, 3, 10] {
+        let outcome = client.query(&QueryRequest::new("synth", min_sup)).unwrap();
+        assert!(matches!(outcome, QueryOutcome::Done(_)), "got {outcome:?}");
+    }
+    server.shutdown();
+}
+
+// ---------------------------------------------------------- typed errors
+
+#[test]
+fn unknown_table_and_bad_requests_get_typed_errors() {
+    let server = start_default();
+    let mut client = connect(&server);
+
+    let outcome = client.query(&QueryRequest::new("nope", 2)).unwrap();
+    assert!(
+        matches!(
+            outcome,
+            QueryOutcome::ServerError {
+                status: WireStatus::UnknownTable,
+                ..
+            }
+        ),
+        "got {outcome:?}"
+    );
+
+    // Zero min_sup is builder misuse → BadRequest, connection stays usable.
+    let outcome = client.query(&QueryRequest::new("synth", 0)).unwrap();
+    assert!(
+        matches!(
+            outcome,
+            QueryOutcome::ServerError {
+                status: WireStatus::BadRequest,
+                ..
+            }
+        ),
+        "got {outcome:?}"
+    );
+
+    // Out-of-range dice dimension → BadRequest.
+    let mut req = QueryRequest::new("synth", 2);
+    req.selections = vec![(99, vec![1])];
+    let outcome = client.query(&req).unwrap();
+    assert!(
+        matches!(
+            outcome,
+            QueryOutcome::ServerError {
+                status: WireStatus::BadRequest,
+                ..
+            }
+        ),
+        "got {outcome:?}"
+    );
+
+    client.ping().expect("connection survives bad requests");
+    server.shutdown();
+}
+
+#[test]
+fn tight_deadline_is_a_typed_error() {
+    let server = start_default();
+    let mut client = connect(&server);
+    let mut req = QueryRequest::new("synth", 1);
+    req.threads = 2;
+    req.deadline_ms = 1;
+    let outcome = client.query(&req).unwrap();
+    match outcome {
+        // Either the deadline tripped mid-run, or the tiny table finished
+        // inside 1 ms — both are legal; a hang or untyped close is not.
+        QueryOutcome::ServerError {
+            status: WireStatus::DeadlineExceeded,
+            ..
+        }
+        | QueryOutcome::Done(_) => {}
+        other => panic!("wanted DeadlineExceeded or Done, got {other:?}"),
+    }
+    client.ping().expect("connection survives a deadline miss");
+    server.shutdown();
+}
+
+// ------------------------------------------------------------- shedding
+
+#[test]
+fn saturating_the_gate_sheds_with_retry_hints() {
+    // One slot, no queue: with a query parked in the slot, any concurrent
+    // arrival must shed immediately.
+    let server = start_server(AdmissionConfig {
+        max_concurrent: 1,
+        max_queued: 0,
+        max_queue_wait: Duration::from_millis(100),
+        ..AdmissionConfig::default()
+    });
+
+    // A parker thread keeps the single slot busy with back-to-back full
+    // cubes; it tolerates being shed itself (it races the probes).
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let addr = server.addr();
+    let parker = {
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = Client::connect_with(addr, Duration::from_secs(10)).unwrap();
+            let mut req = QueryRequest::new("synth", 1);
+            req.threads = 2;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                match client.query(&req).unwrap() {
+                    QueryOutcome::Done(_) | QueryOutcome::Overloaded { .. } => {}
+                    other => panic!("parker got {other:?}"),
+                }
+            }
+        })
+    };
+
+    // Probe until one lands while the parker holds the slot.
+    let mut client = connect(&server);
+    let mut shed = None;
+    for _ in 0..500 {
+        match client.query(&QueryRequest::new("synth", 1)).unwrap() {
+            QueryOutcome::Overloaded { retry_after_ms } => {
+                shed = Some(retry_after_ms);
+                break;
+            }
+            QueryOutcome::Done(_) => {}
+            other => panic!("wanted Done or Overloaded, got {other:?}"),
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    parker.join().unwrap();
+
+    let retry_after_ms = shed.expect("saturated gate never shed");
+    assert!(
+        retry_after_ms >= 25,
+        "hint {retry_after_ms} below the floor"
+    );
+    let metrics = server.metrics();
+    assert!(metrics.gate.shed_queue_full + metrics.gate.shed_timeout >= 1);
+    server.shutdown();
+}
+
+// ----------------------------------------------------- client misbehavior
+
+#[test]
+fn mid_stream_disconnect_cancels_only_that_query() {
+    let server = start_default();
+
+    {
+        let mut client = connect(&server);
+        let mut req = QueryRequest::new("synth", 1);
+        req.threads = 2;
+        // Send the query, read one frame's worth of header bytes, then
+        // vanish with the rest of the result stream unread.
+        let payload = ccube_serve::proto::encode_request(&ccube_serve::Request::Query(req));
+        client.send_raw(&payload).unwrap();
+        let mut one = [0u8; 4];
+        use std::io::Read;
+        let _ = client.stream_mut().read(&mut one);
+        // Drop disconnects.
+    }
+
+    // The server must stay healthy for other connections while (and after)
+    // it notices the disconnect and cancels the orphaned query.
+    let mut client = connect(&server);
+    for _ in 0..3 {
+        let outcome = client.query(&QueryRequest::new("synth", 2)).unwrap();
+        assert!(matches!(outcome, QueryOutcome::Done(_)), "got {outcome:?}");
+    }
+
+    // The orphaned query must eventually deregister (cancelled, not leaked).
+    let mut active = usize::MAX;
+    for _ in 0..200 {
+        active = server.metrics().active_queries;
+        if active == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(active, 0, "orphaned query never deregistered");
+    server.shutdown();
+}
+
+#[test]
+fn garbage_frames_get_protocol_errors() {
+    let server = start_default();
+
+    // Well-framed garbage: typed Protocol error, connection keeps serving.
+    let mut client = connect(&server);
+    client.send_raw(&[0x7F, 1, 2, 3]).unwrap();
+    let outcome = client.query(&QueryRequest::new("synth", 3));
+    // The Protocol error frame arrives first, as the answer to the garbage.
+    match outcome {
+        Err(ClientError::Unexpected(_)) | Ok(_) => {}
+        Err(e) => panic!("connection died on well-framed garbage: {e}"),
+    }
+
+    // Broken framing: oversized declared length → one Protocol error, then
+    // close.
+    let mut client = connect(&server);
+    let huge = (ccube_serve::MAX_PAYLOAD as u32 + 1).to_le_bytes();
+    client.stream_mut().write_all(&huge).unwrap();
+    client.stream_mut().write_all(&[0u8; 64]).unwrap();
+    let err = client.ping().expect_err("framing is untrusted after that");
+    match err {
+        ClientError::Unexpected(_) | ClientError::Disconnected | ClientError::Io(_) => {}
+        other => panic!("wanted error-frame/close, got {other:?}"),
+    }
+
+    // The server is unharmed either way.
+    let mut client = connect(&server);
+    client.ping().expect("server still serves");
+    server.shutdown();
+}
+
+#[test]
+fn stalled_mid_frame_sender_is_cut_off() {
+    let config = ServerConfig {
+        frame_read_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::start(vec![("synth".to_string(), small_table())], config).expect("server starts");
+
+    let mut client = connect(&server);
+    // Declare a 100-byte frame, send 3 bytes, stall.
+    client
+        .stream_mut()
+        .write_all(&100u32.to_le_bytes())
+        .unwrap();
+    client.stream_mut().write_all(&[1, 2, 3]).unwrap();
+    // The server must cut the connection off (read of the reply sees EOF)
+    // rather than hold the connection thread hostage.
+    let err = client
+        .ping()
+        .expect_err("stalled frame must not hang the server");
+    match err {
+        ClientError::Disconnected | ClientError::Io(_) => {}
+        other => panic!("wanted disconnect, got {other:?}"),
+    }
+
+    let mut client = connect(&server);
+    client.ping().expect("server still serves");
+    server.shutdown();
+}
+
+// ------------------------------------------------------------- shutdown
+
+#[test]
+fn shutdown_drains_in_flight_queries() {
+    let server = start_default();
+    let addr = server.addr();
+
+    let worker = std::thread::spawn(move || {
+        let mut client = Client::connect_with(addr, Duration::from_secs(10)).unwrap();
+        let mut req = QueryRequest::new("synth", 1);
+        req.threads = 2;
+        client.query(&req).unwrap()
+    });
+    // Give the query a chance to be admitted before draining.
+    for _ in 0..100 {
+        if server.metrics().active_queries > 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let report = server.shutdown();
+    // The in-flight query either finished before the drain deadline
+    // (drained) or was cooperatively cancelled — never abandoned.
+    let outcome = worker.join().unwrap();
+    match (&outcome, report.drained) {
+        (QueryOutcome::Done(_), _) => {}
+        (
+            QueryOutcome::ServerError {
+                status: WireStatus::Cancelled,
+                ..
+            },
+            false,
+        ) => {}
+        other => panic!("unexpected drain outcome: {other:?}"),
+    }
+}
+
+#[test]
+fn draining_server_sheds_new_queries_as_shutting_down() {
+    let server = start_server(AdmissionConfig::default());
+    let addr = server.addr();
+
+    // Park a long query so shutdown's drain loop has something to wait on.
+    let parked = std::thread::spawn(move || {
+        let mut client = Client::connect_with(addr, Duration::from_secs(10)).unwrap();
+        let mut req = QueryRequest::new("synth", 1);
+        req.threads = 2;
+        client.query(&req).unwrap()
+    });
+    for _ in 0..100 {
+        if server.metrics().active_queries > 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Pre-open a connection, then shut down concurrently; a query sent on
+    // the open connection during the drain window is shed typed.
+    let mut client = connect(&server);
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    std::thread::sleep(Duration::from_millis(20));
+    match client.query(&QueryRequest::new("synth", 2)) {
+        Ok(QueryOutcome::ServerError {
+            status: WireStatus::ShuttingDown,
+            ..
+        }) => {}
+        // The drain may already have closed the connection, or the parked
+        // query may have finished (making this a clean stop) — also fine.
+        Ok(QueryOutcome::Done(_)) | Err(_) => {}
+        Ok(other) => panic!("wanted typed shed, got {other:?}"),
+    }
+    shutdown.join().unwrap();
+    let _ = parked.join().unwrap();
+}

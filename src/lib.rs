@@ -228,7 +228,7 @@ impl Algorithm {
                 run_guarded(|| self.dispatch_bound(req.table, 0, req.min_sup, spec, sink))?;
                 Ok(EngineStats::default())
             }
-            Some(config) => ccube_engine::run_partitioned_with_stats(
+            Some(config) => ccube_engine::run_partitioned_warm_with_stats(
                 req.table,
                 req.min_sup,
                 config,
@@ -238,6 +238,7 @@ impl Algorithm {
                     self.dispatch_bound(shard, bound, m, spec, out)
                 },
                 sink,
+                req.warm.as_ref(),
             ),
         }
     }
@@ -389,6 +390,7 @@ impl Algorithm {
                 table,
                 min_sup,
                 engine: Some(*config),
+                warm: None,
             },
             &CountOnly,
             sink,
@@ -414,6 +416,7 @@ impl Algorithm {
                 table,
                 min_sup,
                 engine: Some(*config),
+                warm: None,
             },
             spec,
             sink,
@@ -461,6 +464,9 @@ pub(crate) struct CubeRequest<'a> {
     pub(crate) min_sup: u64,
     /// `None` = plain sequential run; `Some` = partition-parallel engine.
     pub(crate) engine: Option<EngineConfig>,
+    /// Session-cached sharding artifacts (permutation + level-0 partition)
+    /// for warm engine runs; `None` derives both cold.
+    pub(crate) warm: Option<ccube_engine::WarmStart<'a>>,
 }
 
 impl std::fmt::Display for Algorithm {
@@ -587,6 +593,22 @@ impl TableStats {
             0.0
         } else {
             self.skews.iter().sum::<f64>() / self.skews.len() as f64
+        }
+    }
+
+    /// Pick a sharding [`DimOrdering`](ccube_core::order::DimOrdering) for
+    /// the parallel engine from these statistics, following Section 5.5:
+    /// with skewed dimensions the entropy order beats plain cardinality
+    /// (a high-cardinality but heavily skewed dimension partitions badly),
+    /// while on near-uniform data the two orders coincide and the cheaper
+    /// cardinality sort suffices. A [`CubeSession`] derives this once,
+    /// caches the resulting permutation plus its level-0 partition, and
+    /// hands both to the engine so warm queries skip the per-query scans.
+    pub fn recommend_ordering(&self) -> ccube_core::order::DimOrdering {
+        if self.mean_skew() > 0.05 {
+            ccube_core::order::DimOrdering::EntropyDesc
+        } else {
+            ccube_core::order::DimOrdering::CardinalityDesc
         }
     }
 }

@@ -6,8 +6,13 @@
 //!
 //! * measured [`TableStats`] (observed cardinalities, skew, dependence) —
 //!   the planner input of [`recommend`], built once at session creation;
-//! * the first-dimension counting-sort partition — the sharding axis of the
-//!   parallel engine and the fast path for `slice(0, v)` selections;
+//! * the stats-informed sharding order
+//!   ([`TableStats::recommend_ordering`]), its permutation, and the
+//!   counting-sort partition along its leading dimension — handed to the
+//!   parallel engine as a [`ccube_engine::WarmStart`] so warm engine
+//!   queries skip the per-query permutation scan and level-0 partition
+//!   pass, and doubling as the fast path for `slice(leading, v)`
+//!   selections;
 //! * lazily, on the first StarArray-family query, the lexicographically
 //!   radix-sorted tuple pool ([`ccube_star::lex_sorted_pool`]) the StarArray
 //!   construction starts from (it depends only on the table, not on
@@ -72,10 +77,11 @@ use crate::{
 use ccube_core::cell::Cell;
 use ccube_core::lifecycle::{self, CancelToken};
 use ccube_core::measure::{CountOnly, MeasureSpec};
+use ccube_core::order::DimOrdering;
 use ccube_core::partition::Group;
 use ccube_core::sink::{CellBatch, CellSink, CountingSink};
 use ccube_core::{CubeError, DimMask, Table, TupleId};
-use ccube_engine::ChannelSink;
+use ccube_engine::{ChannelSink, WarmStart};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -113,20 +119,47 @@ pub struct CacheStats {
 pub struct CubeSession {
     table: Arc<Table>,
     stats: TableStats,
-    /// First-dimension partition: value-sorted tuple IDs plus one group per
-    /// distinct value of dimension 0 (built eagerly — it is both the
-    /// engine's sharding axis and the `slice(0, v)` fast path).
-    first_dim: (Vec<TupleId>, Vec<Group>),
+    /// Cached engine sharding artifacts (built eagerly — the stats-informed
+    /// permutation and the leading-dimension partition are both the
+    /// engine's warm start and the `slice(leading, v)` fast path).
+    prep: Arc<EnginePrep>,
     /// StarArray lex-sorted pool, built on the first StarArray-family query
     /// against the base table (min_sup-independent, so shared by all).
     star_pool: Option<Arc<Vec<TupleId>>>,
     cache: CacheStats,
 }
 
+/// The session's cached sharding artifacts, shared (via `Arc`) with
+/// in-flight query runs so a stream producer can outlive the borrow on the
+/// session. Handed to the engine as a [`WarmStart`] on warm base-table
+/// runs.
+struct EnginePrep {
+    /// The stats-informed ordering the permutation realizes.
+    ordering: DimOrdering,
+    /// Its dimension permutation over the session's table.
+    perm: Vec<usize>,
+    /// Level-0 partition along `perm[0]`: value-sorted tuple ids (ascending
+    /// within each group — counting sort is stable) plus one group per
+    /// distinct leading-dimension value.
+    tids: Vec<TupleId>,
+    groups: Vec<Group>,
+}
+
+impl EnginePrep {
+    fn warm_start(&self) -> WarmStart<'_> {
+        WarmStart {
+            perm: &self.perm,
+            tids: &self.tids,
+            groups: &self.groups,
+        }
+    }
+}
+
 impl CubeSession {
-    /// Open a session over `table`, measuring its [`TableStats`] and its
-    /// first-dimension partition once (`O(rows × dims)` — the setup cost
-    /// every subsequent query on this session skips).
+    /// Open a session over `table`, measuring its [`TableStats`], deriving
+    /// the stats-informed sharding permutation, and partitioning along its
+    /// leading dimension once (`O(rows × dims)` — the setup cost every
+    /// subsequent query on this session skips).
     ///
     /// # Errors
     /// [`CubeError::CarriedDimensionView`] on a carried-dimension view
@@ -138,11 +171,18 @@ impl CubeSession {
             return Err(CubeError::CarriedDimensionView);
         }
         let stats = TableStats::measure(&table);
-        let first_dim = table.shard_by_first_dim();
+        let ordering = stats.recommend_ordering();
+        let perm = ordering.permutation(&table);
+        let (tids, groups) = table.shard_by_dim(perm[0]);
         Ok(CubeSession {
             table: Arc::new(table),
             stats,
-            first_dim,
+            prep: Arc::new(EnginePrep {
+                ordering,
+                perm,
+                tids,
+                groups,
+            }),
             star_pool: None,
             cache: CacheStats {
                 stat_builds: 1,
@@ -173,6 +213,15 @@ impl CubeSession {
         recommend(&self.stats, min_sup)
     }
 
+    /// The stats-informed sharding order this session derived once
+    /// ([`TableStats::recommend_ordering`]) and hands to the engine —
+    /// together with its cached permutation and leading-dimension
+    /// partition — on every warm engine-routed query against the base
+    /// table.
+    pub fn sharding_ordering(&self) -> DimOrdering {
+        self.prep.ordering
+    }
+
     /// Start composing a query against this session's table.
     pub fn query(&mut self) -> CubeQuery<'_, CountOnly> {
         CubeQuery {
@@ -200,10 +249,16 @@ impl CubeSession {
         self.star_pool.as_ref().expect("just built").clone()
     }
 
-    /// Ascending tuple IDs of the slice `dim0 = value`, from the cached
-    /// partition (no column scan).
-    fn slice0_tids(&self, value: u32) -> Vec<TupleId> {
-        let (tids, groups) = &self.first_dim;
+    /// The dimension the cached partition keys on (`perm[0]` of the
+    /// sharding permutation).
+    fn leading_dim(&self) -> usize {
+        self.prep.perm[0]
+    }
+
+    /// Ascending tuple IDs of the slice `leading_dim = value`, from the
+    /// cached partition (no column scan).
+    fn leading_slice_tids(&self, value: u32) -> Vec<TupleId> {
+        let EnginePrep { tids, groups, .. } = &*self.prep;
         match groups.binary_search_by_key(&value, |g| g.value) {
             Ok(i) => tids[groups[i].range()].to_vec(),
             Err(_) => Vec::new(),
@@ -289,8 +344,8 @@ impl<'s, M: MeasureSpec> CubeQuery<'s, M> {
     }
 
     /// Keep only tuples with `value` on dimension `dim` (AND with previous
-    /// selections). `slice(0, v)` on an otherwise-unfiltered query reads the
-    /// session's cached first-dimension partition instead of scanning.
+    /// selections). A slice on the session's cached leading sharding
+    /// dimension reads the cached partition instead of scanning.
     pub fn slice(self, dim: usize, value: u32) -> Self {
         self.dice(dim, &[value])
     }
@@ -426,7 +481,13 @@ impl<'s, M: MeasureSpec> CubeQuery<'s, M> {
         match (self.engine, self.threads) {
             (Some(cfg), Some(n)) => Some(EngineConfig { threads: n, ..cfg }),
             (Some(cfg), None) => Some(cfg),
-            (None, Some(n)) => Some(EngineConfig::with_threads(n)),
+            // Threads-only: the session plans the rest of the config, and
+            // picks its cached stats-informed sharding order so the run can
+            // reuse the prepared permutation + level-0 partition.
+            (None, Some(n)) => Some(EngineConfig {
+                ordering: self.session.prep.ordering,
+                ..EngineConfig::with_threads(n)
+            }),
             (None, None) => None,
         }
     }
@@ -455,8 +516,8 @@ impl<'s, M: MeasureSpec> CubeQuery<'s, M> {
             for (dim, values) in &self.selections {
                 match tids.as_mut() {
                     None => {
-                        tids = Some(if *dim == 0 && values.len() == 1 {
-                            self.session.slice0_tids(values[0])
+                        tids = Some(if *dim == self.session.leading_dim() && values.len() == 1 {
+                            self.session.leading_slice_tids(values[0])
                         } else {
                             self.session.table.select_tids(*dim, values)
                         });
@@ -470,6 +531,16 @@ impl<'s, M: MeasureSpec> CubeQuery<'s, M> {
             let dim_order: Vec<usize> = mask.iter().collect();
             Arc::new(self.session.table.view(&tids, &dim_order, dim_order.len()))
         };
+        // Warm engine start: base-table runs whose config realizes the
+        // session's cached ordering reuse the prepared permutation and
+        // level-0 partition (any other ordering re-derives both cold —
+        // the cube is identical either way).
+        let warm = match &engine {
+            Some(cfg) if base && cfg.ordering == self.session.prep.ordering => {
+                Some(self.session.prep.clone())
+            }
+            _ => None,
+        };
         Ok((
             Resolved {
                 table,
@@ -477,6 +548,7 @@ impl<'s, M: MeasureSpec> CubeQuery<'s, M> {
                 algorithm,
                 min_sup: self.min_sup,
                 engine,
+                warm,
                 token: self.token,
                 deadline: self.deadline,
                 budget: self.budget,
@@ -515,6 +587,9 @@ struct Resolved {
     algorithm: Algorithm,
     min_sup: u64,
     engine: Option<EngineConfig>,
+    /// The session's cached sharding artifacts, when this run can reuse
+    /// them (base table, matching ordering).
+    warm: Option<Arc<EnginePrep>>,
     token: CancelToken,
     deadline: Option<Duration>,
     budget: Option<usize>,
@@ -570,6 +645,7 @@ impl Resolved {
                 table: &self.table,
                 min_sup: self.min_sup,
                 engine: self.engine,
+                warm: self.warm.as_ref().map(|prep| prep.warm_start()),
             },
             spec,
             sink,
@@ -641,9 +717,15 @@ where
         let (tx, rx) = mpsc::sync_channel::<CellBatch<M::Acc>>(4);
         let dims = resolved.table.dims();
         let token = resolved.token.clone();
+        // Chaos fault scopes are thread-scoped; carry the spawner's across
+        // to the producer so injected faults reach the run.
+        let fault_scope = ccube_core::faults::current_scope();
         let handle = std::thread::Builder::new()
             .name("ccube-query-stream".into())
             .spawn(move || {
+                let _chaos = fault_scope
+                    .as_ref()
+                    .map(ccube_core::faults::FaultScope::install);
                 let mut sink = ChannelSink::new(tx, dims, 0);
                 let result = resolved.execute(pool.as_deref().map(Vec::as_slice), &spec, &mut sink);
                 if result.is_ok() {
@@ -1028,8 +1110,9 @@ mod tests {
     }
 
     #[test]
-    fn slice0_uses_the_cached_partition() {
-        // Equivalence of the partition fast path and the generic scan.
+    fn leading_slice_uses_the_cached_partition() {
+        // Equivalence of the partition fast path and the generic scan, on
+        // whichever dimension the stats-informed ordering leads with.
         let t = TableBuilder::new(2)
             .cards(vec![4, 3])
             .row(&[2, 0])
@@ -1040,8 +1123,60 @@ mod tests {
             .build()
             .unwrap();
         let s = CubeSession::new(t.clone()).unwrap();
+        let lead = s.leading_dim();
         for v in 0..4 {
-            assert_eq!(s.slice0_tids(v), t.select_tids(0, &[v]), "value {v}");
+            assert_eq!(
+                s.leading_slice_tids(v),
+                t.select_tids(lead, &[v]),
+                "value {v}"
+            );
         }
+    }
+
+    #[test]
+    fn warm_engine_queries_reuse_the_cached_partition() {
+        // Engine-routed base-table queries match the cold (Original-order)
+        // engine result and a plain sequential run, proving the warm-start
+        // permutation + level-0 partition reuse is invisible.
+        let mut s = session();
+        let want = collect_counts(|sink| {
+            s.query()
+                .min_sup(2)
+                .algorithm(Algorithm::CCubingStar)
+                .run(sink)
+                .unwrap();
+        });
+        // Force the sharded path (the table is small enough for the
+        // sequential fast path) with the session's own ordering, so the
+        // warm start is actually consumed.
+        let ordering = s.sharding_ordering();
+        let warm = collect_counts(|sink| {
+            s.query()
+                .min_sup(2)
+                .algorithm(Algorithm::CCubingStar)
+                .engine(EngineConfig {
+                    ordering,
+                    ..EngineConfig::with_threads(4).always_sharded()
+                })
+                .run(sink)
+                .unwrap();
+        });
+        assert_eq!(warm, want);
+        // An explicit engine config with a different ordering bypasses the
+        // warm start and still agrees.
+        let cold = collect_counts(|sink| {
+            s.query()
+                .min_sup(2)
+                .algorithm(Algorithm::CCubingStar)
+                .engine(EngineConfig {
+                    ordering: DimOrdering::Original,
+                    ..EngineConfig::with_threads(4)
+                })
+                .run(sink)
+                .unwrap();
+        });
+        assert_eq!(cold, want);
+        // The cached partition was built exactly once, at session creation.
+        assert_eq!(s.cache_stats().partition_builds, 1);
     }
 }

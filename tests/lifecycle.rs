@@ -301,31 +301,19 @@ fn builder_misuse_surfaces_as_typed_errors_not_panics() {
 
 // ---------------------------------------------------------------------------
 // Chaos matrix (compiled only under --cfg ccube_chaos; armed only when the
-// CCUBE_CHAOS environment variable is set). Run it serially:
-//   RUSTFLAGS="--cfg ccube_chaos" CCUBE_CHAOS=1 \
-//     cargo test --test lifecycle -- --test-threads=1
+// CCUBE_CHAOS environment variable is set):
+//   RUSTFLAGS="--cfg ccube_chaos" CCUBE_CHAOS=1 cargo test --test lifecycle
+// Fault plans are scoped per test (a thread-local FaultScope carried across
+// engine worker spawns), so the suite runs at the default test parallelism.
 // ---------------------------------------------------------------------------
 
 #[cfg(ccube_chaos)]
 mod chaos {
     use super::*;
-    use ccube_core::faults::{self, FaultAction, FaultPlan};
-    use std::sync::Mutex;
-
-    /// The fault plan is process-global; every chaos test holds this lock so
-    /// concurrently scheduled tests never observe each other's plans.
-    static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+    use ccube_core::faults::{self, FaultAction, FaultPlan, FaultScope};
 
     fn chaos_enabled() -> bool {
         std::env::var("CCUBE_CHAOS").is_ok_and(|v| v == "1")
-    }
-
-    /// Disarms the plan even when an assertion unwinds mid-test.
-    struct Disarm;
-    impl Drop for Disarm {
-        fn drop(&mut self) {
-            faults::set_plan(None);
-        }
     }
 
     fn expected_error(action: FaultAction, err: &CubeError) -> bool {
@@ -334,6 +322,8 @@ mod chaos {
             FaultAction::Cancel => matches!(err, CubeError::Cancelled),
             FaultAction::Budget => matches!(err, CubeError::BudgetExceeded { .. }),
             FaultAction::Deadline => matches!(err, CubeError::DeadlineExceeded),
+            // I/o-only actions never fire at the engine's plain sites.
+            FaultAction::IoError | FaultAction::Stall => false,
         }
     }
 
@@ -348,8 +338,6 @@ mod chaos {
             eprintln!("chaos matrix skipped: set CCUBE_CHAOS=1 to run");
             return;
         }
-        let _serial = CHAOS_LOCK.lock().unwrap();
-        let _disarm = Disarm;
         let table = SyntheticSpec::uniform(300, 4, 6, 1.0, 9).generate();
         // Per-algorithm clean-run cell counts (iceberg and closed cubes have
         // different sizes) — the "nothing fired ⇒ full output" reference.
@@ -378,14 +366,18 @@ mod chaos {
             if site == "stream.recv" {
                 continue; // consumer-side site; covered by its own test below
             }
+            if faults::IO_SITES.contains(&site) {
+                continue; // wire sites; covered by the serve chaos suite
+            }
             for &action in &actions {
                 for (ai, algo) in Algorithm::ALL.into_iter().enumerate() {
                     for threads in [1usize, 2, 8] {
-                        faults::set_plan(Some(FaultPlan {
+                        let scope = FaultScope::arm(FaultPlan {
                             site,
                             action,
                             after: 0,
-                        }));
+                        });
+                        let _armed = scope.install();
                         let mut session = CubeSession::new(table.clone()).unwrap();
                         let result = session
                             .query()
@@ -393,8 +385,7 @@ mod chaos {
                             .algorithm(algo)
                             .engine(EngineConfig::with_threads(threads).always_sharded())
                             .stats();
-                        let fired = faults::fired();
-                        faults::set_plan(None);
+                        let fired = scope.fired();
                         total_runs += 1;
                         let label = format!("{site} / {action:?} / {algo} / threads={threads}");
                         match result {
@@ -452,23 +443,21 @@ mod chaos {
             eprintln!("chaos test skipped: set CCUBE_CHAOS=1 to run");
             return;
         }
-        let _serial = CHAOS_LOCK.lock().unwrap();
-        let _disarm = Disarm;
         let table = SyntheticSpec::uniform(2_000, 5, 8, 1.2, 17).generate();
         for &action in &[FaultAction::Panic, FaultAction::Cancel] {
             for after in [3u64, 11, 29] {
-                faults::set_plan(Some(FaultPlan {
+                let scope = FaultScope::arm(FaultPlan {
                     site: "engine.task.start",
                     action,
                     after,
-                }));
+                });
+                let _armed = scope.install();
                 let mut session = CubeSession::new(table.clone()).unwrap();
                 let result = session
                     .query()
                     .engine(EngineConfig::with_threads(4).always_sharded())
                     .stats();
-                let fired = faults::fired();
-                faults::set_plan(None);
+                let fired = scope.fired();
                 if fired {
                     let err = result.expect_err("fired fault must error");
                     assert!(
@@ -489,14 +478,13 @@ mod chaos {
             eprintln!("chaos test skipped: set CCUBE_CHAOS=1 to run");
             return;
         }
-        let _serial = CHAOS_LOCK.lock().unwrap();
-        let _disarm = Disarm;
         let table = SyntheticSpec::uniform(5_000, 5, 8, 1.2, 23).generate();
-        faults::set_plan(Some(FaultPlan {
+        let scope = FaultScope::arm(FaultPlan {
             site: "stream.recv",
             action: FaultAction::Panic,
             after: 1,
-        }));
+        });
+        let _armed = scope.install();
         let mut session = CubeSession::new(table).unwrap();
         let mut stream = session.query().threads(2).stream().unwrap();
         let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
@@ -504,8 +492,7 @@ mod chaos {
             // the producer is still running.
             while stream.next().is_some() {}
         }));
-        let fired = faults::fired();
-        faults::set_plan(None);
+        let fired = scope.fired();
         assert!(fired, "stream.recv fault never fired");
         assert!(unwound.is_err(), "injected consumer panic must unwind");
         // Reaching this line at all proves the unwind's Drop joined the
