@@ -1595,18 +1595,29 @@ fn lifecycle_experiment(opt: &ExpOptions) -> Figure {
 }
 
 /// Serving-layer load test: an in-process `ccube-serve` TCP server over a
-/// synthetic table, hammered at 1, 8 and 64 concurrent clients with a mix
-/// of query shapes (full cubes, projections, dices; sequential and
-/// engine-parallel). Per level it reports query latency p50/p99, sustained
-/// queries/second, and how many arrivals admission control shed.
+/// synthetic table, hammered at 1, 8 and 64 concurrent [`ResilientClient`]s
+/// with a mix of query shapes (full cubes, projections, dices; sequential
+/// and engine-parallel). Per level it reports client-observed latency
+/// p50/p99 (retries and shed-backoff included), sustained queries/second,
+/// and the resilience counters: retried attempts, resumed streams, and
+/// shed (`Overloaded`) responses absorbed by the retry policy.
 ///
 /// Writes `BENCH_serve.json`. With `CCUBE_ASSERT_SERVE=1` in the
-/// environment the experiment fails hard when any query ends in something
-/// other than `Done`/`Overloaded` (every failure must be typed; shedding
-/// is the only legal degradation on a healthy server) or when shutdown
-/// does not drain cleanly.
+/// environment the experiment fails hard when any query fails outright
+/// (the resilient client absorbs shedding, so on a healthy server *every*
+/// query must complete) or when shutdown does not drain cleanly. With
+/// `CCUBE_ASSERT_RESILIENCE=1` it additionally re-runs the 64-client
+/// fleet against three injected fault scenarios — a mid-stream write
+/// kill, a worker panic, a wedged worker — demanding zero unrecovered
+/// failures in each; in a `--cfg ccube_chaos` build the faults actually
+/// fire (and the gate insists they did), in a normal build the scenarios
+/// degrade to a plain fleet re-run.
 fn serve_experiment(opt: &ExpOptions) -> Figure {
-    use ccube_serve::{AdmissionConfig, Client, QueryOutcome, QueryRequest, Server, ServerConfig};
+    use ccube_core::faults::{FaultAction, FaultPlan, FaultScope};
+    use ccube_serve::{
+        AdmissionConfig, ClientConfig, QueryRequest, ResilientClient, RetryPolicy, Server,
+        ServerConfig,
+    };
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Mutex;
     use std::time::{Duration, Instant};
@@ -1638,70 +1649,97 @@ fn serve_experiment(opt: &ExpOptions) -> Figure {
         req
     }
 
-    const QUERIES_PER_CLIENT: usize = 8;
-    let mut levels = Vec::new();
-    let mut violations: Vec<String> = Vec::new();
-    for &clients in &[1usize, 8, 64] {
+    fn percentile(samples: &mut [f64], p: f64) -> f64 {
+        if samples.is_empty() {
+            return f64::NAN;
+        }
+        samples.sort_by(f64::total_cmp);
+        samples[((samples.len() as f64 - 1.0) * p).round() as usize]
+    }
+
+    /// Per-level load summary (shared by the sweep and the chaos gate).
+    struct LevelStats {
+        wall: f64,
+        latencies: Vec<f64>,
+        done: u64,
+        failed: u64,
+        retried: u64,
+        resumed: u64,
+        overloaded: u64,
+    }
+
+    /// Hammer `addr` with `clients` resilient clients × `rounds` queries.
+    fn hammer(
+        addr: std::net::SocketAddr,
+        clients: usize,
+        rounds: usize,
+        policy: RetryPolicy,
+    ) -> LevelStats {
         let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
-        let shed = AtomicU64::new(0);
+        let done = AtomicU64::new(0);
         let failed = AtomicU64::new(0);
+        let retried = AtomicU64::new(0);
+        let resumed = AtomicU64::new(0);
+        let overloaded = AtomicU64::new(0);
         let wall = Instant::now();
         std::thread::scope(|scope| {
             for c in 0..clients {
-                let latencies = &latencies;
-                let shed = &shed;
-                let failed = &failed;
+                let (latencies, done, failed) = (&latencies, &done, &failed);
+                let (retried, resumed, overloaded) = (&retried, &resumed, &overloaded);
                 scope.spawn(move || {
-                    let Ok(mut client) = Client::connect_with(addr, Duration::from_secs(30)) else {
-                        failed.fetch_add(QUERIES_PER_CLIENT as u64, Ordering::Relaxed);
-                        return;
-                    };
-                    for round in 0..QUERIES_PER_CLIENT {
+                    let mut client = ResilientClient::with(addr, ClientConfig::default(), policy);
+                    for round in 0..rounds {
                         let req = request_for(c, round);
                         let start = Instant::now();
                         match client.query(&req) {
-                            Ok(QueryOutcome::Done(_)) => {
+                            Ok(_) => {
+                                done.fetch_add(1, Ordering::Relaxed);
                                 latencies
                                     .lock()
                                     .unwrap()
                                     .push(start.elapsed().as_secs_f64());
                             }
-                            Ok(QueryOutcome::Overloaded { .. }) => {
-                                shed.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Ok(QueryOutcome::ServerError { .. }) | Err(_) => {
+                            Err(_) => {
                                 failed.fetch_add(1, Ordering::Relaxed);
-                                return;
                             }
                         }
                     }
+                    let stats = client.stats();
+                    retried.fetch_add(stats.retried, Ordering::Relaxed);
+                    resumed.fetch_add(stats.resumed, Ordering::Relaxed);
+                    overloaded.fetch_add(stats.overloaded, Ordering::Relaxed);
                 });
             }
         });
-        let wall = wall.elapsed().as_secs_f64();
-        let mut lat = latencies.into_inner().unwrap();
-        let done = lat.len() as u64;
-        let shed = shed.load(Ordering::Relaxed);
-        let failed = failed.load(Ordering::Relaxed);
-        fn percentile(samples: &mut [f64], p: f64) -> f64 {
-            if samples.is_empty() {
-                return f64::NAN;
-            }
-            samples.sort_by(f64::total_cmp);
-            samples[((samples.len() as f64 - 1.0) * p).round() as usize]
+        LevelStats {
+            wall: wall.elapsed().as_secs_f64(),
+            latencies: latencies.into_inner().unwrap(),
+            done: done.load(Ordering::Relaxed),
+            failed: failed.load(Ordering::Relaxed),
+            retried: retried.load(Ordering::Relaxed),
+            resumed: resumed.load(Ordering::Relaxed),
+            overloaded: overloaded.load(Ordering::Relaxed),
         }
-        let p50 = percentile(&mut lat, 0.50);
-        let p99 = percentile(&mut lat, 0.99);
-        let qps = done as f64 / wall;
-        if failed > 0 {
+    }
+
+    const QUERIES_PER_CLIENT: usize = 8;
+    let mut levels = Vec::new();
+    let mut violations: Vec<String> = Vec::new();
+    for &clients in &[1usize, 8, 64] {
+        let mut level = hammer(addr, clients, QUERIES_PER_CLIENT, RetryPolicy::default());
+        if level.failed > 0 {
             violations.push(format!(
-                "{clients} clients: {failed} untyped/failed queries"
+                "{clients} clients: {} unrecovered query failures",
+                level.failed
             ));
         }
-        if done == 0 {
+        if level.done == 0 {
             violations.push(format!("{clients} clients: no query completed"));
         }
-        levels.push((clients, p50, p99, qps, done, shed, failed));
+        let p50 = percentile(&mut level.latencies, 0.50);
+        let p99 = percentile(&mut level.latencies, 0.99);
+        let qps = level.done as f64 / level.wall;
+        levels.push((clients, p50, p99, qps, level));
     }
 
     let metrics = server.metrics();
@@ -1713,13 +1751,82 @@ fn serve_experiment(opt: &ExpOptions) -> Figure {
         ));
     }
 
+    // ---- Nightly resilience gate: the 64-client fleet re-run against a
+    // fresh, tightly-supervised server per injected fault scenario. The
+    // scope must be armed before `Server::start` (server threads inherit
+    // it at spawn), and each scope fires its plan exactly once.
+    let assert_resilience = std::env::var_os("CCUBE_ASSERT_RESILIENCE").is_some();
+    let mut gate_json = String::from("null");
+    if assert_resilience {
+        let scenarios: [(&str, &'static str, FaultAction, u64); 3] = [
+            ("write-kill", "serve.frame.write", FaultAction::IoError, 10),
+            ("worker-panic", "sink.channel.send", FaultAction::Panic, 2),
+            ("worker-wedge", "sink.channel.send", FaultAction::Wedge, 1),
+        ];
+        let mut entries = Vec::new();
+        for (name, site, action, after) in scenarios {
+            let scope = FaultScope::arm(FaultPlan {
+                site,
+                action,
+                after,
+            });
+            let _armed = scope.install();
+            let gate_table =
+                SyntheticSpec::uniform(tuples.clamp(1_000, 20_000), 5, 12, 1.0, opt.seed ^ 0xC0DE)
+                    .generate();
+            let gate_config = ServerConfig {
+                admission: AdmissionConfig {
+                    max_concurrent: 8,
+                    max_queued: 128,
+                    max_queue_wait: Duration::from_secs(10),
+                    ..AdmissionConfig::default()
+                },
+                watchdog_interval: Duration::from_millis(25),
+                wedge_timeout: Duration::from_millis(300),
+                drain_deadline: Duration::from_secs(10),
+                ..ServerConfig::default()
+            };
+            let gate_server = Server::start(vec![("synth".to_string(), gate_table)], gate_config)
+                .expect("gate server starts");
+            let policy = RetryPolicy {
+                max_attempts: 20,
+                base_backoff: Duration::from_millis(10),
+                ..RetryPolicy::default()
+            };
+            let level = hammer(gate_server.addr(), 64, 2, policy);
+            let gate_metrics = gate_server.metrics();
+            gate_server.shutdown();
+            if level.failed > 0 {
+                violations.push(format!(
+                    "resilience gate [{name}]: {} unrecovered failures",
+                    level.failed
+                ));
+            }
+            if cfg!(ccube_chaos) && !scope.fired() {
+                violations.push(format!("resilience gate [{name}]: armed fault never fired"));
+            }
+            entries.push(format!(
+                "    {{\"scenario\": \"{name}\", \"done\": {}, \"failed\": {}, \
+                 \"retried\": {}, \"resumed\": {}, \"reaped\": {}, \"fired\": {}}}",
+                level.done,
+                level.failed,
+                level.retried,
+                level.resumed,
+                gate_metrics.reaped,
+                scope.fired(),
+            ));
+        }
+        gate_json = format!("[\n{}\n  ]", entries.join(",\n"));
+    }
+
     let level_json: Vec<String> = levels
         .iter()
-        .map(|(clients, p50, p99, qps, done, shed, failed)| {
+        .map(|(clients, p50, p99, qps, level)| {
             format!(
                 "    {{\"clients\": {clients}, \"p50_seconds\": {p50:.6}, \
-                 \"p99_seconds\": {p99:.6}, \"qps\": {qps:.1}, \"done\": {done}, \
-                 \"shed\": {shed}, \"failed\": {failed}}}"
+                 \"p99_seconds\": {p99:.6}, \"qps\": {qps:.1}, \"done\": {}, \
+                 \"failed\": {}, \"retried\": {}, \"resumed\": {}, \"overloaded\": {}}}",
+                level.done, level.failed, level.retried, level.resumed, level.overloaded
             )
         })
         .collect();
@@ -1729,39 +1836,49 @@ fn serve_experiment(opt: &ExpOptions) -> Figure {
          \"admission\": {{\"max_concurrent\": 8, \"max_queued\": 64}},\n  \
          \"levels\": [\n{}\n  ],\n  \
          \"gate\": {{\"admitted\": {}, \"shed_queue_full\": {}, \"shed_timeout\": {}, \
-         \"peak_reserved_bytes\": {}}},\n  \"drained\": {}\n}}\n",
+         \"peak_reserved_bytes\": {}}},\n  \
+         \"server\": {{\"resumed\": {}, \"reaped\": {}, \"heartbeats\": {}}},\n  \
+         \"drained\": {},\n  \"chaos_compiled\": {},\n  \"resilience_gate\": {}\n}}\n",
         opt.seed,
         level_json.join(",\n"),
         metrics.gate.admitted,
         metrics.gate.shed_queue_full,
         metrics.gate.shed_timeout,
         metrics.gate.peak_reserved,
+        metrics.resumed,
+        metrics.reaped,
+        metrics.heartbeats,
         report.drained,
+        cfg!(ccube_chaos),
+        gate_json,
     );
     let json_note = match std::fs::write("BENCH_serve.json", &json) {
         Ok(()) => "Numbers written to BENCH_serve.json.".to_string(),
         Err(e) => format!("(could not write BENCH_serve.json: {e})"),
     };
 
-    if std::env::var_os("CCUBE_ASSERT_SERVE").is_some() && !violations.is_empty() {
+    if (std::env::var_os("CCUBE_ASSERT_SERVE").is_some() || assert_resilience)
+        && !violations.is_empty()
+    {
         panic!("serve acceptance violated: {}", violations.join("; "));
     }
     let gate_note = if violations.is_empty() {
-        "Within acceptance (every outcome typed, clean drain).".to_string()
+        "Within acceptance (zero unrecovered failures, clean drain).".to_string()
     } else {
         format!("ACCEPTANCE VIOLATIONS: {}.", violations.join("; "))
     };
 
     let rows = levels
         .iter()
-        .map(|(clients, p50, p99, qps, done, shed, _)| {
+        .map(|(clients, p50, p99, qps, level)| {
             (
                 format!("{clients} clients"),
                 vec![
                     secs(*p50),
                     secs(*p99),
                     format!("{qps:.1}"),
-                    format!("{done} / {shed}"),
+                    format!("{} / {}", level.done, level.overloaded),
+                    format!("{} / {}", level.retried, level.resumed),
                 ],
             )
         })
@@ -1770,7 +1887,7 @@ fn serve_experiment(opt: &ExpOptions) -> Figure {
     Figure {
         id: "serve",
         title: format!(
-            "ccube-serve under load: latency and shedding at 1/8/64 clients \
+            "ccube-serve under load: resilient clients at 1/8/64 concurrency \
              (T={tuples}, D=6, C=40, scale {})",
             opt.scale
         ),
@@ -1780,15 +1897,20 @@ fn serve_experiment(opt: &ExpOptions) -> Figure {
             "p99".into(),
             "qps".into(),
             "done / shed".into(),
+            "retried / resumed".into(),
         ],
         rows,
         notes: format!(
             "Thread-per-connection TCP server, admission gate at 8 concurrent \
-             queries with a 64-deep wait queue; every client cycles full-cube, \
-             projected, diced and engine-parallel shapes. Shedding (typed \
-             Overloaded frames with retry hints) is the expected degradation \
-             at 64 clients; anything untyped is an acceptance violation. \
-             {gate_note} {json_note}"
+             queries with a 64-deep wait queue; every resilient client cycles \
+             full-cube, projected, diced and engine-parallel shapes. Shedding \
+             (typed Overloaded frames with retry hints) is absorbed by the \
+             clients' jittered-backoff retry policy, so latency is the \
+             client-observed figure with retries included and the only legal \
+             terminal failure is none at all. CCUBE_ASSERT_RESILIENCE=1 \
+             additionally gates the 64-client fleet on three injected fault \
+             scenarios (write kill, worker panic, wedged worker). {gate_note} \
+             {json_note}"
         ),
     }
 }

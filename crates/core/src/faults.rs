@@ -54,6 +54,11 @@ pub const IO_SITES: &[&str] = &["serve.accept", "serve.frame.write", "serve.fram
 /// a chaos test, short enough to keep the suite fast.
 pub const STALL: Duration = Duration::from_millis(100);
 
+/// Backstop for [`FaultAction::Wedge`]: a wedged site unblocks after this
+/// long even if no supervisor ever trips the token, so chaos tests that
+/// forget a watchdog still join.
+pub const WEDGE_CAP: Duration = Duration::from_secs(10);
+
 /// What an armed fault does when its site fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultAction {
@@ -73,6 +78,13 @@ pub enum FaultAction {
     /// slow reader on the other end of the socket. Ignored by plain
     /// [`inject`] sites.
     Stall,
+    /// Wedge the worker: block at the site *without* reaching any further
+    /// lifecycle checkpoints, so the query's progress epoch stops
+    /// advancing. Unlike [`FaultAction::Stall`] this is open-ended — the
+    /// site only unblocks once the ambient token trips (the watchdog
+    /// reaping it, a client cancel) or after [`WEDGE_CAP`] as a backstop
+    /// so joins stay bounded even without a supervisor.
+    Wedge,
 }
 
 impl FaultAction {
@@ -292,6 +304,25 @@ mod chaos {
                 ));
             }
             Some(FaultAction::Stall) => std::thread::sleep(super::STALL),
+            Some(FaultAction::Wedge) => {
+                // Spin in coarse sleeps until the ambient token trips or the
+                // cap expires. Deliberately avoids `lifecycle::should_stop`:
+                // that poll bumps the progress epoch, and the whole point of
+                // a wedge is that progress stops. `is_tripped` does not.
+                let token = lifecycle::current();
+                let start = std::time::Instant::now();
+                loop {
+                    if let Some(t) = &token {
+                        if t.is_tripped() {
+                            break;
+                        }
+                    }
+                    if start.elapsed() >= super::WEDGE_CAP {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            }
         }
         Ok(())
     }

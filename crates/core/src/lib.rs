@@ -134,6 +134,9 @@ pub enum CubeError {
     EmptyProjection,
     /// `min_sup` must be at least 1 (iceberg thresholds count tuples).
     ZeroMinSup,
+    /// The server watchdog observed no worker progress for longer than the
+    /// wedge timeout and reaped the query.
+    Wedged,
 }
 
 impl std::fmt::Display for CubeError {
@@ -185,6 +188,9 @@ impl std::fmt::Display for CubeError {
                 write!(f, "query projects away every dimension")
             }
             CubeError::ZeroMinSup => write!(f, "min_sup must be at least 1"),
+            CubeError::Wedged => {
+                write!(f, "query made no progress and was reaped by the watchdog")
+            }
         }
     }
 }

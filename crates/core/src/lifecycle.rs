@@ -56,6 +56,11 @@ struct Inner {
     deadline_nanos: AtomicU64,
     /// Memory budget in bytes; 0 = unlimited.
     budget: AtomicU64,
+    /// Progress epoch: bumped by the workers at every real checkpoint poll.
+    /// A liveness supervisor compares epochs across scans — an unchanged
+    /// epoch means the run stopped reaching its poll sites entirely (wedged),
+    /// which is a stronger signal than "slow".
+    progress: AtomicU64,
     generation: u64,
 }
 
@@ -82,6 +87,7 @@ impl CancelToken {
                 cause: Mutex::new(None),
                 deadline_nanos: AtomicU64::new(0),
                 budget: AtomicU64::new(0),
+                progress: AtomicU64::new(0),
                 generation: next_generation(),
             }),
         }
@@ -148,6 +154,20 @@ impl CancelToken {
         false
     }
 
+    /// Bump the progress epoch. Called from the checkpoint polls; cheap
+    /// (one relaxed `fetch_add`) and safe to call from any thread.
+    #[inline]
+    pub fn note_progress(&self) {
+        self.inner.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current progress epoch. Monotone while workers keep reaching
+    /// their poll sites; a watchdog that sees the same value across scans
+    /// spanning its wedge timeout may conclude the run is stuck.
+    pub fn progress(&self) -> u64 {
+        self.inner.progress.load(Ordering::Relaxed)
+    }
+
     /// The error that tripped the token, if any.
     pub fn cause(&self) -> Option<CubeError> {
         self.inner.cause.lock().unwrap().clone()
@@ -202,7 +222,14 @@ pub fn current() -> Option<CancelToken> {
 pub fn should_stop() -> bool {
     AMBIENT.with(|slot| match slot.borrow().as_ref() {
         None => false,
-        Some(token) => token.is_tripped(),
+        Some(token) => {
+            // Every real poll doubles as a liveness heartbeat: the watchdog
+            // reaps queries whose epoch stops advancing. `is_tripped` itself
+            // must NOT bump progress — supervisors call it while deciding
+            // whether to reap.
+            token.note_progress();
+            token.is_tripped()
+        }
     })
 }
 
@@ -295,6 +322,23 @@ mod tests {
         let a = CancelToken::new();
         let b = CancelToken::new();
         assert_ne!(a.generation(), b.generation());
+    }
+
+    #[test]
+    fn polls_advance_the_progress_epoch() {
+        let t = CancelToken::new();
+        assert_eq!(t.progress(), 0);
+        let guard = install(&t);
+        assert!(!should_stop());
+        assert!(!should_stop());
+        assert_eq!(t.progress(), 2);
+        // Supervisor-side reads must not count as progress.
+        assert!(!t.is_tripped());
+        assert_eq!(t.progress(), 2);
+        drop(guard);
+        // No ambient token: polls are free and bump nothing.
+        assert!(!should_stop());
+        assert_eq!(t.progress(), 2);
     }
 
     #[test]

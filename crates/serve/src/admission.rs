@@ -252,12 +252,14 @@ impl Gate {
 
     /// Suggested client back-off, scaled by how deep the queue is relative
     /// to the concurrency the gate can drain: roughly "one average service
-    /// time per queue layer ahead of you", clamped to a sane band.
+    /// time per queue layer ahead of you", clamped to the band the wire
+    /// protocol promises ([`RETRY_AFTER_MIN`](crate::proto::RETRY_AFTER_MIN)
+    /// ..[`RETRY_AFTER_MAX`](crate::proto::RETRY_AFTER_MAX)).
     pub fn retry_after(&self) -> Duration {
         let s = self.lock();
         let avg = Duration::from_micros(s.avg_service_micros.max(1_000));
         let layers = (s.queued / self.inner.config.max_concurrent).max(1) as u32;
-        (avg * layers).clamp(Duration::from_millis(25), Duration::from_secs(5))
+        (avg * layers).clamp(crate::proto::RETRY_AFTER_MIN, crate::proto::RETRY_AFTER_MAX)
     }
 
     /// Flip into drain mode: every queued waiter (and every later arrival)
@@ -444,8 +446,8 @@ mod tests {
     #[test]
     fn retry_after_stays_in_band() {
         let gate = Gate::new(config(2, 8));
-        assert!(gate.retry_after() >= Duration::from_millis(25));
+        assert!(gate.retry_after() >= crate::proto::RETRY_AFTER_MIN);
         gate.record_service(Duration::from_secs(60));
-        assert!(gate.retry_after() <= Duration::from_secs(5));
+        assert!(gate.retry_after() <= crate::proto::RETRY_AFTER_MAX);
     }
 }

@@ -10,12 +10,20 @@
 //!   [`peak_buffered_bytes`](ccube_engine::EngineStats::peak_buffered_bytes)
 //!   history, and typed shed decisions;
 //! * [`server`] / [`client`] — the thread-per-connection TCP server
-//!   (overload shedding, per-connection fault isolation, graceful drain)
-//!   and a small blocking client used by tests and the bench load
-//!   generator.
+//!   (overload shedding, per-connection fault isolation, liveness
+//!   supervision, graceful drain), a small blocking [`Client`], and the
+//!   self-healing [`ResilientClient`] (jittered-backoff retries, automatic
+//!   reconnect + resume of interrupted result streams, overall per-query
+//!   deadline).
+//!
+//! Result streams are resumable by construction: the engine's output is
+//! deterministic for a given request, every `Batch` frame carries a query
+//! id and sequence number, and a reconnecting client re-issues the request
+//! with [`Request::Resume`] to skip what it already has.
 //!
 //! See the "Serving layer" section of `docs/ARCHITECTURE.md` for the
-//! admission → queue → shed decision tree and the frame format.
+//! admission → queue → shed decision tree, the frame format, and the
+//! retry/resume/watchdog state machines.
 
 pub mod admission;
 pub mod client;
@@ -23,9 +31,11 @@ pub mod proto;
 pub mod server;
 
 pub use admission::{AdmissionConfig, Gate, GateMetrics, Permit, ShapeHistory, Shed};
-pub use client::{Client, ClientError, QueryOutcome};
+pub use client::{
+    Client, ClientConfig, ClientError, QueryOutcome, ResilienceStats, ResilientClient, RetryPolicy,
+};
 pub use proto::{
     wire_status, CellBlock, DoneStats, ProtoError, QueryRequest, Request, Response, TableInfo,
-    WireStatus, MAX_PAYLOAD,
+    WireStatus, MAX_PAYLOAD, RETRY_AFTER_MAX, RETRY_AFTER_MIN,
 };
 pub use server::{ServeError, Server, ServerConfig, ServerMetrics, ShutdownReport};

@@ -9,26 +9,52 @@
 //! ## Frames
 //!
 //! Client → server: [`Request::Query`] (opcode `0x01`), [`Request::Ping`]
-//! (`0x02`), [`Request::Tables`] (`0x03`).
+//! (`0x02`), [`Request::Tables`] (`0x03`), [`Request::Resume`] (`0x04`).
 //!
-//! Server → client: [`Response::Batch`] (`0x81`, a block of result cells),
+//! Server → client: [`Response::Batch`] (`0x81`, a block of result cells
+//! tagged with the server-assigned query id and a sequence number),
 //! [`Response::Done`] (`0x82`, end-of-stream with run counters),
 //! [`Response::Error`] (`0x83`, a typed [`WireStatus`] + detail),
 //! [`Response::Overloaded`] (`0x84`, shed with a retry hint),
-//! [`Response::Pong`] (`0x85`), [`Response::TableList`] (`0x86`).
+//! [`Response::Pong`] (`0x85`), [`Response::TableList`] (`0x86`),
+//! [`Response::Heartbeat`] (`0x87`, liveness keepalive on idle streams).
 //!
-//! A query's reply is zero or more `Batch` frames terminated by exactly one
-//! of `Done` / `Error` / `Overloaded`. Cells use [`STAR`] (`u32::MAX`) for
-//! `*` exactly as the in-process API does.
+//! A query's reply is zero or more `Batch` frames (seq `0, 1, 2, …`,
+//! interleaved with any number of `Heartbeat` frames) terminated by exactly
+//! one of `Done` / `Error` / `Overloaded`. Cells use [`STAR`] (`u32::MAX`)
+//! for `*` exactly as the in-process API does.
+//!
+//! ## Resumability
+//!
+//! The engine's output is deterministic and byte-identical for a given
+//! request (the Lemma-3 / path-ordered-merge invariant), and the server
+//! batches cells at a fixed size — so batch boundaries are deterministic
+//! too, and a reply stream is resumable *by re-execution*: a client that
+//! lost its connection after consuming batches `0..k` reconnects and sends
+//! [`Request::Resume`] with `next_seq = k`; the server re-runs the same
+//! request and skips the first `k` batches on the way out. No server-side
+//! state survives the disconnect — the id in a `Resume` is echoed back so
+//! the client can correlate, nothing more.
 
 use c_cubing::Algorithm;
 use ccube_core::STAR;
 use std::io::{Read, Write};
+use std::time::Duration;
 
 /// Hard cap on a frame's payload size (header excluded). Large results are
 /// streamed as many `Batch` frames, so nothing legitimate comes close; a
 /// length field above this is a protocol error, not an allocation request.
 pub const MAX_PAYLOAD: usize = 8 * 1024 * 1024;
+
+/// Floor for `Overloaded.retry_after_ms`: hints below this are pointless
+/// (the queue cannot drain measurably faster) and invite retry storms.
+/// Shared by the server's admission gate, the client's backoff, and tests.
+pub const RETRY_AFTER_MIN: Duration = Duration::from_millis(25);
+
+/// Ceiling for `Overloaded.retry_after_ms`: even a deeply backed-up server
+/// should not push clients into multi-second blind waits — better to retry
+/// and be re-shed with a fresh estimate.
+pub const RETRY_AFTER_MAX: Duration = Duration::from_secs(5);
 
 /// Typed decode/framing errors. Every way a malformed byte sequence can
 /// fail lands on one of these variants.
@@ -97,6 +123,9 @@ pub enum WireStatus {
     Protocol = 8,
     /// Unexpected server-side failure (catch-all containment).
     Internal = 9,
+    /// The server watchdog reaped the query after its workers stopped
+    /// making progress.
+    Wedged = 10,
 }
 
 impl WireStatus {
@@ -110,8 +139,25 @@ impl WireStatus {
             6 => WireStatus::UnknownTable,
             7 => WireStatus::ShuttingDown,
             8 => WireStatus::Protocol,
+            10 => WireStatus::Wedged,
             _ => WireStatus::Internal,
         }
+    }
+
+    /// Whether a retry of the same request can plausibly succeed. Transient
+    /// server-side conditions (a contained panic, a reaped wedge, a drain,
+    /// a cancel) are retryable; verdicts about the request itself (bad
+    /// request, unknown table, deadline, budget) are not — retrying would
+    /// deterministically fail again.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            WireStatus::Cancelled
+                | WireStatus::WorkerPanicked
+                | WireStatus::ShuttingDown
+                | WireStatus::Internal
+                | WireStatus::Wedged
+        )
     }
 }
 
@@ -124,6 +170,7 @@ pub fn wire_status(err: &ccube_core::CubeError) -> WireStatus {
         E::DeadlineExceeded => WireStatus::DeadlineExceeded,
         E::BudgetExceeded { .. } => WireStatus::BudgetExceeded,
         E::WorkerPanicked { .. } => WireStatus::WorkerPanicked,
+        E::Wedged => WireStatus::Wedged,
         E::BadDimensionCount(_)
         | E::BadRowWidth { .. }
         | E::ValueOutOfRange { .. }
@@ -216,6 +263,8 @@ impl CellBlock {
 /// End-of-stream counters carried by a `Done` frame.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DoneStats {
+    /// Server-assigned query id of the reply stream this terminates.
+    pub query_id: u64,
     /// Result cells streamed (across all `Batch` frames).
     pub cells: u64,
     /// Wall-clock service time in microseconds (admission to `Done`).
@@ -248,13 +297,37 @@ pub enum Request {
     Ping,
     /// List served tables; answered by `TableList`.
     Tables,
+    /// Re-issue `query` after a lost connection, skipping the `next_seq`
+    /// batches already delivered. `query` must be byte-identical to the
+    /// original request — the server re-executes it deterministically and
+    /// the skip is only sound if the replayed stream is the same stream.
+    /// `query_id` is the id the original reply carried; the server echoes
+    /// it in the resumed reply frames so the client can correlate, but
+    /// keeps no state keyed by it.
+    Resume {
+        /// The server-assigned id from the interrupted reply stream.
+        query_id: u64,
+        /// Number of leading batches the client already has (first batch
+        /// wanted is seq `next_seq`).
+        next_seq: u64,
+        /// The original request, verbatim.
+        query: QueryRequest,
+    },
 }
 
 /// Server → client messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
-    /// A block of result cells.
-    Batch(CellBlock),
+    /// A block of result cells, tagged for resumability.
+    Batch {
+        /// Server-assigned query id (echoed from a `Resume`).
+        query_id: u64,
+        /// Batch sequence number within the reply stream, starting at 0.
+        /// Deterministic across re-executions of the same request.
+        seq: u64,
+        /// The cells.
+        block: CellBlock,
+    },
     /// Successful end of a query's result stream.
     Done(DoneStats),
     /// The query (or the connection's last frame) failed; typed status.
@@ -273,6 +346,14 @@ pub enum Response {
     Pong,
     /// The served tables.
     TableList(Vec<TableInfo>),
+    /// Keepalive on an idle reply stream: the query is alive but produced
+    /// no batch within the heartbeat interval (slow query, back-pressure,
+    /// or a resume still skipping already-delivered batches). Carries no
+    /// data; clients use it to reset their dead-peer clock.
+    Heartbeat {
+        /// Server-assigned query id of the stream being kept alive.
+        query_id: u64,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -282,12 +363,14 @@ pub enum Response {
 const OP_QUERY: u8 = 0x01;
 const OP_PING: u8 = 0x02;
 const OP_TABLES: u8 = 0x03;
+const OP_RESUME: u8 = 0x04;
 const OP_BATCH: u8 = 0x81;
 const OP_DONE: u8 = 0x82;
 const OP_ERROR: u8 = 0x83;
 const OP_OVERLOADED: u8 = 0x84;
 const OP_PONG: u8 = 0x85;
 const OP_TABLE_LIST: u8 = 0x86;
+const OP_HEARTBEAT: u8 = 0x87;
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -308,6 +391,39 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&bytes[..len]);
 }
 
+/// Encode a [`QueryRequest`] body (shared by `Query` and `Resume`, which
+/// must serialize the request identically for the resume skip to be sound).
+fn put_query_body(out: &mut Vec<u8>, q: &QueryRequest) {
+    put_str(out, &q.table);
+    put_u64(out, q.min_sup);
+    out.push(match q.algorithm {
+        None => 0xFF,
+        Some(a) => Algorithm::ALL.iter().position(|&x| x == a).unwrap_or(0) as u8,
+    });
+    out.push(match q.closed {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    });
+    match q.dims {
+        None => out.push(0),
+        Some(mask) => {
+            out.push(1);
+            put_u64(out, mask);
+        }
+    }
+    put_u32(out, q.threads);
+    put_u64(out, q.deadline_ms);
+    put_u16(out, q.selections.len().min(u16::MAX as usize) as u16);
+    for (dim, values) in q.selections.iter().take(u16::MAX as usize) {
+        put_u32(out, *dim);
+        put_u32(out, values.len().min(u32::MAX as usize) as u32);
+        for v in values {
+            put_u32(out, *v);
+        }
+    }
+}
+
 /// Encode a request into a frame payload (opcode + body).
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = Vec::new();
@@ -316,34 +432,17 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Tables => out.push(OP_TABLES),
         Request::Query(q) => {
             out.push(OP_QUERY);
-            put_str(&mut out, &q.table);
-            put_u64(&mut out, q.min_sup);
-            out.push(match q.algorithm {
-                None => 0xFF,
-                Some(a) => Algorithm::ALL.iter().position(|&x| x == a).unwrap_or(0) as u8,
-            });
-            out.push(match q.closed {
-                None => 0,
-                Some(false) => 1,
-                Some(true) => 2,
-            });
-            match q.dims {
-                None => out.push(0),
-                Some(mask) => {
-                    out.push(1);
-                    put_u64(&mut out, mask);
-                }
-            }
-            put_u32(&mut out, q.threads);
-            put_u64(&mut out, q.deadline_ms);
-            put_u16(&mut out, q.selections.len().min(u16::MAX as usize) as u16);
-            for (dim, values) in q.selections.iter().take(u16::MAX as usize) {
-                put_u32(&mut out, *dim);
-                put_u32(&mut out, values.len().min(u32::MAX as usize) as u32);
-                for v in values {
-                    put_u32(&mut out, *v);
-                }
-            }
+            put_query_body(&mut out, q);
+        }
+        Request::Resume {
+            query_id,
+            next_seq,
+            query,
+        } => {
+            out.push(OP_RESUME);
+            put_u64(&mut out, *query_id);
+            put_u64(&mut out, *next_seq);
+            put_query_body(&mut out, query);
         }
     }
     out
@@ -354,8 +453,14 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut out = Vec::new();
     match resp {
         Response::Pong => out.push(OP_PONG),
-        Response::Batch(block) => {
+        Response::Batch {
+            query_id,
+            seq,
+            block,
+        } => {
             out.push(OP_BATCH);
+            put_u64(&mut out, *query_id);
+            put_u64(&mut out, *seq);
             put_u16(&mut out, block.dims);
             put_u32(&mut out, block.counts.len() as u32);
             for v in &block.values {
@@ -367,6 +472,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Response::Done(d) => {
             out.push(OP_DONE);
+            put_u64(&mut out, d.query_id);
             put_u64(&mut out, d.cells);
             put_u64(&mut out, d.elapsed_micros);
             put_u64(&mut out, d.peak_buffered_bytes);
@@ -390,6 +496,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 put_u64(&mut out, t.rows);
                 put_u32(&mut out, t.dims);
             }
+        }
+        Response::Heartbeat { query_id } => {
+            out.push(OP_HEARTBEAT);
+            put_u64(&mut out, *query_id);
         }
     }
     out
@@ -464,56 +574,69 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// Decode a [`QueryRequest`] body (shared by `Query` and `Resume`).
+fn read_query_body(c: &mut Cursor<'_>) -> Result<QueryRequest, ProtoError> {
+    let table = c.str()?;
+    let min_sup = c.u64()?;
+    let algorithm = match c.u8()? {
+        0xFF => None,
+        i if (i as usize) < Algorithm::ALL.len() => Some(Algorithm::ALL[i as usize]),
+        _ => return Err(ProtoError::BadValue("algorithm")),
+    };
+    let closed = match c.u8()? {
+        0 => None,
+        1 => Some(false),
+        2 => Some(true),
+        _ => return Err(ProtoError::BadValue("closed flag")),
+    };
+    let dims = match c.u8()? {
+        0 => None,
+        1 => Some(c.u64()?),
+        _ => return Err(ProtoError::BadValue("dims tag")),
+    };
+    let threads = c.u32()?;
+    let deadline_ms = c.u64()?;
+    let n_sel = c.u16()? as usize;
+    c.check_count(n_sel, 8)?;
+    let mut selections = Vec::with_capacity(n_sel);
+    for _ in 0..n_sel {
+        let dim = c.u32()?;
+        let n_val = c.u32()? as usize;
+        c.check_count(n_val, 4)?;
+        let mut values = Vec::with_capacity(n_val);
+        for _ in 0..n_val {
+            values.push(c.u32()?);
+        }
+        selections.push((dim, values));
+    }
+    Ok(QueryRequest {
+        table,
+        min_sup,
+        algorithm,
+        closed,
+        dims,
+        selections,
+        threads,
+        deadline_ms,
+    })
+}
+
 /// Decode a request frame payload.
 pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
     let mut c = Cursor::new(payload);
     let req = match c.u8().map_err(|_| ProtoError::EmptyFrame)? {
         OP_PING => Request::Ping,
         OP_TABLES => Request::Tables,
-        OP_QUERY => {
-            let table = c.str()?;
-            let min_sup = c.u64()?;
-            let algorithm = match c.u8()? {
-                0xFF => None,
-                i if (i as usize) < Algorithm::ALL.len() => Some(Algorithm::ALL[i as usize]),
-                _ => return Err(ProtoError::BadValue("algorithm")),
-            };
-            let closed = match c.u8()? {
-                0 => None,
-                1 => Some(false),
-                2 => Some(true),
-                _ => return Err(ProtoError::BadValue("closed flag")),
-            };
-            let dims = match c.u8()? {
-                0 => None,
-                1 => Some(c.u64()?),
-                _ => return Err(ProtoError::BadValue("dims tag")),
-            };
-            let threads = c.u32()?;
-            let deadline_ms = c.u64()?;
-            let n_sel = c.u16()? as usize;
-            c.check_count(n_sel, 8)?;
-            let mut selections = Vec::with_capacity(n_sel);
-            for _ in 0..n_sel {
-                let dim = c.u32()?;
-                let n_val = c.u32()? as usize;
-                c.check_count(n_val, 4)?;
-                let mut values = Vec::with_capacity(n_val);
-                for _ in 0..n_val {
-                    values.push(c.u32()?);
-                }
-                selections.push((dim, values));
+        OP_QUERY => Request::Query(read_query_body(&mut c)?),
+        OP_RESUME => {
+            let query_id = c.u64()?;
+            let next_seq = c.u64()?;
+            let query = read_query_body(&mut c)?;
+            Request::Resume {
+                query_id,
+                next_seq,
+                query,
             }
-            Request::Query(QueryRequest {
-                table,
-                min_sup,
-                algorithm,
-                closed,
-                dims,
-                selections,
-                threads,
-                deadline_ms,
-            })
         }
         op => return Err(ProtoError::UnknownOpcode(op)),
     };
@@ -527,6 +650,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
     let resp = match c.u8().map_err(|_| ProtoError::EmptyFrame)? {
         OP_PONG => Response::Pong,
         OP_BATCH => {
+            let query_id = c.u64()?;
+            let seq = c.u64()?;
             let dims = c.u16()?;
             let cells = c.u32()? as usize;
             c.check_count(cells, (dims as usize) * 4 + 8)?;
@@ -538,13 +663,18 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             for _ in 0..cells {
                 counts.push(c.u64()?);
             }
-            Response::Batch(CellBlock {
-                dims,
-                values,
-                counts,
-            })
+            Response::Batch {
+                query_id,
+                seq,
+                block: CellBlock {
+                    dims,
+                    values,
+                    counts,
+                },
+            }
         }
         OP_DONE => Response::Done(DoneStats {
+            query_id: c.u64()?,
             cells: c.u64()?,
             elapsed_micros: c.u64()?,
             peak_buffered_bytes: c.u64()?,
@@ -571,6 +701,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             }
             Response::TableList(tables)
         }
+        OP_HEARTBEAT => Response::Heartbeat { query_id: c.u64()? },
         op => return Err(ProtoError::UnknownOpcode(op)),
     };
     c.finish()?;

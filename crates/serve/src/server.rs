@@ -22,7 +22,7 @@ use crate::proto::{
     self, wire_status, CellBlock, DoneStats, ProtoError, QueryRequest, Request, Response,
     TableInfo, WireStatus,
 };
-use c_cubing::{CubeSession, QueryHandle};
+use c_cubing::{CubeSession, QueryHandle, StreamPoll};
 use ccube_core::faults;
 use ccube_core::fxhash::{FxHashMap, FxHasher};
 use ccube_core::mask::DimMask;
@@ -86,6 +86,18 @@ pub struct ServerConfig {
     /// How long [`Server::shutdown`] waits for in-flight queries before
     /// cancelling them.
     pub drain_deadline: Duration,
+    /// Keepalive cadence on an idle reply stream: a query that produces no
+    /// batch for this long gets a `Heartbeat` frame so the client can tell
+    /// slow-query from dead-peer.
+    pub heartbeat_interval: Duration,
+    /// How often the watchdog scans active queries for stalled progress.
+    pub watchdog_interval: Duration,
+    /// How long a query's progress epoch may stay frozen before the
+    /// watchdog reaps it with [`CubeError::Wedged`]. Effectively clamped up
+    /// to `write_timeout + 2 × watchdog_interval` so a pump legitimately
+    /// blocked on a slow-but-live client socket cannot be mistaken for a
+    /// wedge.
+    pub wedge_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +110,9 @@ impl Default for ServerConfig {
             frame_read_timeout: Duration::from_secs(2),
             write_timeout: Duration::from_secs(2),
             drain_deadline: Duration::from_secs(5),
+            heartbeat_interval: Duration::from_secs(1),
+            watchdog_interval: Duration::from_millis(250),
+            wedge_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -116,6 +131,12 @@ pub struct ServerMetrics {
     pub connections: u64,
     /// Queries currently admitted and running.
     pub active_queries: usize,
+    /// Queries re-executed for a `Resume` request.
+    pub resumed: u64,
+    /// Queries reaped by the watchdog for frozen progress.
+    pub reaped: u64,
+    /// Heartbeat frames sent on idle reply streams.
+    pub heartbeats: u64,
 }
 
 /// What [`Server::shutdown`] observed while draining.
@@ -148,6 +169,9 @@ struct Shared {
     accept_errors: AtomicU64,
     panics_contained: AtomicU64,
     connections: AtomicU64,
+    resumed: AtomicU64,
+    reaped: AtomicU64,
+    heartbeats: AtomicU64,
 }
 
 impl Shared {
@@ -191,6 +215,7 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -220,10 +245,14 @@ impl Server {
             history: ShapeHistory::new(),
             stop: AtomicBool::new(false),
             active: Mutex::new(FxHashMap::default()),
-            query_seq: AtomicU64::new(0),
+            // Wire query ids start at 1 so 0 never names a live stream.
+            query_seq: AtomicU64::new(1),
             accept_errors: AtomicU64::new(0),
             panics_contained: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            resumed: AtomicU64::new(0),
+            reaped: AtomicU64::new(0),
+            heartbeats: AtomicU64::new(0),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         // Chaos fault scopes are thread-local; carry the starter's scope
@@ -240,10 +269,18 @@ impl Server {
                 })
                 .map_err(ServeError::Io)?
         };
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ccube-serve-watchdog".into())
+                .spawn(move || watchdog_loop(&shared))
+                .map_err(ServeError::Io)?
+        };
         Ok(Server {
             shared,
             addr,
             accept: Some(accept),
+            watchdog: Some(watchdog),
             conns,
         })
     }
@@ -266,6 +303,9 @@ impl Server {
                 .lock()
                 .unwrap_or_else(|p| p.into_inner())
                 .len(),
+            resumed: self.shared.resumed.load(Ordering::Relaxed),
+            reaped: self.shared.reaped.load(Ordering::Relaxed),
+            heartbeats: self.shared.heartbeats.load(Ordering::Relaxed),
         }
     }
 
@@ -315,6 +355,9 @@ impl Server {
         }
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+        }
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
         }
         let conns = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|p| p.into_inner()));
         for c in conns {
@@ -381,6 +424,60 @@ fn accept_loop(
             Err(_) => {
                 shared.accept_errors.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+/// Reap queries whose workers stopped making progress. Each scan compares
+/// every active query's progress epoch to the last scan; an epoch frozen
+/// for longer than the (clamped) wedge timeout gets its token tripped with
+/// [`CubeError::Wedged`] — the query unwinds at the wire as a typed,
+/// retryable error frame instead of hanging its connection forever.
+///
+/// False-reap guards: a healthy-but-back-pressured pump bumps the epoch on
+/// every successful batch write, and the effective timeout is at least
+/// `write_timeout + 2 × watchdog_interval`, so a pump parked in one slow
+/// socket write cannot freeze the epoch long enough to be reaped.
+fn watchdog_loop(shared: &Shared) {
+    let interval = shared.config.watchdog_interval;
+    let timeout = shared
+        .config
+        .wedge_timeout
+        .max(shared.config.write_timeout + 2 * interval);
+    let mut seen: FxHashMap<u64, (u64, Instant)> = FxHashMap::default();
+    while !shared.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        let active: Vec<(u64, QueryHandle)> = shared
+            .active
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(id, h)| (*id, h.clone()))
+            .collect();
+        let now = Instant::now();
+        seen.retain(|id, _| active.iter().any(|(a, _)| a == id));
+        for (id, handle) in active {
+            let epoch = handle.progress();
+            match seen.get_mut(&id) {
+                None => {
+                    seen.insert(id, (epoch, now));
+                }
+                Some((last, since)) => {
+                    if *last != epoch {
+                        *last = epoch;
+                        *since = now;
+                    } else if now.duration_since(*since) >= timeout
+                        && !handle.is_tripped()
+                        && handle.trip(CubeError::Wedged)
+                    {
+                        shared.reaped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
         }
     }
@@ -470,7 +567,15 @@ fn serve_connection(stream: &mut TcpStream, shared: &Shared) {
                     Err(_) => Flow::Close,
                 }
             }
-            Ok(Request::Query(q)) => serve_query(stream, shared, &q),
+            Ok(Request::Query(q)) => serve_query(stream, shared, &q, None),
+            Ok(Request::Resume {
+                query_id,
+                next_seq,
+                query,
+            }) => {
+                shared.resumed.fetch_add(1, Ordering::Relaxed);
+                serve_query(stream, shared, &query, Some((query_id, next_seq)))
+            }
         };
         if matches!(flow, Flow::Close) {
             return;
@@ -577,7 +682,16 @@ fn shape_hash(q: &QueryRequest) -> u64 {
     h.finish()
 }
 
-fn serve_query(stream: &mut TcpStream, shared: &Shared, q: &QueryRequest) -> Flow {
+/// Serve one query (or resume one). `resume` carries the wire id to echo
+/// and the number of leading batches the client already holds; the run is
+/// re-executed in full — determinism makes the replayed stream identical —
+/// and the first `next_seq` batches are simply not written to the socket.
+fn serve_query(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    q: &QueryRequest,
+    resume: Option<(u64, u64)>,
+) -> Flow {
     let started = Instant::now();
     let Some(table) = shared.find_table(&q.table) else {
         return answer(
@@ -677,32 +791,89 @@ fn serve_query(stream: &mut TcpStream, shared: &Shared, q: &QueryRequest) -> Flo
         }
     };
 
-    let _active = ActiveQuery::register(shared, cells.handle());
+    let active = ActiveQuery::register(shared, cells.handle());
+    // A resumed stream echoes the id the client correlates by; a fresh one
+    // is named by its registry id (ids start at 1, so 0 never occurs).
+    let query_id = resume.map_or(active.id, |(id, _)| id);
+    let skip = resume.map_or(0, |(_, next_seq)| next_seq);
+    let handle = cells.handle();
     let mut block = CellBlock::default();
-    let mut sent_cells = 0u64;
-    for (cell, count, ()) in &mut cells {
-        if block.is_empty() {
-            // Projected queries emit cells over the kept dimensions only,
-            // so the width comes from the cells, not the table.
-            block.dims = cell.values().len() as u16;
-        }
-        block.push(cell.values(), count);
-        if block.len() >= BATCH_CELLS {
-            sent_cells += block.len() as u64;
-            if send(stream, &Response::Batch(std::mem::take(&mut block))).is_err() {
-                // Dead or stalled reader: dropping `cells` cancels the
-                // producing run and joins its thread before we return.
+    let mut seq = 0u64;
+    let mut total_cells = 0u64;
+    let mut last_send = Instant::now();
+    loop {
+        // Keepalive covers both idle streams (slow query, back-pressure)
+        // and the busy-but-silent skip phase of a resume.
+        if last_send.elapsed() >= shared.config.heartbeat_interval {
+            if send(stream, &Response::Heartbeat { query_id }).is_err() {
                 drop(cells);
                 return Flow::Close;
             }
+            shared.heartbeats.fetch_add(1, Ordering::Relaxed);
+            last_send = Instant::now();
+        }
+        match cells.poll_next(shared.config.idle_tick) {
+            StreamPoll::Item((cell, count, ())) => {
+                if block.is_empty() {
+                    // Projected queries emit cells over the kept dimensions
+                    // only, so the width comes from the cells, not the table.
+                    block.dims = cell.values().len() as u16;
+                }
+                block.push(cell.values(), count);
+                if block.len() >= BATCH_CELLS {
+                    total_cells += block.len() as u64;
+                    let this_seq = seq;
+                    seq += 1;
+                    let full = std::mem::take(&mut block);
+                    if this_seq < skip {
+                        // Already delivered before the disconnect: recompute,
+                        // don't resend. Determinism makes the boundaries line
+                        // up with the interrupted stream's.
+                        continue;
+                    }
+                    if send(
+                        stream,
+                        &Response::Batch {
+                            query_id,
+                            seq: this_seq,
+                            block: full,
+                        },
+                    )
+                    .is_err()
+                    {
+                        // Dead or stalled reader: dropping `cells` cancels
+                        // the producing run and joins its thread before we
+                        // return.
+                        drop(cells);
+                        return Flow::Close;
+                    }
+                    // A successful write is progress even while the engine
+                    // is back-pressured by this very socket.
+                    handle.note_progress();
+                    last_send = Instant::now();
+                }
+            }
+            StreamPoll::Idle => {}
+            StreamPoll::End => break,
         }
     }
     let outcome = cells.finish();
     match outcome {
         Ok(stats) => {
             if !block.is_empty() {
-                sent_cells += block.len() as u64;
-                if send(stream, &Response::Batch(block)).is_err() {
+                total_cells += block.len() as u64;
+                let this_seq = seq;
+                if this_seq >= skip
+                    && send(
+                        stream,
+                        &Response::Batch {
+                            query_id,
+                            seq: this_seq,
+                            block,
+                        },
+                    )
+                    .is_err()
+                {
                     return Flow::Close;
                 }
             }
@@ -712,7 +883,10 @@ fn serve_query(stream: &mut TcpStream, shared: &Shared, q: &QueryRequest) -> Flo
             answer(
                 stream,
                 &Response::Done(DoneStats {
-                    cells: sent_cells,
+                    query_id,
+                    // Whole-stream total (skipped batches included), so a
+                    // resumed run's Done matches the uninterrupted run's.
+                    cells: total_cells,
                     elapsed_micros: elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
                     peak_buffered_bytes: stats.peak_buffered_bytes,
                     tasks: stats.tasks,

@@ -18,10 +18,9 @@
 use c_cubing::prelude::*;
 use ccube_core::faults::{FaultAction, FaultPlan, FaultScope};
 use ccube_serve::{
-    AdmissionConfig, Client, ClientError, QueryOutcome, QueryRequest, Server, ServerConfig,
-    WireStatus,
+    AdmissionConfig, Client, ClientConfig, ClientError, QueryOutcome, QueryRequest,
+    ResilientClient, RetryPolicy, Server, ServerConfig, WireStatus,
 };
-use std::io::ErrorKind;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -131,15 +130,14 @@ fn hammer(server: &Server, tally: &Tally) {
                                         | WireStatus::WorkerPanicked
                                         | WireStatus::ShuttingDown
                                         | WireStatus::Internal
+                                        | WireStatus::Wedged
                                 ),
                                 "untyped failure {status:?}: {detail}"
                             );
                             tally.typed_errors.fetch_add(1, Ordering::Relaxed);
                         }
-                        Err(ClientError::Io(e))
-                            if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock) =>
-                        {
-                            panic!("client {c} query {q} wedged: {e}");
+                        Err(ClientError::Timeout(phase)) => {
+                            panic!("client {c} query {q} wedged: {phase} timed out");
                         }
                         Err(_) => {
                             // Connection-layer fault killed this connection;
@@ -318,4 +316,212 @@ fn stalled_slow_reader_is_cut_off_and_query_cancelled() {
         server.shutdown();
     }
     assert_no_leaked_threads(baseline, "stalled reader");
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: resume, watchdog, and the recovering fleet
+// ---------------------------------------------------------------------------
+
+/// A connection killed mid-stream (injected write error on the 9th server
+/// frame) must be invisible to a [`ResilientClient`] caller: the client
+/// reconnects, resumes from its cursor, and the stitched stream is
+/// cell-for-cell the full result — each cell delivered exactly once.
+#[test]
+fn mid_stream_connection_kill_is_recovered_by_resume() {
+    if !armed() {
+        eprintln!("serve chaos suite skipped: set CCUBE_CHAOS=1 to run");
+        return;
+    }
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let baseline = thread_count();
+
+    // Ground truth from an in-process run of the same query.
+    let mut expected = Vec::new();
+    {
+        let mut session = CubeSession::new(chaos_table()).unwrap();
+        let mut sink = FnSink(|cell: &[u32], count: u64, _acc: &()| {
+            expected.push((cell.to_vec(), count));
+        });
+        session
+            .query()
+            .min_sup(1)
+            .threads(2)
+            .run(&mut sink)
+            .unwrap();
+    }
+    expected.sort();
+
+    let scope = FaultScope::arm(FaultPlan {
+        site: "serve.frame.write",
+        action: FaultAction::IoError,
+        after: 8,
+    });
+    {
+        let _armed = scope.install();
+        let server = chaos_server();
+        let mut client = ResilientClient::new(server.addr());
+        let mut req = QueryRequest::new("synth", 1);
+        req.threads = 2;
+        let mut got = Vec::new();
+        let stats = client
+            .query_with(&req, |block| {
+                for (cell, count) in block.iter() {
+                    got.push((cell.to_vec(), count));
+                }
+            })
+            .expect("query completes across the kill");
+        assert_eq!(stats.cells as usize, got.len());
+        let cstats = client.stats();
+        assert!(
+            cstats.retried >= 1 && cstats.resumed >= 1,
+            "the kill never forced a resume: {cstats:?}"
+        );
+        assert!(server.metrics().resumed >= 1, "server saw no Resume");
+        got.sort();
+        assert_eq!(got, expected, "stitched stream is not the full result");
+        server.shutdown();
+    }
+    assert!(scope.fired(), "fault never fired");
+    assert_no_leaked_threads(baseline, "mid-stream kill");
+}
+
+/// A worker wedged inside the engine (blocked, no progress-epoch advance)
+/// must be reaped by the watchdog as a typed, retryable `Wedged` frame —
+/// with heartbeats keeping the stream visibly alive while it is stuck —
+/// and the resilient client completes the query on its retry.
+#[test]
+fn wedged_worker_is_reaped_and_the_query_completes_via_retry() {
+    if !armed() {
+        eprintln!("serve chaos suite skipped: set CCUBE_CHAOS=1 to run");
+        return;
+    }
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let baseline = thread_count();
+    // `sink.channel.send` sits on every streamed run's output path (fast
+    // path included) and flushes every 1024 cells; the table below yields
+    // ~3.3k cells, so the second visit lands mid-run with over a thousand
+    // cells — and their lifecycle checkpoints — still ahead. The blocked
+    // producer stops reaching those checkpoints and its progress epoch
+    // freezes — exactly what the watchdog looks for; the reap's trip then
+    // both unblocks the wedge and aborts the run at the next checkpoint,
+    // surfacing as a retryable `Wedged` error frame.
+    let scope = FaultScope::arm(FaultPlan {
+        site: "sink.channel.send",
+        action: FaultAction::Wedge,
+        after: 1,
+    });
+    {
+        let _armed = scope.install();
+        let config = ServerConfig {
+            heartbeat_interval: Duration::from_millis(50),
+            watchdog_interval: Duration::from_millis(25),
+            wedge_timeout: Duration::from_millis(300),
+            write_timeout: Duration::from_millis(250),
+            drain_deadline: Duration::from_secs(3),
+            ..ServerConfig::default()
+        };
+        let table = SyntheticSpec::uniform(4000, 4, 8, 1.0, 11).generate();
+        let server =
+            Server::start(vec![("synth".to_string(), table)], config).expect("server starts");
+        let mut client = ResilientClient::new(server.addr());
+        let mut req = QueryRequest::new("synth", 1);
+        req.threads = 2;
+        let stats = client
+            .query(&req)
+            .expect("query completes once the wedge is reaped");
+        assert!(stats.cells > 0);
+        assert!(
+            client.stats().retried >= 1,
+            "the reap must have cost an attempt: {:?}",
+            client.stats()
+        );
+        let metrics = server.metrics();
+        assert!(metrics.reaped >= 1, "watchdog never reaped the wedge");
+        assert!(
+            metrics.heartbeats >= 1,
+            "no heartbeat while the stream was wedged"
+        );
+        server.shutdown();
+    }
+    assert!(scope.fired(), "fault never fired");
+    assert_no_leaked_threads(baseline, "wedged worker");
+}
+
+/// The resilience gate: 64 resilient clients under injected chaos — a
+/// mid-stream write kill, a worker panic, a wedged worker — and every
+/// single query must complete, with zero unrecovered failures and zero
+/// leaked threads. This is the scenario `exp -- serve` re-runs nightly
+/// under `CCUBE_ASSERT_RESILIENCE=1`.
+#[test]
+fn resilient_fleet_recovers_every_query_under_chaos() {
+    if !armed() {
+        eprintln!("serve chaos suite skipped: set CCUBE_CHAOS=1 to run");
+        return;
+    }
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let scenarios: &[(&str, FaultAction, u64)] = &[
+        ("serve.frame.write", FaultAction::IoError, 10),
+        ("sink.channel.send", FaultAction::Panic, 6),
+        ("sink.channel.send", FaultAction::Wedge, 4),
+    ];
+    let baseline = thread_count();
+    for &(site, action, after) in scenarios {
+        let context = format!("{site}/{action:?}");
+        let scope = FaultScope::arm(FaultPlan {
+            site,
+            action,
+            after,
+        });
+        {
+            let _armed = scope.install();
+            let config = ServerConfig {
+                admission: AdmissionConfig {
+                    max_concurrent: 4,
+                    max_queued: 8,
+                    max_queue_wait: Duration::from_millis(250),
+                    ..AdmissionConfig::default()
+                },
+                watchdog_interval: Duration::from_millis(25),
+                wedge_timeout: Duration::from_millis(300),
+                write_timeout: Duration::from_millis(500),
+                drain_deadline: Duration::from_secs(3),
+                ..ServerConfig::default()
+            };
+            let server = Server::start(vec![("synth".to_string(), chaos_table())], config)
+                .expect("server starts");
+            let addr = server.addr();
+            let failures = AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for c in 0..CLIENTS {
+                    let failures = &failures;
+                    s.spawn(move || {
+                        let policy = RetryPolicy {
+                            max_attempts: 20,
+                            base_backoff: Duration::from_millis(10),
+                            ..RetryPolicy::default()
+                        };
+                        let mut client =
+                            ResilientClient::with(addr, ClientConfig::default(), policy);
+                        for q in 0..QUERIES_PER_CLIENT {
+                            let mut req = QueryRequest::new("synth", 1 + ((c + q) % 3) as u64);
+                            if c % 2 == 0 {
+                                req.threads = 2;
+                            }
+                            if let Err(e) = client.query(&req) {
+                                eprintln!("client {c} query {q} unrecovered: {e}");
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            });
+            assert_eq!(
+                failures.load(Ordering::Relaxed),
+                0,
+                "{context}: unrecovered failures in the resilient fleet"
+            );
+            server.shutdown();
+        }
+        assert_no_leaked_threads(baseline, &context);
+    }
 }

@@ -52,6 +52,8 @@ proptest! {
 
     #[test]
     fn batches_roundtrip(
+        query_id in any::<u64>(),
+        seq in any::<u64>(),
         dims in 1u16..8,
         counts in proptest::collection::vec(1u64..1_000, 0..50),
         seed in any::<u32>(),
@@ -59,12 +61,17 @@ proptest! {
         let values: Vec<u32> = (0..counts.len() * dims as usize)
             .map(|i| (seed.wrapping_add(i as u32)) % 50)
             .collect();
-        let resp = Response::Batch(CellBlock { dims, values, counts });
+        let resp = Response::Batch {
+            query_id,
+            seq,
+            block: CellBlock { dims, values, counts },
+        };
         prop_assert_eq!(roundtrip_response(&resp), resp);
     }
 
     #[test]
     fn done_and_overloaded_roundtrip(
+        query_id in any::<u64>(),
         cells in any::<u64>(),
         micros in any::<u64>(),
         peak in any::<u64>(),
@@ -73,6 +80,7 @@ proptest! {
         retry in any::<u64>(),
     ) {
         let done = Response::Done(DoneStats {
+            query_id,
             cells,
             elapsed_micros: micros,
             peak_buffered_bytes: peak,
@@ -82,6 +90,69 @@ proptest! {
         prop_assert_eq!(roundtrip_response(&done), done);
         let over = Response::Overloaded { retry_after_ms: retry };
         prop_assert_eq!(roundtrip_response(&over), over);
+    }
+
+    // Resume wraps the same query body as Query plus a 16-byte cursor; it
+    // must round-trip for every cursor and every request shape.
+    #[test]
+    fn resume_requests_roundtrip(
+        query_id in any::<u64>(),
+        next_seq in any::<u64>(),
+        min_sup in 1u64..1_000_000,
+        algo_idx in 0usize..=Algorithm::ALL.len(),
+        threads in 0u32..64,
+        deadline_ms in 0u64..100_000,
+        selections in proptest::collection::vec(
+            (0u32..8, proptest::collection::vec(0u32..100, 0..5)),
+            0..4,
+        ),
+    ) {
+        let mut query = QueryRequest::new("weather", min_sup);
+        query.algorithm = Algorithm::ALL.get(algo_idx).copied();
+        query.threads = threads;
+        query.deadline_ms = deadline_ms;
+        query.selections = selections;
+        let req = Request::Resume { query_id, next_seq, query };
+        prop_assert_eq!(roundtrip_request(&req), req);
+    }
+
+    #[test]
+    fn heartbeats_roundtrip(query_id in any::<u64>()) {
+        let hb = Response::Heartbeat { query_id };
+        prop_assert_eq!(roundtrip_response(&hb), hb);
+    }
+
+    // Chopping a Resume frame anywhere must yield a typed error, exactly
+    // like the Query family.
+    #[test]
+    fn truncated_resume_frames_are_typed_errors(cut in 0usize..80) {
+        let mut query = QueryRequest::new("a_table_name", 7);
+        query.selections = vec![(0, vec![1, 2, 3]), (2, vec![4])];
+        query.dims = Some(0b1011);
+        let full = proto::encode_request(&Request::Resume {
+            query_id: 0xDEAD_BEEF,
+            next_seq: 42,
+            query,
+        });
+        let cut = cut.min(full.len().saturating_sub(1));
+        prop_assert!(proto::decode_request(&full[..cut]).is_err());
+    }
+
+    // Chopping a seq-numbered Batch frame anywhere is typed too.
+    #[test]
+    fn truncated_batch_frames_are_typed_errors(cut in 0usize..100) {
+        let block = CellBlock {
+            dims: 3,
+            values: (0..30).collect(),
+            counts: (1..=10).collect(),
+        };
+        let full = proto::encode_response(&Response::Batch {
+            query_id: 7,
+            seq: 3,
+            block,
+        });
+        let cut = cut.min(full.len().saturating_sub(1));
+        prop_assert!(proto::decode_response(&full[..cut]).is_err());
     }
 
     // The decoders must be total: arbitrary bytes either decode or return a
@@ -124,6 +195,7 @@ fn every_status_code_roundtrips() {
         WireStatus::ShuttingDown,
         WireStatus::Protocol,
         WireStatus::Internal,
+        WireStatus::Wedged,
     ] {
         let resp = Response::Error {
             status,
@@ -131,6 +203,45 @@ fn every_status_code_roundtrips() {
         };
         assert_eq!(roundtrip_response(&resp), resp);
     }
+}
+
+#[test]
+fn retryable_statuses_split_transient_from_terminal() {
+    for status in [
+        WireStatus::Cancelled,
+        WireStatus::WorkerPanicked,
+        WireStatus::ShuttingDown,
+        WireStatus::Internal,
+        WireStatus::Wedged,
+    ] {
+        assert!(status.retryable(), "{status:?} should be retryable");
+    }
+    for status in [
+        WireStatus::DeadlineExceeded,
+        WireStatus::BudgetExceeded,
+        WireStatus::BadRequest,
+        WireStatus::UnknownTable,
+        WireStatus::Protocol,
+    ] {
+        assert!(!status.retryable(), "{status:?} should be terminal");
+    }
+}
+
+#[test]
+fn resume_serializes_the_query_body_verbatim() {
+    // The resume skip is only sound if the embedded request re-executes
+    // identically — its wire body must be byte-for-byte the Query body.
+    let mut query = QueryRequest::new("weather", 3);
+    query.dims = Some(0b101);
+    query.selections = vec![(1, vec![2, 3])];
+    let plain = proto::encode_request(&Request::Query(query.clone()));
+    let resume = proto::encode_request(&Request::Resume {
+        query_id: 9,
+        next_seq: 4,
+        query,
+    });
+    // Resume layout: opcode, u64 query_id, u64 next_seq, then the body.
+    assert_eq!(&resume[17..], &plain[1..]);
 }
 
 #[test]
@@ -203,6 +314,8 @@ fn allocation_bomb_counts_are_rejected_before_allocating() {
     // declared count must be validated against the remaining bytes, not
     // trusted as a Vec capacity.
     let mut payload = vec![0x81];
+    payload.extend_from_slice(&1u64.to_le_bytes()); // query_id
+    payload.extend_from_slice(&0u64.to_le_bytes()); // seq
     payload.extend_from_slice(&4u16.to_le_bytes()); // dims
     payload.extend_from_slice(&u32::MAX.to_le_bytes()); // cells
     payload.extend_from_slice(&[0u8; 10]);

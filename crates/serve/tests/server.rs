@@ -7,8 +7,8 @@
 
 use c_cubing::prelude::*;
 use ccube_serve::{
-    AdmissionConfig, Client, ClientError, QueryOutcome, QueryRequest, Server, ServerConfig,
-    WireStatus,
+    proto, AdmissionConfig, Client, ClientConfig, ClientError, QueryOutcome, QueryRequest, Request,
+    ResilientClient, Response, RetryPolicy, Server, ServerConfig, WireStatus, RETRY_AFTER_MIN,
 };
 use std::io::Write;
 use std::time::Duration;
@@ -234,12 +234,332 @@ fn saturating_the_gate_sheds_with_retry_hints() {
 
     let retry_after_ms = shed.expect("saturated gate never shed");
     assert!(
-        retry_after_ms >= 25,
-        "hint {retry_after_ms} below the floor"
+        retry_after_ms >= RETRY_AFTER_MIN.as_millis() as u64,
+        "hint {retry_after_ms} below the protocol floor"
     );
     let metrics = server.metrics();
     assert!(metrics.gate.shed_queue_full + metrics.gate.shed_timeout >= 1);
     server.shutdown();
+}
+
+// ----------------------------------------------------------- resumption
+
+/// Read and decode one response frame straight off the socket.
+fn read_response(stream: &mut std::net::TcpStream) -> Response {
+    match proto::read_frame(stream).expect("read frame") {
+        proto::FrameRead::Frame(payload) => {
+            proto::decode_response(&payload).expect("well-formed response")
+        }
+        proto::FrameRead::Eof => panic!("server closed the stream mid-exchange"),
+        proto::FrameRead::Malformed(e) => panic!("malformed frame: {e}"),
+    }
+}
+
+/// A `(cell values, count)` pair as collected off the wire.
+type Cell = (Vec<u32>, u64);
+
+/// One uninterrupted run of `req`: the batches (cells in arrival order,
+/// one `Vec` per `Batch` frame) and the terminal stats.
+fn run_uninterrupted(
+    server: &Server,
+    req: &QueryRequest,
+) -> (Vec<Vec<Cell>>, ccube_serve::DoneStats) {
+    let mut client = connect(server);
+    let mut batches = Vec::new();
+    let outcome = client
+        .query_with(req, |block| {
+            batches.push(
+                block
+                    .iter()
+                    .map(|(cell, count)| (cell.to_vec(), count))
+                    .collect(),
+            );
+        })
+        .expect("uninterrupted run");
+    match outcome {
+        QueryOutcome::Done(stats) => (batches, stats),
+        other => panic!("wanted Done, got {other:?}"),
+    }
+}
+
+/// Simulate a client crash after `k` delivered batches, then resume on a
+/// fresh connection. Returns the stitched cells (first `k` batches from the
+/// killed stream + everything the resume delivered), the resumed run's
+/// terminal stats, and the seqs the resumed stream carried.
+fn kill_after_k_then_resume(
+    server: &Server,
+    req: &QueryRequest,
+    k: u64,
+) -> (Vec<Cell>, ccube_serve::DoneStats, Vec<u64>) {
+    let mut victim = connect(server);
+    victim
+        .send_raw(&proto::encode_request(&Request::Query(req.clone())))
+        .unwrap();
+    let mut cells = Vec::new();
+    let mut query_id = 0u64;
+    let mut next = 0u64;
+    while next < k {
+        match read_response(victim.stream_mut()) {
+            Response::Heartbeat { .. } => {}
+            Response::Batch {
+                query_id: id,
+                seq,
+                block,
+            } => {
+                assert_eq!(seq, next, "fresh stream seqs ascend from 0");
+                query_id = id;
+                for (cell, count) in block.iter() {
+                    cells.push((cell.to_vec(), count));
+                }
+                next += 1;
+            }
+            other => panic!("wanted Batch, got {other:?}"),
+        }
+    }
+    // Vanish mid-stream with the rest undelivered.
+    drop(victim);
+    assert_ne!(query_id, 0, "fresh streams carry a non-zero wire id");
+
+    let mut client = connect(server);
+    client
+        .send_raw(&proto::encode_request(&Request::Resume {
+            query_id,
+            next_seq: k,
+            query: req.clone(),
+        }))
+        .unwrap();
+    let mut seqs = Vec::new();
+    loop {
+        match read_response(client.stream_mut()) {
+            Response::Heartbeat { .. } => {}
+            Response::Batch {
+                query_id: id,
+                seq,
+                block,
+            } => {
+                assert_eq!(id, query_id, "resumed stream echoes the client's id");
+                seqs.push(seq);
+                for (cell, count) in block.iter() {
+                    cells.push((cell.to_vec(), count));
+                }
+            }
+            Response::Done(stats) => {
+                assert_eq!(stats.query_id, query_id, "Done echoes the wire id");
+                return (cells, stats, seqs);
+            }
+            other => panic!("wanted Batch or Done, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn resumed_streams_match_uninterrupted_runs_for_every_algorithm() {
+    let server = start_default();
+    for (i, alg) in Algorithm::ALL.iter().enumerate() {
+        let mut req = QueryRequest::new("synth", 1);
+        req.algorithm = Some(*alg);
+        if i % 2 == 1 {
+            req.threads = 2;
+        }
+        let (batches, done) = run_uninterrupted(&server, &req);
+        assert!(
+            batches.len() >= 2,
+            "{alg:?}: need ≥ 2 batches to interrupt, got {}",
+            batches.len()
+        );
+        let flat: Vec<(Vec<u32>, u64)> = batches.iter().flatten().cloned().collect();
+        // Kill right after the first batch and again just before the end.
+        for k in [1u64, batches.len() as u64 - 1] {
+            let (cells, stats, seqs) = kill_after_k_then_resume(&server, &req, k);
+            assert_eq!(cells, flat, "{alg:?} k={k}: stitched stream differs");
+            assert_eq!(
+                stats.cells, done.cells,
+                "{alg:?} k={k}: resumed Done total differs from uninterrupted"
+            );
+            // The resumed stream continues exactly at k, contiguously.
+            for (j, seq) in seqs.iter().enumerate() {
+                assert_eq!(*seq, k + j as u64, "{alg:?} k={k}: seq gap");
+            }
+        }
+    }
+    assert!(server.metrics().resumed >= 16, "resume counter undercounts");
+    server.shutdown();
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+    /// Resume equivalence at an arbitrary kill point: kill after batch k,
+    /// resume, and the concatenation is cell-for-cell the uninterrupted
+    /// stream (including k = batch count, i.e. everything was already
+    /// delivered and the resume yields only the Done frame).
+    #[test]
+    fn resume_is_equivalent_at_any_kill_point(
+        alg_idx in 0usize..8,
+        kill in 0u64..10_000,
+        threads in 0u32..3,
+    ) {
+        let server = start_default();
+        let mut req = QueryRequest::new("synth", 1);
+        req.algorithm = Some(Algorithm::ALL[alg_idx]);
+        req.threads = threads;
+        let (batches, done) = run_uninterrupted(&server, &req);
+        let flat: Vec<(Vec<u32>, u64)> = batches.iter().flatten().cloned().collect();
+        let k = 1 + kill % batches.len() as u64;
+        let (cells, stats, seqs) = kill_after_k_then_resume(&server, &req, k);
+        proptest::prop_assert_eq!(cells, flat);
+        proptest::prop_assert_eq!(stats.cells, done.cells);
+        proptest::prop_assert_eq!(seqs.len() as u64, batches.len() as u64 - k);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn heartbeats_are_counted_and_invisible_to_callers() {
+    // A zero interval makes the pump interleave a heartbeat before every
+    // frame — maximal keepalive noise; the result must be unaffected.
+    let config = ServerConfig {
+        heartbeat_interval: Duration::ZERO,
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::start(vec![("synth".to_string(), small_table())], config).expect("server starts");
+    let mut client = connect(&server);
+    let (cells, outcome) = client
+        .query_collect(&QueryRequest::new("synth", 3))
+        .expect("query runs through the heartbeat noise");
+    let QueryOutcome::Done(stats) = outcome else {
+        panic!("wanted Done, got {outcome:?}");
+    };
+    assert_eq!(stats.cells as usize, cells.len());
+    let mut session = CubeSession::new(small_table()).unwrap();
+    assert_eq!(
+        stats.cells,
+        session.query().min_sup(3).stats().unwrap().cells
+    );
+    assert!(server.metrics().heartbeats >= 1, "no heartbeat ever sent");
+    server.shutdown();
+}
+
+// ------------------------------------------------------------ supervision
+
+#[test]
+fn watchdog_leaves_healthy_queries_alone() {
+    // Aggressive supervision: a zero wedge timeout clamps up to
+    // write_timeout + 2 ticks, so this is the tightest legal watchdog.
+    // Healthy queries — including parallel ones — must never be reaped.
+    let config = ServerConfig {
+        watchdog_interval: Duration::from_millis(5),
+        wedge_timeout: Duration::ZERO,
+        write_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::start(vec![("synth".to_string(), small_table())], config).expect("server starts");
+    let mut client = connect(&server);
+    for (min_sup, threads) in [(1, 0), (1, 2), (2, 4)] {
+        let mut req = QueryRequest::new("synth", min_sup);
+        req.threads = threads;
+        let outcome = client.query(&req).unwrap();
+        assert!(matches!(outcome, QueryOutcome::Done(_)), "got {outcome:?}");
+    }
+    assert_eq!(
+        server.metrics().reaped,
+        0,
+        "watchdog reaped a healthy query"
+    );
+    server.shutdown();
+}
+
+// ------------------------------------------------------- resilient client
+
+#[test]
+fn resilient_client_serves_queries_end_to_end() {
+    let server = start_default();
+    let mut client = ResilientClient::new(server.addr());
+    let (cells, stats) = client
+        .query_collect(&QueryRequest::new("synth", 3))
+        .expect("query completes");
+    assert_eq!(stats.cells as usize, cells.len());
+    let mut session = CubeSession::new(small_table()).unwrap();
+    assert_eq!(
+        stats.cells,
+        session.query().min_sup(3).stats().unwrap().cells
+    );
+    // A healthy server needs no resilience machinery at all.
+    assert_eq!(client.stats(), ccube_serve::ResilienceStats::default());
+    // The connection is reused across queries.
+    client.query(&QueryRequest::new("synth", 5)).expect("reuse");
+    server.shutdown();
+}
+
+#[test]
+fn resilient_client_fails_terminal_errors_without_retrying() {
+    let server = start_default();
+    let mut client = ResilientClient::new(server.addr());
+    let err = client
+        .query(&QueryRequest::new("nope", 2))
+        .expect_err("unknown table is terminal");
+    match err {
+        ClientError::Server {
+            status: WireStatus::UnknownTable,
+            ..
+        } => {}
+        other => panic!("wanted typed UnknownTable, got {other:?}"),
+    }
+    assert_eq!(client.stats().retried, 0, "terminal errors must not retry");
+    server.shutdown();
+}
+
+#[test]
+fn resilient_client_exhausts_retries_against_a_dead_address() {
+    // Bind then drop: nothing listens, so every connect is refused.
+    let addr = std::net::TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap();
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(4),
+        deadline: None,
+    };
+    let mut client = ResilientClient::with(addr, ClientConfig::default(), policy);
+    let err = client
+        .query(&QueryRequest::new("synth", 1))
+        .expect_err("dead address");
+    match err {
+        ClientError::RetriesExhausted { attempts: 3, .. } => {}
+        other => panic!("wanted RetriesExhausted after 3, got {other:?}"),
+    }
+    assert_eq!(client.stats().retried, 3);
+}
+
+#[test]
+fn resilient_client_enforces_the_overall_deadline() {
+    let addr = std::net::TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap();
+    let policy = RetryPolicy {
+        max_attempts: u32::MAX,
+        base_backoff: Duration::from_millis(20),
+        max_backoff: Duration::from_millis(40),
+        deadline: Some(Duration::from_millis(120)),
+    };
+    let mut client = ResilientClient::with(addr, ClientConfig::default(), policy);
+    let started = std::time::Instant::now();
+    let err = client
+        .query(&QueryRequest::new("synth", 1))
+        .expect_err("deadline must end the retry loop");
+    assert!(
+        matches!(err, ClientError::DeadlineExhausted),
+        "wanted DeadlineExhausted, got {err:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "deadline loop ran far past its budget"
+    );
 }
 
 // ----------------------------------------------------- client misbehavior

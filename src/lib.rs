@@ -64,7 +64,7 @@ pub use ccube_engine::{EngineConfig, EngineStats};
 mod session;
 
 pub use session::{
-    CacheStats, CellStream, CubeQuery, CubeSession, QueryHandle, QueryPlan, QueryStats,
+    CacheStats, CellStream, CubeQuery, CubeSession, QueryHandle, QueryPlan, QueryStats, StreamPoll,
 };
 
 use ccube_core::measure::{CountOnly, MeasureSpec};
@@ -76,7 +76,7 @@ use ccube_engine::ShardedSink;
 pub mod prelude {
     pub use crate::{
         recommend, Algorithm, CacheStats, CellStream, CubeQuery, CubeSession, EngineConfig,
-        EngineStats, QueryHandle, QueryPlan, QueryStats, TableStats, Workload,
+        EngineStats, QueryHandle, QueryPlan, QueryStats, StreamPoll, TableStats, Workload,
     };
     pub use ccube_core::lifecycle::CancelToken;
     pub use ccube_core::measure::{AllColumns, ColumnStats, CountOnly, MeasureSpec};

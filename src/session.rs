@@ -573,9 +573,32 @@ impl QueryHandle {
         self.token.cancel();
     }
 
+    /// Trip the query's token with an explicit `cause` (a supervisor
+    /// reaping a wedged run passes [`CubeError::Wedged`]). First trip
+    /// wins; returns whether this call was it.
+    pub fn trip(&self, cause: CubeError) -> bool {
+        self.token.trip(cause)
+    }
+
     /// Whether the token has tripped (for any cause, not just cancel).
+    /// Does not count as progress.
     pub fn is_tripped(&self) -> bool {
         self.token.is_tripped()
+    }
+
+    /// The run's progress epoch: advances every time a worker reaches a
+    /// cooperative checkpoint. A watchdog that observes the same value
+    /// across scans spanning its wedge timeout may conclude the run is
+    /// stuck and [`trip`](QueryHandle::trip) it.
+    pub fn progress(&self) -> u64 {
+        self.token.progress()
+    }
+
+    /// Manually bump the progress epoch, for progress the checkpoints
+    /// cannot see (a server pump successfully writing a batch to a slow
+    /// client while the engine is back-pressured, say).
+    pub fn note_progress(&self) {
+        self.token.note_progress();
     }
 }
 
@@ -726,6 +749,13 @@ where
                 let _chaos = fault_scope
                     .as_ref()
                     .map(ccube_core::faults::FaultScope::install);
+                // Keep the query token ambient for the whole producer
+                // thread, tail flush included — `execute` installs it for
+                // the run itself, but the final `sink.finish()` happens
+                // after that guard drops, and a supervisor tripping the
+                // token (the serve watchdog reaping a wedge) must be able
+                // to unblock that flush too.
+                let _ambient = lifecycle::install(&resolved.token);
                 let mut sink = ChannelSink::new(tx, dims, 0);
                 let result = resolved.execute(pool.as_deref().map(Vec::as_slice), &spec, &mut sink);
                 if result.is_ok() {
@@ -809,6 +839,57 @@ impl<A> CellStream<A> {
             token: self.token.clone(),
         }
     }
+
+    /// Non-blocking-ish pull: like `next()`, but waits at most `wait` for
+    /// the producer before reporting [`StreamPoll::Idle`]. Lets a serving
+    /// loop interleave liveness traffic (heartbeats) with result batches
+    /// instead of blocking indefinitely on a slow query.
+    ///
+    /// [`StreamPoll::End`] is terminal and matches `next()` returning
+    /// `None`: the producer has exited and been joined, and
+    /// [`CellStream::finish`] will not block.
+    pub fn poll_next(&mut self, wait: Duration) -> StreamPoll<A>
+    where
+        A: Clone,
+    {
+        loop {
+            if let Some(item) = self.pending.next() {
+                return StreamPoll::Item(item);
+            }
+            ccube_core::faults::inject("stream.recv");
+            let Some(rx) = self.rx.as_ref() else {
+                return StreamPoll::End;
+            };
+            match rx.recv_timeout(wait) {
+                Ok(batch) => {
+                    self.pending = batch
+                        .iter()
+                        .map(|(cell, count, acc)| (Cell::from_values(cell), count, acc.clone()))
+                        .collect::<Vec<_>>()
+                        .into_iter();
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => return StreamPoll::Idle,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    self.rx = None;
+                    self.join();
+                    return StreamPoll::End;
+                }
+            }
+        }
+    }
+}
+
+/// One step of [`CellStream::poll_next`].
+#[derive(Debug)]
+pub enum StreamPoll<A = ()> {
+    /// A result triple, exactly as the iterator would yield it.
+    Item((Cell, u64, A)),
+    /// The producer is still running but emitted nothing within the wait
+    /// window — the query is slow (or back-pressured), not finished.
+    Idle,
+    /// The stream is exhausted; call [`CellStream::finish`] for the
+    /// outcome (it will not block).
+    End,
 }
 
 impl<A: Clone> Iterator for CellStream<A> {
@@ -1077,6 +1158,36 @@ mod tests {
             .map(|(cell, count, ())| (cell, count))
             .collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn poll_next_drains_to_end_and_matches_the_iterator() {
+        let mut s = session();
+        let want: Vec<(Cell, u64)> = s
+            .query()
+            .min_sup(2)
+            .algorithm(Algorithm::CCubingStar)
+            .stream()
+            .unwrap()
+            .map(|(cell, count, ())| (cell, count))
+            .collect();
+        let mut stream = s
+            .query()
+            .min_sup(2)
+            .algorithm(Algorithm::CCubingStar)
+            .stream()
+            .unwrap();
+        let mut got = Vec::new();
+        loop {
+            match stream.poll_next(Duration::from_millis(50)) {
+                StreamPoll::Item((cell, count, ())) => got.push((cell, count)),
+                StreamPoll::Idle => continue,
+                StreamPoll::End => break,
+            }
+        }
+        assert_eq!(got, want, "poll_next preserves emission order");
+        // End is terminal: finish() is immediate and the run completed.
+        assert!(stream.finish().is_ok());
     }
 
     #[test]
