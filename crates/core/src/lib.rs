@@ -56,7 +56,7 @@ pub use lifecycle::CancelToken;
 pub use mask::DimMask;
 pub use measure::{CountOnly, MeasureSpec};
 pub use sink::{CellBatch, CellSink, CollectSink, CountingSink, NullSink, SizeSink};
-pub use table::{Table, TableBuilder, TupleId};
+pub use table::{AppendReport, Table, TableBuilder, TupleId};
 
 /// Maximum number of dimensions supported by the mask representation.
 ///
@@ -137,6 +137,20 @@ pub enum CubeError {
     /// The server watchdog observed no worker progress for longer than the
     /// wedge timeout and reaped the query.
     Wedged,
+    /// An appended value cannot be encoded: `u32::MAX` is the [`cell::STAR`]
+    /// sentinel and is not a legal dimension code at any width.
+    UnrepresentableValue {
+        /// Dimension index.
+        dim: usize,
+        /// The offending value.
+        value: u32,
+    },
+    /// A materialized-cube query found no materialization covering the
+    /// requested threshold (none built, or built at a higher `min_sup`).
+    MaterializationUnavailable {
+        /// The `min_sup` the query asked to serve.
+        min_sup: u64,
+    },
 }
 
 impl std::fmt::Display for CubeError {
@@ -190,6 +204,18 @@ impl std::fmt::Display for CubeError {
             CubeError::ZeroMinSup => write!(f, "min_sup must be at least 1"),
             CubeError::Wedged => {
                 write!(f, "query made no progress and was reaped by the watchdog")
+            }
+            CubeError::UnrepresentableValue { dim, value } => {
+                write!(
+                    f,
+                    "value {value} on dimension {dim} collides with the star sentinel"
+                )
+            }
+            CubeError::MaterializationUnavailable { min_sup } => {
+                write!(
+                    f,
+                    "no materialized cube covers min_sup {min_sup} (build one with materialize())"
+                )
             }
         }
     }

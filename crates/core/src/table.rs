@@ -477,6 +477,156 @@ impl Table {
         });
     }
 
+    /// Append `rows.len() / dims` tuples (row-major, like
+    /// [`TableBuilder::push_row`] input laid end to end) to this table —
+    /// the ingest substrate for delta cubing. Existing tuple IDs are stable;
+    /// the new tuples take IDs `old_rows..new_rows`, which keeps every
+    /// already-computed Representative Tuple ID (a `min` over IDs) valid.
+    ///
+    /// Values beyond a dimension's declared cardinality **grow** that
+    /// cardinality, and when the grown cardinality crosses a storage-width
+    /// boundary ([`Width::for_card`]: 256, 65 536) the column is **widened**
+    /// in place (u8 → u16 → u32) rather than truncated — the typed
+    /// width-overflow path. Widening a column disqualifies the packed-row
+    /// companion, which is dropped (or rebuilt) as [`kernels::packable`]
+    /// dictates; an append that keeps all widths extends the companion
+    /// instead of rebuilding it.
+    ///
+    /// # Errors
+    /// The table is **unmodified** on error (all validation happens before
+    /// any mutation):
+    /// * [`CubeError::BadRowWidth`] — `rows.len()` is not a multiple of the
+    ///   dimension count;
+    /// * [`CubeError::UnrepresentableValue`] — a value is `u32::MAX`, the
+    ///   [`crate::STAR`] sentinel;
+    /// * [`CubeError::BadMeasureColumn`] — the table carries measure columns
+    ///   (which an append must extend via [`Table::append_rows_with`]);
+    /// * [`CubeError::CarriedDimensionView`] — appending to an
+    ///   engine-internal shard view.
+    pub fn append_rows(&mut self, rows: &[u32]) -> Result<AppendReport> {
+        self.append_rows_with(rows, &[])
+    }
+
+    /// [`Table::append_rows`] also extending the table's measure columns:
+    /// `measures` must supply exactly the table's measure columns by name,
+    /// each with one value per appended row.
+    pub fn append_rows_with(
+        &mut self,
+        rows: &[u32],
+        measures: &[(&str, &[f64])],
+    ) -> Result<AppendReport> {
+        if self.cube_dims != self.dims {
+            return Err(CubeError::CarriedDimensionView);
+        }
+        let dims = self.dims;
+        if !rows.len().is_multiple_of(dims) {
+            return Err(CubeError::BadRowWidth {
+                expected: dims,
+                got: rows.len() % dims,
+            });
+        }
+        let added = rows.len() / dims;
+        // The star sentinel can never be a dimension code: reject it before
+        // touching anything (`v + 1` below would also overflow on it).
+        for r in rows.chunks_exact(dims) {
+            for (d, &v) in r.iter().enumerate() {
+                if v == u32::MAX {
+                    return Err(CubeError::UnrepresentableValue { dim: d, value: v });
+                }
+            }
+        }
+        // Measure columns must be extended in lockstep: every existing
+        // column supplied by name, no extras, each `added` long.
+        for (name, _) in &self.measures {
+            let supplied = measures.iter().find(|(n, _)| *n == name.as_str());
+            let len = supplied.map_or(0, |(_, vals)| vals.len());
+            if len != added {
+                return Err(CubeError::BadMeasureColumn {
+                    name: name.clone(),
+                    len,
+                    rows: added,
+                });
+            }
+        }
+        for (name, vals) in measures {
+            if !self.measures.iter().any(|(n, _)| n.as_str() == *name) {
+                return Err(CubeError::BadMeasureColumn {
+                    name: (*name).to_string(),
+                    len: vals.len(),
+                    rows: added,
+                });
+            }
+        }
+        // Grown cardinalities, and the dimensions whose storage width they
+        // outgrow.
+        let mut new_cards = self.cards.clone();
+        for r in rows.chunks_exact(dims) {
+            for (d, &v) in r.iter().enumerate() {
+                new_cards[d] = new_cards[d].max(v + 1);
+            }
+        }
+        let mut widened = DimMask::EMPTY;
+        for (d, &card) in new_cards.iter().enumerate() {
+            if Width::for_card(card) != self.cols[d].width() {
+                widened.insert(d);
+            }
+        }
+        // --- validation complete; mutate ---
+        for d in widened.iter() {
+            let wider = Width::for_card(new_cards[d]);
+            let mut col = Column::with_capacity(wider, self.rows + added);
+            with_lanes!(self.cols[d].as_ref(), |src| {
+                for &v in src {
+                    col.push(u32::from(v));
+                }
+            });
+            self.cols[d] = col;
+        }
+        for col in self.cols.iter_mut() {
+            col.reserve(added);
+        }
+        for r in rows.chunks_exact(dims) {
+            for (col, &v) in self.cols.iter_mut().zip(r.iter()) {
+                col.push(v);
+            }
+        }
+        let repacked = if widened.is_empty() {
+            if let Some(packed) = &mut self.packed {
+                // Widths unchanged: the old words are still valid; append
+                // one packed word per new row.
+                packed.reserve(added);
+                for r in rows.chunks_exact(dims) {
+                    let mut w = 0u64;
+                    for (d, &v) in r.iter().enumerate() {
+                        w |= u64::from(v) << (8 * d);
+                    }
+                    packed.push(w);
+                }
+            }
+            false
+        } else {
+            // A width changed: re-derive the companion from scratch (a
+            // widened column usually disqualifies it entirely).
+            let had = self.packed.is_some();
+            self.packed = pack_all(&self.cols);
+            had || self.packed.is_some()
+        };
+        for (name, col) in &mut self.measures {
+            let (_, vals) = measures
+                .iter()
+                .find(|(n, _)| *n == name.as_str())
+                .expect("validated above");
+            col.extend_from_slice(vals);
+        }
+        self.cards = new_cards;
+        self.rows += added;
+        Ok(AppendReport {
+            rows: added,
+            widened,
+            repacked,
+        })
+    }
+
     /// Materialize the sub-table holding rows `tids` with dimensions
     /// reordered to `dim_order`, of which only the first `cube_dims` are
     /// group-by dimensions (the rest are carried; see [`Table::cube_dims`]).
@@ -541,6 +691,21 @@ impl Table {
                 .collect(),
         }
     }
+}
+
+/// What one [`Table::append_rows`] call changed, beyond adding rows — the
+/// session layer uses this to decide which cached artifacts still patch
+/// cleanly and the tests use it to pin the width-overflow behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AppendReport {
+    /// Number of tuples appended.
+    pub rows: usize,
+    /// Dimensions whose column storage was widened (u8 → u16 → u32) because
+    /// the appended values outgrew the previous width.
+    pub widened: DimMask,
+    /// Whether the packed-row companion was rebuilt or dropped (as opposed
+    /// to extended in place or absent throughout).
+    pub repacked: bool,
 }
 
 /// Recycled buffer pool for [`Table::view_in`] and
@@ -1185,6 +1350,152 @@ mod tests {
             .unwrap();
         let v = t.view(&[2, 0], &[1, 0], 1);
         assert_eq!(v.measure_column(0), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn append_extends_rows_and_packed_in_place() {
+        let mut t = example_table();
+        let report = t.append_rows(&[0, 1, 0, 2, 0, 0, 1, 1]).unwrap();
+        assert_eq!(
+            report,
+            AppendReport {
+                rows: 2,
+                widened: DimMask::EMPTY,
+                repacked: false
+            }
+        );
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.row(3), &[0, 1, 0, 2]);
+        assert_eq!(t.row(4), &[0, 0, 1, 1]);
+        // Unchanged widths: the packed companion was extended, not rebuilt,
+        // and matches a from-scratch build of the same rows.
+        let packed = t.packed_rows().expect("still packs");
+        assert_eq!(packed.len(), 5);
+        let rebuilt = TableBuilder::new(4)
+            .cards(t.cards().to_vec())
+            .row(&[0, 0, 0, 0])
+            .row(&[0, 0, 0, 2])
+            .row(&[0, 1, 1, 1])
+            .row(&[0, 1, 0, 2])
+            .row(&[0, 0, 1, 1])
+            .build()
+            .unwrap();
+        assert_eq!(t, rebuilt);
+    }
+
+    #[test]
+    fn append_widens_at_the_256_boundary() {
+        // Card 256 fits u8 (values 0..=255); appending 256 crosses into u16.
+        let mut b = TableBuilder::new(2).cards(vec![256, 2]);
+        b.push_row(&[255, 0]);
+        b.push_row(&[7, 1]);
+        let mut t = b.build().unwrap();
+        assert_eq!(t.width(0), Width::U8);
+        let report = t.append_rows(&[256, 1]).unwrap();
+        assert_eq!(report.rows, 1);
+        assert_eq!(report.widened, DimMask::single(0));
+        assert!(report.repacked, "widening drops the packed companion");
+        assert_eq!(t.width(0), Width::U16);
+        assert_eq!(t.card(0), 257);
+        assert!(t.packed_rows().is_none(), "u16 column cannot pack");
+        // Old values survive the widening byte-for-byte.
+        assert_eq!(t.col(0).to_u32_vec(), &[255, 7, 256]);
+        assert_eq!(t.row(2), &[256, 1]);
+        // Appending within the new width does not widen again.
+        let again = t.append_rows(&[300, 0]).unwrap();
+        assert_eq!(again.widened, DimMask::EMPTY);
+        assert_eq!(t.width(0), Width::U16);
+    }
+
+    #[test]
+    fn append_widens_at_the_65536_boundary() {
+        let mut t = TableBuilder::new(1)
+            .cards(vec![65_536])
+            .row(&[65_535])
+            .build()
+            .unwrap();
+        assert_eq!(t.width(0), Width::U16);
+        let report = t.append_rows(&[65_536]).unwrap();
+        assert_eq!(report.widened, DimMask::single(0));
+        assert_eq!(t.width(0), Width::U32);
+        assert_eq!(t.card(0), 65_537);
+        assert_eq!(t.col(0).to_u32_vec(), &[65_535, 65_536]);
+        // A u8 column can jump straight past both boundaries in one append.
+        let mut t8 = TableBuilder::new(1)
+            .cards(vec![2])
+            .row(&[1])
+            .build()
+            .unwrap();
+        assert_eq!(t8.width(0), Width::U8);
+        let jump = t8.append_rows(&[70_000]).unwrap();
+        assert_eq!(jump.widened, DimMask::single(0));
+        assert_eq!(t8.width(0), Width::U32);
+        assert_eq!(t8.row(1), &[70_000]);
+    }
+
+    #[test]
+    fn append_rejects_star_sentinel_without_mutating() {
+        let mut t = example_table();
+        let before = t.clone();
+        let err = t.append_rows(&[0, 0, u32::MAX, 0]).unwrap_err();
+        assert_eq!(
+            err,
+            CubeError::UnrepresentableValue {
+                dim: 2,
+                value: u32::MAX
+            }
+        );
+        assert_eq!(t, before, "failed append must leave the table untouched");
+        // Wrong row width is typed, and also leaves the table untouched.
+        let err = t.append_rows(&[1, 2, 3]).unwrap_err();
+        assert_eq!(
+            err,
+            CubeError::BadRowWidth {
+                expected: 4,
+                got: 3
+            }
+        );
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn append_keeps_measures_in_lockstep() {
+        let mut t = TableBuilder::new(1)
+            .row(&[0])
+            .row(&[1])
+            .measure("price", vec![1.5, 2.5])
+            .build()
+            .unwrap();
+        // Missing measure column: typed error, untouched table.
+        let before = t.clone();
+        assert!(matches!(
+            t.append_rows(&[2]),
+            Err(CubeError::BadMeasureColumn { .. })
+        ));
+        // Wrong length.
+        assert!(matches!(
+            t.append_rows_with(&[2], &[("price", &[1.0, 2.0])]),
+            Err(CubeError::BadMeasureColumn { .. })
+        ));
+        // Unknown extra column.
+        assert!(matches!(
+            t.append_rows_with(&[2], &[("price", &[1.0]), ("tax", &[0.1])]),
+            Err(CubeError::BadMeasureColumn { .. })
+        ));
+        assert_eq!(t, before);
+        t.append_rows_with(&[2], &[("price", &[9.0])]).unwrap();
+        assert_eq!(t.measure(2, 0), 9.0);
+        assert_eq!(t.rows(), 3);
+    }
+
+    #[test]
+    fn append_rejects_carried_dimension_views() {
+        let t = example_table();
+        let mut v = t.view(&[0, 1], &[0, 1, 2, 3], 2);
+        assert!(matches!(
+            v.append_rows(&[0, 0, 0, 0]),
+            Err(CubeError::CarriedDimensionView)
+        ));
     }
 
     #[test]

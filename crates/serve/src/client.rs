@@ -224,6 +224,22 @@ impl Client {
         }
     }
 
+    /// Append a batch of row-major encoded tuples to a served table.
+    /// Returns `(version, rows)`: the table's version after the append and
+    /// the number of tuples appended. A typed server failure (unknown
+    /// table, bad row width, …) means nothing was appended.
+    pub fn ingest(&mut self, table: &str, rows: &[u32]) -> Result<(u64, u64), ClientError> {
+        self.send(&Request::Ingest {
+            table: table.to_string(),
+            rows: rows.to_vec(),
+        })?;
+        match self.recv()? {
+            Response::Ingested { version, rows } => Ok((version, rows)),
+            Response::Error { status, detail } => Err(ClientError::Server { status, detail }),
+            _ => Err(ClientError::Unexpected("wanted Ingested")),
+        }
+    }
+
     /// Run a query, feeding every result block to `on_batch`, and return
     /// the terminal outcome. Heartbeat frames are consumed silently (each
     /// arriving frame resets the read timeout, which is the point of them).
@@ -234,6 +250,18 @@ impl Client {
     ) -> Result<QueryOutcome, ClientError> {
         self.send(&Request::Query(req.clone()))?;
         self.pump_reply(on_batch, |_| {})
+    }
+
+    /// [`Client::query_with`], additionally reporting every batch's
+    /// `(query_id, seq, version)` tag (resume bookkeeping path).
+    pub fn query_with_meta(
+        &mut self,
+        req: &QueryRequest,
+        on_batch: impl FnMut(&CellBlock),
+        on_meta: impl FnMut((u64, u64, u64)),
+    ) -> Result<QueryOutcome, ClientError> {
+        self.send(&Request::Query(req.clone()))?;
+        self.pump_reply(on_batch, on_meta)
     }
 
     /// Resume an interrupted query: re-issue `req` asking the server to
@@ -256,21 +284,23 @@ impl Client {
     }
 
     /// Drain one query's reply stream. `on_meta` observes every batch's
-    /// `(query_id, seq)` tag before `on_batch` sees the cells — the
-    /// resilient client uses it to track its resume cursor.
+    /// `(query_id, seq, version)` tag before `on_batch` sees the cells —
+    /// the resilient client uses it to track its resume cursor and pin the
+    /// table version across reconnects.
     fn pump_reply(
         &mut self,
         mut on_batch: impl FnMut(&CellBlock),
-        mut on_meta: impl FnMut((u64, u64)),
+        mut on_meta: impl FnMut((u64, u64, u64)),
     ) -> Result<QueryOutcome, ClientError> {
         loop {
             match self.recv()? {
                 Response::Batch {
                     query_id,
                     seq,
+                    version,
                     block,
                 } => {
-                    on_meta((query_id, seq));
+                    on_meta((query_id, seq, version));
                     on_batch(&block);
                 }
                 Response::Heartbeat { .. } => {}
@@ -281,7 +311,7 @@ impl Client {
                 Response::Overloaded { retry_after_ms } => {
                     return Ok(QueryOutcome::Overloaded { retry_after_ms })
                 }
-                Response::Pong | Response::TableList(_) => {
+                Response::Pong | Response::TableList(_) | Response::Ingested { .. } => {
                     return Err(ClientError::Unexpected("wanted query frames"))
                 }
             }
@@ -457,10 +487,13 @@ impl ResilientClient {
         mut on_batch: impl FnMut(&CellBlock),
     ) -> Result<DoneStats, ClientError> {
         let overall = self.policy.deadline.map(|d| Instant::now() + d);
-        // Resume cursor: the id of the interrupted stream and the next
-        // batch seq the caller has not yet seen.
+        // Resume cursor: the id of the interrupted stream, the next batch
+        // seq the caller has not yet seen, and the table version the
+        // stream echoed (pinned on resume so the skip can never silently
+        // span an ingest — the server answers `VersionMismatch` instead).
         let mut query_id = 0u64;
         let mut next_seq = 0u64;
+        let mut version = 0u64;
         let mut attempt = 0u32;
         loop {
             // Compose deadlines: each attempt is sent with the tighter of
@@ -478,7 +511,13 @@ impl ResilientClient {
                     eff.deadline_ms.min(remaining_ms)
                 };
             }
-            let end = self.attempt(&eff, &mut query_id, &mut next_seq, &mut on_batch)?;
+            let end = self.attempt(
+                &eff,
+                &mut query_id,
+                &mut next_seq,
+                &mut version,
+                &mut on_batch,
+            )?;
             let (hint_ms, why) = match end {
                 AttemptEnd::Done(stats) => return Ok(stats),
                 AttemptEnd::Retry { hint_ms, why } => (hint_ms, why),
@@ -515,6 +554,7 @@ impl ResilientClient {
         req: &QueryRequest,
         query_id: &mut u64,
         next_seq: &mut u64,
+        version: &mut u64,
         on_batch: &mut impl FnMut(&CellBlock),
     ) -> Result<AttemptEnd, ClientError> {
         let conn = match self.conn.as_mut() {
@@ -534,10 +574,15 @@ impl ResilientClient {
             Request::Query(req.clone())
         } else {
             self.stats.resumed += 1;
+            let mut query = req.clone();
+            // Pin the interrupted stream's table version: if an ingest
+            // landed in between, the server rejects the resume typed
+            // rather than splicing batches from two table states.
+            query.version = *version;
             Request::Resume {
                 query_id: *query_id,
                 next_seq: *next_seq,
-                query: req.clone(),
+                query,
             }
         };
         let sent = conn.send(&request);
@@ -545,15 +590,20 @@ impl ResilientClient {
             let expected = *next_seq;
             let mut delivered = 0u64;
             let mut stream_id = *query_id;
+            let mut stream_version = *version;
             let out = conn.pump_reply(
                 |block| {
                     on_batch(block);
                     delivered += 1;
                 },
-                |(id, _seq)| stream_id = id,
+                |(id, _seq, v)| {
+                    stream_id = id;
+                    stream_version = v;
+                },
             );
             *next_seq = expected + delivered;
             *query_id = stream_id;
+            *version = stream_version;
             out
         });
         match outcome {

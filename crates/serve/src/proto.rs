@@ -9,15 +9,19 @@
 //! ## Frames
 //!
 //! Client → server: [`Request::Query`] (opcode `0x01`), [`Request::Ping`]
-//! (`0x02`), [`Request::Tables`] (`0x03`), [`Request::Resume`] (`0x04`).
+//! (`0x02`), [`Request::Tables`] (`0x03`), [`Request::Resume`] (`0x04`),
+//! [`Request::Ingest`] (`0x05`, append a tuple batch to a served table).
 //!
 //! Server → client: [`Response::Batch`] (`0x81`, a block of result cells
-//! tagged with the server-assigned query id and a sequence number),
+//! tagged with the server-assigned query id, a sequence number, and the
+//! table version the stream is serving),
 //! [`Response::Done`] (`0x82`, end-of-stream with run counters),
 //! [`Response::Error`] (`0x83`, a typed [`WireStatus`] + detail),
 //! [`Response::Overloaded`] (`0x84`, shed with a retry hint),
 //! [`Response::Pong`] (`0x85`), [`Response::TableList`] (`0x86`),
-//! [`Response::Heartbeat`] (`0x87`, liveness keepalive on idle streams).
+//! [`Response::Heartbeat`] (`0x87`, liveness keepalive on idle streams),
+//! [`Response::Ingested`] (`0x88`, ingest acknowledgement with the table's
+//! new version).
 //!
 //! A query's reply is zero or more `Batch` frames (seq `0, 1, 2, …`,
 //! interleaved with any number of `Heartbeat` frames) terminated by exactly
@@ -35,6 +39,18 @@
 //! request and skips the first `k` batches on the way out. No server-side
 //! state survives the disconnect — the id in a `Resume` is echoed back so
 //! the client can correlate, nothing more.
+//!
+//! ## Table versioning
+//!
+//! Resume-by-re-execution is only sound against the *same* table: an
+//! [`Request::Ingest`] between the interrupted stream and the resume would
+//! silently change the replayed cells and desynchronize the batch skip. So
+//! every served table carries a monotonically increasing version (bumped by
+//! each non-empty ingest), every `Batch`/`Done` frame echoes the version it
+//! was computed against, and [`QueryRequest::version`] lets a request *pin*
+//! one (`0` = current). A pinned request against any other version fails
+//! typed with [`WireStatus::VersionMismatch`] — a resume that spans an
+//! ingest is told the stream is unrecoverable instead of diverging.
 
 use c_cubing::Algorithm;
 use ccube_core::STAR;
@@ -126,6 +142,11 @@ pub enum WireStatus {
     /// The server watchdog reaped the query after its workers stopped
     /// making progress.
     Wedged = 10,
+    /// The request pinned a table version the server no longer serves (an
+    /// ingest moved the table on). Not retryable: the pinned stream cannot
+    /// be reproduced — restart the query from seq 0 against the current
+    /// version.
+    VersionMismatch = 11,
 }
 
 impl WireStatus {
@@ -140,6 +161,7 @@ impl WireStatus {
             7 => WireStatus::ShuttingDown,
             8 => WireStatus::Protocol,
             10 => WireStatus::Wedged,
+            11 => WireStatus::VersionMismatch,
             _ => WireStatus::Internal,
         }
     }
@@ -179,6 +201,8 @@ pub fn wire_status(err: &ccube_core::CubeError) -> WireStatus {
         | E::CarriedDimensionView
         | E::DimensionOutOfRange { .. }
         | E::EmptyProjection
+        | E::UnrepresentableValue { .. }
+        | E::MaterializationUnavailable { .. }
         | E::ZeroMinSup => WireStatus::BadRequest,
     }
 }
@@ -203,6 +227,11 @@ pub struct QueryRequest {
     pub threads: u32,
     /// Query deadline in milliseconds (`0` = none).
     pub deadline_ms: u64,
+    /// Table version this request pins (`0` = whatever is current). The
+    /// server rejects any other version with [`WireStatus::VersionMismatch`];
+    /// a resuming client pins the version its interrupted stream echoed so
+    /// the skip can never silently span an ingest.
+    pub version: u64,
 }
 
 impl QueryRequest {
@@ -218,6 +247,7 @@ impl QueryRequest {
             selections: Vec::new(),
             threads: 0,
             deadline_ms: 0,
+            version: 0,
         }
     }
 }
@@ -265,6 +295,8 @@ impl CellBlock {
 pub struct DoneStats {
     /// Server-assigned query id of the reply stream this terminates.
     pub query_id: u64,
+    /// Table version the stream was computed against.
+    pub version: u64,
     /// Result cells streamed (across all `Batch` frames).
     pub cells: u64,
     /// Wall-clock service time in microseconds (admission to `Done`).
@@ -286,6 +318,9 @@ pub struct TableInfo {
     pub rows: u64,
     /// Dimension count.
     pub dims: u32,
+    /// Current table version (starts at 1, bumped by each non-empty
+    /// ingest).
+    pub version: u64,
 }
 
 /// Client → server messages.
@@ -310,8 +345,18 @@ pub enum Request {
         /// Number of leading batches the client already has (first batch
         /// wanted is seq `next_seq`).
         next_seq: u64,
-        /// The original request, verbatim.
+        /// The original request, verbatim (a resuming client additionally
+        /// pins [`QueryRequest::version`] to the interrupted stream's).
         query: QueryRequest,
+    },
+    /// Append a batch of encoded tuples to a served table; answered by
+    /// `Ingested` (or a typed `Error` — on error nothing was appended).
+    Ingest {
+        /// Name of the served table to append to.
+        table: String,
+        /// Row-major encoded tuples (`rows.len()` must be a multiple of the
+        /// table's dimension count).
+        rows: Vec<u32>,
     },
 }
 
@@ -325,6 +370,9 @@ pub enum Response {
         /// Batch sequence number within the reply stream, starting at 0.
         /// Deterministic across re-executions of the same request.
         seq: u64,
+        /// Table version the stream is serving; a client resuming this
+        /// stream pins it in [`QueryRequest::version`].
+        version: u64,
         /// The cells.
         block: CellBlock,
     },
@@ -354,6 +402,15 @@ pub enum Response {
         /// Server-assigned query id of the stream being kept alive.
         query_id: u64,
     },
+    /// Acknowledgement of an `Ingest`: the batch is appended and every
+    /// cached artifact (materialized cube included) is already current.
+    Ingested {
+        /// The table's version after the append (unchanged for an empty
+        /// batch).
+        version: u64,
+        /// Tuples appended.
+        rows: u64,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -364,6 +421,7 @@ const OP_QUERY: u8 = 0x01;
 const OP_PING: u8 = 0x02;
 const OP_TABLES: u8 = 0x03;
 const OP_RESUME: u8 = 0x04;
+const OP_INGEST: u8 = 0x05;
 const OP_BATCH: u8 = 0x81;
 const OP_DONE: u8 = 0x82;
 const OP_ERROR: u8 = 0x83;
@@ -371,6 +429,7 @@ const OP_OVERLOADED: u8 = 0x84;
 const OP_PONG: u8 = 0x85;
 const OP_TABLE_LIST: u8 = 0x86;
 const OP_HEARTBEAT: u8 = 0x87;
+const OP_INGESTED: u8 = 0x88;
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -414,6 +473,7 @@ fn put_query_body(out: &mut Vec<u8>, q: &QueryRequest) {
     }
     put_u32(out, q.threads);
     put_u64(out, q.deadline_ms);
+    put_u64(out, q.version);
     put_u16(out, q.selections.len().min(u16::MAX as usize) as u16);
     for (dim, values) in q.selections.iter().take(u16::MAX as usize) {
         put_u32(out, *dim);
@@ -444,6 +504,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_u64(&mut out, *next_seq);
             put_query_body(&mut out, query);
         }
+        Request::Ingest { table, rows } => {
+            out.push(OP_INGEST);
+            put_str(&mut out, table);
+            put_u32(&mut out, rows.len().min(u32::MAX as usize) as u32);
+            for v in rows.iter().take(u32::MAX as usize) {
+                put_u32(&mut out, *v);
+            }
+        }
     }
     out
 }
@@ -456,11 +524,13 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Batch {
             query_id,
             seq,
+            version,
             block,
         } => {
             out.push(OP_BATCH);
             put_u64(&mut out, *query_id);
             put_u64(&mut out, *seq);
+            put_u64(&mut out, *version);
             put_u16(&mut out, block.dims);
             put_u32(&mut out, block.counts.len() as u32);
             for v in &block.values {
@@ -473,6 +543,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Done(d) => {
             out.push(OP_DONE);
             put_u64(&mut out, d.query_id);
+            put_u64(&mut out, d.version);
             put_u64(&mut out, d.cells);
             put_u64(&mut out, d.elapsed_micros);
             put_u64(&mut out, d.peak_buffered_bytes);
@@ -495,11 +566,17 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 put_str(&mut out, &t.name);
                 put_u64(&mut out, t.rows);
                 put_u32(&mut out, t.dims);
+                put_u64(&mut out, t.version);
             }
         }
         Response::Heartbeat { query_id } => {
             out.push(OP_HEARTBEAT);
             put_u64(&mut out, *query_id);
+        }
+        Response::Ingested { version, rows } => {
+            out.push(OP_INGESTED);
+            put_u64(&mut out, *version);
+            put_u64(&mut out, *rows);
         }
     }
     out
@@ -596,6 +673,7 @@ fn read_query_body(c: &mut Cursor<'_>) -> Result<QueryRequest, ProtoError> {
     };
     let threads = c.u32()?;
     let deadline_ms = c.u64()?;
+    let version = c.u64()?;
     let n_sel = c.u16()? as usize;
     c.check_count(n_sel, 8)?;
     let mut selections = Vec::with_capacity(n_sel);
@@ -618,6 +696,7 @@ fn read_query_body(c: &mut Cursor<'_>) -> Result<QueryRequest, ProtoError> {
         selections,
         threads,
         deadline_ms,
+        version,
     })
 }
 
@@ -638,6 +717,16 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
                 query,
             }
         }
+        OP_INGEST => {
+            let table = c.str()?;
+            let n = c.u32()? as usize;
+            c.check_count(n, 4)?;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push(c.u32()?);
+            }
+            Request::Ingest { table, rows }
+        }
         op => return Err(ProtoError::UnknownOpcode(op)),
     };
     c.finish()?;
@@ -652,6 +741,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
         OP_BATCH => {
             let query_id = c.u64()?;
             let seq = c.u64()?;
+            let version = c.u64()?;
             let dims = c.u16()?;
             let cells = c.u32()? as usize;
             c.check_count(cells, (dims as usize) * 4 + 8)?;
@@ -666,6 +756,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             Response::Batch {
                 query_id,
                 seq,
+                version,
                 block: CellBlock {
                     dims,
                     values,
@@ -675,6 +766,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
         }
         OP_DONE => Response::Done(DoneStats {
             query_id: c.u64()?,
+            version: c.u64()?,
             cells: c.u64()?,
             elapsed_micros: c.u64()?,
             peak_buffered_bytes: c.u64()?,
@@ -690,18 +782,23 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
         },
         OP_TABLE_LIST => {
             let n = c.u16()? as usize;
-            c.check_count(n, 2 + 8 + 4)?;
+            c.check_count(n, 2 + 8 + 4 + 8)?;
             let mut tables = Vec::with_capacity(n);
             for _ in 0..n {
                 tables.push(TableInfo {
                     name: c.str()?,
                     rows: c.u64()?,
                     dims: c.u32()?,
+                    version: c.u64()?,
                 });
             }
             Response::TableList(tables)
         }
         OP_HEARTBEAT => Response::Heartbeat { query_id: c.u64()? },
+        OP_INGESTED => Response::Ingested {
+            version: c.u64()?,
+            rows: c.u64()?,
+        },
         op => return Err(ProtoError::UnknownOpcode(op)),
     };
     c.finish()?;

@@ -151,8 +151,14 @@ pub struct ShutdownReport {
 struct ServedTable {
     name: String,
     session: Mutex<CubeSession>,
-    rows: u64,
+    /// Current row count; updated under the session lock, read lock-free by
+    /// the `Tables` handler.
+    rows: AtomicU64,
     dims: u32,
+    /// Table version: starts at 1, bumped by every non-empty ingest. Bumps
+    /// happen under the session lock, so a query planned under that lock
+    /// observes version and table state atomically.
+    version: AtomicU64,
 }
 
 struct Shared {
@@ -231,8 +237,9 @@ impl Server {
             served.push(ServedTable {
                 name,
                 session: Mutex::new(session),
-                rows,
+                rows: AtomicU64::new(rows),
                 dims,
+                version: AtomicU64::new(1),
             });
         }
         let listener = TcpListener::bind(&config.addr)?;
@@ -558,8 +565,9 @@ fn serve_connection(stream: &mut TcpStream, shared: &Shared) {
                     .iter()
                     .map(|t| TableInfo {
                         name: t.name.clone(),
-                        rows: t.rows,
+                        rows: t.rows.load(Ordering::Relaxed),
                         dims: t.dims,
+                        version: t.version.load(Ordering::Relaxed),
                     })
                     .collect();
                 match send(stream, &Response::TableList(tables)) {
@@ -576,6 +584,7 @@ fn serve_connection(stream: &mut TcpStream, shared: &Shared) {
                 shared.resumed.fetch_add(1, Ordering::Relaxed);
                 serve_query(stream, shared, &query, Some((query_id, next_seq)))
             }
+            Ok(Request::Ingest { table, rows }) => serve_ingest(stream, shared, &table, &rows),
         };
         if matches!(flow, Flow::Close) {
             return;
@@ -747,8 +756,26 @@ fn serve_query(
     // `stream()` returns right after the spawn, so the lock is held only
     // for planning + thread start, and concurrent queries on the same
     // table pump their results in parallel.
-    let cells = {
+    let (version, cells) = {
         let mut session = table.session.lock().unwrap_or_else(|p| p.into_inner());
+        // Loaded under the same lock `serve_ingest` bumps under, so the
+        // pin check is atomic with the snapshot the spawned run reads: a
+        // resume that spans an ingest fails typed instead of splicing
+        // batches from two different table states.
+        let version = table.version.load(Ordering::Relaxed);
+        if q.version != 0 && q.version != version {
+            return answer(
+                stream,
+                &Response::Error {
+                    status: WireStatus::VersionMismatch,
+                    detail: format!(
+                        "table {:?} is at version {version}, request pinned version {}; \
+                         restart the query from seq 0",
+                        q.table, q.version
+                    ),
+                },
+            );
+        }
         let mut query = session.query().min_sup(q.min_sup);
         if let Some(a) = q.algorithm {
             query = query.algorithm(a);
@@ -774,7 +801,7 @@ fn serve_query(
         if let Some(r) = remaining {
             query = query.deadline(r);
         }
-        query.stream()
+        (version, query.stream())
     };
     let mut cells = match cells {
         Ok(c) => c,
@@ -836,6 +863,7 @@ fn serve_query(
                         &Response::Batch {
                             query_id,
                             seq: this_seq,
+                            version,
                             block: full,
                         },
                     )
@@ -869,6 +897,7 @@ fn serve_query(
                         &Response::Batch {
                             query_id,
                             seq: this_seq,
+                            version,
                             block,
                         },
                     )
@@ -884,6 +913,7 @@ fn serve_query(
                 stream,
                 &Response::Done(DoneStats {
                     query_id,
+                    version,
                     // Whole-stream total (skipped batches included), so a
                     // resumed run's Done matches the uninterrupted run's.
                     cells: total_cells,
@@ -906,6 +936,44 @@ fn serve_query(
                 },
             )
         }
+    }
+}
+
+/// Append a batch of tuples to a served table. The whole ingest — append,
+/// cached-artifact patching, materialized-cube maintenance, version bump —
+/// runs under the session lock, so a concurrently planned query observes
+/// either the old table at the old version or the new table at the new
+/// one, never a half-applied state. On error nothing was appended and the
+/// version is unchanged.
+fn serve_ingest(stream: &mut TcpStream, shared: &Shared, name: &str, rows: &[u32]) -> Flow {
+    let Some(table) = shared.find_table(name) else {
+        return answer(
+            stream,
+            &Response::Error {
+                status: WireStatus::UnknownTable,
+                detail: format!("table {name:?} is not served"),
+            },
+        );
+    };
+    let outcome = {
+        let mut session = table.session.lock().unwrap_or_else(|p| p.into_inner());
+        session.ingest(rows).map(|stats| {
+            if stats.rows > 0 {
+                table.rows.fetch_add(stats.rows as u64, Ordering::Relaxed);
+                table.version.fetch_add(1, Ordering::Relaxed);
+            }
+            (table.version.load(Ordering::Relaxed), stats.rows as u64)
+        })
+    };
+    match outcome {
+        Ok((version, rows)) => answer(stream, &Response::Ingested { version, rows }),
+        Err(e) => answer(
+            stream,
+            &Response::Error {
+                status: wire_status(&e),
+                detail: e.to_string(),
+            },
+        ),
     }
 }
 

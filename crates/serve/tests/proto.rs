@@ -32,6 +32,7 @@ proptest! {
         has_mask in any::<bool>(),
         threads in 0u32..64,
         deadline_ms in 0u64..100_000,
+        version in any::<u64>(),
         selections in proptest::collection::vec(
             (0u32..8, proptest::collection::vec(0u32..100, 0..5)),
             0..4,
@@ -46,6 +47,7 @@ proptest! {
             selections: selections.clone(),
             threads,
             deadline_ms,
+            version,
         });
         prop_assert_eq!(roundtrip_request(&req), req);
     }
@@ -54,6 +56,7 @@ proptest! {
     fn batches_roundtrip(
         query_id in any::<u64>(),
         seq in any::<u64>(),
+        version in any::<u64>(),
         dims in 1u16..8,
         counts in proptest::collection::vec(1u64..1_000, 0..50),
         seed in any::<u32>(),
@@ -64,6 +67,7 @@ proptest! {
         let resp = Response::Batch {
             query_id,
             seq,
+            version,
             block: CellBlock { dims, values, counts },
         };
         prop_assert_eq!(roundtrip_response(&resp), resp);
@@ -72,6 +76,7 @@ proptest! {
     #[test]
     fn done_and_overloaded_roundtrip(
         query_id in any::<u64>(),
+        version in any::<u64>(),
         cells in any::<u64>(),
         micros in any::<u64>(),
         peak in any::<u64>(),
@@ -81,6 +86,7 @@ proptest! {
     ) {
         let done = Response::Done(DoneStats {
             query_id,
+            version,
             cells,
             elapsed_micros: micros,
             peak_buffered_bytes: peak,
@@ -122,6 +128,37 @@ proptest! {
         prop_assert_eq!(roundtrip_response(&hb), hb);
     }
 
+    // Ingest carries an arbitrary row payload (empty batches included, and
+    // values all the way to u32::MAX — the server, not the wire, rejects
+    // out-of-range encodings).
+    #[test]
+    fn ingest_requests_roundtrip(
+        rows in proptest::collection::vec(any::<u32>(), 0..200),
+        name_idx in 0usize..4,
+    ) {
+        let name = ["weather", "synth", "t", "a_longer_table_name"][name_idx];
+        let req = Request::Ingest { table: name.to_string(), rows };
+        prop_assert_eq!(roundtrip_request(&req), req);
+    }
+
+    #[test]
+    fn ingested_responses_roundtrip(version in any::<u64>(), rows in any::<u64>()) {
+        let resp = Response::Ingested { version, rows };
+        prop_assert_eq!(roundtrip_response(&resp), resp);
+    }
+
+    // Chopping an Ingest frame anywhere must be a typed error, like every
+    // other request family.
+    #[test]
+    fn truncated_ingest_frames_are_typed_errors(cut in 0usize..60) {
+        let full = proto::encode_request(&Request::Ingest {
+            table: "weather".to_string(),
+            rows: vec![1, 2, 3, 4, 5, 6],
+        });
+        let cut = cut.min(full.len().saturating_sub(1));
+        prop_assert!(proto::decode_request(&full[..cut]).is_err());
+    }
+
     // Chopping a Resume frame anywhere must yield a typed error, exactly
     // like the Query family.
     #[test]
@@ -149,6 +186,7 @@ proptest! {
         let full = proto::encode_response(&Response::Batch {
             query_id: 7,
             seq: 3,
+            version: 1,
             block,
         });
         let cut = cut.min(full.len().saturating_sub(1));
@@ -196,6 +234,7 @@ fn every_status_code_roundtrips() {
         WireStatus::Protocol,
         WireStatus::Internal,
         WireStatus::Wedged,
+        WireStatus::VersionMismatch,
     ] {
         let resp = Response::Error {
             status,
@@ -222,6 +261,9 @@ fn retryable_statuses_split_transient_from_terminal() {
         WireStatus::BadRequest,
         WireStatus::UnknownTable,
         WireStatus::Protocol,
+        // A resume spanning an ingest must not be blindly re-attempted:
+        // the stream it would splice into no longer exists.
+        WireStatus::VersionMismatch,
     ] {
         assert!(!status.retryable(), "{status:?} should be terminal");
     }
@@ -253,6 +295,7 @@ fn control_frames_roundtrip() {
         name: "synth".to_string(),
         rows: 1_000_000,
         dims: 12,
+        version: 3,
     }]);
     assert_eq!(roundtrip_response(&tables), tables);
 }
@@ -316,6 +359,7 @@ fn allocation_bomb_counts_are_rejected_before_allocating() {
     let mut payload = vec![0x81];
     payload.extend_from_slice(&1u64.to_le_bytes()); // query_id
     payload.extend_from_slice(&0u64.to_le_bytes()); // seq
+    payload.extend_from_slice(&1u64.to_le_bytes()); // version
     payload.extend_from_slice(&4u16.to_le_bytes()); // dims
     payload.extend_from_slice(&u32::MAX.to_le_bytes()); // cells
     payload.extend_from_slice(&[0u8; 10]);
@@ -325,6 +369,15 @@ fn allocation_bomb_counts_are_rejected_before_allocating() {
     let mut payload = proto::encode_request(&Request::Query(QueryRequest::new("t", 1)));
     let n = payload.len();
     payload[n - 2..].copy_from_slice(&u16::MAX.to_le_bytes()); // selection count
+    assert_eq!(proto::decode_request(&payload), Err(ProtoError::Truncated));
+
+    // And for an Ingest row count: a frame claiming u32::MAX tuples with a
+    // near-empty body must fail before sizing a Vec from the claim.
+    let mut payload = vec![0x05];
+    payload.extend_from_slice(&1u16.to_le_bytes()); // name length
+    payload.push(b't');
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // row count
+    payload.extend_from_slice(&[0u8; 10]);
     assert_eq!(proto::decode_request(&payload), Err(ProtoError::Truncated));
 }
 

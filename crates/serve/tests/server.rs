@@ -305,6 +305,7 @@ fn kill_after_k_then_resume(
                 query_id: id,
                 seq,
                 block,
+                ..
             } => {
                 assert_eq!(seq, next, "fresh stream seqs ascend from 0");
                 query_id = id;
@@ -336,6 +337,7 @@ fn kill_after_k_then_resume(
                 query_id: id,
                 seq,
                 block,
+                ..
             } => {
                 assert_eq!(id, query_id, "resumed stream echoes the client's id");
                 seqs.push(seq);
@@ -740,4 +742,147 @@ fn draining_server_sheds_new_queries_as_shutting_down() {
     }
     shutdown.join().unwrap();
     let _ = parked.join().unwrap();
+}
+
+// ------------------------------------------------------------- ingestion
+
+#[test]
+fn ingest_over_the_wire_patches_the_served_table() {
+    let server = start_default();
+    let mut client = connect(&server);
+
+    let tables = client.tables().unwrap();
+    assert_eq!((tables[0].rows, tables[0].version), (600, 1));
+
+    // Two 4-dim tuples, one with values the synthetic table never used.
+    let batch = [0, 1, 2, 3, 9, 9, 9, 9];
+    let (version, appended) = client.ingest("synth", &batch).expect("ingest");
+    assert_eq!((version, appended), (2, 2));
+
+    let tables = client.tables().unwrap();
+    assert_eq!((tables[0].rows, tables[0].version), (602, 2));
+
+    // An empty batch is acknowledged without a version bump.
+    let (version, appended) = client.ingest("synth", &[]).expect("empty ingest");
+    assert_eq!((version, appended), (2, 0));
+
+    // Served results now match an in-process session fed the same batch.
+    let (cells, outcome) = client
+        .query_collect(&QueryRequest::new("synth", 3))
+        .expect("query after ingest");
+    assert!(matches!(outcome, QueryOutcome::Done(_)), "got {outcome:?}");
+    let mut session = CubeSession::new(small_table()).unwrap();
+    session.ingest(&batch).unwrap();
+    let mut direct = std::collections::BTreeMap::new();
+    let mut sink = FnSink(|cell: &[u32], count: u64, _acc: &()| {
+        direct.insert(cell.to_vec(), count);
+    });
+    session.query().min_sup(3).run(&mut sink).unwrap();
+    assert_eq!(cells.len(), direct.len());
+    for (cell, count) in &cells {
+        assert_eq!(direct.get(cell), Some(count), "cell {cell:?}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn bad_ingests_are_typed_and_append_nothing() {
+    let server = start_default();
+    let mut client = connect(&server);
+
+    // Unknown table.
+    match client.ingest("nope", &[1, 2, 3, 4]) {
+        Err(ClientError::Server {
+            status: WireStatus::UnknownTable,
+            ..
+        }) => {}
+        other => panic!("wanted UnknownTable, got {other:?}"),
+    }
+
+    // A ragged batch (not a multiple of the table's 4 dims).
+    match client.ingest("synth", &[1, 2, 3]) {
+        Err(ClientError::Server {
+            status: WireStatus::BadRequest,
+            ..
+        }) => {}
+        other => panic!("wanted BadRequest, got {other:?}"),
+    }
+
+    // Nothing was appended, the version is unchanged, and the connection
+    // survives for further use.
+    let tables = client.tables().expect("connection survives bad ingests");
+    assert_eq!((tables[0].rows, tables[0].version), (600, 1));
+    server.shutdown();
+}
+
+#[test]
+fn resume_spanning_an_ingest_is_a_typed_version_mismatch() {
+    let server = start_default();
+    let req = QueryRequest::new("synth", 1);
+
+    // Interrupt a stream after one delivered batch, remembering the
+    // version it was computed against.
+    let mut victim = connect(&server);
+    victim
+        .send_raw(&proto::encode_request(&Request::Query(req.clone())))
+        .unwrap();
+    let (query_id, stream_version) = loop {
+        match read_response(victim.stream_mut()) {
+            Response::Heartbeat { .. } => {}
+            Response::Batch {
+                query_id, version, ..
+            } => break (query_id, version),
+            other => panic!("wanted Batch, got {other:?}"),
+        }
+    };
+    drop(victim);
+    assert_eq!(stream_version, 1, "fresh tables serve at version 1");
+
+    // An ingest lands while the client is away.
+    let mut writer = connect(&server);
+    let (version, _) = writer.ingest("synth", &[5, 5, 5, 5]).unwrap();
+    assert_eq!(version, 2);
+
+    // The resume pins the interrupted stream's version and must fail
+    // typed: its skipped prefix was computed against a table that no
+    // longer exists, so splicing would mix two table states.
+    let mut resumer = connect(&server);
+    let mut pinned = req.clone();
+    pinned.version = stream_version;
+    resumer
+        .send_raw(&proto::encode_request(&Request::Resume {
+            query_id,
+            next_seq: 1,
+            query: pinned,
+        }))
+        .unwrap();
+    match read_response(resumer.stream_mut()) {
+        Response::Error {
+            status: WireStatus::VersionMismatch,
+            ..
+        } => {}
+        other => panic!("wanted VersionMismatch, got {other:?}"),
+    }
+    assert!(
+        !WireStatus::VersionMismatch.retryable(),
+        "a version mismatch must surface to the caller, not loop"
+    );
+
+    // An unpinned fresh query (version 0 = current) serves fine and now
+    // echoes the new version.
+    let mut fresh = connect(&server);
+    fresh
+        .send_raw(&proto::encode_request(&Request::Query(req)))
+        .unwrap();
+    loop {
+        match read_response(fresh.stream_mut()) {
+            Response::Heartbeat { .. } => {}
+            Response::Batch { version, .. } => {
+                assert_eq!(version, 2, "fresh streams echo the current version");
+                break;
+            }
+            other => panic!("wanted Batch, got {other:?}"),
+        }
+    }
+    server.shutdown();
 }

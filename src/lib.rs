@@ -54,17 +54,20 @@
 pub use ccube_baselines as baselines;
 pub use ccube_core as core;
 pub use ccube_data as data;
+pub use ccube_delta as delta;
 pub use ccube_engine as engine;
 pub use ccube_mm as mm;
 pub use ccube_rules as rules;
 pub use ccube_star as star;
 
+pub use ccube_delta::{DeltaStats, MaterializedCube};
 pub use ccube_engine::{EngineConfig, EngineStats};
 
 mod session;
 
 pub use session::{
-    CacheStats, CellStream, CubeQuery, CubeSession, QueryHandle, QueryPlan, QueryStats, StreamPoll,
+    CacheStats, CellStream, CubeQuery, CubeSession, IngestStats, QueryHandle, QueryPlan,
+    QueryStats, StreamPoll,
 };
 
 use ccube_core::measure::{CountOnly, MeasureSpec};
@@ -75,8 +78,9 @@ use ccube_engine::ShardedSink;
 /// Everything needed for typical use.
 pub mod prelude {
     pub use crate::{
-        recommend, Algorithm, CacheStats, CellStream, CubeQuery, CubeSession, EngineConfig,
-        EngineStats, QueryHandle, QueryPlan, QueryStats, StreamPoll, TableStats, Workload,
+        recommend, Algorithm, CacheStats, CellStream, CubeQuery, CubeSession, DeltaStats,
+        EngineConfig, EngineStats, IngestStats, MaterializedCube, QueryHandle, QueryPlan,
+        QueryStats, StreamPoll, TableStats, Workload,
     };
     pub use ccube_core::lifecycle::CancelToken;
     pub use ccube_core::measure::{AllColumns, ColumnStats, CountOnly, MeasureSpec};
@@ -500,7 +504,7 @@ impl std::str::FromStr for Algorithm {
 /// plus an estimated data dependence, all derived from the actual data
 /// rather than hand-filled. [`Workload`] remains as the coarse hand-filled
 /// convenience constructor ([`Workload::stats`]).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TableStats {
     /// Number of tuples measured.
     pub tuples: u64,
@@ -525,59 +529,11 @@ impl TableStats {
     /// [`TableStats::SAMPLE_ROWS`] rows). `O(rows × dims)` overall — this is
     /// the per-table setup a [`CubeSession`] pays once instead of per query.
     pub fn measure(table: &Table) -> TableStats {
-        let n = table.rows();
-        let dims = table.dims();
-        let mut cardinalities = Vec::with_capacity(dims);
-        let mut skews = Vec::with_capacity(dims);
-        for d in 0..dims {
-            let freq = table.freq(d);
-            let distinct = freq.iter().filter(|&&f| f > 0).count().max(1) as u32;
-            let max_f = freq.iter().copied().max().unwrap_or(0).max(1) as f64;
-            let mean_f = (n as f64 / distinct as f64).max(1.0);
-            let skew = if distinct > 1 {
-                (max_f / mean_f).ln() / (distinct as f64).ln()
-            } else {
-                0.0
-            };
-            cardinalities.push(distinct);
-            skews.push(skew.max(0.0));
-        }
-        let dependence = Self::estimate_dependence(table, &cardinalities);
-        TableStats {
-            tuples: n as u64,
-            cardinalities,
-            skews,
-            dependence,
-        }
+        StatsState::new(table).stats()
     }
 
     /// Row cap for the dependence-estimation pair scans.
     pub const SAMPLE_ROWS: usize = 65_536;
-
-    fn estimate_dependence(table: &Table, cards: &[u32]) -> f64 {
-        let n = table.rows();
-        if n < 2 || table.dims() < 2 {
-            return 0.0;
-        }
-        let sample = n.min(Self::SAMPLE_ROWS);
-        let pairs = (table.dims() - 1).min(4);
-        let mut total = 0.0;
-        for d in 0..pairs {
-            let (a, b) = (table.col(d), table.col(d + 1));
-            let mut seen = ccube_core::fxhash::FxHashSet::default();
-            for t in 0..sample {
-                seen.insert((u64::from(a.get(t)) << 32) | u64::from(b.get(t)));
-            }
-            // Expected distinct pairs under independence, capped by both the
-            // domain size and the sample size (the occupancy approximation
-            // `m(1 - e^{-n/m})` of the coupon-collector curve).
-            let m = (cards[d] as f64) * (cards[d + 1] as f64);
-            let expected = (m * (1.0 - (-(sample as f64) / m).exp())).max(1.0);
-            let ratio = (seen.len() as f64 / expected).clamp(1e-6, 1.0);
-            total += -ratio.ln();
-        }
-        (total / pairs as f64).clamp(0.0, 4.0)
-    }
 
     /// Representative dimension cardinality (median of the observed ones) —
     /// the Fig 5 / Fig 10 crossover input of [`recommend`].
@@ -610,6 +566,105 @@ impl TableStats {
         } else {
             ccube_core::order::DimOrdering::CardinalityDesc
         }
+    }
+}
+
+/// The raw accumulators behind [`TableStats`], kept so a [`CubeSession`]
+/// can **extend** its statistics over an appended batch instead of
+/// re-scanning the whole table: per-dimension frequency vectors (grown as
+/// new values appear) plus the sampled pair-distinct sets feeding the
+/// dependence estimate. Because the dependence sample is a row prefix and
+/// appends only add rows at the end, `extend` + [`StatsState::stats`] is
+/// exactly equal to a cold [`TableStats::measure`] of the grown table.
+#[derive(Clone, Debug)]
+pub(crate) struct StatsState {
+    rows: usize,
+    freq: Vec<Vec<u64>>,
+    pair_seen: Vec<ccube_core::fxhash::FxHashSet<u64>>,
+    sampled: usize,
+}
+
+impl StatsState {
+    /// Scan `table` from scratch (`O(rows × dims)`, the once-per-session
+    /// setup cost).
+    pub(crate) fn new(table: &Table) -> StatsState {
+        let dims = table.dims();
+        let pairs = if dims < 2 { 0 } else { (dims - 1).min(4) };
+        let mut state = StatsState {
+            rows: 0,
+            freq: vec![Vec::new(); dims],
+            pair_seen: vec![Default::default(); pairs],
+            sampled: 0,
+        };
+        state.extend(table, 0);
+        state
+    }
+
+    /// Fold rows `from_row..table.rows()` into the accumulators. `from_row`
+    /// must be the row count of the previous scan (the session guarantees
+    /// continuity).
+    pub(crate) fn extend(&mut self, table: &Table, from_row: usize) {
+        debug_assert_eq!(self.rows, from_row, "stats continuity broken");
+        for (d, freq) in self.freq.iter_mut().enumerate() {
+            let col = table.col(d);
+            for t in from_row..table.rows() {
+                let v = col.get(t) as usize;
+                if v >= freq.len() {
+                    freq.resize(v + 1, 0);
+                }
+                freq[v] += 1;
+            }
+        }
+        for t in from_row..table.rows().min(TableStats::SAMPLE_ROWS) {
+            for (d, seen) in self.pair_seen.iter_mut().enumerate() {
+                let (a, b) = (table.col(d), table.col(d + 1));
+                seen.insert((u64::from(a.get(t)) << 32) | u64::from(b.get(t)));
+            }
+        }
+        self.sampled = table.rows().min(TableStats::SAMPLE_ROWS);
+        self.rows = table.rows();
+    }
+
+    /// Derive the [`TableStats`] the accumulated state describes.
+    pub(crate) fn stats(&self) -> TableStats {
+        let n = self.rows;
+        let mut cardinalities = Vec::with_capacity(self.freq.len());
+        let mut skews = Vec::with_capacity(self.freq.len());
+        for freq in &self.freq {
+            let distinct = freq.iter().filter(|&&f| f > 0).count().max(1) as u32;
+            let max_f = freq.iter().copied().max().unwrap_or(0).max(1) as f64;
+            let mean_f = (n as f64 / distinct as f64).max(1.0);
+            let skew = if distinct > 1 {
+                (max_f / mean_f).ln() / (distinct as f64).ln()
+            } else {
+                0.0
+            };
+            cardinalities.push(distinct);
+            skews.push(skew.max(0.0));
+        }
+        TableStats {
+            tuples: n as u64,
+            dependence: self.dependence(&cardinalities),
+            cardinalities,
+            skews,
+        }
+    }
+
+    fn dependence(&self, cards: &[u32]) -> f64 {
+        if self.rows < 2 || self.pair_seen.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for (d, seen) in self.pair_seen.iter().enumerate() {
+            // Expected distinct pairs under independence, capped by both the
+            // domain size and the sample size (the occupancy approximation
+            // `m(1 - e^{-n/m})` of the coupon-collector curve).
+            let m = (cards[d] as f64) * (cards[d + 1] as f64);
+            let expected = (m * (1.0 - (-(self.sampled as f64) / m).exp())).max(1.0);
+            let ratio = (seen.len() as f64 / expected).clamp(1e-6, 1.0);
+            total += -ratio.ln();
+        }
+        (total / self.pair_seen.len() as f64).clamp(0.0, 4.0)
     }
 }
 

@@ -72,7 +72,8 @@
 //! by-construction equal to what a cold run computes).
 
 use crate::{
-    recommend, run_guarded, Algorithm, CubeRequest, EngineConfig, EngineStats, TableStats,
+    recommend, run_guarded, Algorithm, CubeRequest, EngineConfig, EngineStats, StatsState,
+    TableStats,
 };
 use ccube_core::cell::Cell;
 use ccube_core::lifecycle::{self, CancelToken};
@@ -81,6 +82,7 @@ use ccube_core::order::DimOrdering;
 use ccube_core::partition::Group;
 use ccube_core::sink::{CellBatch, CellSink, CountingSink};
 use ccube_core::{CubeError, DimMask, Table, TupleId};
+use ccube_delta::{DeltaPlan, DeltaStats, MaterializedCube};
 use ccube_engine::{ChannelSink, WarmStart};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -95,6 +97,42 @@ pub struct CacheStats {
     pub partition_builds: u32,
     /// StarArray lex-sorted pool constructions performed.
     pub pool_builds: u32,
+    /// Tuple batches ingested ([`CubeSession::ingest`]).
+    pub ingests: u32,
+    /// Cached artifacts brought current by an incremental patch (stats
+    /// extension, partition merge, pool merge, materialization splice) —
+    /// ingest maintenance never bumps the `*_builds` counters above, which
+    /// is the observable proof that ingest patches instead of rebuilding.
+    pub artifacts_patched: u32,
+    /// Artifacts rebuilt from scratch (cold [`CubeSession::materialize`]
+    /// calls; never from ingest).
+    pub artifacts_rebuilt: u32,
+    /// Tuple groups re-summarized by materialized-cube maintenance
+    /// ([`DeltaStats::groups_rechecked`] accumulated over builds and
+    /// patches): after a small append this grows by far less than a cold
+    /// build's group count.
+    pub groups_rechecked: u64,
+}
+
+/// What one [`CubeSession::ingest`] call did: the append itself (rows,
+/// column widening, packed-row refresh) plus which cached artifacts were
+/// patched to stay current.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Tuples appended.
+    pub rows: usize,
+    /// Dimensions whose column was widened because a new value exceeded its
+    /// previous natural width (see [`ccube_core::AppendReport::widened`]).
+    pub widened: DimMask,
+    /// Whether the packed-row fast-path buffer was refreshed rather than
+    /// extended in place.
+    pub repacked: bool,
+    /// Whether the lazy StarArray lex-sorted pool existed and was
+    /// merge-patched (false when it was never built — nothing to maintain).
+    pub pool_patched: bool,
+    /// Materialized-cube maintenance counters, when a materialization
+    /// exists ([`CubeSession::materialize`]); `None` otherwise.
+    pub materialization: Option<DeltaStats>,
 }
 
 /// A long-lived, per-table query context: owns the fact table and the cached
@@ -119,6 +157,9 @@ pub struct CacheStats {
 pub struct CubeSession {
     table: Arc<Table>,
     stats: TableStats,
+    /// Raw accumulators behind `stats`, kept so ingest can extend the
+    /// measurement over the appended rows instead of re-scanning.
+    stats_state: StatsState,
     /// Cached engine sharding artifacts (built eagerly — the stats-informed
     /// permutation and the leading-dimension partition are both the
     /// engine's warm start and the `slice(leading, v)` fast path).
@@ -126,6 +167,9 @@ pub struct CubeSession {
     /// StarArray lex-sorted pool, built on the first StarArray-family query
     /// against the base table (min_sup-independent, so shared by all).
     star_pool: Option<Arc<Vec<TupleId>>>,
+    /// Materialized closed cube, built by [`CubeSession::materialize`] and
+    /// patched under ingest (see `crates/delta`).
+    materialized: Option<MaterializedCube>,
     cache: CacheStats,
 }
 
@@ -170,13 +214,15 @@ impl CubeSession {
         if table.cube_dims() != table.dims() {
             return Err(CubeError::CarriedDimensionView);
         }
-        let stats = TableStats::measure(&table);
+        let stats_state = StatsState::new(&table);
+        let stats = stats_state.stats();
         let ordering = stats.recommend_ordering();
         let perm = ordering.permutation(&table);
         let (tids, groups) = table.shard_by_dim(perm[0]);
         Ok(CubeSession {
             table: Arc::new(table),
             stats,
+            stats_state,
             prep: Arc::new(EnginePrep {
                 ordering,
                 perm,
@@ -184,10 +230,11 @@ impl CubeSession {
                 groups,
             }),
             star_pool: None,
+            materialized: None,
             cache: CacheStats {
                 stat_builds: 1,
                 partition_builds: 1,
-                pool_builds: 0,
+                ..CacheStats::default()
             },
         })
     }
@@ -264,6 +311,249 @@ impl CubeSession {
             Err(_) => Vec::new(),
         }
     }
+
+    /// Append a batch of encoded tuples (`rows.len() / dims` rows, row-major
+    /// like [`ccube_core::TableBuilder::row`]) and bring every cached
+    /// artifact current **incrementally** — nothing is rebuilt from scratch:
+    ///
+    /// * the table itself grows in place, widening any column whose natural
+    ///   width a new value exceeds ([`Table::append_rows_with`]);
+    /// * the [`TableStats`] measurement is extended over the new rows only;
+    /// * the cached leading-dimension partition is merge-patched (the
+    ///   sharding ordering and permutation stay **frozen at session
+    ///   creation**, so warm engine starts and the `slice(leading, v)` fast
+    ///   path remain stable across ingests);
+    /// * the StarArray lex-sorted pool, if built, is merge-patched;
+    /// * the materialized closed cube, if built, is delta-patched: only the
+    ///   groups the batch joins are re-summarized (see `crates/delta`).
+    ///
+    /// In-flight [`CellStream`]s keep the pre-ingest snapshot (copy-on-write
+    /// at the session boundary); queries started after `ingest` returns see
+    /// the grown table. Empty batches are valid and touch nothing.
+    ///
+    /// # Errors
+    /// Typed append validation ([`CubeError::BadRowWidth`],
+    /// [`CubeError::UnrepresentableValue`], [`CubeError::BadMeasureColumn`]
+    /// via [`CubeSession::ingest_with_measures`]) — on error the session is
+    /// unchanged.
+    pub fn ingest(&mut self, rows: &[u32]) -> Result<IngestStats, CubeError> {
+        self.ingest_with_measures(rows, &[])
+    }
+
+    /// [`CubeSession::ingest`] with measure columns: every measure column
+    /// the table carries must be supplied by name, with one value per
+    /// appended row.
+    pub fn ingest_with_measures(
+        &mut self,
+        rows: &[u32],
+        measures: &[(&str, &[f64])],
+    ) -> Result<IngestStats, CubeError> {
+        let old_rows = self.table.rows();
+        // Copy-on-write at the session boundary: streams still consuming the
+        // previous snapshot hold their own `Arc`, so the append clones at
+        // most once and never mutates a table a query can observe.
+        let report = Arc::make_mut(&mut self.table).append_rows_with(rows, measures)?;
+        self.cache.ingests += 1;
+        let mut stats = IngestStats {
+            rows: report.rows,
+            widened: report.widened,
+            repacked: report.repacked,
+            pool_patched: false,
+            materialization: None,
+        };
+        if report.rows == 0 {
+            return Ok(stats);
+        }
+        self.stats_state.extend(&self.table, old_rows);
+        self.stats = self.stats_state.stats();
+        self.patch_partition(old_rows);
+        self.cache.artifacts_patched += 2; // stats + partition
+        if self.patch_pool(old_rows) {
+            stats.pool_patched = true;
+            self.cache.artifacts_patched += 1;
+        }
+        if let Some(mut cube) = self.materialized.take() {
+            let prep = self.prep.clone();
+            let delta = cube.patch(
+                &self.table,
+                old_rows,
+                &DeltaPlan {
+                    order: &prep.perm,
+                    tids: &prep.tids,
+                    groups: &prep.groups,
+                    threads: maintenance_threads(),
+                },
+            );
+            self.materialized = Some(cube);
+            self.cache.artifacts_patched += 1;
+            self.cache.groups_rechecked += delta.groups_rechecked;
+            stats.materialization = Some(delta);
+        }
+        Ok(stats)
+    }
+
+    /// Build (or rebuild) the materialized closed cube at `min_sup`: every
+    /// closed cell with at least that count, kept current under
+    /// [`CubeSession::ingest`] and served by
+    /// [`CubeSession::query_materialized`] at any threshold ≥ `min_sup`.
+    ///
+    /// # Errors
+    /// [`CubeError::ZeroMinSup`].
+    pub fn materialize(&mut self, min_sup: u64) -> Result<DeltaStats, CubeError> {
+        let prep = self.prep.clone();
+        let (cube, stats) = MaterializedCube::build(
+            &self.table,
+            min_sup,
+            &DeltaPlan {
+                order: &prep.perm,
+                tids: &prep.tids,
+                groups: &prep.groups,
+                threads: maintenance_threads(),
+            },
+        )?;
+        self.materialized = Some(cube);
+        self.cache.artifacts_rebuilt += 1;
+        self.cache.groups_rechecked += stats.groups_rechecked;
+        Ok(stats)
+    }
+
+    /// The session's materialized closed cube, if one has been built.
+    pub fn materialized(&self) -> Option<&MaterializedCube> {
+        self.materialized.as_ref()
+    }
+
+    /// Serve the closed iceberg cube of the **base table** at `min_sup`
+    /// straight from the materialization — no recursion, no partitioning,
+    /// one ordered scan of the materialized cells (count-only; emitted in
+    /// lexicographic cell order). Cell-for-cell identical to a cold
+    /// `query().min_sup(k).run(..)` on any algorithm.
+    ///
+    /// # Errors
+    /// [`CubeError::MaterializationUnavailable`] when no materialization
+    /// exists or it was built at a higher threshold than `min_sup`;
+    /// [`CubeError::ZeroMinSup`].
+    pub fn query_materialized<S: CellSink<()>>(
+        &self,
+        min_sup: u64,
+        sink: &mut S,
+    ) -> Result<u64, CubeError> {
+        match &self.materialized {
+            Some(cube) => cube.serve(min_sup, sink),
+            None => Err(CubeError::MaterializationUnavailable { min_sup }),
+        }
+    }
+
+    /// Merge the appended rows (`old_rows..`) into the cached level-0
+    /// partition: sort the batch by leading-dimension value, then splice
+    /// value-runs into the existing value-ascending group list. Old tuples
+    /// keep their positions ahead of appended ones within each group
+    /// (appended IDs are larger), preserving the ascending-tid invariant
+    /// the cold counting sort establishes.
+    fn patch_partition(&mut self, old_rows: usize) {
+        let d = self.prep.perm[0];
+        let col = self.table.col(d);
+        let mut batch: Vec<(u32, TupleId)> = (old_rows..self.table.rows())
+            .map(|t| (col.get(t), t as TupleId))
+            .collect();
+        batch.sort_unstable();
+        let old = self.prep.clone();
+        let mut tids = Vec::with_capacity(self.table.rows());
+        let mut groups = Vec::with_capacity(old.groups.len());
+        let mut bi = 0;
+        for g in &old.groups {
+            while bi < batch.len() && batch[bi].0 < g.value {
+                push_run(&batch, &mut bi, &mut tids, &mut groups);
+            }
+            let start = tids.len() as u32;
+            tids.extend_from_slice(&old.tids[g.range()]);
+            while bi < batch.len() && batch[bi].0 == g.value {
+                tids.push(batch[bi].1);
+                bi += 1;
+            }
+            groups.push(Group {
+                value: g.value,
+                start,
+                end: tids.len() as u32,
+            });
+        }
+        while bi < batch.len() {
+            push_run(&batch, &mut bi, &mut tids, &mut groups);
+        }
+        self.prep = Arc::new(EnginePrep {
+            ordering: old.ordering,
+            perm: old.perm.clone(),
+            tids,
+            groups,
+        });
+    }
+
+    /// Merge the appended rows into the StarArray lex-sorted pool, if one
+    /// was ever built: sort the batch row-lexicographically and two-pointer
+    /// merge with the existing pool (old tuples first on equal keys — their
+    /// IDs are smaller — matching the stable radix order of a cold build).
+    fn patch_pool(&mut self, old_rows: usize) -> bool {
+        let Some(pool) = self.star_pool.take() else {
+            return false;
+        };
+        let table = &*self.table;
+        let key_cmp = |a: TupleId, b: TupleId| {
+            for d in 0..table.cube_dims() {
+                let c = table.col(d);
+                match c.get(a as usize).cmp(&c.get(b as usize)) {
+                    std::cmp::Ordering::Equal => {}
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        };
+        let mut batch: Vec<TupleId> = (old_rows as TupleId..table.rows() as TupleId).collect();
+        batch.sort_by(|&a, &b| key_cmp(a, b).then_with(|| a.cmp(&b)));
+        let mut merged = Vec::with_capacity(pool.len() + batch.len());
+        let (mut i, mut j) = (0, 0);
+        while i < pool.len() && j < batch.len() {
+            if key_cmp(pool[i], batch[j]) != std::cmp::Ordering::Greater {
+                merged.push(pool[i]);
+                i += 1;
+            } else {
+                merged.push(batch[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&pool[i..]);
+        merged.extend_from_slice(&batch[j..]);
+        self.star_pool = Some(Arc::new(merged));
+        true
+    }
+}
+
+/// Worker threads for artifact maintenance (materialized-cube builds and
+/// patches) — maintenance is synchronous on the ingest caller, so it uses
+/// the machine rather than a per-query budget.
+fn maintenance_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Append the run of equal leading values starting at `batch[*bi]` as one
+/// brand-new partition group.
+fn push_run(
+    batch: &[(u32, TupleId)],
+    bi: &mut usize,
+    tids: &mut Vec<TupleId>,
+    groups: &mut Vec<Group>,
+) {
+    let value = batch[*bi].0;
+    let start = tids.len() as u32;
+    while *bi < batch.len() && batch[*bi].0 == value {
+        tids.push(batch[*bi].1);
+        *bi += 1;
+    }
+    groups.push(Group {
+        value,
+        start,
+        end: tids.len() as u32,
+    });
 }
 
 impl std::fmt::Debug for CubeSession {
@@ -1289,5 +1579,149 @@ mod tests {
         assert_eq!(cold, want);
         // The cached partition was built exactly once, at session creation.
         assert_eq!(s.cache_stats().partition_builds, 1);
+    }
+
+    /// A fresh session over the same rows as `s`, for patched-vs-rebuilt
+    /// artifact comparisons.
+    fn rebuilt(s: &CubeSession) -> CubeSession {
+        CubeSession::new(s.table().clone()).unwrap()
+    }
+
+    #[test]
+    fn ingest_patches_artifacts_instead_of_rebuilding() {
+        let mut s = session();
+        s.star_pool(); // force the lazy pool so ingest has it to maintain
+        let stats = s.ingest(&[0, 1, 2, 3, 1, 1, 1, 1]).unwrap();
+        assert_eq!(stats.rows, 2);
+        assert!(stats.pool_patched);
+        let cache = s.cache_stats();
+        // The build counters did not move: everything was patched.
+        assert_eq!(cache.stat_builds, 1);
+        assert_eq!(cache.partition_builds, 1);
+        assert_eq!(cache.pool_builds, 1);
+        assert_eq!(cache.ingests, 1);
+        assert_eq!(cache.artifacts_patched, 3); // stats + partition + pool
+        assert_eq!(cache.artifacts_rebuilt, 0);
+        // And every patched artifact equals its cold-rebuilt twin.
+        let mut cold = rebuilt(&s);
+        assert_eq!(s.stats(), cold.stats());
+        assert_eq!(s.prep.perm, cold.prep.perm);
+        assert_eq!(s.prep.tids, cold.prep.tids);
+        assert_eq!(s.prep.groups, cold.prep.groups);
+        assert_eq!(*s.star_pool(), *cold.star_pool());
+    }
+
+    #[test]
+    fn ingest_with_new_leading_values_splices_new_groups() {
+        let mut s = session();
+        let lead = s.leading_dim();
+        // A row whose leading-dimension value the table has never seen:
+        // card is 6, so value 6 widens nothing but opens a new group (and
+        // possibly a new column width is untouched — 6 < 256).
+        let mut row = vec![0u32; s.table().dims()];
+        row[lead] = 6;
+        s.ingest(&row).unwrap();
+        let cold = rebuilt(&s);
+        assert_eq!(s.prep.groups, cold.prep.groups);
+        assert_eq!(s.prep.tids, cold.prep.tids);
+        // The cached-partition slice fast path sees the new group.
+        let tid = (s.table().rows() - 1) as TupleId;
+        assert!(s.leading_slice_tids(6).contains(&tid));
+    }
+
+    #[test]
+    fn ingest_empty_batch_is_a_no_op() {
+        let mut s = session();
+        let before_prep = s.prep.clone();
+        let stats = s.ingest(&[]).unwrap();
+        assert_eq!(stats, IngestStats::default());
+        assert_eq!(s.cache_stats().ingests, 1);
+        assert_eq!(s.cache_stats().artifacts_patched, 0);
+        assert!(Arc::ptr_eq(&s.prep, &before_prep));
+    }
+
+    #[test]
+    fn ingest_error_leaves_the_session_unchanged() {
+        let mut s = session();
+        let rows_before = s.table().rows();
+        // Wrong width.
+        assert!(matches!(
+            s.ingest(&[0, 1, 2]),
+            Err(CubeError::BadRowWidth { .. })
+        ));
+        assert_eq!(s.table().rows(), rows_before);
+        assert_eq!(s.cache_stats().ingests, 0);
+    }
+
+    #[test]
+    fn materialization_serves_identically_and_patches_under_ingest() {
+        let mut s = session();
+        let build = s.materialize(2).unwrap();
+        assert!(build.groups_rechecked > 0);
+        assert_eq!(s.cache_stats().artifacts_rebuilt, 1);
+        // Served result == any cold algorithm run.
+        let want = collect_counts(|sink| {
+            s.query()
+                .min_sup(2)
+                .algorithm(Algorithm::CCubingStar)
+                .run(sink)
+                .unwrap();
+        });
+        let mut sink = CollectSink::default();
+        s.query_materialized(2, &mut sink).unwrap();
+        assert_eq!(sink.counts(), want);
+        // Ingest patches the materialization: far fewer groups re-checked
+        // than the cold build enumerated, and the result stays exact.
+        let ingest = s.ingest(&[0, 1, 2, 3]).unwrap();
+        let delta = ingest.materialization.expect("materialization patched");
+        assert!(delta.groups_rechecked * 2 < build.groups_rechecked);
+        assert_eq!(delta.cells_removed, 0);
+        let want = collect_counts(|sink| {
+            s.query()
+                .min_sup(2)
+                .algorithm(Algorithm::CCubingStar)
+                .run(sink)
+                .unwrap();
+        });
+        let mut sink = CollectSink::default();
+        s.query_materialized(2, &mut sink).unwrap();
+        assert_eq!(sink.counts(), want);
+        // Higher thresholds are a count filter; lower ones are typed errors.
+        assert!(s.query_materialized(5, &mut CollectSink::default()).is_ok());
+        assert!(matches!(
+            s.query_materialized(1, &mut CollectSink::default()),
+            Err(CubeError::MaterializationUnavailable { min_sup: 1 })
+        ));
+    }
+
+    #[test]
+    fn unmaterialized_session_returns_typed_error() {
+        let s = session();
+        assert!(matches!(
+            s.query_materialized(2, &mut CollectSink::default()),
+            Err(CubeError::MaterializationUnavailable { min_sup: 2 })
+        ));
+        assert!(s.materialized().is_none());
+    }
+
+    #[test]
+    fn ingest_widens_columns_without_disturbing_queries() {
+        let table = TableBuilder::new(3)
+            .row(&[0, 0, 0])
+            .row(&[1, 1, 1])
+            .row(&[0, 0, 1])
+            .build()
+            .unwrap();
+        let mut s = CubeSession::new(table).unwrap();
+        s.materialize(1).unwrap();
+        // Value 300 exceeds u8 on every dimension.
+        let stats = s.ingest(&[300, 0, 0]).unwrap();
+        assert!(stats.widened.contains(0));
+        let want = collect_counts(|sink| {
+            s.query().min_sup(1).run(sink).unwrap();
+        });
+        let mut sink = CollectSink::default();
+        s.query_materialized(1, &mut sink).unwrap();
+        assert_eq!(sink.counts(), want);
     }
 }
